@@ -1,0 +1,221 @@
+package hadfl
+
+// Benchmark harness: one benchmark per paper artifact (see DESIGN.md's
+// experiment index). Each benchmark regenerates the corresponding table
+// or figure data on the fast workload profile and reports the paper's
+// headline quantities as custom metrics:
+//
+//	BenchmarkTable1/*        — Table I (time to max accuracy, speedups)
+//	BenchmarkFigure3/*       — Fig. 3 panels (series regeneration)
+//	BenchmarkWorstCase       — §IV-B upper-bound-of-accuracy-loss ablation
+//	BenchmarkCommVolume      — 2·K·M communication-volume claim
+//	BenchmarkSelectionAblation, BenchmarkPredictorAblation — design choices
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute times are virtual-simulation seconds, not wall seconds; the
+// reproduction target is the *shape* (who wins, by what factor).
+
+import (
+	"testing"
+
+	"hadfl/internal/experiments"
+)
+
+// benchComparison runs one workload×heterogeneity comparison and reports
+// the Table I quantities as custom metrics.
+func benchComparison(b *testing.B, workload string, powers []float64, seed int64) {
+	b.Helper()
+	var w experiments.Workload
+	for i := 0; i < b.N; i++ {
+		if workload == "resnet" {
+			w = experiments.ResNetWorkload(true, seed)
+		} else {
+			w = experiments.VGGWorkload(true, seed)
+		}
+		w.TargetEpochs = 25
+		cmp, err := experiments.RunComparison(w, powers, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		th, hAcc, _ := cmp.HADFL.Series.TimeToMaxAccuracy()
+		tf, _, _ := cmp.FedAvg.Series.TimeToMaxAccuracy()
+		td, _, _ := cmp.Dist.Series.TimeToMaxAccuracy()
+		b.ReportMetric(th, "hadfl-vsec")
+		b.ReportMetric(tf, "fedavg-vsec")
+		b.ReportMetric(td, "dist-vsec")
+		if th > 0 {
+			b.ReportMetric(tf/th, "speedup-vs-fedavg")
+			b.ReportMetric(td/th, "speedup-vs-dist")
+		}
+		b.ReportMetric(100*hAcc, "hadfl-acc-%")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	b.Run("resnet/het=3,3,1,1", func(b *testing.B) { benchComparison(b, "resnet", experiments.Het3311, 1) })
+	b.Run("resnet/het=4,2,2,1", func(b *testing.B) { benchComparison(b, "resnet", experiments.Het4221, 1) })
+	b.Run("vgg/het=3,3,1,1", func(b *testing.B) { benchComparison(b, "vgg", experiments.Het3311, 1) })
+	b.Run("vgg/het=4,2,2,1", func(b *testing.B) { benchComparison(b, "vgg", experiments.Het4221, 1) })
+}
+
+// benchScheme regenerates one curve of a Fig. 3 panel: the named scheme
+// on the named workload, reporting curve end-state.
+func benchScheme(b *testing.B, scheme, model string, powers []float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := RunScheme(scheme, Options{
+			Powers: powers, Model: model, TargetEpochs: 20, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Accuracy, "max-acc-%")
+		b.ReportMetric(res.Time, "time-to-max-vsec")
+		b.ReportMetric(float64(res.Series.Len()), "curve-points")
+	}
+}
+
+// BenchmarkFigure3 regenerates each Fig. 3 panel's series. Panels a–c
+// share the resnet runs (loss-vs-epoch, acc-vs-epoch, acc-vs-time are
+// three projections of the same points); d–f likewise for vgg.
+func BenchmarkFigure3(b *testing.B) {
+	for _, panel := range []struct {
+		name, model string
+	}{
+		{"abc_resnet", "resnet"},
+		{"def_vgg", "vgg"},
+	} {
+		for _, scheme := range []string{SchemeHADFL, SchemeFedAvg, SchemeDistributed} {
+			b.Run(panel.name+"/"+scheme, func(b *testing.B) {
+				benchScheme(b, scheme, panel.model, []float64{4, 2, 2, 1})
+			})
+		}
+	}
+}
+
+func BenchmarkWorstCase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		normal, worst, err := experiments.WorstCase(true, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nb, _ := normal.Series.MaxAccuracy()
+		wb, _ := worst.Series.MaxAccuracy()
+		b.ReportMetric(100*nb.Accuracy, "normal-acc-%")
+		b.ReportMetric(100*wb.Accuracy, "worstcase-acc-%")
+		b.ReportMetric(100*(nb.Accuracy-wb.Accuracy), "acc-gap-pts")
+	}
+}
+
+func BenchmarkCommVolume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CommVolume(true, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Scheme {
+			case "hadfl":
+				b.ReportMetric(float64(r.PerRoundDev), "hadfl-devB/round")
+				b.ReportMetric(float64(r.ServerBytes), "hadfl-serverB")
+			case "decentralized-fedavg":
+				b.ReportMetric(float64(r.PerRoundDev), "fedavg-devB/round")
+			case "centralized-fedavg (analytic)":
+				b.ReportMetric(float64(r.ServerBytes), "central-serverB")
+			}
+		}
+	}
+}
+
+func BenchmarkSelectionAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.SelectionAblation(true, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			best, _ := s.MaxAccuracy()
+			b.ReportMetric(100*best.Accuracy, s.Name+"-acc-%")
+		}
+	}
+}
+
+func BenchmarkPredictorAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		adaptive, static := experiments.PredictorAblation(1, 80, 0.5)
+		b.ReportMetric(adaptive, "adaptive-MAE")
+		b.ReportMetric(static, "static-MAE")
+		b.ReportMetric(static/adaptive, "improvement-x")
+	}
+}
+
+// BenchmarkAsyncBaseline regenerates the EXT-ASYNC comparison: HADFL
+// versus staleness-weighted asynchronous centralized FL ([6][7]).
+func BenchmarkAsyncBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AsyncComparison(true, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Scheme {
+			case "hadfl":
+				b.ReportMetric(r.TimeToMax, "hadfl-vsec")
+				b.ReportMetric(float64(r.ServerBytes), "hadfl-serverB")
+			case "async-fedavg":
+				b.ReportMetric(r.TimeToMax, "async-vsec")
+				b.ReportMetric(float64(r.ServerBytes), "async-serverB")
+			}
+		}
+	}
+}
+
+// BenchmarkHetBandwidth regenerates the EXT-BAND heterogeneous-bandwidth
+// sweep (the paper's future-work axis).
+func BenchmarkHetBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.HetBandwidth(true, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].TotalTime, "uniform-vsec")
+		b.ReportMetric(rows[1].TotalTime, "one-slow-vsec")
+		b.ReportMetric(rows[2].TotalTime, "all-slow-vsec")
+	}
+}
+
+// BenchmarkGroupedHADFL regenerates the EXT-GROUP flat-vs-hierarchical
+// comparison on 8 devices (Fig. 2a).
+func BenchmarkGroupedHADFL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		flat, grouped, err := experiments.GroupedComparison(true, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fb, _ := flat.MaxAccuracy()
+		gb, _ := grouped.MaxAccuracy()
+		b.ReportMetric(100*fb.Accuracy, "flat-acc-%")
+		b.ReportMetric(100*gb.Accuracy, "grouped-acc-%")
+	}
+}
+
+// BenchmarkHADFLRound measures the per-round cost of the HADFL simulation
+// itself (training + aggregation + evaluation), the inner loop every
+// experiment pays.
+func BenchmarkHADFLRound(b *testing.B) {
+	res, err := Run(Options{Powers: []float64{4, 2, 2, 1}, TargetEpochs: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rounds := res.Rounds
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Options{Powers: []float64{4, 2, 2, 1}, TargetEpochs: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rounds), "rounds/run")
+}

@@ -1,0 +1,277 @@
+// hadfl-bench regenerates the paper's evaluation artifacts: the six
+// panels of Fig. 3, Table I, and the ablations (see DESIGN.md's
+// experiment index).
+//
+// Examples:
+//
+//	hadfl-bench -table 1
+//	hadfl-bench -fig 3c -out fig3c.csv
+//	hadfl-bench -ablation worst
+//	hadfl-bench -all -outdir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hadfl/internal/experiments"
+	"hadfl/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		table    = flag.Int("table", 0, "regenerate Table N (1)")
+		fig      = flag.String("fig", "", "regenerate figure panel (3a..3f, or 3 for all panels)")
+		ablation = flag.String("ablation", "", "worst | comm | selection | predictor | grouping | async | bandwidth | grouped | scale")
+		all      = flag.Bool("all", false, "regenerate everything")
+		full     = flag.Bool("full", false, "use the convolutional workloads (much slower)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "CSV output file for -fig")
+		outdir   = flag.String("outdir", "", "directory for -all outputs")
+	)
+	flag.Parse()
+	fast := !*full
+
+	ran := false
+	if *all {
+		runAll(fast, *seed, *outdir)
+		return
+	}
+	if *table == 1 {
+		ran = true
+		runTable1(fast, *seed)
+	}
+	if *fig != "" {
+		ran = true
+		runFigure(*fig, fast, *seed, *out)
+	}
+	if *ablation != "" {
+		ran = true
+		runAblation(*ablation, fast, *seed)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runTable1(fast bool, seed int64) {
+	fmt.Println("Table I — time required to reach the maximum test accuracy")
+	fmt.Println("(virtual seconds; hadfl-speedup = scheme time ÷ HADFL time)")
+	fmt.Println()
+	rows, err := experiments.Table1(fast, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.RenderTable1(rows).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runFigure(panel string, fast bool, seed int64, out string) {
+	series, err := experiments.Figure3(fast, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	series = filterPanel(series, panel)
+	if len(series) == 0 {
+		log.Fatalf("no series match panel %q (want 3, 3a..3f)", panel)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(os.Stderr, "figure %s: %d series\n", panel, len(series))
+	if err := metrics.WriteCSV(w, series); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// filterPanel keeps the series relevant to one Fig. 3 panel: panels a–c
+// are the resnet workload, d–f the vgg workload; the x-axis distinction
+// (epoch vs time) is in the CSV columns.
+func filterPanel(series []*metrics.Series, panel string) []*metrics.Series {
+	panel = strings.ToLower(strings.TrimSpace(panel))
+	if panel == "3" {
+		return series
+	}
+	var workload string
+	switch panel {
+	case "3a", "3b", "3c":
+		workload = "/resnet/"
+	case "3d", "3e", "3f":
+		workload = "/vgg/"
+	default:
+		return nil
+	}
+	var out []*metrics.Series
+	for _, s := range series {
+		if strings.Contains(s.Name, workload) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func runAblation(name string, fast bool, seed int64) {
+	switch name {
+	case "worst":
+		normal, worst, err := experiments.WorstCase(fast, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nb, _ := normal.Series.MaxAccuracy()
+		wb, _ := worst.Series.MaxAccuracy()
+		fmt.Println("Worst-case selection ablation (§IV-B upper bound of accuracy loss)")
+		fmt.Printf("  normal Eq.8 selection : %.1f%% max accuracy\n", 100*nb.Accuracy)
+		fmt.Printf("  always-two-slowest    : %.1f%% max accuracy\n", 100*wb.Accuracy)
+	case "comm":
+		rows, err := experiments.CommVolume(fast, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &metrics.Table{Header: []string{"scheme", "device-bytes", "server-bytes", "rounds", "device-bytes/round"}}
+		for _, r := range rows {
+			t.AddRow(r.Scheme,
+				fmt.Sprintf("%d", r.DeviceBytes),
+				fmt.Sprintf("%d", r.ServerBytes),
+				fmt.Sprintf("%d", r.Rounds),
+				fmt.Sprintf("%d", r.PerRoundDev))
+		}
+		fmt.Println("Communication volume (paper §II-B / §III-D: HADFL keeps the 2·K·M")
+		fmt.Println("device volume of FedAvg with zero central-server traffic)")
+		fmt.Println()
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "selection":
+		series, err := experiments.SelectionAblation(fast, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Selection-function ablation (Eq. 8 Gaussian-at-Q3 vs alternatives)")
+		for _, s := range series {
+			b, _ := s.MaxAccuracy()
+			tt, _, _ := s.TimeToMaxAccuracy()
+			fmt.Printf("  %-22s max acc %.1f%%  at %.1f s\n", s.Name, 100*b.Accuracy, tt)
+		}
+	case "predictor":
+		adaptive, static := experiments.PredictorAblation(seed, 80, 0.5)
+		fmt.Println("Version-predictor ablation (Eq. 7 smoothing vs static Eq. 6 estimate,")
+		fmt.Println("device compute power halves mid-run)")
+		fmt.Printf("  adaptive (Brown α=0.5) MAE : %.2f versions\n", adaptive)
+		fmt.Printf("  static warm-up estimate MAE: %.2f versions\n", static)
+	case "grouping":
+		groups, schedule := experiments.GroupingDemo([]int{0, 1, 2, 3, 4, 5, 6, 7}, 3, 4, 8, seed)
+		fmt.Println("Grouping schedule (Fig. 2a): 8 devices, groups of ≤3,")
+		fmt.Println("inter-group sync every 4 intra-group rounds")
+		for i, g := range groups {
+			fmt.Printf("  group %d: %v\n", i, g)
+		}
+		fmt.Printf("  schedule: %v\n", schedule)
+	case "async":
+		rows, err := experiments.AsyncComparison(fast, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("HADFL vs staleness-weighted async centralized FL ([6][7])")
+		t := &metrics.Table{Header: []string{"scheme", "max-acc", "time-to-max", "server-bytes", "device-bytes"}}
+		for _, r := range rows {
+			t.AddRow(r.Scheme,
+				fmt.Sprintf("%.1f%%", 100*r.MaxAccuracy),
+				fmt.Sprintf("%.1f s", r.TimeToMax),
+				fmt.Sprintf("%d", r.ServerBytes),
+				fmt.Sprintf("%d", r.DeviceBytes))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "bandwidth":
+		rows, err := experiments.HetBandwidth(fast, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Heterogeneous network bandwidth (paper future work)")
+		t := &metrics.Table{Header: []string{"link profile", "max-acc", "time-to-max", "total-time"}}
+		for _, r := range rows {
+			t.AddRow(r.Profile,
+				fmt.Sprintf("%.1f%%", 100*r.MaxAccuracy),
+				fmt.Sprintf("%.1f s", r.TimeToMax),
+				fmt.Sprintf("%.1f s", r.TotalTime))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "grouped":
+		flat, grouped, err := experiments.GroupedComparison(fast, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb, _ := flat.MaxAccuracy()
+		gb, _ := grouped.MaxAccuracy()
+		ft, _, _ := flat.TimeToMaxAccuracy()
+		gt, _, _ := grouped.TimeToMaxAccuracy()
+		fmt.Println("Flat vs hierarchical (Fig. 2a) HADFL on an 8-device federation")
+		fmt.Printf("  flat    : %.1f%% max accuracy at %.1f s\n", 100*fb.Accuracy, ft)
+		fmt.Printf("  grouped : %.1f%% max accuracy at %.1f s\n", 100*gb.Accuracy, gt)
+	case "scale":
+		rows, err := experiments.Scale(fast, seed, []int{4, 8, 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Scalability sweep (paper future work: larger-scale systems)")
+		t := &metrics.Table{Header: []string{"devices", "variant", "max-acc", "time-to-max", "bytes/device", "rounds"}}
+		for _, r := range rows {
+			t.AddRow(fmt.Sprintf("%d", r.Devices), r.Variant,
+				fmt.Sprintf("%.1f%%", 100*r.MaxAccuracy),
+				fmt.Sprintf("%.1f s", r.TimeToMax),
+				fmt.Sprintf("%d", r.BytesPerDev),
+				fmt.Sprintf("%d", r.Rounds))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown ablation %q", name)
+	}
+}
+
+func runAll(fast bool, seed int64, outdir string) {
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	runTable1(fast, seed)
+	fmt.Println()
+	if outdir != "" {
+		series, err := experiments.Figure3(fast, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(outdir, "figure3.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metrics.WriteCSV(f, series); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("figure 3 data → %s\n\n", path)
+	}
+	for _, ab := range []string{"worst", "comm", "selection", "predictor", "grouping", "async", "bandwidth", "grouped", "scale"} {
+		runAblation(ab, fast, seed)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,97 @@
+// hadfl-coordinator runs the HADFL cloud coordinator over real TCP.
+// Workers (cmd/hadfl-node) connect as peers; the coordinator profiles
+// them in the mutual-negotiation phase, then orchestrates training
+// rounds. Model parameters never pass through this process.
+//
+// Example (3 workers on localhost):
+//
+//	hadfl-coordinator -listen 127.0.0.1:7000 \
+//	    -workers 0=127.0.0.1:7001,1=127.0.0.1:7002,2=127.0.0.1:7003 \
+//	    -rounds 10 -np 2
+//
+// Start the workers first (they listen immediately and block waiting
+// for the coordinator's warm-up request).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"hadfl/internal/p2p"
+	"hadfl/internal/runtime"
+	"hadfl/internal/strategy"
+)
+
+// coordinatorID is the transport id reserved for the coordinator.
+const coordinatorID = 1000
+
+func main() {
+	log.SetFlags(0)
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7000", "address to listen on")
+		workers = flag.String("workers", "", "worker peers: id=host:port,...")
+		rounds  = flag.Int("rounds", 10, "training rounds")
+		np      = flag.Int("np", 2, "devices selected per partial aggregation")
+		tsync   = flag.Int("tsync", 1, "sync period in hyperperiods")
+		alpha   = flag.Float64("alpha", 0.5, "version-predictor smoothing factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+		timeout = flag.Duration("report-timeout", 60*time.Second, "per-round report timeout")
+	)
+	flag.Parse()
+	if *workers == "" {
+		log.Fatal("missing -workers")
+	}
+
+	node, err := p2p.ListenTCP(coordinatorID, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	var ids []int
+	for _, part := range strings.Split(*workers, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("invalid worker spec %q", part)
+		}
+		var id int
+		if _, err := fmt.Sscanf(kv[0], "%d", &id); err != nil {
+			log.Fatalf("invalid worker id %q", kv[0])
+		}
+		node.AddPeer(id, kv[1])
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	lc, err := runtime.NewLiveCoordinator(runtime.CoordinatorConfig{
+		ID:            coordinatorID,
+		Workers:       ids,
+		Strategy:      strategy.Config{Tsync: *tsync, Np: *np},
+		Alpha:         *alpha,
+		Rounds:        *rounds,
+		ReportTimeout: *timeout,
+		Seed:          *seed,
+	}, node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lc.OnRound = func(s runtime.RoundStatus) {
+		var reported []int
+		for id := range s.Reports {
+			reported = append(reported, id)
+		}
+		sort.Ints(reported)
+		log.Printf("round %d: selected=%v ring=%v mean-loss=%.4f reports=%v",
+			s.Round, s.Plan.Selected, s.Plan.Ring, s.MeanLoss, reported)
+	}
+
+	log.Printf("coordinator listening on %s, %d workers, %d rounds", node.Addr(), len(ids), *rounds)
+	if err := lc.Run(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done: %d rounds orchestrated", *rounds)
+}

@@ -1,0 +1,139 @@
+// hadfl-sim runs one training scheme on a simulated heterogeneous
+// cluster and prints the training curve and summary.
+//
+// Examples:
+//
+//	hadfl-sim -scheme hadfl -powers 4,2,2,1 -epochs 30
+//	hadfl-sim -scheme decentralized-fedavg -model vgg -noniid 0.3
+//	hadfl-sim -scheme hadfl -csv curve.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"hadfl"
+	"hadfl/internal/coordinator"
+	"hadfl/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		scheme  = flag.String("scheme", hadfl.SchemeHADFL, "hadfl | decentralized-fedavg | distributed")
+		model   = flag.String("model", "resnet", "resnet (residual) | vgg (plain)")
+		powers  = flag.String("powers", "4,2,2,1", "comma-separated computing-power ratios")
+		epochs  = flag.Float64("epochs", 30, "target dataset epochs")
+		noniid  = flag.Float64("noniid", 0, "Dirichlet alpha for non-IID split (0 = IID)")
+		full    = flag.Bool("full", false, "use the convolutional workload (slower)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csv     = flag.String("csv", "", "write the training curve to this CSV file")
+		fail    = flag.String("fail", "", "failure schedule, e.g. '1=60,3=120' (device=virtual time)")
+		verbose = flag.Bool("v", false, "print per-round progress (hadfl scheme only)")
+		save    = flag.String("save", "", "persist the final model snapshot to this file")
+		load    = flag.String("load", "", "skip training; evaluate a persisted snapshot instead")
+	)
+	flag.Parse()
+
+	opts := hadfl.Options{
+		Powers:       parsePowers(*powers),
+		Model:        *model,
+		Full:         *full,
+		TargetEpochs: *epochs,
+		NonIIDAlpha:  *noniid,
+		Seed:         *seed,
+		FailAt:       parseFailures(*fail),
+	}
+	if *load != "" {
+		round, params, err := coordinator.ReadSnapshotFile(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loss, acc, err := hadfl.EvaluateParams(opts, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot        : %s (round %d, %d params)\n", *load, round, len(params))
+		fmt.Printf("test loss       : %.4f\n", loss)
+		fmt.Printf("test accuracy   : %.2f%%\n", 100*acc)
+		return
+	}
+	if *verbose {
+		opts.OnRound = func(u hadfl.RoundUpdate) {
+			extra := ""
+			if u.Bypassed > 0 {
+				extra = fmt.Sprintf("  bypassed=%d", u.Bypassed)
+			}
+			fmt.Printf("round %3d  t=%8.1fs  loss=%.4f  acc=%5.1f%%  ring=%v%s\n",
+				u.Round, u.Time, u.Loss, 100*u.Accuracy, u.Selected, extra)
+		}
+	}
+	res, err := hadfl.RunScheme(*scheme, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheme          : %s\n", res.Scheme)
+	fmt.Printf("model           : %s  powers %v\n", *model, opts.Powers)
+	fmt.Printf("max accuracy    : %.2f%%\n", 100*res.Accuracy)
+	fmt.Printf("time to max     : %.2f virtual s\n", res.Time)
+	fmt.Printf("rounds          : %d\n", res.Rounds)
+	fmt.Printf("device traffic  : %.2f MB\n", float64(res.DeviceBytes)/1e6)
+	fmt.Printf("server traffic  : %.2f MB\n", float64(res.ServerBytes)/1e6)
+
+	if *save != "" {
+		store := coordinator.NewModelStore(1)
+		store.Save(res.Rounds, res.FinalParams)
+		if err := store.WriteFile(*save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot saved  : %s\n", *save)
+	}
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := metrics.WriteCSV(f, []*metrics.Series{res.Series}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("curve written   : %s (%d points)\n", *csv, res.Series.Len())
+	}
+}
+
+func parsePowers(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			log.Fatalf("invalid power %q", part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFailures(s string) map[int]float64 {
+	if s == "" {
+		return nil
+	}
+	out := map[int]float64{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("invalid failure spec %q", part)
+		}
+		id, err1 := strconv.Atoi(strings.TrimSpace(kv[0]))
+		at, err2 := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err1 != nil || err2 != nil {
+			log.Fatalf("invalid failure spec %q", part)
+		}
+		out[id] = at
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+// Non-IID data demo: HADFL under IID and Dirichlet(α) partitions.
+// Smaller α means each device sees a more skewed label distribution —
+// the "data distribution" axis the paper lists as future work, which
+// this reproduction implements.
+//
+// Run with:
+//
+//	go run ./examples/noniid
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+)
+
+func main() {
+	table := &metrics.Table{Header: []string{"partition", "max-acc", "time-to-max", "rounds"}}
+	cases := []struct {
+		label string
+		alpha float64
+	}{
+		{"IID", 0},
+		{"Dirichlet α=1.0", 1.0},
+		{"Dirichlet α=0.3", 0.3},
+		{"Dirichlet α=0.1", 0.1},
+	}
+	for _, c := range cases {
+		res, err := hadfl.Run(hadfl.Options{
+			Powers:       []float64{4, 2, 2, 1},
+			TargetEpochs: 30,
+			NonIIDAlpha:  c.alpha,
+			Seed:         1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(c.label,
+			fmt.Sprintf("%.1f%%", 100*res.Accuracy),
+			fmt.Sprintf("%.1f s", res.Time),
+			fmt.Sprintf("%d", res.Rounds))
+	}
+	fmt.Println("HADFL under increasingly non-IID data (4 devices, power 4:2:2:1)")
+	fmt.Println()
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSkewed shards slow convergence and can lower the ceiling —")
+	fmt.Println("partial aggregation only mixes a subset of shards per round.")
+}

@@ -1,0 +1,90 @@
+package hadfl
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"hadfl/internal/coordinator"
+)
+
+func TestEvaluateParamsMatchesRunResult(t *testing.T) {
+	opts := fastOpts(21)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalParams) == 0 {
+		t.Fatal("no final params")
+	}
+	_, acc, err := EvaluateParams(opts, res.FinalParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final round's recorded accuracy equals re-evaluating the final
+	// parameters on the same test split.
+	last := res.Series.Points[len(res.Series.Points)-1]
+	if math.Abs(acc-last.Accuracy) > 1e-9 {
+		t.Fatalf("EvaluateParams %.4f vs recorded %.4f", acc, last.Accuracy)
+	}
+}
+
+func TestEvaluateParamsRejectsWrongLength(t *testing.T) {
+	opts := fastOpts(22)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("truncated parameter vector did not panic on SetParameters")
+		}
+	}()
+	EvaluateParams(opts, res.FinalParams[:len(res.FinalParams)-1])
+}
+
+func TestSnapshotPersistenceRoundTrip(t *testing.T) {
+	opts := fastOpts(23)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	store := coordinator.NewModelStore(1)
+	store.Save(res.Rounds, res.FinalParams)
+	if err := store.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	round, params, err := coordinator.ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != res.Rounds || len(params) != len(res.FinalParams) {
+		t.Fatalf("snapshot round %d len %d", round, len(params))
+	}
+	_, acc, err := EvaluateParams(opts, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.3 {
+		t.Fatalf("persisted model accuracy %.2f", acc)
+	}
+}
+
+func TestOnRoundCallbackThroughFacade(t *testing.T) {
+	opts := fastOpts(24)
+	calls := 0
+	opts.OnRound = func(u RoundUpdate) {
+		calls++
+		if u.Time <= 0 || len(u.Selected) == 0 {
+			t.Errorf("bad update %+v", u)
+		}
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Rounds {
+		t.Fatalf("%d callbacks for %d rounds", calls, res.Rounds)
+	}
+}

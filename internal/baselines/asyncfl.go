@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"hadfl/internal/core"
+	"hadfl/internal/metrics"
+	"hadfl/internal/p2p"
+	"hadfl/internal/simclock"
+)
+
+// AsyncFLConfig tunes the centralized asynchronous-FL baseline with
+// staleness-weighted aggregation — the optimization family the paper's
+// related work discusses ([6] Xie et al., [7] Lu et al.): devices push
+// updates to a central server the moment they finish, and the server
+// down-weights stale contributions:
+//
+//	w_global ← (1−β_s)·w_global + β_s·w_device
+//	β_s = BaseMix · (staleness + 1)^(−StalenessPower)
+//
+// where staleness counts how many global updates landed since the
+// device last pulled. This scheme removes the synchronous barrier but
+// keeps the central server in the data path — exactly the combination
+// HADFL argues against (server pressure + wasted stale work).
+type AsyncFLConfig struct {
+	LocalSteps     int     // E local steps per push
+	BaseMix        float64 // β base in (0,1]
+	StalenessPower float64 // exponent a ≥ 0 (0 = ignore staleness)
+	Link           p2p.Link
+	TargetEpochs   float64
+	MaxUpdates     int
+	EvalEvery      int // evaluate the global model every this many server updates
+	Seed           int64
+}
+
+// DefaultAsyncFLConfig mirrors [6]'s polynomial staleness weighting.
+func DefaultAsyncFLConfig() AsyncFLConfig {
+	return AsyncFLConfig{
+		LocalSteps:     12,
+		BaseMix:        0.6,
+		StalenessPower: 0.5,
+		Link:           p2p.Link{Latency: 0.005, Bandwidth: 1e9},
+		TargetEpochs:   60,
+		MaxUpdates:     1 << 20,
+		EvalEvery:      4,
+		Seed:           1,
+	}
+}
+
+// RunAsyncFL executes the asynchronous baseline on the cluster, driven
+// by the discrete-event engine: each device trains E steps, pushes its
+// model to the server (paying upload time), receives the merged global
+// (download time), and immediately starts the next cycle — no barriers,
+// so fast devices update the server more often.
+func RunAsyncFL(c *core.Cluster, cfg AsyncFLConfig) (*core.Result, error) {
+	if cfg.LocalSteps <= 0 {
+		return nil, fmt.Errorf("baselines: LocalSteps %d", cfg.LocalSteps)
+	}
+	if cfg.BaseMix <= 0 || cfg.BaseMix > 1 {
+		return nil, fmt.Errorf("baselines: BaseMix %v", cfg.BaseMix)
+	}
+	if cfg.StalenessPower < 0 {
+		return nil, fmt.Errorf("baselines: StalenessPower %v", cfg.StalenessPower)
+	}
+	if cfg.EvalEvery <= 0 {
+		return nil, fmt.Errorf("baselines: EvalEvery %d", cfg.EvalEvery)
+	}
+	engine := simclock.New()
+	series := &metrics.Series{Name: "async-fedavg"}
+	comm := core.NewCommStats()
+
+	global := append([]float64(nil), c.InitParams...)
+	globalVersion := 0
+	paramBytes := 8 * len(global)
+	transfer := cfg.Link.TransferTime(paramBytes)
+	totalSteps := 0
+	serverUpdates := 0
+
+	for _, d := range c.Devices {
+		d.SetParameters(c.InitParams)
+	}
+	loss0, acc0 := c.Evaluate(global)
+	series.Add(metrics.Point{Epoch: 0, Time: 0, Loss: loss0, Accuracy: acc0})
+
+	// pulledAt tracks the global version each device last saw.
+	pulledAt := make([]int, len(c.Devices))
+
+	done := func() bool {
+		return c.EpochsProcessed(totalSteps) >= cfg.TargetEpochs || serverUpdates >= cfg.MaxUpdates
+	}
+
+	var cycle func(devIdx int)
+	cycle = func(devIdx int) {
+		d := c.Devices[devIdx]
+		meanLoss, elapsed := d.TrainSteps(cfg.LocalSteps)
+		totalSteps += cfg.LocalSteps
+		// Train, then upload: the merge lands after compute + transfer.
+		engine.Schedule(simclock.Time(elapsed+transfer), func() {
+			staleness := globalVersion - pulledAt[devIdx]
+			if staleness < 0 {
+				staleness = 0
+			}
+			beta := cfg.BaseMix * math.Pow(float64(staleness+1), -cfg.StalenessPower)
+			dev := d.Parameters()
+			for i := range global {
+				global[i] = (1-beta)*global[i] + beta*dev[i]
+			}
+			globalVersion++
+			serverUpdates++
+			// Up + down through the server.
+			comm.DeviceBytes[d.Cfg.ID] += int64(paramBytes)
+			comm.ServerBytes += int64(2 * paramBytes)
+			comm.Rounds = serverUpdates
+
+			if serverUpdates%cfg.EvalEvery == 0 {
+				_, acc := c.Evaluate(global)
+				series.Add(metrics.Point{
+					Epoch:    c.EpochsProcessed(totalSteps),
+					Time:     float64(engine.Now()),
+					Loss:     meanLoss,
+					Accuracy: acc,
+				})
+			}
+			if done() {
+				return
+			}
+			// Download the merged model and start the next cycle.
+			engine.Schedule(simclock.Time(transfer), func() {
+				d.SetParameters(global)
+				pulledAt[devIdx] = globalVersion
+				if !done() {
+					cycle(devIdx)
+				}
+			})
+		})
+	}
+	for i := range c.Devices {
+		cycle(i)
+	}
+	engine.Run(0)
+
+	_, acc := c.Evaluate(global)
+	lastLossV := loss0
+	if l, ok := series.FinalLoss(); ok {
+		lastLossV = l
+	}
+	series.Add(metrics.Point{
+		Epoch: c.EpochsProcessed(totalSteps), Time: float64(engine.Now()),
+		Loss: lastLossV, Accuracy: acc,
+	})
+	return &core.Result{Series: series, Comm: comm, Rounds: serverUpdates, FinalParams: global}, nil
+}

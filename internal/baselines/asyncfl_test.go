@@ -1,0 +1,116 @@
+package baselines
+
+import (
+	"testing"
+)
+
+func TestAsyncFLConverges(t *testing.T) {
+	c := testCluster(t, 11)
+	cfg := DefaultAsyncFLConfig()
+	cfg.TargetEpochs = 12
+	res, err := RunAsyncFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := res.Series.MaxAccuracy()
+	if best.Accuracy < 0.6 {
+		t.Fatalf("async FL reached only %.2f", best.Accuracy)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no server updates")
+	}
+}
+
+func TestAsyncFLUsesCentralServer(t *testing.T) {
+	c := testCluster(t, 12)
+	cfg := DefaultAsyncFLConfig()
+	cfg.TargetEpochs = 4
+	res, err := RunAsyncFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defining contrast to HADFL: the central server relays every
+	// update (2M per update).
+	if res.Comm.ServerBytes == 0 {
+		t.Fatal("async centralized FL must load the server")
+	}
+	M := int64(8 * len(c.InitParams))
+	want := 2 * M * int64(res.Rounds)
+	if res.Comm.ServerBytes != want {
+		t.Fatalf("server bytes %d, want %d", res.Comm.ServerBytes, want)
+	}
+}
+
+func TestAsyncFLFastDeviceUpdatesMore(t *testing.T) {
+	c := testCluster(t, 13) // powers [4,2,2,1]
+	cfg := DefaultAsyncFLConfig()
+	cfg.TargetEpochs = 6
+	res, err := RunAsyncFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No barrier: the power-4 device pushes ~4× as many updates as the
+	// power-1 device, visible in its upload bytes.
+	fast := res.Comm.DeviceBytes[0]
+	slow := res.Comm.DeviceBytes[3]
+	if fast < 2*slow {
+		t.Fatalf("fast device bytes %d not ≫ slow device %d", fast, slow)
+	}
+}
+
+func TestAsyncFLTimeAdvancesMonotonically(t *testing.T) {
+	c := testCluster(t, 14)
+	cfg := DefaultAsyncFLConfig()
+	cfg.TargetEpochs = 4
+	res, err := RunAsyncFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series.Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time < pts[i-1].Time {
+			t.Fatalf("time regressed at point %d", i)
+		}
+	}
+}
+
+func TestAsyncFLValidation(t *testing.T) {
+	c := testCluster(t, 15)
+	for _, mut := range []func(*AsyncFLConfig){
+		func(cfg *AsyncFLConfig) { cfg.LocalSteps = 0 },
+		func(cfg *AsyncFLConfig) { cfg.BaseMix = 0 },
+		func(cfg *AsyncFLConfig) { cfg.BaseMix = 1.5 },
+		func(cfg *AsyncFLConfig) { cfg.StalenessPower = -1 },
+		func(cfg *AsyncFLConfig) { cfg.EvalEvery = 0 },
+	} {
+		cfg := DefaultAsyncFLConfig()
+		mut(&cfg)
+		if _, err := RunAsyncFL(c, cfg); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestAsyncFLStalenessWeighting(t *testing.T) {
+	// With StalenessPower 0 every update mixes at BaseMix regardless of
+	// staleness; with a large power, stale updates barely move the
+	// global model. Both must run; the weighted variant should not be
+	// wildly worse.
+	run := func(power float64) float64 {
+		c := testCluster(t, 16)
+		cfg := DefaultAsyncFLConfig()
+		cfg.TargetEpochs = 8
+		cfg.StalenessPower = power
+		res, err := RunAsyncFL(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, _ := res.Series.MaxAccuracy()
+		return best.Accuracy
+	}
+	uniform := run(0)
+	weighted := run(1.0)
+	if uniform < 0.5 || weighted < 0.5 {
+		t.Fatalf("accuracy collapsed: uniform %.2f weighted %.2f", uniform, weighted)
+	}
+}

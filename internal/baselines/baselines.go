@@ -1,0 +1,213 @@
+// Package baselines implements the two comparison schemes of the
+// paper's evaluation:
+//
+//   - Distributed training [12]: PyTorch-DDP/Horovod-style synchronous
+//     data parallelism — every iteration all K devices compute one
+//     mini-batch gradient, ring-all-reduce the gradients, and apply the
+//     identical averaged update. Slow devices gate every iteration.
+//   - Decentralized-FedAvg [11]: every device runs E local steps, then
+//     all devices synchronously gossip-average their models (a full ring
+//     all-reduce over K). Slow devices gate every round.
+//
+// Both run on the same Cluster, cost model and metrics as HADFL, so
+// curves are directly comparable.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hadfl/internal/aggregate"
+	"hadfl/internal/core"
+	"hadfl/internal/metrics"
+	"hadfl/internal/nn"
+	"hadfl/internal/p2p"
+)
+
+// DistributedConfig tunes the synchronous distributed-training baseline.
+type DistributedConfig struct {
+	Link         p2p.Link
+	TargetEpochs float64
+	MaxIters     int
+	// EvalEvery evaluates the model every this many iterations.
+	EvalEvery int
+	Seed      int64
+}
+
+// DefaultDistributedConfig mirrors core.DefaultConfig's budget.
+func DefaultDistributedConfig() DistributedConfig {
+	return DistributedConfig{
+		Link:         p2p.Link{Latency: 0.005, Bandwidth: 1e9},
+		TargetEpochs: 60,
+		MaxIters:     1 << 20,
+		EvalEvery:    20,
+		Seed:         1,
+	}
+}
+
+// RunDistributed executes synchronous data-parallel SGD on the cluster.
+func RunDistributed(c *core.Cluster, cfg DistributedConfig) (*core.Result, error) {
+	if cfg.EvalEvery <= 0 {
+		return nil, fmt.Errorf("baselines: EvalEvery %d", cfg.EvalEvery)
+	}
+	series := &metrics.Series{Name: "distributed"}
+	comm := core.NewCommStats()
+	commModel := p2p.CommModel{Link: cfg.Link}
+	k := len(c.Devices)
+	paramBytes := 8 * len(c.InitParams)
+
+	// All replicas start from the shared initial model.
+	for _, d := range c.Devices {
+		d.SetParameters(c.InitParams)
+	}
+	global := append([]float64(nil), c.InitParams...)
+	now := 0.0
+	totalSteps := 0
+	loss0, acc0 := c.Evaluate(global)
+	series.Add(metrics.Point{Epoch: 0, Time: 0, Loss: loss0, Accuracy: acc0})
+
+	iter := 0
+	for ; iter < cfg.MaxIters && c.EpochsProcessed(totalSteps) < cfg.TargetEpochs; iter++ {
+		// Each device computes one gradient on its local batch. The
+		// barrier makes the iteration as slow as the slowest device.
+		grads := make([][]float64, k)
+		slowest := 0.0
+		lossSum := 0.0
+		for i, d := range c.Devices {
+			x, y := d.Loader.Next()
+			d.Model.ZeroGrads()
+			logits := d.Model.Forward(x, true)
+			l, g := nn.SoftmaxCrossEntropy(logits, y)
+			d.Model.Backward(g)
+			grads[i] = d.Model.GradientVector()
+			lossSum += l
+			st := d.StepTime()
+			if st > slowest {
+				slowest = st
+			}
+			totalSteps++
+		}
+		// Ring all-reduce of gradients across all K devices.
+		avg := aggregate.Mean(grads)
+		now += slowest + commModel.RingAllReduceTime(k, paramBytes)
+		if k > 1 {
+			per := int64(2 * paramBytes * (k - 1) / k)
+			for _, d := range c.Devices {
+				comm.DeviceBytes[d.Cfg.ID] += per
+			}
+		}
+		// Identical update on every replica keeps them bit-equal; apply
+		// through each device's optimizer (same hyper-parameters).
+		for _, d := range c.Devices {
+			d.Model.SetGradientVector(avg)
+			d.Opt.Step(d.Model)
+			d.Version++
+		}
+		comm.Rounds++
+
+		if (iter+1)%cfg.EvalEvery == 0 {
+			global = c.Devices[0].Parameters()
+			_, acc := c.Evaluate(global)
+			series.Add(metrics.Point{
+				Epoch: c.EpochsProcessed(totalSteps), Time: now,
+				Loss: lossSum / float64(k), Accuracy: acc,
+			})
+		}
+	}
+	global = c.Devices[0].Parameters()
+	_, acc := c.Evaluate(global)
+	series.Add(metrics.Point{Epoch: c.EpochsProcessed(totalSteps), Time: now, Loss: lastLoss(series), Accuracy: acc})
+	return &core.Result{Series: series, Comm: comm, Rounds: iter, FinalParams: global}, nil
+}
+
+// FedAvgConfig tunes the Decentralized-FedAvg baseline.
+type FedAvgConfig struct {
+	// LocalSteps E is identical on every device (the homogeneity
+	// assumption HADFL removes).
+	LocalSteps   int
+	Link         p2p.Link
+	TargetEpochs float64
+	MaxRounds    int
+	Seed         int64
+}
+
+// DefaultFedAvgConfig uses E=20 local steps per round.
+func DefaultFedAvgConfig() FedAvgConfig {
+	return FedAvgConfig{
+		LocalSteps:   20,
+		Link:         p2p.Link{Latency: 0.005, Bandwidth: 1e9},
+		TargetEpochs: 60,
+		MaxRounds:    1 << 20,
+		Seed:         1,
+	}
+}
+
+// RunFedAvg executes Decentralized-FedAvg: E local steps everywhere,
+// then a synchronous full-population gossip average.
+func RunFedAvg(c *core.Cluster, cfg FedAvgConfig) (*core.Result, error) {
+	if cfg.LocalSteps <= 0 {
+		return nil, fmt.Errorf("baselines: LocalSteps %d", cfg.LocalSteps)
+	}
+	series := &metrics.Series{Name: "decentralized-fedavg"}
+	comm := core.NewCommStats()
+	commModel := p2p.CommModel{Link: cfg.Link}
+	k := len(c.Devices)
+	paramBytes := 8 * len(c.InitParams)
+	_ = rand.New(rand.NewSource(cfg.Seed))
+
+	for _, d := range c.Devices {
+		d.SetParameters(c.InitParams)
+	}
+	global := append([]float64(nil), c.InitParams...)
+	now := 0.0
+	totalSteps := 0
+	loss0, acc0 := c.Evaluate(global)
+	series.Add(metrics.Point{Epoch: 0, Time: 0, Loss: loss0, Accuracy: acc0})
+
+	round := 0
+	for ; round < cfg.MaxRounds && c.EpochsProcessed(totalSteps) < cfg.TargetEpochs; round++ {
+		// E local steps on every device; the synchronous barrier waits
+		// for the slowest.
+		slowest := 0.0
+		lossSum := 0.0
+		for _, d := range c.Devices {
+			meanLoss, elapsed := d.TrainSteps(cfg.LocalSteps)
+			lossSum += meanLoss
+			if elapsed > slowest {
+				slowest = elapsed
+			}
+			totalSteps += cfg.LocalSteps
+		}
+		// Full-population gossip average (ring all-reduce over K).
+		vecs := make([][]float64, k)
+		for i, d := range c.Devices {
+			vecs[i] = d.Parameters()
+		}
+		global = aggregate.Mean(vecs)
+		now += slowest + commModel.RingAllReduceTime(k, paramBytes)
+		if k > 1 {
+			per := int64(2 * paramBytes * (k - 1) / k)
+			for _, d := range c.Devices {
+				comm.DeviceBytes[d.Cfg.ID] += per
+			}
+		}
+		for _, d := range c.Devices {
+			d.SetParameters(global)
+		}
+		comm.Rounds++
+
+		_, acc := c.Evaluate(global)
+		series.Add(metrics.Point{
+			Epoch: c.EpochsProcessed(totalSteps), Time: now,
+			Loss: lossSum / float64(k), Accuracy: acc,
+		})
+	}
+	return &core.Result{Series: series, Comm: comm, Rounds: round, FinalParams: global}, nil
+}
+
+func lastLoss(s *metrics.Series) float64 {
+	if l, ok := s.FinalLoss(); ok {
+		return l
+	}
+	return 0
+}

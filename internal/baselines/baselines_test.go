@@ -1,0 +1,164 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"hadfl/internal/core"
+	"hadfl/internal/dataset"
+	"hadfl/internal/nn"
+)
+
+func testCluster(t *testing.T, seed int64) *core.Cluster {
+	t.Helper()
+	full := dataset.Synthetic(dataset.SyntheticConfig{
+		Samples: 1200, Features: 16, Classes: 5, ModesPerClass: 2, NoiseStd: 0.4, Seed: seed,
+	})
+	train, test := full.Split(1000)
+	c, err := core.BuildCluster(core.ClusterSpec{
+		Powers:       []float64{4, 2, 2, 1},
+		BaseStepTime: 1,
+		Arch: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, 16, []int{24}, 5)
+		},
+		Train: train, Test: test,
+		BatchSize: 20,
+		LR:        0.1, Momentum: 0.9,
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDistributedConverges(t *testing.T) {
+	c := testCluster(t, 1)
+	cfg := DefaultDistributedConfig()
+	cfg.TargetEpochs = 12
+	res, err := RunDistributed(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := res.Series.MaxAccuracy()
+	if best.Accuracy < 0.7 {
+		t.Fatalf("distributed training reached only %.2f", best.Accuracy)
+	}
+}
+
+func TestDistributedReplicasStayIdentical(t *testing.T) {
+	c := testCluster(t, 2)
+	cfg := DefaultDistributedConfig()
+	cfg.TargetEpochs = 2
+	if _, err := RunDistributed(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	p0 := c.Devices[0].Parameters()
+	for i, d := range c.Devices[1:] {
+		p := d.Parameters()
+		for j := range p {
+			if p[j] != p0[j] {
+				t.Fatalf("replica %d diverged at param %d", i+1, j)
+			}
+		}
+	}
+}
+
+func TestDistributedTimeGatedBySlowest(t *testing.T) {
+	// Same total work, but a more skewed power distribution must take
+	// longer wall-clock: the slowest device gates every iteration.
+	run := func(powers []float64) float64 {
+		full := dataset.Synthetic(dataset.SyntheticConfig{
+			Samples: 600, Features: 8, Classes: 3, NoiseStd: 0.3, Seed: 9,
+		})
+		train, test := full.Split(500)
+		c, err := core.BuildCluster(core.ClusterSpec{
+			Powers: powers, BaseStepTime: 1,
+			Arch:  func(rng *rand.Rand) *nn.Model { return nn.NewMLP(rng, 8, []int{8}, 3) },
+			Train: train, Test: test, BatchSize: 10, LR: 0.05, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultDistributedConfig()
+		cfg.TargetEpochs = 2
+		res, err := RunDistributed(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := res.Series.Points[len(res.Series.Points)-1]
+		return last.Time
+	}
+	balanced := run([]float64{2, 2, 2, 2}) // every step takes 0.5s
+	skewed := run([]float64{4, 4, 4, 1})   // straggler steps take 1s and gate the barrier
+	if skewed <= balanced {
+		t.Fatalf("skewed cluster time %v should exceed balanced %v", skewed, balanced)
+	}
+}
+
+func TestFedAvgConverges(t *testing.T) {
+	c := testCluster(t, 3)
+	cfg := DefaultFedAvgConfig()
+	cfg.TargetEpochs = 12
+	cfg.LocalSteps = 10
+	res, err := RunFedAvg(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := res.Series.MaxAccuracy()
+	if best.Accuracy < 0.7 {
+		t.Fatalf("fedavg reached only %.2f", best.Accuracy)
+	}
+	// All devices hold the aggregated model after each round.
+	p0 := c.Devices[0].Parameters()
+	p3 := c.Devices[3].Parameters()
+	for j := range p0 {
+		if p0[j] != p3[j] {
+			t.Fatal("devices diverged after synchronous round")
+		}
+	}
+}
+
+func TestFedAvgValidation(t *testing.T) {
+	c := testCluster(t, 4)
+	cfg := DefaultFedAvgConfig()
+	cfg.LocalSteps = 0
+	if _, err := RunFedAvg(c, cfg); err == nil {
+		t.Fatal("LocalSteps=0 accepted")
+	}
+	dcfg := DefaultDistributedConfig()
+	dcfg.EvalEvery = 0
+	if _, err := RunDistributed(c, dcfg); err == nil {
+		t.Fatal("EvalEvery=0 accepted")
+	}
+}
+
+func TestBothBaselinesAccountCommunication(t *testing.T) {
+	c := testCluster(t, 5)
+	cfg := DefaultFedAvgConfig()
+	cfg.TargetEpochs = 3
+	res, err := RunFedAvg(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.TotalDeviceBytes() == 0 || res.Comm.Rounds == 0 {
+		t.Fatal("fedavg comm not accounted")
+	}
+	c2 := testCluster(t, 5)
+	dcfg := DefaultDistributedConfig()
+	dcfg.TargetEpochs = 1
+	res2, err := RunDistributed(c2, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Comm.TotalDeviceBytes() == 0 {
+		t.Fatal("distributed comm not accounted")
+	}
+	// Distributed training communicates every iteration; FedAvg every E
+	// steps. Per epoch processed, distributed must send far more bytes.
+	perEpochDist := float64(res2.Comm.TotalDeviceBytes()) / res2.Series.Points[len(res2.Series.Points)-1].Epoch
+	perEpochFed := float64(res.Comm.TotalDeviceBytes()) / res.Series.Points[len(res.Series.Points)-1].Epoch
+	if perEpochDist <= perEpochFed {
+		t.Fatalf("distributed per-epoch bytes %v should exceed fedavg %v", perEpochDist, perEpochFed)
+	}
+}

@@ -1,0 +1,153 @@
+package coordinator
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"hadfl/internal/predict"
+	"hadfl/internal/strategy"
+)
+
+// DeviceProfile is what the mutual-negotiation phase (workflow step 3)
+// teaches the coordinator about one device.
+type DeviceProfile struct {
+	ID           int
+	EpochTime    float64 // measured seconds per local epoch
+	StepTime     float64 // measured seconds per local step
+	WarmupTime   float64 // total calculation time T_i over the warm-up
+	WarmupEpochs int
+}
+
+// Coordinator is the cloud control plane: liveness monitoring, runtime
+// version prediction, strategy generation and model backup. It is safe
+// for concurrent use (the live TCP deployment calls it from many
+// connection goroutines; the simulation calls it single-threaded).
+type Coordinator struct {
+	Liveness *Liveness
+	Store    *ModelStore
+
+	mu       sync.Mutex
+	cfg      strategy.Config
+	tracker  *predict.Tracker
+	profiles map[int]DeviceProfile
+	rng      *rand.Rand
+	round    int
+}
+
+// New creates a coordinator. alpha is the smoothing factor of the
+// version predictor (Eq. 7); keep is the number of model snapshots the
+// model manager retains.
+func New(cfg strategy.Config, alpha float64, keep int, rng *rand.Rand) *Coordinator {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Coordinator{
+		Liveness: NewLiveness(),
+		Store:    NewModelStore(keep),
+		cfg:      cfg,
+		tracker:  predict.NewTracker(alpha),
+		profiles: make(map[int]DeviceProfile),
+		rng:      rng,
+	}
+}
+
+// Config returns the strategy configuration.
+func (c *Coordinator) Config() strategy.Config {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg
+}
+
+// RegisterProfile stores a device's warm-up measurements and seeds the
+// version predictor with the Eq. 6 expected version. It also counts as a
+// heartbeat at time now.
+func (c *Coordinator) RegisterProfile(p DeviceProfile, now float64) error {
+	if p.EpochTime <= 0 || p.StepTime <= 0 || p.WarmupTime <= 0 || p.WarmupEpochs <= 0 {
+		return fmt.Errorf("coordinator: invalid profile %+v", p)
+	}
+	c.mu.Lock()
+	c.profiles[p.ID] = p
+	c.mu.Unlock()
+	c.Liveness.Heartbeat(p.ID, now)
+
+	// Seeding needs a sync period; use the profile's own epoch time as a
+	// provisional hyperperiod (it is refined after the first real plan).
+	provisional := float64(c.Config().Tsync) * p.EpochTime
+	v := predict.ExpectedVersion(provisional, p.WarmupTime, p.WarmupEpochs)
+	c.mu.Lock()
+	c.tracker.Seed(p.ID, v)
+	c.mu.Unlock()
+	return nil
+}
+
+// ReportVersion records a device's actual parameter version after a
+// synchronization round (workflow step 7) and counts as a heartbeat.
+func (c *Coordinator) ReportVersion(id int, version, now float64) {
+	c.mu.Lock()
+	c.tracker.Observe(id, version)
+	c.mu.Unlock()
+	c.Liveness.Heartbeat(id, now)
+}
+
+// NextPlan generates the training configuration for the next round from
+// the devices currently available (heartbeat within timeout of now). It
+// implements workflow steps 1 and 4.
+func (c *Coordinator) NextPlan(now, timeout float64) (strategy.Plan, []int, error) {
+	avail := c.Liveness.Available(now, timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ests []strategy.DeviceEstimate
+	for _, id := range avail {
+		p, ok := c.profiles[id]
+		if !ok {
+			continue // never profiled; cannot schedule it
+		}
+		v, ok := c.tracker.Forecast(id, 1)
+		if !ok {
+			v = 0
+		}
+		ests = append(ests, strategy.DeviceEstimate{
+			ID: id, EpochTime: p.EpochTime, StepTime: p.StepTime, Version: v,
+		})
+	}
+	if len(ests) == 0 {
+		return strategy.Plan{}, nil, fmt.Errorf("coordinator: no available profiled devices")
+	}
+	cfg := c.cfg
+	if cfg.Np > len(ests) {
+		cfg.Np = len(ests) // shrink selection to the live population
+	}
+	plan, err := strategy.Generate(c.rng, cfg, ests)
+	if err != nil {
+		return strategy.Plan{}, nil, err
+	}
+	c.round++
+	ids := make([]int, len(ests))
+	for i, e := range ests {
+		ids[i] = e.ID
+	}
+	sort.Ints(ids)
+	return plan, ids, nil
+}
+
+// Round returns how many plans have been generated.
+func (c *Coordinator) Round() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+// Backup stores an aggregated model snapshot (workflow step 9).
+func (c *Coordinator) Backup(round int, params []float64) {
+	c.Store.Save(round, params)
+}
+
+// Forecasts exposes the tracker's next-round forecasts for testing and
+// diagnostics.
+func (c *Coordinator) Forecasts(ids []int) map[int]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracker.ForecastAll(ids)
+}

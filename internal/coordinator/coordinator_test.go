@@ -1,0 +1,229 @@
+package coordinator
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hadfl/internal/strategy"
+)
+
+func TestLivenessAvailability(t *testing.T) {
+	l := NewLiveness()
+	l.Heartbeat(1, 10)
+	l.Heartbeat(2, 12)
+	l.Heartbeat(3, 2)
+	got := l.Available(13, 5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Available = %v", got)
+	}
+	if known := l.Known(); len(known) != 3 {
+		t.Fatalf("Known = %v", known)
+	}
+}
+
+func TestLivenessMarkDead(t *testing.T) {
+	l := NewLiveness()
+	l.Heartbeat(1, 10)
+	l.MarkDead(1)
+	if got := l.Available(10, 100); len(got) != 0 {
+		t.Fatalf("marked-dead device still available: %v", got)
+	}
+	// A fresh heartbeat revives it.
+	l.Heartbeat(1, 11)
+	if got := l.Available(11, 100); len(got) != 1 {
+		t.Fatalf("heartbeat did not revive: %v", got)
+	}
+}
+
+func TestLivenessOldHeartbeatIgnored(t *testing.T) {
+	l := NewLiveness()
+	l.Heartbeat(1, 10)
+	l.Heartbeat(1, 5) // out-of-order heartbeat must not regress lastSeen
+	if got := l.Available(12, 3); len(got) != 1 {
+		t.Fatalf("Available = %v", got)
+	}
+}
+
+func TestModelStoreSaveGetLatest(t *testing.T) {
+	s := NewModelStore(0)
+	s.Save(1, []float64{1})
+	s.Save(5, []float64{5})
+	s.Save(3, []float64{3})
+	if p, ok := s.Get(3); !ok || p[0] != 3 {
+		t.Fatalf("Get(3) = %v %v", p, ok)
+	}
+	round, p, ok := s.Latest()
+	if !ok || round != 5 || p[0] != 5 {
+		t.Fatalf("Latest = %d %v %v", round, p, ok)
+	}
+	if _, ok := s.Get(99); ok {
+		t.Fatal("Get of unknown round succeeded")
+	}
+}
+
+func TestModelStoreEviction(t *testing.T) {
+	s := NewModelStore(2)
+	s.Save(1, []float64{1})
+	s.Save(2, []float64{2})
+	s.Save(3, []float64{3})
+	if _, ok := s.Get(1); ok {
+		t.Fatal("oldest snapshot not evicted")
+	}
+	if rounds := s.Rounds(); len(rounds) != 2 || rounds[0] != 2 || rounds[1] != 3 {
+		t.Fatalf("Rounds = %v", rounds)
+	}
+}
+
+func TestModelStoreCopiesData(t *testing.T) {
+	s := NewModelStore(0)
+	p := []float64{1, 2}
+	s.Save(1, p)
+	p[0] = 99
+	got, _ := s.Get(1)
+	if got[0] != 1 {
+		t.Fatal("Save must copy")
+	}
+	got[1] = 99
+	again, _ := s.Get(1)
+	if again[1] != 2 {
+		t.Fatal("Get must copy")
+	}
+}
+
+func TestModelStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	s := NewModelStore(0)
+	s.Save(7, []float64{1.5, -2.5, 3.25})
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	round, params, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 7 || len(params) != 3 || params[2] != 3.25 {
+		t.Fatalf("round %d params %v", round, params)
+	}
+	// Corrupt file rejected.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshotFile(path); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestModelStoreWriteEmptyErrors(t *testing.T) {
+	s := NewModelStore(0)
+	if err := s.WriteFile(filepath.Join(t.TempDir(), "x.bin")); err == nil {
+		t.Fatal("persisting empty store must error")
+	}
+}
+
+func newTestCoordinator() *Coordinator {
+	cfg := strategy.Config{Tsync: 1, Np: 2}
+	return New(cfg, 0.5, 10, rand.New(rand.NewSource(1)))
+}
+
+func TestCoordinatorFullRoundTrip(t *testing.T) {
+	c := newTestCoordinator()
+	// Profile 4 devices with power ratio [4,2,2,1] (epoch times 1,2,2,4).
+	for i, et := range []float64{1, 2, 2, 4} {
+		err := c.RegisterProfile(DeviceProfile{
+			ID: i, EpochTime: et, StepTime: et / 10, WarmupTime: et, WarmupEpochs: 1,
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, avail, err := c.NextPlan(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avail) != 4 {
+		t.Fatalf("available %v", avail)
+	}
+	if math.Abs(plan.Hyperperiod-4) > 1e-9 {
+		t.Fatalf("Hyperperiod %v", plan.Hyperperiod)
+	}
+	// Fast device gets 4× the local steps of the slowest.
+	if plan.LocalSteps[0] != 4*plan.LocalSteps[3] {
+		t.Fatalf("LocalSteps %v", plan.LocalSteps)
+	}
+	if len(plan.Selected) != 2 {
+		t.Fatalf("Selected %v", plan.Selected)
+	}
+	if c.Round() != 1 {
+		t.Fatalf("Round = %d", c.Round())
+	}
+	// Report versions and re-plan: forecasts update.
+	for i := 0; i < 4; i++ {
+		c.ReportVersion(i, float64(40/(i+1)), 4)
+	}
+	f := c.Forecasts([]int{0, 1, 2, 3})
+	if len(f) != 4 {
+		t.Fatalf("Forecasts %v", f)
+	}
+	if _, _, err := c.NextPlan(4, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorShrinksNpToPopulation(t *testing.T) {
+	cfg := strategy.Config{Tsync: 1, Np: 3}
+	c := New(cfg, 0.5, 1, rand.New(rand.NewSource(2)))
+	c.RegisterProfile(DeviceProfile{ID: 0, EpochTime: 1, StepTime: 0.1, WarmupTime: 1, WarmupEpochs: 1}, 0)
+	c.RegisterProfile(DeviceProfile{ID: 1, EpochTime: 1, StepTime: 0.1, WarmupTime: 1, WarmupEpochs: 1}, 0)
+	plan, _, err := c.NextPlan(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Selected) != 2 {
+		t.Fatalf("Np not shrunk: %v", plan.Selected)
+	}
+}
+
+func TestCoordinatorExcludesStaleDevices(t *testing.T) {
+	c := newTestCoordinator()
+	c.RegisterProfile(DeviceProfile{ID: 0, EpochTime: 1, StepTime: 0.1, WarmupTime: 1, WarmupEpochs: 1}, 0)
+	c.RegisterProfile(DeviceProfile{ID: 1, EpochTime: 1, StepTime: 0.1, WarmupTime: 1, WarmupEpochs: 1}, 0)
+	// Device 1 heartbeats recently; device 0 went silent.
+	c.Liveness.Heartbeat(1, 50)
+	plan, avail, err := c.NextPlan(50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avail) != 1 || avail[0] != 1 {
+		t.Fatalf("avail %v", avail)
+	}
+	if len(plan.Selected) != 1 || plan.Selected[0] != 1 {
+		t.Fatalf("Selected %v", plan.Selected)
+	}
+}
+
+func TestCoordinatorNoDevicesErrors(t *testing.T) {
+	c := newTestCoordinator()
+	if _, _, err := c.NextPlan(0, 10); err == nil {
+		t.Fatal("plan with no devices must error")
+	}
+}
+
+func TestCoordinatorRejectsBadProfile(t *testing.T) {
+	c := newTestCoordinator()
+	if err := c.RegisterProfile(DeviceProfile{ID: 0}, 0); err == nil {
+		t.Fatal("zero profile accepted")
+	}
+}
+
+func TestCoordinatorBackup(t *testing.T) {
+	c := newTestCoordinator()
+	c.Backup(3, []float64{1, 2, 3})
+	round, p, ok := c.Store.Latest()
+	if !ok || round != 3 || len(p) != 3 {
+		t.Fatalf("backup round %d %v %v", round, p, ok)
+	}
+}

@@ -1,0 +1,85 @@
+// Package coordinator implements HADFL's cloud coordinator (paper
+// §III-A): the liveness monitor that tracks device availability, the
+// runtime supervisor that collects parameter versions and forecasts the
+// next round, the strategy-generator service producing per-round
+// training plans, and the model manager that backs up aggregated models.
+//
+// The coordinator is control-plane only: it never relays model
+// parameters between devices (those travel peer-to-peer), which is the
+// source of HADFL's central-bandwidth savings.
+package coordinator
+
+import (
+	"sort"
+	"sync"
+)
+
+// Liveness tracks device heartbeats and answers "which devices are
+// available for this round" (workflow step 1).
+type Liveness struct {
+	mu       sync.Mutex
+	lastSeen map[int]float64
+	marked   map[int]bool // devices explicitly marked dead (overrides heartbeats)
+}
+
+// NewLiveness returns an empty monitor.
+func NewLiveness() *Liveness {
+	return &Liveness{
+		lastSeen: make(map[int]float64),
+		marked:   make(map[int]bool),
+	}
+}
+
+// Heartbeat records that device id was alive at time t (virtual or wall
+// seconds — the monitor is agnostic).
+func (l *Liveness) Heartbeat(id int, t float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t > l.lastSeen[id] || !l.has(id) {
+		l.lastSeen[id] = t
+	}
+	delete(l.marked, id)
+}
+
+func (l *Liveness) has(id int) bool {
+	_, ok := l.lastSeen[id]
+	return ok
+}
+
+// MarkDead forces a device unavailable until its next heartbeat (e.g.
+// after a ring member was bypassed).
+func (l *Liveness) MarkDead(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.marked[id] = true
+}
+
+// Available returns the sorted ids of devices whose last heartbeat is
+// within timeout of now and that are not marked dead.
+func (l *Liveness) Available(now, timeout float64) []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []int
+	for id, seen := range l.lastSeen {
+		if l.marked[id] {
+			continue
+		}
+		if now-seen <= timeout {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Known returns all ids ever seen, sorted.
+func (l *Liveness) Known() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]int, 0, len(l.lastSeen))
+	for id := range l.lastSeen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,123 @@
+package coordinator
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ModelStore is the model manager's backup database (workflow step 9):
+// it retains up to Keep recent model snapshots in memory and can persist
+// the latest snapshot to disk in a simple binary format.
+type ModelStore struct {
+	Keep int // snapshots retained; ≤0 means unlimited
+
+	mu    sync.Mutex
+	snaps map[int][]float64 // round → parameters (copied)
+	order []int             // insertion order of rounds
+}
+
+// NewModelStore returns a store retaining keep snapshots.
+func NewModelStore(keep int) *ModelStore {
+	return &ModelStore{Keep: keep, snaps: make(map[int][]float64)}
+}
+
+// Save records a snapshot of params for the given round. The vector is
+// copied; callers may reuse their buffer.
+func (s *ModelStore) Save(round int, params []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.snaps[round]; !exists {
+		s.order = append(s.order, round)
+	}
+	s.snaps[round] = append([]float64(nil), params...)
+	if s.Keep > 0 {
+		for len(s.order) > s.Keep {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.snaps, oldest)
+		}
+	}
+}
+
+// Get returns the snapshot for a round, if present.
+func (s *ModelStore) Get(round int) ([]float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.snaps[round]
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), p...), true
+}
+
+// Latest returns the snapshot with the highest round number.
+func (s *ModelStore) Latest() (round int, params []float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.snaps) == 0 {
+		return 0, nil, false
+	}
+	best := math.MinInt32
+	for r := range s.snaps {
+		if r > best {
+			best = r
+		}
+	}
+	return best, append([]float64(nil), s.snaps[best]...), true
+}
+
+// Rounds returns the retained round numbers in ascending order.
+func (s *ModelStore) Rounds() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]int(nil), s.order...)
+	sort.Ints(out)
+	return out
+}
+
+const storeMagic = uint32(0x48414446) // "HADF"
+
+// WriteFile persists the latest snapshot to path.
+func (s *ModelStore) WriteFile(path string) error {
+	round, params, ok := s.Latest()
+	if !ok {
+		return fmt.Errorf("coordinator: no snapshot to persist")
+	}
+	buf := make([]byte, 4+4+4+8*len(params))
+	binary.LittleEndian.PutUint32(buf[0:], storeMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(int32(round)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(params)))
+	off := 12
+	for _, v := range params {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadSnapshotFile loads a snapshot previously written by WriteFile.
+func ReadSnapshotFile(path string) (round int, params []float64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(buf) < 12 || binary.LittleEndian.Uint32(buf[0:]) != storeMagic {
+		return 0, nil, fmt.Errorf("coordinator: %s is not a model snapshot", path)
+	}
+	round = int(int32(binary.LittleEndian.Uint32(buf[4:])))
+	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	if len(buf) != 12+8*n {
+		return 0, nil, fmt.Errorf("coordinator: snapshot %s truncated", path)
+	}
+	params = make([]float64, n)
+	off := 12
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return round, params, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hadfl/internal/aggregate"
+	"hadfl/internal/metrics"
+	"hadfl/internal/p2p"
+	"hadfl/internal/predict"
+	"hadfl/internal/strategy"
+)
+
+// GroupedConfig configures the multi-group HADFL of the paper's
+// Fig. 2(a): devices are divided into groups "to facilitate management
+// and avoid possible system errors"; intra-group partial aggregation
+// runs every round, and every InterEvery rounds an inter-group
+// synchronization aggregates representatives across groups. The
+// inter-group period is thus an integer multiple of the intra-group
+// period, as §III-C specifies.
+type GroupedConfig struct {
+	Base Config
+	// GroupSize is the maximum devices per group.
+	GroupSize int
+	// InterEvery runs an inter-group sync every this many rounds.
+	InterEvery int
+	// IntraNp devices are selected per group each intra-group round.
+	IntraNp int
+}
+
+// DefaultGroupedConfig groups 4-device federations into pairs with an
+// inter-group sync every 2 rounds.
+func DefaultGroupedConfig() GroupedConfig {
+	return GroupedConfig{
+		Base:       DefaultConfig(),
+		GroupSize:  2,
+		InterEvery: 2,
+		IntraNp:    1,
+	}
+}
+
+// RunHADFLGrouped executes hierarchical HADFL on the cluster.
+func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
+	if cfg.GroupSize < 1 {
+		return nil, fmt.Errorf("core: GroupSize %d", cfg.GroupSize)
+	}
+	if cfg.InterEvery < 1 {
+		return nil, fmt.Errorf("core: InterEvery %d", cfg.InterEvery)
+	}
+	if cfg.IntraNp < 1 || cfg.IntraNp > cfg.GroupSize {
+		return nil, fmt.Errorf("core: IntraNp %d outside [1,%d]", cfg.IntraNp, cfg.GroupSize)
+	}
+	base := cfg.Base
+	if base.Alpha <= 0 || base.Alpha >= 1 {
+		return nil, fmt.Errorf("core: alpha %v", base.Alpha)
+	}
+	rng := rand.New(rand.NewSource(base.Seed + 31))
+	commModel := p2p.CommModel{Link: base.Link}
+	comm := NewCommStats()
+	series := &metrics.Series{Name: "hadfl-grouped"}
+	tracker := predict.NewTracker(base.Alpha)
+
+	// Warm-up: measure per-device timing, align initial models.
+	now := 0.0
+	totalSteps := 0
+	warmupEnd := 0.0
+	for _, d := range c.Devices {
+		calc := d.Warmup(base.WarmupEpochs, base.WarmupLRScale)
+		totalSteps += base.WarmupEpochs * d.Loader.BatchesPerEpoch()
+		if calc > warmupEnd {
+			warmupEnd = calc
+		}
+		tracker.Seed(d.Cfg.ID, predict.ExpectedVersion(
+			float64(base.Strategy.Tsync)*d.EpochTime(), calc, base.WarmupEpochs))
+	}
+	now = warmupEnd
+	vecs := make([][]float64, len(c.Devices))
+	for i, d := range c.Devices {
+		vecs[i] = d.Parameters()
+	}
+	global := aggregate.Mean(vecs)
+	for _, d := range c.Devices {
+		d.SetParameters(global)
+	}
+	paramBytes := 8 * len(global)
+	loss0, acc0 := c.Evaluate(global)
+	series.Add(metrics.Point{Epoch: c.EpochsProcessed(totalSteps), Time: now, Loss: loss0, Accuracy: acc0})
+
+	// Fixed grouping for the whole run (the paper regroups only on
+	// membership changes).
+	var ids []int
+	for _, d := range c.Devices {
+		ids = append(ids, d.Cfg.ID)
+	}
+	groups := strategy.Groups(rng, ids, cfg.GroupSize)
+
+	// Per-group plan generation: each group has its own hyperperiod from
+	// its members' epoch times; the global round period is the maximum
+	// over groups so the timeline stays aligned.
+	groupPlan := func(g []int) (strategy.Plan, error) {
+		var ests []strategy.DeviceEstimate
+		for _, id := range g {
+			d := c.Device(id)
+			v, ok := tracker.Forecast(id, 1)
+			if !ok {
+				v = 0
+			}
+			ests = append(ests, strategy.DeviceEstimate{
+				ID: id, EpochTime: d.EpochTime(),
+				StepTime: d.EpochTime() / float64(d.Loader.BatchesPerEpoch()),
+				Version:  v,
+			})
+		}
+		np := cfg.IntraNp
+		if np > len(ests) {
+			np = len(ests)
+		}
+		sc := base.Strategy
+		sc.Np = np
+		return strategy.Generate(rng, sc, ests)
+	}
+
+	round := 0
+	for ; round < base.MaxRounds && c.EpochsProcessed(totalSteps) < base.TargetEpochs; round++ {
+		plans := make([]strategy.Plan, len(groups))
+		roundPeriod := 0.0
+		for gi, g := range groups {
+			p, err := groupPlan(g)
+			if err != nil {
+				return nil, err
+			}
+			plans[gi] = p
+			if p.SyncPeriod > roundPeriod {
+				roundPeriod = p.SyncPeriod
+			}
+		}
+
+		// Local training fills the global round period on every device.
+		roundLoss, lossCount := 0.0, 0
+		for _, d := range c.Devices {
+			elapsed, steps := 0.0, 0
+			for steps == 0 || elapsed+d.StepTime() <= roundPeriod {
+				l, e := d.TrainStep()
+				elapsed += e
+				steps++
+				roundLoss += l
+				lossCount++
+				if steps > 100000 {
+					return nil, fmt.Errorf("core: runaway local loop on device %d", d.Cfg.ID)
+				}
+			}
+			totalSteps += steps
+		}
+		now += roundPeriod
+
+		inter := strategy.GroupSchedule(round+1, cfg.InterEvery)
+		if inter {
+			// Inter-group sync (Fig. 2b): the freshest member of each
+			// group forms a cross-group ring; the aggregate is broadcast
+			// to every device.
+			var reps []int
+			for _, g := range groups {
+				best, bestV := g[0], -1.0
+				for _, id := range g {
+					if v := float64(c.Device(id).Version); v > bestV {
+						best, bestV = id, v
+					}
+				}
+				reps = append(reps, best)
+			}
+			sort.Ints(reps)
+			repVecs := make([][]float64, len(reps))
+			for i, id := range reps {
+				repVecs[i] = c.Device(id).Parameters()
+			}
+			agg := aggregate.Mean(repVecs)
+			now += commModel.RingAllReduceTime(len(reps), paramBytes)
+			if len(reps) > 1 {
+				per := int64(2 * paramBytes * (len(reps) - 1) / len(reps))
+				for _, id := range reps {
+					comm.DeviceBytes[id] += per
+				}
+			}
+			for _, d := range c.Devices {
+				if containsInt(reps, d.Cfg.ID) {
+					d.SetParameters(agg)
+				} else {
+					d.SetParameters(aggregate.Merge(d.Parameters(), agg, base.MergeBeta))
+				}
+			}
+			if len(c.Devices) > len(reps) {
+				sender := reps[rng.Intn(len(reps))]
+				comm.DeviceBytes[sender] += int64((len(c.Devices) - len(reps)) * paramBytes)
+				now += commModel.BroadcastTime(len(c.Devices)-len(reps), paramBytes)
+			}
+			global = agg
+		} else {
+			// Intra-group partial sync in every group independently; the
+			// slowest group's communication gates the round clock.
+			worstComm := 0.0
+			for gi, g := range groups {
+				p := plans[gi]
+				sel := p.Selected
+				if len(sel) == 0 {
+					continue
+				}
+				selVecs := make([][]float64, len(sel))
+				for i, id := range sel {
+					selVecs[i] = c.Device(id).Parameters()
+				}
+				agg := aggregate.Mean(selVecs)
+				ct := commModel.RingAllReduceTime(len(sel), paramBytes)
+				if len(sel) > 1 {
+					per := int64(2 * paramBytes * (len(sel) - 1) / len(sel))
+					for _, id := range sel {
+						comm.DeviceBytes[id] += per
+					}
+				}
+				for _, id := range sel {
+					c.Device(id).SetParameters(agg)
+				}
+				var unsel []int
+				for _, id := range g {
+					if !containsInt(sel, id) {
+						unsel = append(unsel, id)
+					}
+				}
+				if len(unsel) > 0 {
+					sender := sel[rng.Intn(len(sel))]
+					comm.DeviceBytes[sender] += int64(len(unsel) * paramBytes)
+					ct += commModel.BroadcastTime(len(unsel), paramBytes)
+					for _, id := range unsel {
+						d := c.Device(id)
+						d.SetParameters(aggregate.Merge(d.Parameters(), agg, base.MergeBeta))
+					}
+				}
+				if ct > worstComm {
+					worstComm = ct
+				}
+				global = agg // last group's aggregate stands in for eval between inter syncs
+			}
+			now += worstComm
+		}
+		comm.Rounds++
+
+		for _, d := range c.Devices {
+			tracker.Observe(d.Cfg.ID, float64(d.Version))
+		}
+		loss := loss0
+		if lossCount > 0 {
+			loss = roundLoss / float64(lossCount)
+		}
+		_, acc := c.Evaluate(global)
+		series.Add(metrics.Point{Epoch: c.EpochsProcessed(totalSteps), Time: now, Loss: loss, Accuracy: acc})
+	}
+	return &Result{Series: series, Comm: comm, Rounds: round, FinalParams: global}, nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestGroupedHADFLConverges(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGroupedConfig()
+	cfg.Base.TargetEpochs = 12
+	cfg.Base.MaxRounds = 300
+	res, err := RunHADFLGrouped(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := res.Series.MaxAccuracy()
+	if best.Accuracy < 0.6 {
+		t.Fatalf("grouped HADFL reached only %.2f", best.Accuracy)
+	}
+	if res.Rounds == 0 || res.Comm.Rounds == 0 {
+		t.Fatal("no rounds ran")
+	}
+	// Time strictly increases.
+	pts := res.Series.Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatalf("time not increasing at point %d", i)
+		}
+	}
+}
+
+func TestGroupedHADFLEightDevices(t *testing.T) {
+	spec := testSpec(t, 22)
+	spec.Powers = []float64{4, 4, 3, 2, 2, 2, 1, 1}
+	c, err := BuildCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGroupedConfig()
+	cfg.GroupSize = 3
+	cfg.InterEvery = 3
+	cfg.Base.TargetEpochs = 10
+	res, err := RunHADFLGrouped(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := res.Series.MaxAccuracy()
+	if best.Accuracy < 0.5 {
+		t.Fatalf("8-device grouped run reached only %.2f", best.Accuracy)
+	}
+}
+
+func TestGroupedHADFLInterGroupMixesKnowledge(t *testing.T) {
+	// After an inter-group round every device holds (or has merged) the
+	// cross-group aggregate, so the spread across devices shrinks.
+	c, err := BuildCluster(testSpec(t, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGroupedConfig()
+	cfg.Base.TargetEpochs = 6
+	cfg.Base.MergeBeta = 1 // unselected devices adopt the aggregate outright
+	cfg.InterEvery = 1     // every round is inter-group
+	res, err := RunHADFLGrouped(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// With InterEvery=1 and MergeBeta=1, after the final round every
+	// device ends on the same parameters.
+	p0 := c.Devices[0].Parameters()
+	for i, d := range c.Devices[1:] {
+		p := d.Parameters()
+		for j := range p {
+			if p[j] != p0[j] {
+				t.Fatalf("device %d differs after inter-group sync", i+1)
+			}
+		}
+	}
+}
+
+func TestGroupedHADFLValidation(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*GroupedConfig){
+		func(g *GroupedConfig) { g.GroupSize = 0 },
+		func(g *GroupedConfig) { g.InterEvery = 0 },
+		func(g *GroupedConfig) { g.IntraNp = 0 },
+		func(g *GroupedConfig) { g.IntraNp = 99 },
+		func(g *GroupedConfig) { g.Base.Alpha = 0 },
+	} {
+		cfg := DefaultGroupedConfig()
+		mut(&cfg)
+		if _, err := RunHADFLGrouped(c, cfg); err == nil {
+			t.Errorf("invalid grouped config accepted")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"hadfl/internal/p2p"
+)
+
+func TestHeterogeneousBandwidthSlowsRounds(t *testing.T) {
+	run := func(links map[int]p2p.Link) float64 {
+		c, err := BuildCluster(testSpec(t, 31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig()
+		cfg.TargetEpochs = 6
+		cfg.DeviceLinks = links
+		res, err := RunHADFL(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Series.Points[len(res.Series.Points)-1].Time
+	}
+	uniform := run(nil)
+	// Every device on a drastically slower link: every ring all-reduce
+	// and broadcast is gated by it, so total time grows. (A single slow
+	// device only matters in rounds that select it, which a short run
+	// may never do — all-slow makes the assertion deterministic.)
+	slow := p2p.Link{Latency: 2.0, Bandwidth: 1e5}
+	slowLinks := map[int]p2p.Link{0: slow, 1: slow, 2: slow, 3: slow}
+	skewed := run(slowLinks)
+	if skewed <= uniform {
+		t.Fatalf("slow link total time %v should exceed uniform %v", skewed, uniform)
+	}
+}
+
+func TestDeviceLinksDoNotChangeLearning(t *testing.T) {
+	// Link heterogeneity reshapes the time axis only — the parameter
+	// trajectory (per round) is identical because selection randomness
+	// and training are independent of comm costs.
+	runParams := func(links map[int]p2p.Link) []float64 {
+		c, err := BuildCluster(testSpec(t, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig()
+		cfg.TargetEpochs = 4
+		cfg.DeviceLinks = links
+		res, err := RunHADFL(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalParams
+	}
+	a := runParams(nil)
+	b := runParams(map[int]p2p.Link{2: {Latency: 1, Bandwidth: 1e6}})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parameter %d differs: link model must not affect learning", i)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+func TestOnRoundHookFires(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.TargetEpochs = 6
+	var infos []RoundInfo
+	cfg.OnRound = func(ri RoundInfo) { infos = append(infos, ri) }
+	res, err := RunHADFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != res.Rounds {
+		t.Fatalf("%d hook calls for %d rounds", len(infos), res.Rounds)
+	}
+	prevTime := 0.0
+	for i, ri := range infos {
+		if ri.Round != i {
+			t.Fatalf("round numbering: got %d at position %d", ri.Round, i)
+		}
+		if ri.Time <= prevTime {
+			t.Fatalf("round %d time %v not increasing", i, ri.Time)
+		}
+		prevTime = ri.Time
+		if len(ri.Selected) == 0 || len(ri.Selected) > 2 {
+			t.Fatalf("round %d selected %v (Np=2)", i, ri.Selected)
+		}
+		if ri.Accuracy < 0 || ri.Accuracy > 1 {
+			t.Fatalf("round %d accuracy %v", i, ri.Accuracy)
+		}
+		if len(ri.LocalSteps) != 4 {
+			t.Fatalf("round %d LocalSteps %v", i, ri.LocalSteps)
+		}
+	}
+}
+
+func TestOnRoundReportsBypass(t *testing.T) {
+	spec := testSpec(t, 72)
+	spec.FailAt = map[int]float64{0: 25, 1: 25, 2: 25} // most devices die early
+	c, err := BuildCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.TargetEpochs = 20
+	sawBypass := false
+	cfg.OnRound = func(ri RoundInfo) {
+		if ri.Bypassed > 0 {
+			sawBypass = true
+		}
+	}
+	if _, err := RunHADFL(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !sawBypass {
+		t.Log("no bypass observed (dead devices were never selected) — acceptable but unusual")
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hadfl/internal/aggregate"
+	"hadfl/internal/coordinator"
+	"hadfl/internal/metrics"
+	"hadfl/internal/p2p"
+	"hadfl/internal/strategy"
+)
+
+// Config tunes a HADFL training run.
+type Config struct {
+	// Strategy holds Tsync, Np and the Eq. 8 selection parameters.
+	Strategy strategy.Config
+	// Alpha is the Eq. 7 smoothing factor (0 < α < 1).
+	Alpha float64
+	// WarmupEpochs is the mutual-negotiation length; WarmupLRScale the
+	// reduced learning-rate factor during it.
+	WarmupEpochs  int
+	WarmupLRScale float64
+	// MergeBeta is how strongly unselected devices adopt the broadcast
+	// aggregate (1 = replace local model; paper §III-D "integrate").
+	MergeBeta float64
+	// Link models the p2p network for communication-time charging.
+	Link p2p.Link
+	// DeviceLinks optionally overrides the link per device (the paper's
+	// future-work axis "heterogeneous network bandwidth"): a ring
+	// all-reduce is gated by its slowest member's link, and a broadcast
+	// by the sender's.
+	DeviceLinks map[int]p2p.Link
+	// TargetEpochs stops the run once this many dataset epochs have been
+	// processed across devices.
+	TargetEpochs float64
+	// MaxRounds is a hard cap on synchronization rounds.
+	MaxRounds int
+	// FaultPenalty is the virtual seconds added to a sync round for each
+	// bypassed dead device (timeout + handshake of §III-D).
+	FaultPenalty float64
+	// SelectOverride, when non-nil, replaces the plan's probability-based
+	// selection — used by the worst-case and selection ablations. It
+	// receives the alive device ids (sorted) and their current versions.
+	SelectOverride func(rng *rand.Rand, alive []int, versions map[int]float64, np int) []int
+	// LivenessTimeout is how stale a heartbeat may be before a device is
+	// excluded from planning (virtual seconds).
+	LivenessTimeout float64
+	// OnRound, when non-nil, receives telemetry after every
+	// synchronization round — the simulation counterpart of the runtime
+	// supervisor's monitoring feed.
+	OnRound func(RoundInfo)
+	// Seed drives selection and ring randomness.
+	Seed int64
+}
+
+// RoundInfo is per-round telemetry delivered to Config.OnRound.
+type RoundInfo struct {
+	Round      int
+	Time       float64 // virtual time at round end
+	Selected   []int   // ring members that actually aggregated
+	Bypassed   int     // selected devices found dead and bypassed
+	LocalSteps map[int]int
+	Loss       float64
+	Accuracy   float64
+}
+
+// DefaultConfig returns the configuration used by the paper-profile
+// experiments: Tsync=1, Np=2 of 4 devices, α=0.5, full model adoption on
+// broadcast.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:        strategy.Config{Tsync: 1, Np: 2},
+		Alpha:           0.5,
+		WarmupEpochs:    1,
+		WarmupLRScale:   0.1,
+		MergeBeta:       1,
+		Link:            p2p.Link{Latency: 0.005, Bandwidth: 1e9},
+		TargetEpochs:    60,
+		MaxRounds:       10000,
+		FaultPenalty:    0.3,
+		LivenessTimeout: 1e18,
+		Seed:            1,
+	}
+}
+
+// Result bundles a run's training curve and communication accounting.
+type Result struct {
+	Series *metrics.Series
+	Comm   *CommStats
+	Rounds int
+	// FinalParams is the last aggregated model.
+	FinalParams []float64
+}
+
+// RunHADFL executes Algorithm 1 on the cluster and returns the training
+// curve (one point per synchronization round).
+func RunHADFL(c *Cluster, cfg Config) (*Result, error) {
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("core: alpha %v outside (0,1)", cfg.Alpha)
+	}
+	if cfg.WarmupEpochs < 1 {
+		return nil, fmt.Errorf("core: WarmupEpochs %d", cfg.WarmupEpochs)
+	}
+	if cfg.MergeBeta < 0 || cfg.MergeBeta > 1 {
+		return nil, fmt.Errorf("core: MergeBeta %v", cfg.MergeBeta)
+	}
+	if err := cfg.Strategy.Validate(len(c.Devices)); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	coord := coordinator.New(cfg.Strategy, cfg.Alpha, 8, rng)
+	comm := NewCommStats()
+	series := &metrics.Series{Name: "hadfl"}
+	// linkFor resolves a device's link; worstModel returns a comm model
+	// gated by the slowest link among the given devices (heterogeneous
+	// bandwidth support).
+	linkFor := func(id int) p2p.Link {
+		if l, ok := cfg.DeviceLinks[id]; ok {
+			return l
+		}
+		return cfg.Link
+	}
+	worstModel := func(ids []int) p2p.CommModel {
+		worst := cfg.Link
+		seen := false
+		for _, id := range ids {
+			l := linkFor(id)
+			if !seen || l.TransferTime(1<<20) > worst.TransferTime(1<<20) {
+				worst, seen = l, true
+			}
+		}
+		return p2p.CommModel{Link: worst}
+	}
+	// --- Mutual-negotiation phase (workflow steps 2–3). Devices warm up
+	// in parallel; virtual time advances by the slowest warm-up.
+	now := 0.0
+	warmupEnd := 0.0
+	totalSteps := 0
+	for _, d := range c.Devices {
+		calc := d.Warmup(cfg.WarmupEpochs, cfg.WarmupLRScale)
+		totalSteps += cfg.WarmupEpochs * d.Loader.BatchesPerEpoch()
+		if calc > warmupEnd {
+			warmupEnd = calc
+		}
+		err := coord.RegisterProfile(coordinator.DeviceProfile{
+			ID:           d.Cfg.ID,
+			EpochTime:    d.EpochTime(),
+			StepTime:     d.EpochTime() / float64(d.Loader.BatchesPerEpoch()),
+			WarmupTime:   calc,
+			WarmupEpochs: cfg.WarmupEpochs,
+		}, now)
+		if err != nil {
+			return nil, err
+		}
+	}
+	now = warmupEnd
+
+	// Devices synchronize the initial model after warm-up (Alg. 1 line 1):
+	// average the warm-up models so everyone starts aligned.
+	vecs := make([][]float64, len(c.Devices))
+	for i, d := range c.Devices {
+		vecs[i] = d.Parameters()
+	}
+	global := aggregate.Mean(vecs)
+	for _, d := range c.Devices {
+		d.SetParameters(global)
+	}
+	paramBytes := 8 * len(global)
+
+	loss0, acc0 := c.Evaluate(global)
+	series.Add(metrics.Point{Epoch: c.EpochsProcessed(totalSteps), Time: now, Loss: loss0, Accuracy: acc0})
+
+	// --- Round loop (workflow steps 4–8).
+	round := 0
+	for ; round < cfg.MaxRounds && c.EpochsProcessed(totalSteps) < cfg.TargetEpochs; round++ {
+		// Heartbeats from devices alive now.
+		for _, d := range c.Devices {
+			if d.AliveAt(now) {
+				coord.Liveness.Heartbeat(d.Cfg.ID, now)
+			} else {
+				coord.Liveness.MarkDead(d.Cfg.ID)
+			}
+		}
+		plan, avail, err := coord.NextPlan(now, cfg.LivenessTimeout)
+		if err != nil {
+			break // no devices left
+		}
+
+		// Local training: each available device fills the sync period
+		// with local steps (Alg. 1 lines 13–19). Devices run at least
+		// one step; jitter and drift shift the realized counts, which is
+		// what the predictor has to track.
+		roundLoss := 0.0
+		lossCount := 0
+		for _, id := range avail {
+			d := c.Device(id)
+			elapsed := 0.0
+			steps := 0
+			target := plan.LocalSteps[id]
+			for steps == 0 || (elapsed < plan.SyncPeriod && steps < 4*target+4) {
+				l, e := d.TrainStep()
+				elapsed += e
+				steps++
+				roundLoss += l
+				lossCount++
+				if elapsed+d.StepTime() > plan.SyncPeriod && steps >= 1 {
+					break
+				}
+			}
+			totalSteps += steps
+		}
+		now += plan.SyncPeriod
+
+		// Determine who is still alive at the sync instant; dead ring
+		// members are bypassed (§III-D) at a time penalty.
+		aliveSet := map[int]bool{}
+		for _, id := range c.AliveAt(now) {
+			aliveSet[id] = true
+		}
+		selected := plan.Selected
+		if cfg.SelectOverride != nil {
+			versions := map[int]float64{}
+			var aliveIDs []int
+			for _, id := range avail {
+				if aliveSet[id] {
+					aliveIDs = append(aliveIDs, id)
+					versions[id] = float64(c.Device(id).Version)
+				}
+			}
+			sort.Ints(aliveIDs)
+			if len(aliveIDs) > 0 {
+				np := cfg.Strategy.Np
+				if np > len(aliveIDs) {
+					np = len(aliveIDs)
+				}
+				selected = cfg.SelectOverride(rng, aliveIDs, versions, np)
+			}
+		}
+		var ringAlive []int
+		bypassed := 0
+		for _, id := range selected {
+			if aliveSet[id] {
+				ringAlive = append(ringAlive, id)
+			} else {
+				bypassed++
+				coord.Liveness.MarkDead(id)
+			}
+		}
+		if len(ringAlive) == 0 {
+			// Nobody to aggregate; charge the failed round and continue.
+			now += cfg.FaultPenalty * float64(bypassed)
+			continue
+		}
+
+		// Partial aggregation over the surviving ring via gossip
+		// scatter-gather. Charge ring all-reduce time plus fault
+		// penalties, and account 2·M·(np−1)/np bytes per ring member
+		// (scatter-reduce + all-gather), the standard ring volume.
+		sel := make([][]float64, len(ringAlive))
+		for i, id := range ringAlive {
+			sel[i] = c.Device(id).Parameters()
+		}
+		agg := aggregate.Mean(sel)
+		np := len(ringAlive)
+		now += worstModel(ringAlive).RingAllReduceTime(np, paramBytes)
+		now += cfg.FaultPenalty * float64(bypassed)
+		if np > 1 {
+			per := int64(2 * paramBytes * (np - 1) / np)
+			for _, id := range ringAlive {
+				comm.DeviceBytes[id] += per
+			}
+		}
+
+		// Selected devices adopt the aggregate; a random ring member
+		// broadcasts it to the unselected alive devices, which merge it
+		// into their local models (non-blocking; the sender pays the
+		// serialization time).
+		for _, id := range ringAlive {
+			c.Device(id).SetParameters(agg)
+		}
+		var unsel []int
+		for _, id := range avail {
+			if !aliveSet[id] {
+				continue
+			}
+			if !contains(ringAlive, id) {
+				unsel = append(unsel, id)
+			}
+		}
+		if len(unsel) > 0 {
+			sender := ringAlive[rng.Intn(len(ringAlive))]
+			comm.DeviceBytes[sender] += int64(len(unsel) * paramBytes)
+			now += (p2p.CommModel{Link: linkFor(sender)}).BroadcastTime(len(unsel), paramBytes)
+			for _, id := range unsel {
+				d := c.Device(id)
+				merged := aggregate.Merge(d.Parameters(), agg, cfg.MergeBeta)
+				d.SetParameters(merged)
+			}
+		}
+		comm.Rounds++
+
+		// Report versions (workflow step 7) so the tracker can predict.
+		for _, id := range avail {
+			if aliveSet[id] {
+				coord.ReportVersion(id, float64(c.Device(id).Version), now)
+			}
+		}
+		coord.Backup(round, agg)
+
+		loss := loss0
+		if lossCount > 0 {
+			loss = roundLoss / float64(lossCount)
+		}
+		_, acc := c.Evaluate(agg)
+		series.Add(metrics.Point{
+			Epoch: c.EpochsProcessed(totalSteps), Time: now, Loss: loss, Accuracy: acc,
+		})
+		global = agg
+		if cfg.OnRound != nil {
+			cfg.OnRound(RoundInfo{
+				Round:      round,
+				Time:       now,
+				Selected:   append([]int(nil), ringAlive...),
+				Bypassed:   bypassed,
+				LocalSteps: plan.LocalSteps,
+				Loss:       loss,
+				Accuracy:   acc,
+			})
+		}
+	}
+	return &Result{Series: series, Comm: comm, Rounds: round, FinalParams: global}, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

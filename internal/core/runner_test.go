@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hadfl/internal/dataset"
+	"hadfl/internal/nn"
+	"hadfl/internal/strategy"
+)
+
+// testSpec builds a small, fast federation: 4 devices with power
+// [4,2,2,1] training an MLP on a 10-class synthetic task.
+func testSpec(t *testing.T, seed int64) ClusterSpec {
+	t.Helper()
+	full := dataset.Synthetic(dataset.SyntheticConfig{
+		Samples: 1200, Features: 16, Classes: 5, ModesPerClass: 2, NoiseStd: 0.4, Seed: seed,
+	})
+	train, test := full.Split(1000)
+	return ClusterSpec{
+		Powers:       []float64{4, 2, 2, 1},
+		BaseStepTime: 1,
+		Arch: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, 16, []int{24}, 5)
+		},
+		Train: train, Test: test,
+		BatchSize: 20,
+		LR:        0.1, Momentum: 0.9,
+		Seed: seed,
+	}
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TargetEpochs = 12
+	cfg.MaxRounds = 200
+	return cfg
+}
+
+func TestBuildClusterSharedInit(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Devices) != 4 {
+		t.Fatalf("%d devices", len(c.Devices))
+	}
+	p0 := c.Devices[0].Parameters()
+	for i, d := range c.Devices {
+		p := d.Parameters()
+		for j := range p {
+			if p[j] != p0[j] {
+				t.Fatalf("device %d parameter %d differs at init", i, j)
+			}
+		}
+	}
+	if c.TrainSamples != 1000 {
+		t.Fatalf("TrainSamples = %d", c.TrainSamples)
+	}
+}
+
+func TestBuildClusterValidation(t *testing.T) {
+	spec := testSpec(t, 1)
+	for _, mut := range []func(*ClusterSpec){
+		func(s *ClusterSpec) { s.Powers = nil },
+		func(s *ClusterSpec) { s.Arch = nil },
+		func(s *ClusterSpec) { s.BatchSize = 0 },
+		func(s *ClusterSpec) { s.BaseStepTime = 0 },
+		func(s *ClusterSpec) { s.Powers = []float64{1, -1} },
+	} {
+		s := spec
+		mut(&s)
+		if _, err := BuildCluster(s); err == nil {
+			t.Errorf("mutated spec accepted: %+v", s)
+		}
+	}
+}
+
+func TestEpochsProcessed(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 steps × batch 20 = 1000 samples = 1 epoch of the 1000-sample set.
+	if got := c.EpochsProcessed(50); got != 1 {
+		t.Fatalf("EpochsProcessed = %v", got)
+	}
+}
+
+func TestRunHADFLConverges(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunHADFL(c, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no rounds ran")
+	}
+	if res.Series.Len() < 2 {
+		t.Fatalf("series has %d points", res.Series.Len())
+	}
+	best, _ := res.Series.MaxAccuracy()
+	if best.Accuracy < 0.7 {
+		t.Fatalf("HADFL reached only %.2f accuracy", best.Accuracy)
+	}
+	// Time strictly increases.
+	pts := res.Series.Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatalf("time not increasing at %d: %v → %v", i, pts[i-1].Time, pts[i].Time)
+		}
+		if pts[i].Epoch < pts[i-1].Epoch {
+			t.Fatalf("epochs decreased at %d", i)
+		}
+	}
+	if len(res.FinalParams) == 0 {
+		t.Fatal("no final params")
+	}
+}
+
+func TestRunHADFLDeterministic(t *testing.T) {
+	run := func() []float64 {
+		c, err := BuildCluster(testSpec(t, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig()
+		cfg.TargetEpochs = 4
+		res, err := RunHADFL(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalParams
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at param %d", i)
+		}
+	}
+}
+
+func TestRunHADFLCommVolume(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.TargetEpochs = 6
+	res, err := RunHADFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.Rounds == 0 {
+		t.Fatal("no comm rounds")
+	}
+	// The paper's claim: total device volume per round ≈ 2·K'·M where K'
+	// counts ring members (each ring member moves ~2M) plus the
+	// broadcast M per unselected device; and the server moves nothing.
+	if res.Comm.ServerBytes != 0 {
+		t.Fatalf("HADFL server bytes %d, want 0", res.Comm.ServerBytes)
+	}
+	M := int64(8 * len(c.InitParams))
+	perRound := res.Comm.TotalDeviceBytes() / int64(res.Comm.Rounds)
+	k := int64(len(c.Devices))
+	if perRound <= 0 || perRound > 2*k*M+1 {
+		t.Fatalf("per-round device bytes %d exceed 2KM = %d", perRound, 2*k*M)
+	}
+}
+
+func TestRunHADFLWithDeviceFailure(t *testing.T) {
+	spec := testSpec(t, 3)
+	spec.FailAt = map[int]float64{1: 30} // device 1 dies at t=30
+	c, err := BuildCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.TargetEpochs = 10
+	res, err := RunHADFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := res.Series.MaxAccuracy()
+	if best.Accuracy < 0.6 {
+		t.Fatalf("training with failure reached only %.2f", best.Accuracy)
+	}
+	// The dead device stops accumulating compute after t=30.
+	dead := c.Device(1)
+	if dead.AliveAt(31) {
+		t.Fatal("device 1 should be dead at t=31")
+	}
+}
+
+func TestRunHADFLAllDevicesFailStopsGracefully(t *testing.T) {
+	spec := testSpec(t, 4)
+	spec.FailAt = map[int]float64{0: 20, 1: 20, 2: 20, 3: 20}
+	c, err := BuildCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.TargetEpochs = 100
+	res, err := RunHADFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series.Len() == 0 {
+		t.Fatal("no points recorded before universal failure")
+	}
+}
+
+func TestRunHADFLSelectOverride(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.TargetEpochs = 4
+	var sawOverride bool
+	cfg.SelectOverride = func(rng *rand.Rand, alive []int, versions map[int]float64, np int) []int {
+		sawOverride = true
+		// Worst-case ablation shape: pick the two lowest-version devices.
+		return lowestVersions(alive, versions, np)
+	}
+	res, err := RunHADFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawOverride {
+		t.Fatal("SelectOverride never called")
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no rounds")
+	}
+}
+
+// lowestVersions picks the np alive devices with the smallest versions.
+func lowestVersions(alive []int, versions map[int]float64, np int) []int {
+	out := append([]int(nil), alive...)
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if versions[out[j]] < versions[out[i]] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	if len(out) > np {
+		out = out[:np]
+	}
+	return out
+}
+
+func TestRunHADFLConfigValidation(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*Config){
+		func(cfg *Config) { cfg.Alpha = 0 },
+		func(cfg *Config) { cfg.Alpha = 1 },
+		func(cfg *Config) { cfg.WarmupEpochs = 0 },
+		func(cfg *Config) { cfg.MergeBeta = 2 },
+		func(cfg *Config) { cfg.Strategy = strategy.Config{Tsync: 0, Np: 2} },
+		func(cfg *Config) { cfg.Strategy = strategy.Config{Tsync: 1, Np: 99} },
+	} {
+		cfg := smallConfig()
+		mut(&cfg)
+		if _, err := RunHADFL(c, cfg); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestEvaluateMatchesModelAccuracy(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, acc := c.Evaluate(c.InitParams)
+	if loss <= 0 {
+		t.Fatalf("loss %v", loss)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"hadfl/internal/nn"
+)
+
+func TestClusterWithLRSchedule(t *testing.T) {
+	spec := testSpec(t, 61)
+	spec.LRSchedule = nn.Chain{
+		Head:      nn.WarmupLinear{Base: 0.1, Scale: 0.1, WarmupSteps: 20},
+		HeadSteps: 20,
+		Tail:      nn.CosineAnnealing{Base: 0.1, Floor: 0.005, TotalSteps: 400},
+	}
+	c, err := BuildCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.TargetEpochs = 10
+	res, err := RunHADFL(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := res.Series.MaxAccuracy()
+	if best.Accuracy < 0.6 {
+		t.Fatalf("scheduled run reached only %.2f", best.Accuracy)
+	}
+	// Devices far along the schedule carry a decayed learning rate.
+	fast := c.Devices[0]
+	if fast.Version < 100 {
+		t.Fatalf("fast device version %d, expected deep into the schedule", fast.Version)
+	}
+	if fast.Opt.LR >= 0.1 {
+		t.Fatalf("LR %v did not decay along the cosine schedule", fast.Opt.LR)
+	}
+}
+
+func TestScheduleDoesNotBreakWarmup(t *testing.T) {
+	spec := testSpec(t, 62)
+	spec.LRSchedule = nn.ConstantLR(0.05)
+	c, err := BuildCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Devices[0]
+	lrBefore := d.Opt.LR
+	d.Warmup(1, 0.1)
+	// After warm-up, the base LR is restored (the schedule takes over on
+	// the next TrainStep, not during warm-up).
+	if d.Opt.LR != lrBefore {
+		t.Fatalf("warm-up did not restore LR: %v vs %v", d.Opt.LR, lrBefore)
+	}
+	d.TrainStep()
+	if d.Opt.LR != 0.05 {
+		t.Fatalf("schedule not applied after warm-up: LR %v", d.Opt.LR)
+	}
+}

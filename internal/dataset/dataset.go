@@ -1,0 +1,127 @@
+// Package dataset provides the synthetic classification workloads used in
+// place of CIFAR-10 (see DESIGN.md for the substitution rationale), plus
+// the partitioning schemes that distribute training data across federated
+// devices: IID, Dirichlet non-IID, and label-shard splits.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hadfl/internal/tensor"
+)
+
+// Dataset is a labelled classification set. X is either [N, D] feature
+// vectors or [N, C, H, W] images; Y holds integer class labels.
+type Dataset struct {
+	X       *tensor.Tensor
+	Y       []int
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return d.X.Dim(0) }
+
+// sampleSize returns the number of scalars per sample.
+func (d *Dataset) sampleSize() int { return d.X.Len() / d.Len() }
+
+// Subset returns a new dataset containing the samples at idx (copied).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	ss := d.sampleSize()
+	shape := append([]int{len(idx)}, d.X.Shape()[1:]...)
+	x := tensor.New(shape...)
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= d.Len() {
+			panic(fmt.Sprintf("dataset: subset index %d out of range [0,%d)", j, d.Len()))
+		}
+		copy(x.Data()[i*ss:(i+1)*ss], d.X.Data()[j*ss:(j+1)*ss])
+		y[i] = d.Y[j]
+	}
+	return &Dataset{X: x, Y: y, Classes: d.Classes}
+}
+
+// Batch materializes the samples at idx as one input tensor and label
+// slice, ready for a forward pass.
+func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
+	sub := d.Subset(idx)
+	return sub.X, sub.Y
+}
+
+// Split divides the dataset into a training set of n samples and a test
+// set of the remainder, preserving order.
+func (d *Dataset) Split(n int) (train, test *Dataset) {
+	if n <= 0 || n >= d.Len() {
+		panic(fmt.Sprintf("dataset: split point %d out of range (0,%d)", n, d.Len()))
+	}
+	trainIdx := make([]int, n)
+	testIdx := make([]int, d.Len()-n)
+	for i := range trainIdx {
+		trainIdx[i] = i
+	}
+	for i := range testIdx {
+		testIdx[i] = n + i
+	}
+	return d.Subset(trainIdx), d.Subset(testIdx)
+}
+
+// ClassCounts returns a histogram of labels.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Classes)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// Loader iterates over a dataset in shuffled mini-batches. Each call to
+// Next returns one batch; after the epoch is exhausted the loader
+// reshuffles and starts over, so it can serve any number of local steps.
+type Loader struct {
+	ds    *Dataset
+	batch int
+	rng   *rand.Rand
+	perm  []int
+	pos   int
+}
+
+// NewLoader creates a loader with the given batch size and rng.
+func NewLoader(ds *Dataset, batch int, rng *rand.Rand) *Loader {
+	if batch <= 0 {
+		panic("dataset: batch size must be positive")
+	}
+	if batch > ds.Len() {
+		batch = ds.Len()
+	}
+	l := &Loader{ds: ds, batch: batch, rng: rng}
+	l.reshuffle()
+	return l
+}
+
+func (l *Loader) reshuffle() {
+	if l.perm == nil {
+		l.perm = make([]int, l.ds.Len())
+		for i := range l.perm {
+			l.perm[i] = i
+		}
+	}
+	l.rng.Shuffle(len(l.perm), func(i, j int) { l.perm[i], l.perm[j] = l.perm[j], l.perm[i] })
+	l.pos = 0
+}
+
+// Next returns the next mini-batch, wrapping (with reshuffle) at epoch
+// boundaries.
+func (l *Loader) Next() (*tensor.Tensor, []int) {
+	if l.pos+l.batch > len(l.perm) {
+		l.reshuffle()
+	}
+	idx := l.perm[l.pos : l.pos+l.batch]
+	l.pos += l.batch
+	return l.ds.Batch(idx)
+}
+
+// BatchesPerEpoch returns the number of full batches in one epoch.
+func (l *Loader) BatchesPerEpoch() int { return l.ds.Len() / l.batch }
+
+// BatchSize returns the loader's batch size.
+func (l *Loader) BatchSize() int { return l.batch }

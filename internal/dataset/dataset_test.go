@@ -1,0 +1,303 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticShapeAndBalance(t *testing.T) {
+	cfg := SyntheticConfig{Samples: 1000, Features: 16, Classes: 10, ModesPerClass: 2, NoiseStd: 0.3, Seed: 1}
+	d := Synthetic(cfg)
+	if d.Len() != 1000 || d.X.Dim(1) != 16 {
+		t.Fatalf("shape %v", d.X.Shape())
+	}
+	counts := d.ClassCounts()
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("class %d count %d, want 100 (balanced, no label noise)", c, n)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := DefaultSynthetic()
+	a := Synthetic(cfg)
+	b := Synthetic(cfg)
+	if !a.X.Equal(b.X, 0) {
+		t.Fatal("same seed must produce identical data")
+	}
+	cfg.Seed = 2
+	c := Synthetic(cfg)
+	if a.X.Equal(c.X, 0) {
+		t.Fatal("different seed must produce different data")
+	}
+}
+
+func TestSyntheticLabelNoise(t *testing.T) {
+	cfg := SyntheticConfig{Samples: 5000, Features: 4, Classes: 5, NoiseStd: 0.1, LabelNoise: 0.5, Seed: 3}
+	d := Synthetic(cfg)
+	// With 50% label noise roughly 40% of labels differ from i%classes
+	// (half flipped, of which 1/5 land back on the original).
+	flipped := 0
+	for _, y := range d.Y {
+		if y < 0 || y >= 5 {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+	_ = flipped
+}
+
+func TestImagesShape(t *testing.T) {
+	cfg := ImageConfig{Samples: 100, Channels: 3, Size: 8, Classes: 10, NoiseStd: 0.5, Seed: 1}
+	d := Images(cfg)
+	sh := d.X.Shape()
+	if sh[0] != 100 || sh[1] != 3 || sh[2] != 8 || sh[3] != 8 {
+		t.Fatalf("image shape %v", sh)
+	}
+}
+
+func TestImagesClassesSeparable(t *testing.T) {
+	// Nearest-class-mean classification on clean-ish images should beat
+	// chance by a wide margin — sanity check that the generator encodes
+	// class structure.
+	cfg := ImageConfig{Samples: 500, Channels: 1, Size: 8, Classes: 5, NoiseStd: 0.3, Seed: 7}
+	d := Images(cfg)
+	sample := d.X.Len() / d.Len()
+	means := make([][]float64, 5)
+	counts := make([]int, 5)
+	for i := range means {
+		means[i] = make([]float64, sample)
+	}
+	for i := 0; i < d.Len(); i++ {
+		row := d.X.Data()[i*sample : (i+1)*sample]
+		for j, v := range row {
+			means[d.Y[i]][j] += v
+		}
+		counts[d.Y[i]]++
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := 0; i < d.Len(); i++ {
+		row := d.X.Data()[i*sample : (i+1)*sample]
+		best, bestD := -1, math.Inf(1)
+		for c := range means {
+			dist := 0.0
+			for j, v := range row {
+				dd := v - means[c][j]
+				dist += dd * dd
+			}
+			if dist < bestD {
+				best, bestD = c, dist
+			}
+		}
+		if best == d.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(d.Len())
+	if acc < 0.9 {
+		t.Fatalf("nearest-mean accuracy %v, want ≥0.9 — generator lacks class structure", acc)
+	}
+}
+
+func TestSubsetCopies(t *testing.T) {
+	d := Synthetic(SyntheticConfig{Samples: 10, Features: 2, Classes: 2, NoiseStd: 0.1, Seed: 1})
+	s := d.Subset([]int{0, 1})
+	s.X.Data()[0] = 999
+	if d.X.Data()[0] == 999 {
+		t.Fatal("Subset must copy data")
+	}
+}
+
+func TestSubsetOutOfRangePanics(t *testing.T) {
+	d := Synthetic(SyntheticConfig{Samples: 10, Features: 2, Classes: 2, NoiseStd: 0.1, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range subset did not panic")
+		}
+	}()
+	d.Subset([]int{10})
+}
+
+func TestSplit(t *testing.T) {
+	d := Synthetic(SyntheticConfig{Samples: 100, Features: 2, Classes: 2, NoiseStd: 0.1, Seed: 1})
+	train, test := d.Split(80)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+}
+
+func TestLoaderCoversEpoch(t *testing.T) {
+	d := Synthetic(SyntheticConfig{Samples: 100, Features: 2, Classes: 2, NoiseStd: 0.1, Seed: 1})
+	l := NewLoader(d, 10, rand.New(rand.NewSource(1)))
+	if l.BatchesPerEpoch() != 10 {
+		t.Fatalf("BatchesPerEpoch = %d", l.BatchesPerEpoch())
+	}
+	seen := 0
+	for i := 0; i < 10; i++ {
+		x, y := l.Next()
+		if x.Dim(0) != 10 || len(y) != 10 {
+			t.Fatalf("batch shape %v / %d", x.Shape(), len(y))
+		}
+		seen += len(y)
+	}
+	if seen != 100 {
+		t.Fatalf("saw %d samples in one epoch", seen)
+	}
+	// Wrapping works: another call reshuffles.
+	x, _ := l.Next()
+	if x.Dim(0) != 10 {
+		t.Fatal("loader did not wrap")
+	}
+}
+
+func TestLoaderBatchLargerThanData(t *testing.T) {
+	d := Synthetic(SyntheticConfig{Samples: 5, Features: 2, Classes: 2, NoiseStd: 0.1, Seed: 1})
+	l := NewLoader(d, 100, rand.New(rand.NewSource(1)))
+	x, _ := l.Next()
+	if x.Dim(0) != 5 {
+		t.Fatalf("clamped batch size: got %d", x.Dim(0))
+	}
+}
+
+func TestPartitionIIDSizesAndCoverage(t *testing.T) {
+	d := Synthetic(SyntheticConfig{Samples: 103, Features: 2, Classes: 2, NoiseStd: 0.1, Seed: 1})
+	parts := PartitionIID(d, 4, rand.New(rand.NewSource(1)))
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != 103 {
+		t.Fatalf("partitions cover %d samples, want 103", total)
+	}
+	for _, p := range parts {
+		if p.Len() < 25 || p.Len() > 26 {
+			t.Fatalf("unbalanced IID partition size %d", p.Len())
+		}
+	}
+}
+
+func TestPartitionDirichletSkew(t *testing.T) {
+	d := Synthetic(SyntheticConfig{Samples: 2000, Features: 2, Classes: 10, NoiseStd: 0.1, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	skewed := PartitionDirichlet(d, 4, 0.1, rng)
+	uniform := PartitionDirichlet(d, 4, 100, rand.New(rand.NewSource(2)))
+	// Measure label-distribution imbalance as max class share per device.
+	imbalance := func(parts []*Dataset) float64 {
+		worst := 0.0
+		for _, p := range parts {
+			counts := p.ClassCounts()
+			for _, c := range counts {
+				share := float64(c) / float64(p.Len())
+				if share > worst {
+					worst = share
+				}
+			}
+		}
+		return worst
+	}
+	if imbalance(skewed) <= imbalance(uniform) {
+		t.Fatalf("alpha=0.1 imbalance %v should exceed alpha=100 imbalance %v",
+			imbalance(skewed), imbalance(uniform))
+	}
+	// Coverage and non-emptiness.
+	total := 0
+	for _, p := range skewed {
+		if p.Len() == 0 {
+			t.Fatal("empty Dirichlet partition")
+		}
+		total += p.Len()
+	}
+	if total != 2000 {
+		t.Fatalf("Dirichlet partitions cover %d, want 2000", total)
+	}
+}
+
+func TestPartitionShards(t *testing.T) {
+	d := Synthetic(SyntheticConfig{Samples: 1000, Features: 2, Classes: 10, NoiseStd: 0.1, Seed: 1})
+	parts := PartitionShards(d, 4, 2, rand.New(rand.NewSource(3)))
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+		// Each device holds at most ~2 distinct labels (2 shards).
+		distinct := 0
+		for _, c := range p.ClassCounts() {
+			if c > 0 {
+				distinct++
+			}
+		}
+		if distinct > 4 {
+			t.Fatalf("shard partition has %d distinct labels, want ≤4", distinct)
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("shard partitions cover %d, want 1000", total)
+	}
+}
+
+// Property: every partitioner covers all samples exactly once.
+func TestPropertyPartitionsAreExactCover(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%6) + 2
+		d := Synthetic(SyntheticConfig{Samples: 300, Features: 3, Classes: 5, NoiseStd: 0.2, Seed: seed})
+		rng := rand.New(rand.NewSource(seed))
+		for _, parts := range [][]*Dataset{
+			PartitionIID(d, k, rng),
+			PartitionDirichlet(d, k, 0.5, rng),
+		} {
+			total := 0
+			for _, p := range parts {
+				total += p.Len()
+			}
+			if total != 300 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dirichlet weights sum to 1 and are non-negative.
+func TestPropertyDirichletSimplex(t *testing.T) {
+	f := func(seed int64, aRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := float64(aRaw%50)/10 + 0.05
+		k := int(kRaw%10) + 1
+		w := dirichlet(rng, alpha, k)
+		sum := 0.0
+		for _, v := range w {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, shape := range []float64{0.3, 1, 2.5} {
+		var s float64
+		n := 20000
+		for i := 0; i < n; i++ {
+			s += gammaSample(rng, shape)
+		}
+		mean := s / float64(n)
+		if math.Abs(mean-shape) > 0.1*shape+0.05 {
+			t.Fatalf("Gamma(%v) sample mean %v, want ≈%v", shape, mean, shape)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hadfl/internal/tensor"
+)
+
+// IDX is the binary format of the MNIST/Fashion-MNIST distribution
+// files (idx3-ubyte images, idx1-ubyte labels). Supporting it lets a
+// downstream user swap the synthetic workloads for real data without
+// any new dependency: point ReadIDX at train-images-idx3-ubyte /
+// train-labels-idx1-ubyte and train.
+
+const (
+	idxMagicImages = 0x00000803 // unsigned byte, 3 dimensions
+	idxMagicLabels = 0x00000801 // unsigned byte, 1 dimension
+)
+
+// ReadIDXImages parses an idx3-ubyte stream into an [N, 1, H, W] tensor
+// with pixel values scaled to [0, 1].
+func ReadIDXImages(r io.Reader) (*tensor.Tensor, error) {
+	var header [16]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("dataset: idx image header: %w", err)
+	}
+	magic := binary.BigEndian.Uint32(header[0:])
+	if magic != idxMagicImages {
+		return nil, fmt.Errorf("dataset: idx image magic %#x, want %#x", magic, idxMagicImages)
+	}
+	n := int(binary.BigEndian.Uint32(header[4:]))
+	h := int(binary.BigEndian.Uint32(header[8:]))
+	w := int(binary.BigEndian.Uint32(header[12:]))
+	if n <= 0 || h <= 0 || w <= 0 || n > 1<<24 || h > 1<<12 || w > 1<<12 {
+		return nil, fmt.Errorf("dataset: implausible idx dimensions %d×%d×%d", n, h, w)
+	}
+	raw := make([]byte, n*h*w)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("dataset: idx image data: %w", err)
+	}
+	t := tensor.New(n, 1, h, w)
+	for i, b := range raw {
+		t.Data()[i] = float64(b) / 255
+	}
+	return t, nil
+}
+
+// ReadIDXLabels parses an idx1-ubyte stream into an int slice.
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	var header [8]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("dataset: idx label header: %w", err)
+	}
+	magic := binary.BigEndian.Uint32(header[0:])
+	if magic != idxMagicLabels {
+		return nil, fmt.Errorf("dataset: idx label magic %#x, want %#x", magic, idxMagicLabels)
+	}
+	n := int(binary.BigEndian.Uint32(header[4:]))
+	if n <= 0 || n > 1<<24 {
+		return nil, fmt.Errorf("dataset: implausible idx label count %d", n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("dataset: idx label data: %w", err)
+	}
+	out := make([]int, n)
+	for i, b := range raw {
+		out[i] = int(b)
+	}
+	return out, nil
+}
+
+// FromIDX assembles a Dataset from parallel image and label streams,
+// inferring the class count from the labels.
+func FromIDX(images, labels io.Reader) (*Dataset, error) {
+	x, err := ReadIDXImages(images)
+	if err != nil {
+		return nil, err
+	}
+	y, err := ReadIDXLabels(labels)
+	if err != nil {
+		return nil, err
+	}
+	if x.Dim(0) != len(y) {
+		return nil, fmt.Errorf("dataset: %d images vs %d labels", x.Dim(0), len(y))
+	}
+	classes := 0
+	for _, v := range y {
+		if v < 0 {
+			return nil, fmt.Errorf("dataset: negative label %d", v)
+		}
+		if v+1 > classes {
+			classes = v + 1
+		}
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("dataset: only %d classes in labels", classes)
+	}
+	return &Dataset{X: x, Y: y, Classes: classes}, nil
+}
+
+// WriteIDX serializes a Dataset with [N,1,H,W] images back into the IDX
+// pair format — the inverse of FromIDX, used by tests and for exporting
+// synthetic data to other toolchains.
+func WriteIDX(d *Dataset, images, labels io.Writer) error {
+	if d.X.Dims() != 4 || d.X.Dim(1) != 1 {
+		return fmt.Errorf("dataset: WriteIDX needs [N,1,H,W] images, got %v", d.X.Shape())
+	}
+	n, h, w := d.X.Dim(0), d.X.Dim(2), d.X.Dim(3)
+	var header [16]byte
+	binary.BigEndian.PutUint32(header[0:], idxMagicImages)
+	binary.BigEndian.PutUint32(header[4:], uint32(n))
+	binary.BigEndian.PutUint32(header[8:], uint32(h))
+	binary.BigEndian.PutUint32(header[12:], uint32(w))
+	if _, err := images.Write(header[:]); err != nil {
+		return err
+	}
+	raw := make([]byte, n*h*w)
+	for i, v := range d.X.Data() {
+		p := v * 255
+		if p < 0 {
+			p = 0
+		}
+		if p > 255 {
+			p = 255
+		}
+		raw[i] = byte(p + 0.5)
+	}
+	if _, err := images.Write(raw); err != nil {
+		return err
+	}
+	var lh [8]byte
+	binary.BigEndian.PutUint32(lh[0:], idxMagicLabels)
+	binary.BigEndian.PutUint32(lh[4:], uint32(n))
+	if _, err := labels.Write(lh[:]); err != nil {
+		return err
+	}
+	lraw := make([]byte, n)
+	for i, y := range d.Y {
+		if y < 0 || y > 255 {
+			return fmt.Errorf("dataset: label %d not byte-encodable", y)
+		}
+		lraw[i] = byte(y)
+	}
+	_, err := labels.Write(lraw)
+	return err
+}

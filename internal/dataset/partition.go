@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PartitionIID splits the dataset into k equal (±1) random parts, the
+// "training data is split on four GPUs" setup of the paper's evaluation.
+func PartitionIID(d *Dataset, k int, rng *rand.Rand) []*Dataset {
+	if k <= 0 || k > d.Len() {
+		panic(fmt.Sprintf("dataset: cannot split %d samples into %d parts", d.Len(), k))
+	}
+	perm := rng.Perm(d.Len())
+	parts := make([]*Dataset, k)
+	for i := 0; i < k; i++ {
+		lo := i * d.Len() / k
+		hi := (i + 1) * d.Len() / k
+		parts[i] = d.Subset(perm[lo:hi])
+	}
+	return parts
+}
+
+// PartitionDirichlet splits the dataset into k parts whose per-class
+// proportions follow Dir(alpha). Small alpha (e.g. 0.1) yields highly
+// skewed non-IID splits; large alpha approaches IID. Every part is
+// guaranteed at least one sample.
+func PartitionDirichlet(d *Dataset, k int, alpha float64, rng *rand.Rand) []*Dataset {
+	if k <= 0 || k > d.Len() {
+		panic(fmt.Sprintf("dataset: cannot split %d samples into %d parts", d.Len(), k))
+	}
+	if alpha <= 0 {
+		panic("dataset: Dirichlet alpha must be positive")
+	}
+	byClass := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	assign := make([][]int, k)
+	for _, idx := range byClass {
+		if len(idx) == 0 {
+			continue
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		w := dirichlet(rng, alpha, k)
+		// Convert weights to cumulative cut points over this class's samples.
+		cum, pos := 0.0, 0
+		for dev := 0; dev < k; dev++ {
+			cum += w[dev]
+			end := int(cum*float64(len(idx)) + 0.5)
+			if dev == k-1 {
+				end = len(idx)
+			}
+			if end > len(idx) {
+				end = len(idx)
+			}
+			assign[dev] = append(assign[dev], idx[pos:end]...)
+			pos = end
+		}
+	}
+	// Guarantee non-empty parts by stealing from the largest.
+	for dev := 0; dev < k; dev++ {
+		if len(assign[dev]) > 0 {
+			continue
+		}
+		largest := 0
+		for j := 1; j < k; j++ {
+			if len(assign[j]) > len(assign[largest]) {
+				largest = j
+			}
+		}
+		n := len(assign[largest])
+		assign[dev] = append(assign[dev], assign[largest][n-1])
+		assign[largest] = assign[largest][:n-1]
+	}
+	parts := make([]*Dataset, k)
+	for i := range parts {
+		sort.Ints(assign[i])
+		parts[i] = d.Subset(assign[i])
+	}
+	return parts
+}
+
+// dirichlet samples a point from the symmetric Dirichlet(alpha) simplex
+// using Gamma(alpha,1) marginals (Marsaglia–Tsang).
+func dirichlet(rng *rand.Rand, alpha float64, k int) []float64 {
+	w := make([]float64, k)
+	sum := 0.0
+	for i := range w {
+		w[i] = gammaSample(rng, alpha)
+		sum += w[i]
+	}
+	if sum == 0 {
+		// Degenerate draw: fall back to uniform.
+		for i := range w {
+			w[i] = 1.0 / float64(k)
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// gammaSample draws from Gamma(shape, 1) via Marsaglia–Tsang, with the
+// standard boost for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / (3.0 * math.Sqrt(d))
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// PartitionShards sorts samples by label, cuts them into shardsPerDevice·k
+// shards, and deals shards to devices — the classic extreme non-IID split
+// from the FedAvg paper.
+func PartitionShards(d *Dataset, k, shardsPerDevice int, rng *rand.Rand) []*Dataset {
+	if k <= 0 || shardsPerDevice <= 0 {
+		panic("dataset: PartitionShards needs positive k and shardsPerDevice")
+	}
+	total := k * shardsPerDevice
+	if total > d.Len() {
+		panic(fmt.Sprintf("dataset: %d shards exceed %d samples", total, d.Len()))
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return d.Y[idx[a]] < d.Y[idx[b]] })
+	shardOrder := rng.Perm(total)
+	parts := make([]*Dataset, k)
+	per := d.Len() / total
+	for dev := 0; dev < k; dev++ {
+		var mine []int
+		for s := 0; s < shardsPerDevice; s++ {
+			shard := shardOrder[dev*shardsPerDevice+s]
+			lo := shard * per
+			hi := lo + per
+			if shard == total-1 {
+				hi = d.Len()
+			}
+			mine = append(mine, idx[lo:hi]...)
+		}
+		sort.Ints(mine)
+		parts[dev] = d.Subset(mine)
+	}
+	return parts
+}

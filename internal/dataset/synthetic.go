@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hadfl/internal/tensor"
+)
+
+// SyntheticConfig describes a synthetic classification task. Each class is
+// a mixture of ModesPerClass Gaussian clusters in feature space, which
+// keeps the task non-linearly-separable (a linear model cannot reach the
+// accuracy ceiling) while remaining cheap to generate.
+type SyntheticConfig struct {
+	Samples       int     // total sample count
+	Features      int     // feature dimension (vector datasets)
+	Classes       int     // number of classes
+	ModesPerClass int     // Gaussian modes per class (≥1); 2+ defeats linear models
+	NoiseStd      float64 // within-cluster noise
+	LabelNoise    float64 // probability a label is flipped uniformly
+	Seed          int64
+}
+
+// DefaultSynthetic returns the configuration used by the fast experiment
+// profiles: a 10-class, 32-feature task mirroring CIFAR-10's class
+// count. The noise level is tuned so accuracy improves gradually over
+// tens of epochs instead of saturating immediately — like CIFAR-10, the
+// task must not hit its ceiling in the first rounds, or "time to max
+// accuracy" (Table I's metric) degenerates into tie-breaking noise.
+func DefaultSynthetic() SyntheticConfig {
+	return SyntheticConfig{
+		Samples:       4000,
+		Features:      32,
+		Classes:       10,
+		ModesPerClass: 2,
+		NoiseStd:      1.15,
+		LabelNoise:    0.02,
+		Seed:          1,
+	}
+}
+
+// Synthetic generates a vector dataset according to cfg.
+func Synthetic(cfg SyntheticConfig) *Dataset {
+	if cfg.Samples <= 0 || cfg.Features <= 0 || cfg.Classes <= 1 {
+		panic(fmt.Sprintf("dataset: invalid synthetic config %+v", cfg))
+	}
+	if cfg.ModesPerClass < 1 {
+		cfg.ModesPerClass = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Cluster centres: unit-ish scale so NoiseStd controls difficulty.
+	centres := make([][]float64, cfg.Classes*cfg.ModesPerClass)
+	for i := range centres {
+		c := make([]float64, cfg.Features)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		centres[i] = c
+	}
+	x := tensor.New(cfg.Samples, cfg.Features)
+	y := make([]int, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		class := i % cfg.Classes // balanced classes
+		mode := rng.Intn(cfg.ModesPerClass)
+		centre := centres[class*cfg.ModesPerClass+mode]
+		row := x.Data()[i*cfg.Features : (i+1)*cfg.Features]
+		for j := range row {
+			row[j] = centre[j] + cfg.NoiseStd*rng.NormFloat64()
+		}
+		if cfg.LabelNoise > 0 && rng.Float64() < cfg.LabelNoise {
+			y[i] = rng.Intn(cfg.Classes)
+		} else {
+			y[i] = class
+		}
+	}
+	shuffleInPlace(rng, x, y, cfg.Features)
+	return &Dataset{X: x, Y: y, Classes: cfg.Classes}
+}
+
+// ImageConfig describes a synthetic image-classification task standing in
+// for CIFAR-10: each class has a smooth base pattern (low-frequency random
+// field) that samples perturb with noise.
+type ImageConfig struct {
+	Samples    int
+	Channels   int
+	Size       int // images are Size×Size
+	Classes    int
+	NoiseStd   float64
+	LabelNoise float64
+	Seed       int64
+}
+
+// DefaultImages returns the image-task configuration used by the conv
+// experiment profiles (8×8×3 "tiny CIFAR").
+func DefaultImages() ImageConfig {
+	return ImageConfig{
+		Samples:  2000,
+		Channels: 3,
+		Size:     8,
+		Classes:  10,
+		NoiseStd: 0.6,
+		Seed:     1,
+	}
+}
+
+// Images generates an image dataset according to cfg.
+func Images(cfg ImageConfig) *Dataset {
+	if cfg.Samples <= 0 || cfg.Channels <= 0 || cfg.Size <= 0 || cfg.Classes <= 1 {
+		panic(fmt.Sprintf("dataset: invalid image config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sample := cfg.Channels * cfg.Size * cfg.Size
+	// Base pattern per class: coarse 1/2-resolution random field upsampled
+	// ×2, so patterns are smooth and convolution kernels have local
+	// structure to latch onto.
+	half := (cfg.Size + 1) / 2
+	bases := make([][]float64, cfg.Classes)
+	for c := range bases {
+		coarse := make([]float64, cfg.Channels*half*half)
+		for i := range coarse {
+			coarse[i] = rng.NormFloat64()
+		}
+		base := make([]float64, sample)
+		for ch := 0; ch < cfg.Channels; ch++ {
+			for yy := 0; yy < cfg.Size; yy++ {
+				for xx := 0; xx < cfg.Size; xx++ {
+					base[(ch*cfg.Size+yy)*cfg.Size+xx] = coarse[(ch*half+yy/2)*half+xx/2]
+				}
+			}
+		}
+		bases[c] = base
+	}
+	x := tensor.New(cfg.Samples, cfg.Channels, cfg.Size, cfg.Size)
+	y := make([]int, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		class := i % cfg.Classes
+		row := x.Data()[i*sample : (i+1)*sample]
+		base := bases[class]
+		for j := range row {
+			row[j] = base[j] + cfg.NoiseStd*rng.NormFloat64()
+		}
+		if cfg.LabelNoise > 0 && rng.Float64() < cfg.LabelNoise {
+			y[i] = rng.Intn(cfg.Classes)
+		} else {
+			y[i] = class
+		}
+	}
+	shuffleInPlace(rng, x, y, sample)
+	return &Dataset{X: x, Y: y, Classes: cfg.Classes}
+}
+
+// shuffleInPlace applies one permutation to both samples and labels.
+func shuffleInPlace(rng *rand.Rand, x *tensor.Tensor, y []int, sampleSize int) {
+	n := len(y)
+	tmp := make([]float64, sampleSize)
+	rng.Shuffle(n, func(i, j int) {
+		xi := x.Data()[i*sampleSize : (i+1)*sampleSize]
+		xj := x.Data()[j*sampleSize : (j+1)*sampleSize]
+		copy(tmp, xi)
+		copy(xi, xj)
+		copy(xj, tmp)
+		y[i], y[j] = y[j], y[i]
+	})
+}

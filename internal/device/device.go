@@ -1,0 +1,187 @@
+// Package device models a federated training device: its local model
+// replica, optimizer, data shard, and — crucially for HADFL — its
+// (simulated) heterogeneous computing power. The paper emulates slow GPUs
+// with sleep(); here a Device charges virtual compute time per mini-batch
+// through a cost model, optionally with multiplicative jitter and
+// mid-run power drift, so the runtime-prediction machinery has something
+// real to track.
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hadfl/internal/dataset"
+	"hadfl/internal/nn"
+)
+
+// Config describes one simulated device.
+type Config struct {
+	ID int
+	// Power is the relative computing power (the paper's "computing
+	// power ratio" arrays like [4,2,2,1]). A device with Power p takes
+	// BaseStepTime/p virtual seconds per mini-batch.
+	Power float64
+	// BaseStepTime is the virtual seconds per mini-batch at Power 1.
+	BaseStepTime float64
+	// Jitter is the stddev of multiplicative log-normal noise on each
+	// step's duration (0 = deterministic).
+	Jitter float64
+	// FailAt, if positive, crashes the device at that virtual time.
+	FailAt float64
+	// RecoverAt, if positive (> FailAt), brings it back.
+	RecoverAt float64
+}
+
+// Device is a training participant. It is not safe for concurrent use;
+// the simulation engine serializes all calls.
+type Device struct {
+	Cfg    Config
+	Model  *nn.Model
+	Opt    *nn.SGD
+	Loader *dataset.Loader
+	// Schedule, when non-nil, sets the learning rate from the device's
+	// version before every step. Schedules are pure functions of the
+	// step index, so asynchronous devices at different versions stay
+	// consistent without coordination.
+	Schedule nn.LRSchedule
+
+	rng *rand.Rand
+
+	// Version counts completed local steps since the start of training
+	// (the paper's parameter version v_{i,j}).
+	Version int
+	// StepsSinceSync counts local steps since the last synchronization.
+	StepsSinceSync int
+	// ComputeTime accumulates virtual seconds spent computing.
+	ComputeTime float64
+	// drift scales effective power at runtime (1 = nominal), letting
+	// ablations model thermal throttling or contention.
+	drift float64
+}
+
+// New constructs a device with its own model replica, optimizer and data
+// loader. The model should already hold the global initial parameters.
+func New(cfg Config, model *nn.Model, opt *nn.SGD, loader *dataset.Loader, rng *rand.Rand) *Device {
+	if cfg.Power <= 0 {
+		panic(fmt.Sprintf("device: non-positive power %v", cfg.Power))
+	}
+	if cfg.BaseStepTime <= 0 {
+		panic(fmt.Sprintf("device: non-positive base step time %v", cfg.BaseStepTime))
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(int64(cfg.ID) + 1))
+	}
+	return &Device{Cfg: cfg, Model: model, Opt: opt, Loader: loader, rng: rng, drift: 1}
+}
+
+// SetDrift scales the device's effective power by factor (e.g. 0.5 =
+// half speed). Used by the predictor ablation.
+func (d *Device) SetDrift(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("device: non-positive drift %v", factor))
+	}
+	d.drift = factor
+}
+
+// StepTime returns the virtual duration of the next mini-batch,
+// including jitter and drift.
+func (d *Device) StepTime() float64 {
+	t := d.Cfg.BaseStepTime / (d.Cfg.Power * d.drift)
+	if d.Cfg.Jitter > 0 {
+		// Log-normal multiplicative jitter keeps durations positive.
+		t *= jitterFactor(d.rng, d.Cfg.Jitter)
+	}
+	return t
+}
+
+func jitterFactor(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(sigma * rng.NormFloat64())
+}
+
+// TrainStep performs one local SGD step (Alg. 1 lines 15–19) and returns
+// the training loss and the virtual time the step took.
+func (d *Device) TrainStep() (loss float64, elapsed float64) {
+	if d.Schedule != nil {
+		nn.ApplySchedule(d.Opt, d.Schedule, d.Version)
+	}
+	x, y := d.Loader.Next()
+	logits := d.Model.Forward(x, true)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, y)
+	d.Model.Backward(grad)
+	d.Opt.Step(d.Model)
+	d.Version++
+	d.StepsSinceSync++
+	elapsed = d.StepTime()
+	d.ComputeTime += elapsed
+	return loss, elapsed
+}
+
+// TrainSteps runs n local steps, returning the mean loss and total
+// virtual time.
+func (d *Device) TrainSteps(n int) (meanLoss float64, elapsed float64) {
+	if n <= 0 {
+		panic(fmt.Sprintf("device: TrainSteps(%d)", n))
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		l, e := d.TrainStep()
+		sum += l
+		elapsed += e
+	}
+	return sum / float64(n), elapsed
+}
+
+// EpochTime returns the virtual duration of one full local epoch at
+// nominal power (no jitter), the quantity the mutual-negotiation phase
+// measures.
+func (d *Device) EpochTime() float64 {
+	return float64(d.Loader.BatchesPerEpoch()) * d.Cfg.BaseStepTime / d.Cfg.Power
+}
+
+// Warmup runs the mutual-negotiation phase (paper §III-B): epochs of
+// training at a reduced learning rate, returning the measured total
+// calculation time T_i. The learning-rate reduction stabilizes the model
+// before full training.
+func (d *Device) Warmup(epochs int, lrScale float64) (calcTime float64) {
+	if epochs <= 0 {
+		panic(fmt.Sprintf("device: Warmup(%d)", epochs))
+	}
+	origLR := d.Opt.LR
+	origSchedule := d.Schedule
+	d.Schedule = nil // the warm-up rate overrides any schedule
+	d.Opt.LR = origLR * lrScale
+	steps := epochs * d.Loader.BatchesPerEpoch()
+	if steps < 1 {
+		steps = epochs
+	}
+	_, calcTime = d.TrainSteps(steps)
+	d.Opt.LR = origLR
+	d.Schedule = origSchedule
+	return calcTime
+}
+
+// Parameters exposes the local model's flat parameter vector.
+func (d *Device) Parameters() []float64 { return d.Model.Parameters() }
+
+// SetParameters installs a new parameter vector (after aggregation or
+// broadcast) and resets optimizer momentum, which belongs to the old
+// iterate.
+func (d *Device) SetParameters(p []float64) {
+	d.Model.SetParameters(p)
+	d.Opt.Reset()
+	d.StepsSinceSync = 0
+}
+
+// AliveAt reports whether the device is up at virtual time t according
+// to its failure schedule.
+func (d *Device) AliveAt(t float64) bool {
+	if d.Cfg.FailAt <= 0 {
+		return true
+	}
+	if t < d.Cfg.FailAt {
+		return true
+	}
+	return d.Cfg.RecoverAt > d.Cfg.FailAt && t >= d.Cfg.RecoverAt
+}

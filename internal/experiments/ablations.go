@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"hadfl/internal/core"
+	"hadfl/internal/metrics"
+	"hadfl/internal/predict"
+	"hadfl/internal/strategy"
+)
+
+// CommRow summarizes one scheme's communication volume.
+type CommRow struct {
+	Scheme      string
+	DeviceBytes int64 // total bytes sent by all devices
+	ServerBytes int64 // bytes relayed through a central server
+	Rounds      int
+	PerRoundDev int64 // device bytes per synchronization round
+}
+
+// CommVolume reproduces the paper's communication analysis (§II-B and
+// §III-D): HADFL and decentralized-FedAvg move ≈2·K·M bytes of device
+// traffic per aggregation with zero central-server traffic, whereas a
+// centralized FedAvg server relays 2·K·M per round itself; distributed
+// training pays ring-all-reduce volume every iteration. The centralized
+// row is computed analytically from the same model size for reference.
+func CommVolume(fast bool, seed int64) ([]CommRow, error) {
+	w := ResNetWorkload(fast, seed)
+	w.TargetEpochs = w.TargetEpochs / 5 // volume shape needs few rounds
+	cmp, err := RunComparison(w, Het4221, seed)
+	if err != nil {
+		return nil, err
+	}
+	row := func(name string, res *core.Result) CommRow {
+		r := CommRow{Scheme: name, DeviceBytes: res.Comm.TotalDeviceBytes(), ServerBytes: res.Comm.ServerBytes, Rounds: res.Comm.Rounds}
+		if r.Rounds > 0 {
+			r.PerRoundDev = r.DeviceBytes / int64(r.Rounds)
+		}
+		return r
+	}
+	rows := []CommRow{
+		row("hadfl", cmp.HADFL),
+		row("decentralized-fedavg", cmp.FedAvg),
+		row("distributed", cmp.Dist),
+	}
+	// Analytic centralized-FedAvg reference: every round each of K
+	// devices uploads M and downloads M through the server.
+	ch, err := clusterFor(w, Het4221, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	M := int64(8 * len(ch.InitParams))
+	k := int64(len(Het4221))
+	rounds := cmp.FedAvg.Comm.Rounds
+	rows = append(rows, CommRow{
+		Scheme:      "centralized-fedavg (analytic)",
+		DeviceBytes: k * M * int64(rounds),
+		ServerBytes: 2 * k * M * int64(rounds),
+		Rounds:      rounds,
+		PerRoundDev: k * M,
+	})
+	return rows, nil
+}
+
+// SelectionAblation compares the paper's Gaussian-at-Q3 probability
+// selection (Eq. 8) against three alternatives the paper argues against:
+// uniform random selection, always-freshest selection (wastes straggler
+// effort), and always-stalest selection (the worst case of §IV-B).
+func SelectionAblation(fast bool, seed int64) ([]*metrics.Series, error) {
+	w := ResNetWorkload(fast, seed)
+	powers := Het4221
+
+	run := func(name string, override func(rng *rand.Rand, alive []int, versions map[int]float64, np int) []int) (*metrics.Series, error) {
+		c, err := clusterFor(w, powers, seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		cfg := hadflConfig(w, seed)
+		cfg.SelectOverride = override
+		res, err := core.RunHADFL(c, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Series.Name = name
+		return res.Series, nil
+	}
+
+	byVersion := func(alive []int, versions map[int]float64, np int, stalest bool) []int {
+		out := append([]int(nil), alive...)
+		sort.Slice(out, func(i, j int) bool {
+			if stalest {
+				return versions[out[i]] < versions[out[j]]
+			}
+			return versions[out[i]] > versions[out[j]]
+		})
+		if len(out) > np {
+			out = out[:np]
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	var out []*metrics.Series
+	gauss, err := run("select-gaussian-q3", nil)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, gauss)
+	uniform, err := run("select-uniform", func(rng *rand.Rand, alive []int, versions map[int]float64, np int) []int {
+		perm := rng.Perm(len(alive))
+		sel := make([]int, 0, np)
+		for _, i := range perm[:np] {
+			sel = append(sel, alive[i])
+		}
+		sort.Ints(sel)
+		return sel
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, uniform)
+	freshest, err := run("select-freshest", func(rng *rand.Rand, alive []int, versions map[int]float64, np int) []int {
+		return byVersion(alive, versions, np, false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, freshest)
+	stalest, err := run("select-stalest", func(rng *rand.Rand, alive []int, versions map[int]float64, np int) []int {
+		return byVersion(alive, versions, np, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, stalest)
+	return out, nil
+}
+
+// PredictorAblation quantifies the value of the Eq. 7 double-exponential
+// smoothing predictor over the static Eq. 6 warm-up estimate, on a
+// device whose compute power drifts mid-run (e.g. thermal throttling).
+// It simulates the observed per-round version sequence of such a device
+// and reports the mean absolute forecast error of both estimators —
+// the design rationale of §III-B ("the system may be disturbed during
+// training, causing varying training time").
+func PredictorAblation(seed int64, rounds int, alpha float64) (adaptiveMAE, staticMAE float64) {
+	if rounds <= 0 {
+		rounds = 60
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// True versions: device completes ~40 steps/round, drops to ~20 after
+	// the drift point, with ±10% noise.
+	drift := rounds / 2
+	brown := predict.NewBrown(alpha)
+	static := 0.0
+	var adaptErr, staticErr float64
+	n := 0
+	version := 0.0
+	for j := 0; j < rounds; j++ {
+		rate := 40.0
+		if j >= drift {
+			rate = 20.0
+		}
+		rate *= 1 + 0.1*rng.NormFloat64()
+		version += rate
+		if j == 0 {
+			// Warm-up estimate: the first round's rate, as Eq. 6 would
+			// compute from the negotiation phase.
+			static = rate
+			brown.Observe(version)
+			continue
+		}
+		// Forecast made after round j-1 for round j.
+		adaptPred := brown.Forecast(1)
+		staticPred := version - rate + static // last actual + static rate
+		adaptErr += math.Abs(adaptPred - version)
+		staticErr += math.Abs(staticPred - version)
+		n++
+		brown.Observe(version)
+	}
+	return adaptErr / float64(n), staticErr / float64(n)
+}
+
+// GroupingDemo exercises the multi-group schedule of Fig. 2(a): it
+// partitions ids into groups and reports, for each of the first rounds,
+// whether the round is intra- or inter-group. Returned strings are
+// "intra" / "inter" per round — a behavioural fixture for the grouping
+// extension.
+func GroupingDemo(ids []int, groupSize, interEvery, rounds int, seed int64) (groups [][]int, schedule []string) {
+	rng := rand.New(rand.NewSource(seed))
+	groups = strategy.Groups(rng, ids, groupSize)
+	for r := 1; r <= rounds; r++ {
+		if strategy.GroupSchedule(r, interEvery) {
+			schedule = append(schedule, "inter")
+		} else {
+			schedule = append(schedule, "intra")
+		}
+	}
+	return groups, schedule
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hadfl/internal/baselines"
+	"hadfl/internal/core"
+	"hadfl/internal/metrics"
+	"hadfl/internal/p2p"
+)
+
+// EXT-ASYNC: HADFL versus the staleness-weighted asynchronous
+// centralized FL of the paper's related work ([6][7]). The paper argues
+// async-centralized removes the straggler barrier but keeps the server
+// in the data path and wastes stale work; this experiment measures both
+// effects.
+
+// AsyncRow summarizes one scheme in the async comparison.
+type AsyncRow struct {
+	Scheme      string
+	MaxAccuracy float64
+	TimeToMax   float64
+	ServerBytes int64
+	DeviceBytes int64
+}
+
+// AsyncComparison runs HADFL and async-FedAvg on identical clusters.
+func AsyncComparison(fast bool, seed int64) ([]AsyncRow, error) {
+	w := ResNetWorkload(fast, seed)
+	ch, err := clusterFor(w, Het4221, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	hadfl, err := core.RunHADFL(ch, hadflConfig(w, seed))
+	if err != nil {
+		return nil, err
+	}
+	ca, err := clusterFor(w, Het4221, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	acfg := baselines.DefaultAsyncFLConfig()
+	acfg.TargetEpochs = w.TargetEpochs
+	acfg.LocalSteps = w.FedAvgLocalSteps
+	acfg.Seed = seed
+	async, err := baselines.RunAsyncFL(ca, acfg)
+	if err != nil {
+		return nil, err
+	}
+	row := func(name string, res *core.Result) AsyncRow {
+		tt, acc, _ := res.Series.TimeToMaxAccuracy()
+		return AsyncRow{
+			Scheme: name, MaxAccuracy: acc, TimeToMax: tt,
+			ServerBytes: res.Comm.ServerBytes,
+			DeviceBytes: res.Comm.TotalDeviceBytes(),
+		}
+	}
+	return []AsyncRow{row("hadfl", hadfl), row("async-fedavg", async)}, nil
+}
+
+// EXT-BAND: heterogeneous network bandwidth (the paper's future-work
+// axis). HADFL's ring all-reduce is gated by its slowest member's link,
+// so a bandwidth-skewed cluster stretches the time axis.
+
+// BandwidthRow is one link profile's outcome.
+type BandwidthRow struct {
+	Profile     string
+	MaxAccuracy float64
+	TimeToMax   float64
+	TotalTime   float64
+}
+
+// HetBandwidth runs HADFL under uniform, mildly skewed, and severely
+// skewed per-device links.
+func HetBandwidth(fast bool, seed int64) ([]BandwidthRow, error) {
+	w := ResNetWorkload(fast, seed)
+	w.TargetEpochs = w.TargetEpochs / 2
+	profiles := []struct {
+		name  string
+		links map[int]p2p.Link
+	}{
+		{"uniform (1 Gb/s)", nil},
+		{"one slow device (10 Mb/s)", map[int]p2p.Link{
+			3: {Latency: 0.02, Bandwidth: 1.25e6},
+		}},
+		{"all slow (10 Mb/s)", map[int]p2p.Link{
+			0: {Latency: 0.02, Bandwidth: 1.25e6},
+			1: {Latency: 0.02, Bandwidth: 1.25e6},
+			2: {Latency: 0.02, Bandwidth: 1.25e6},
+			3: {Latency: 0.02, Bandwidth: 1.25e6},
+		}},
+	}
+	var rows []BandwidthRow
+	for _, p := range profiles {
+		c, err := clusterFor(w, Het4221, seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		cfg := hadflConfig(w, seed)
+		cfg.DeviceLinks = p.links
+		res, err := core.RunHADFL(c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name, err)
+		}
+		tt, acc, _ := res.Series.TimeToMaxAccuracy()
+		rows = append(rows, BandwidthRow{
+			Profile: p.name, MaxAccuracy: acc, TimeToMax: tt,
+			TotalTime: res.Series.Points[len(res.Series.Points)-1].Time,
+		})
+	}
+	return rows, nil
+}
+
+// EXT-GROUP: flat HADFL versus the hierarchical grouping of Fig. 2(a)
+// on a larger (8-device) federation.
+
+// GroupedComparison returns the flat and grouped training curves.
+func GroupedComparison(fast bool, seed int64) (flat, grouped *metrics.Series, err error) {
+	w := ResNetWorkload(fast, seed)
+	w.TargetEpochs = w.TargetEpochs / 2
+	powers := []float64{4, 4, 3, 2, 2, 2, 1, 1}
+
+	cf, err := clusterFor(w, powers, seed, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := hadflConfig(w, seed)
+	cfg.Strategy.Np = 4
+	flatRes, err := core.RunHADFL(cf, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	cg, err := clusterFor(w, powers, seed, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	gcfg := core.DefaultGroupedConfig()
+	gcfg.Base = hadflConfig(w, seed)
+	gcfg.GroupSize = 4
+	gcfg.IntraNp = 2
+	gcfg.InterEvery = 2
+	groupedRes, err := core.RunHADFLGrouped(cg, gcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	flatRes.Series.Name = "hadfl-flat-8dev"
+	groupedRes.Series.Name = "hadfl-grouped-8dev"
+	return flatRes.Series, groupedRes.Series, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import "testing"
+
+func TestAsyncComparison(t *testing.T) {
+	rows, err := AsyncComparison(true, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var hadfl, async AsyncRow
+	for _, r := range rows {
+		switch r.Scheme {
+		case "hadfl":
+			hadfl = r
+		case "async-fedavg":
+			async = r
+		}
+	}
+	// The structural claim: async centralized FL loads the server with
+	// every update; HADFL loads it with nothing.
+	if hadfl.ServerBytes != 0 {
+		t.Fatalf("hadfl server bytes %d", hadfl.ServerBytes)
+	}
+	if async.ServerBytes == 0 {
+		t.Fatal("async-fedavg must load the server")
+	}
+	if hadfl.MaxAccuracy < 0.5 || async.MaxAccuracy < 0.5 {
+		t.Fatalf("accuracies %.2f / %.2f", hadfl.MaxAccuracy, async.MaxAccuracy)
+	}
+}
+
+func TestHetBandwidth(t *testing.T) {
+	rows, err := HetBandwidth(true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Total time must be monotone in link slowness: uniform ≤ one-slow ≤
+	// all-slow. (One-slow only binds in rounds that select the slow
+	// device; all-slow binds always.)
+	if rows[0].TotalTime > rows[2].TotalTime {
+		t.Fatalf("uniform %v slower than all-slow %v", rows[0].TotalTime, rows[2].TotalTime)
+	}
+	if rows[1].TotalTime > rows[2].TotalTime {
+		t.Fatalf("one-slow %v slower than all-slow %v", rows[1].TotalTime, rows[2].TotalTime)
+	}
+	for _, r := range rows {
+		if r.MaxAccuracy < 0.5 {
+			t.Fatalf("%s accuracy %.2f", r.Profile, r.MaxAccuracy)
+		}
+	}
+}
+
+func TestGroupedComparison(t *testing.T) {
+	flat, grouped, err := GroupedComparison(true, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, ok1 := flat.MaxAccuracy()
+	gb, ok2 := grouped.MaxAccuracy()
+	if !ok1 || !ok2 {
+		t.Fatal("empty series")
+	}
+	if fb.Accuracy < 0.5 || gb.Accuracy < 0.5 {
+		t.Fatalf("accuracies %.2f / %.2f", fb.Accuracy, gb.Accuracy)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hadfl/internal/metrics"
+)
+
+func TestFigure3StructureAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 3 sweep in -short mode")
+	}
+	series, err := Figure3(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 schemes × 2 workloads × 2 heterogeneity distributions.
+	if len(series) != 12 {
+		t.Fatalf("%d series, want 12", len(series))
+	}
+	seen := map[string]bool{}
+	for _, s := range series {
+		if seen[s.Name] {
+			t.Fatalf("duplicate series %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Len() < 2 {
+			t.Fatalf("series %q has %d points", s.Name, s.Len())
+		}
+		parts := strings.Split(s.Name, "/")
+		if len(parts) != 3 {
+			t.Fatalf("series name %q not scheme/workload/het", s.Name)
+		}
+		// Loss starts high and ends lower (panels a/d shape).
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if last.Loss >= first.Loss {
+			t.Fatalf("series %q: loss did not decrease (%v → %v)", s.Name, first.Loss, last.Loss)
+		}
+		// Accuracy ends above chance for a 10-class task (panels b/e).
+		best, _ := s.MaxAccuracy()
+		if best.Accuracy < 0.3 {
+			t.Fatalf("series %q max accuracy %.2f", s.Name, best.Accuracy)
+		}
+	}
+	// Panel c/f shape: for each workload×het, HADFL reaches 60% accuracy
+	// in less virtual time than both baselines.
+	byName := map[string]*metrics.Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	for _, wl := range []string{"resnet", "vgg"} {
+		for _, het := range []string{"[3,3,1,1]", "[4,2,2,1]"} {
+			suffix := "/" + wl + "/" + het
+			h, okH := byName["hadfl"+suffix].TimeToAccuracy(0.6)
+			f, okF := byName["decentralized-fedavg"+suffix].TimeToAccuracy(0.6)
+			d, okD := byName["distributed"+suffix].TimeToAccuracy(0.6)
+			if !okH || !okF || !okD {
+				t.Fatalf("%s: not all schemes reach 60%%", suffix)
+			}
+			if h >= f || h >= d {
+				t.Fatalf("%s: HADFL %.1fs not fastest to 60%% (fedavg %.1fs, dist %.1fs)", suffix, h, f, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hadfl/internal/baselines"
+	"hadfl/internal/core"
+	"hadfl/internal/metrics"
+)
+
+// Comparison holds one workload × heterogeneity sweep across the three
+// schemes, the unit from which every Fig. 3 panel and Table I row is
+// derived.
+type Comparison struct {
+	Workload string
+	Het      string
+	HADFL    *core.Result
+	FedAvg   *core.Result
+	Dist     *core.Result
+}
+
+// RunComparison trains the workload under all three schemes on identical
+// clusters (same seed → same split, same initialization).
+func RunComparison(w Workload, powers []float64, seed int64) (*Comparison, error) {
+	ch, err := clusterFor(w, powers, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	hadfl, err := core.RunHADFL(ch, hadflConfig(w, seed))
+	if err != nil {
+		return nil, fmt.Errorf("hadfl: %w", err)
+	}
+
+	cf, err := clusterFor(w, powers, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := baselines.DefaultFedAvgConfig()
+	fcfg.TargetEpochs = w.TargetEpochs
+	fcfg.LocalSteps = w.FedAvgLocalSteps
+	fcfg.Seed = seed
+	fedavg, err := baselines.RunFedAvg(cf, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("fedavg: %w", err)
+	}
+
+	cd, err := clusterFor(w, powers, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := baselines.DefaultDistributedConfig()
+	dcfg.TargetEpochs = w.TargetEpochs
+	dcfg.Seed = seed
+	dist, err := baselines.RunDistributed(cd, dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: %w", err)
+	}
+
+	return &Comparison{
+		Workload: w.Name,
+		Het:      hetLabel(powers),
+		HADFL:    hadfl,
+		FedAvg:   fedavg,
+		Dist:     dist,
+	}, nil
+}
+
+// Figure3 regenerates the data behind all six panels of Fig. 3:
+// loss-vs-epoch, accuracy-vs-epoch and accuracy-vs-time for the
+// residual ("resnet") and plain ("vgg") workloads under both
+// heterogeneity distributions. Each returned series is named
+// scheme/workload/het; the panel projections (epoch vs time x-axis) are
+// taken from the same points.
+func Figure3(fast bool, seed int64) ([]*metrics.Series, error) {
+	var out []*metrics.Series
+	for _, w := range []Workload{ResNetWorkload(fast, seed), VGGWorkload(fast, seed)} {
+		for _, powers := range [][]float64{Het3311, Het4221} {
+			cmp, err := RunComparison(w, powers, seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, pair := range []struct {
+				scheme string
+				res    *core.Result
+			}{
+				{"hadfl", cmp.HADFL},
+				{"decentralized-fedavg", cmp.FedAvg},
+				{"distributed", cmp.Dist},
+			} {
+				s := &metrics.Series{
+					Name:   fmt.Sprintf("%s/%s/%s", pair.scheme, cmp.Workload, cmp.Het),
+					Points: pair.res.Series.Points,
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table1Row is one row of the reproduced Table I.
+type Table1Row struct {
+	Scheme   string
+	Workload string
+	Het      string
+	Accuracy float64 // maximum test accuracy reached
+	Time     float64 // virtual seconds to reach it
+	Speedup  float64 // HADFL time ÷ this scheme's time (1.0 for HADFL)
+}
+
+// Table1 regenerates Table I: the time each scheme needs to reach its
+// maximum test accuracy, for both workloads and both heterogeneity
+// distributions, plus the speedup of HADFL over each baseline.
+func Table1(fast bool, seed int64) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, w := range []Workload{ResNetWorkload(fast, seed), VGGWorkload(fast, seed)} {
+		for _, powers := range [][]float64{Het3311, Het4221} {
+			cmp, err := RunComparison(w, powers, seed)
+			if err != nil {
+				return nil, err
+			}
+			ht, _, _ := cmp.HADFL.Series.TimeToMaxAccuracy()
+			add := func(scheme string, res *core.Result) {
+				t, acc, ok := res.Series.TimeToMaxAccuracy()
+				if !ok {
+					return
+				}
+				sp := 0.0
+				if ht > 0 {
+					sp = t / ht
+				}
+				rows = append(rows, Table1Row{
+					Scheme: scheme, Workload: w.Name, Het: cmp.Het,
+					Accuracy: acc, Time: t, Speedup: sp,
+				})
+			}
+			add("distributed", cmp.Dist)
+			add("decentralized-fedavg", cmp.FedAvg)
+			add("hadfl", cmp.HADFL)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats rows like the paper's Table I.
+func RenderTable1(rows []Table1Row) *metrics.Table {
+	t := &metrics.Table{Header: []string{"scheme", "workload", "het", "max-accuracy", "time", "hadfl-speedup"}}
+	for _, r := range rows {
+		t.AddRow(r.Scheme, r.Workload, r.Het,
+			fmt.Sprintf("%.1f%%", 100*r.Accuracy),
+			fmt.Sprintf("%.2f s", r.Time),
+			fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	return t
+}
+
+// WorstCase reproduces the §IV-B "upper bound of accuracy loss"
+// ablation: HADFL with the normal Eq. 8 selection versus HADFL forced to
+// always select the two devices with the worst computing power, on the
+// [3,3,1,1] distribution.
+func WorstCase(fast bool, seed int64) (normal, worst *core.Result, err error) {
+	w := ResNetWorkload(fast, seed)
+	cn, err := clusterFor(w, Het3311, seed, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	normal, err = core.RunHADFL(cn, hadflConfig(w, seed))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	cw, err := clusterFor(w, Het3311, seed, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := hadflConfig(w, seed)
+	// Devices 2 and 3 have power 1 (the worst); always select them.
+	cfg.SelectOverride = func(rng *rand.Rand, alive []int, versions map[int]float64, np int) []int {
+		// Lowest versions ≈ worst computing power.
+		out := append([]int(nil), alive...)
+		sort.Slice(out, func(i, j int) bool { return versions[out[i]] < versions[out[j]] })
+		if len(out) > np {
+			out = out[:np]
+		}
+		sort.Ints(out)
+		return out
+	}
+	worst, err = core.RunHADFL(cw, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	normal.Series.Name = "hadfl-normal"
+	worst.Series.Name = "hadfl-worst-case"
+	return normal, worst, nil
+}

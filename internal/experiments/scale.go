@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"hadfl/internal/core"
+)
+
+// EXT-SCALE: the paper's headline future-work item is deploying HADFL
+// "on larger-scale systems". This sweep grows the federation (K = 4, 8,
+// 16 devices) with a repeating heterogeneity pattern and measures how
+// time-to-accuracy and per-device communication volume scale, for both
+// flat HADFL and (at K ≥ 8) the grouped hierarchy.
+
+// ScaleRow is one federation size's outcome.
+type ScaleRow struct {
+	Devices      int
+	Variant      string // "flat" or "grouped"
+	MaxAccuracy  float64
+	TimeToMax    float64
+	BytesPerDev  int64
+	Rounds       int
+}
+
+// repeatPattern tiles the [4,2,2,1] heterogeneity pattern to k devices.
+func repeatPattern(k int) []float64 {
+	base := []float64{4, 2, 2, 1}
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = base[i%len(base)]
+	}
+	return out
+}
+
+// Scale runs the sweep. Np scales with K (K/2 selected per round, as in
+// the paper's "typically ≤ K/2" remark).
+func Scale(fast bool, seed int64, sizes []int) ([]ScaleRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{4, 8, 16}
+	}
+	w := ResNetWorkload(fast, seed)
+	w.TargetEpochs = w.TargetEpochs / 2
+	var rows []ScaleRow
+	for _, k := range sizes {
+		powers := repeatPattern(k)
+
+		cf, err := clusterFor(w, powers, seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		cfg := hadflConfig(w, seed)
+		cfg.Strategy.Np = k / 2
+		if cfg.Strategy.Np < 1 {
+			cfg.Strategy.Np = 1
+		}
+		flat, err := core.RunHADFL(cf, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, scaleRow(k, "flat", flat))
+
+		if k >= 8 {
+			cg, err := clusterFor(w, powers, seed, nil)
+			if err != nil {
+				return nil, err
+			}
+			gcfg := core.DefaultGroupedConfig()
+			gcfg.Base = hadflConfig(w, seed)
+			gcfg.GroupSize = 4
+			gcfg.IntraNp = 2
+			gcfg.InterEvery = 2
+			grouped, err := core.RunHADFLGrouped(cg, gcfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, scaleRow(k, "grouped", grouped))
+		}
+	}
+	return rows, nil
+}
+
+func scaleRow(k int, variant string, res *core.Result) ScaleRow {
+	tt, acc, _ := res.Series.TimeToMaxAccuracy()
+	perDev := int64(0)
+	if k > 0 {
+		perDev = res.Comm.TotalDeviceBytes() / int64(k)
+	}
+	return ScaleRow{
+		Devices: k, Variant: variant,
+		MaxAccuracy: acc, TimeToMax: tt,
+		BytesPerDev: perDev, Rounds: res.Rounds,
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+func TestScaleSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep in -short mode")
+	}
+	rows, err := Scale(true, 81, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 devices → flat only; 8 devices → flat + grouped.
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	byKey := map[string]ScaleRow{}
+	for _, r := range rows {
+		byKey[r.Variant+"/"+itoa(r.Devices)] = r
+		if r.MaxAccuracy < 0.5 {
+			t.Fatalf("%s/%d accuracy %.2f", r.Variant, r.Devices, r.MaxAccuracy)
+		}
+		if r.Rounds == 0 || r.BytesPerDev == 0 {
+			t.Fatalf("%s/%d degenerate: %+v", r.Variant, r.Devices, r)
+		}
+	}
+	if _, ok := byKey["grouped/8"]; !ok {
+		t.Fatal("missing grouped row at K=8")
+	}
+	// More devices process the epoch budget in less virtual time per
+	// round-trip — at minimum the sweep must complete and report sane
+	// monotone device counts.
+	if byKey["flat/4"].Devices >= byKey["flat/8"].Devices {
+		t.Fatal("device counts out of order")
+	}
+}
+
+func TestRepeatPattern(t *testing.T) {
+	p := repeatPattern(6)
+	want := []float64{4, 2, 2, 1, 4, 2}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("repeatPattern(6) = %v", p)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,150 @@
+// Package experiments reproduces the paper's evaluation section: the six
+// panels of Fig. 3 (loss/accuracy vs epoch, accuracy vs time, for a
+// residual and a plain model under two heterogeneity distributions),
+// Table I (time to maximum test accuracy for three schemes), the
+// worst-case selection ablation of §IV-B, the communication-volume
+// claim, and two design-choice ablations (selection function, version
+// predictor). See DESIGN.md's experiment index.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hadfl/internal/core"
+	"hadfl/internal/dataset"
+	"hadfl/internal/nn"
+	"hadfl/internal/p2p"
+	"hadfl/internal/strategy"
+)
+
+// Heterogeneity distributions evaluated in the paper.
+var (
+	Het3311 = []float64{3, 3, 1, 1}
+	Het4221 = []float64{4, 2, 2, 1}
+)
+
+// Workload bundles a model family with its dataset and hyper-parameters.
+type Workload struct {
+	Name             string
+	Arch             nn.Arch
+	Train, Test      *dataset.Dataset
+	BatchSize        int
+	LR, Momentum     float64
+	WeightDecay      float64
+	BaseStepTime     float64
+	TargetEpochs     float64
+	FedAvgLocalSteps int
+}
+
+// ResNetWorkload returns the "ResNet-18-like" workload. fast=true uses a
+// residual MLP on a synthetic vector task (seconds to train); fast=false
+// uses the ResNetTiny convolutional model on synthetic images (the
+// closer analogue, minutes to train).
+func ResNetWorkload(fast bool, seed int64) Workload {
+	if fast {
+		train, test := vectorData(seed)
+		return Workload{
+			Name: "resnet",
+			Arch: func(rng *rand.Rand) *nn.Model {
+				return nn.NewResMLP(rng, 32, 32, 2, 10)
+			},
+			Train: train, Test: test,
+			BatchSize: 64, LR: 0.01, Momentum: 0.9,
+			BaseStepTime: 1, TargetEpochs: 50, FedAvgLocalSteps: 12,
+		}
+	}
+	train, test := imageData(seed)
+	return Workload{
+		Name: "resnet",
+		Arch: func(rng *rand.Rand) *nn.Model {
+			return nn.NewResNetTiny(rng, 3, 8, 10)
+		},
+		Train: train, Test: test,
+		BatchSize: 32, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4,
+		BaseStepTime: 1, TargetEpochs: 30, FedAvgLocalSteps: 12,
+	}
+}
+
+// VGGWorkload returns the "VGG-16-like" (plain, non-residual) workload.
+func VGGWorkload(fast bool, seed int64) Workload {
+	if fast {
+		train, test := vectorData(seed)
+		return Workload{
+			Name: "vgg",
+			Arch: func(rng *rand.Rand) *nn.Model {
+				return nn.NewPlainMLP(rng, 32, 32, 2, 10)
+			},
+			Train: train, Test: test,
+			BatchSize: 64, LR: 0.01, Momentum: 0.9,
+			BaseStepTime: 1, TargetEpochs: 50, FedAvgLocalSteps: 12,
+		}
+	}
+	train, test := imageData(seed)
+	return Workload{
+		Name: "vgg",
+		Arch: func(rng *rand.Rand) *nn.Model {
+			return nn.NewVGGTiny(rng, 3, 8, 10)
+		},
+		Train: train, Test: test,
+		BatchSize: 32, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4,
+		BaseStepTime: 1, TargetEpochs: 30, FedAvgLocalSteps: 12,
+	}
+}
+
+func vectorData(seed int64) (train, test *dataset.Dataset) {
+	cfg := dataset.DefaultSynthetic()
+	cfg.Seed = seed
+	full := dataset.Synthetic(cfg)
+	return full.Split(full.Len() * 4 / 5)
+}
+
+func imageData(seed int64) (train, test *dataset.Dataset) {
+	cfg := dataset.DefaultImages()
+	cfg.Seed = seed
+	full := dataset.Images(cfg)
+	return full.Split(full.Len() * 4 / 5)
+}
+
+// clusterFor builds a fresh cluster for one scheme run. Each scheme gets
+// its own cluster from the same seed so data split and initialization
+// are identical across schemes.
+func clusterFor(w Workload, powers []float64, seed int64, failAt map[int]float64) (*core.Cluster, error) {
+	return core.BuildCluster(core.ClusterSpec{
+		Powers:       powers,
+		BaseStepTime: w.BaseStepTime,
+		Arch:         w.Arch,
+		Train:        w.Train,
+		Test:         w.Test,
+		BatchSize:    w.BatchSize,
+		LR:           w.LR,
+		Momentum:     w.Momentum,
+		WeightDecay:  w.WeightDecay,
+		FailAt:       failAt,
+		Seed:         seed,
+	})
+}
+
+// hadflConfig is the shared HADFL configuration of the paper profile:
+// Tsync=1, Np=2 of 4 ("we choose two GPUs to perform partial
+// synchronization each time").
+func hadflConfig(w Workload, seed int64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Strategy = strategy.Config{Tsync: 1, Np: 2}
+	cfg.TargetEpochs = w.TargetEpochs
+	cfg.Seed = seed
+	cfg.Link = p2p.Link{Latency: 0.005, Bandwidth: 1e9}
+	return cfg
+}
+
+// hetLabel formats a power array like the paper: "[3,3,1,1]".
+func hetLabel(powers []float64) string {
+	s := "["
+	for i, p := range powers {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%g", p)
+	}
+	return s + "]"
+}

@@ -1,0 +1,160 @@
+// Package metrics records training curves (loss/accuracy against epochs
+// and virtual time) and derives the quantities the paper reports: time
+// to reach maximum test accuracy (Table I) and speedups between schemes.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Point is one measurement on a training curve.
+type Point struct {
+	Epoch    float64 // global epoch count (fractional for async schemes)
+	Time     float64 // virtual seconds since training start
+	Loss     float64 // training loss at this point
+	Accuracy float64 // test accuracy in [0,1]
+}
+
+// Series is a named training curve, e.g. "hadfl/resnet/[4,2,2,1]".
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a measurement.
+func (s *Series) Add(p Point) { s.Points = append(s.Points, p) }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// MaxAccuracy returns the highest accuracy reached and the first point
+// reaching it. ok is false for an empty series.
+func (s *Series) MaxAccuracy() (best Point, ok bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	bestAcc := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.Accuracy > bestAcc {
+			bestAcc = p.Accuracy
+			best = p
+		}
+	}
+	return best, true
+}
+
+// TimeToAccuracy returns the earliest virtual time at which accuracy ≥
+// target, scanning in time order. ok is false if never reached.
+func (s *Series) TimeToAccuracy(target float64) (t float64, ok bool) {
+	pts := append([]Point(nil), s.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
+	for _, p := range pts {
+		if p.Accuracy >= target {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// TimeToMaxAccuracy returns Table I's metric: the (first) time the
+// series reaches its own maximum accuracy, and that accuracy.
+func (s *Series) TimeToMaxAccuracy() (t, acc float64, ok bool) {
+	best, ok := s.MaxAccuracy()
+	if !ok {
+		return 0, 0, false
+	}
+	return best.Time, best.Accuracy, true
+}
+
+// FinalLoss returns the loss of the last point.
+func (s *Series) FinalLoss() (float64, bool) {
+	if len(s.Points) == 0 {
+		return 0, false
+	}
+	return s.Points[len(s.Points)-1].Loss, true
+}
+
+// Speedup returns how many times faster a reaches accuracy target than
+// b (b's time / a's time). ok is false unless both reach the target.
+func Speedup(a, b *Series, target float64) (float64, bool) {
+	ta, oka := a.TimeToAccuracy(target)
+	tb, okb := b.TimeToAccuracy(target)
+	if !oka || !okb || ta <= 0 {
+		return 0, false
+	}
+	return tb / ta, true
+}
+
+// WriteCSV renders series in long form: name,epoch,time,loss,accuracy.
+func WriteCSV(w io.Writer, series []*Series) error {
+	if _, err := fmt.Fprintln(w, "series,epoch,time,loss,accuracy"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%.6f,%.4f\n",
+				s.Name, p.Epoch, p.Time, p.Loss, p.Accuracy); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Table formats rows of cells with aligned columns, used by the bench
+// harness to print Table I-style output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with space-aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		for i, c := range cells {
+			pad := widths[i] - len(c)
+			if _, err := fmt.Fprintf(w, "%s%s  ", c, spaces(pad)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func spaces(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ' '
+	}
+	return string(b)
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func curve(pts ...[4]float64) *Series {
+	s := &Series{Name: "test"}
+	for _, p := range pts {
+		s.Add(Point{Epoch: p[0], Time: p[1], Loss: p[2], Accuracy: p[3]})
+	}
+	return s
+}
+
+func TestMaxAccuracy(t *testing.T) {
+	s := curve(
+		[4]float64{1, 10, 2.0, 0.3},
+		[4]float64{2, 20, 1.0, 0.8},
+		[4]float64{3, 30, 0.9, 0.8}, // ties keep the first point
+		[4]float64{4, 40, 0.8, 0.7},
+	)
+	best, ok := s.MaxAccuracy()
+	if !ok || best.Accuracy != 0.8 || best.Time != 20 {
+		t.Fatalf("MaxAccuracy = %+v %v", best, ok)
+	}
+	empty := &Series{}
+	if _, ok := empty.MaxAccuracy(); ok {
+		t.Fatal("empty series reported a max")
+	}
+}
+
+func TestTimeToAccuracy(t *testing.T) {
+	s := curve(
+		[4]float64{1, 10, 2, 0.3},
+		[4]float64{2, 20, 1, 0.6},
+		[4]float64{3, 30, 0.5, 0.9},
+	)
+	if tt, ok := s.TimeToAccuracy(0.5); !ok || tt != 20 {
+		t.Fatalf("TimeToAccuracy(0.5) = %v %v", tt, ok)
+	}
+	if tt, ok := s.TimeToAccuracy(0.95); ok {
+		t.Fatalf("unreachable target returned %v", tt)
+	}
+}
+
+func TestTimeToAccuracyUnsortedInput(t *testing.T) {
+	// Points recorded out of time order must still give earliest time.
+	s := curve(
+		[4]float64{3, 30, 0.5, 0.9},
+		[4]float64{1, 10, 2, 0.9},
+	)
+	if tt, ok := s.TimeToAccuracy(0.9); !ok || tt != 10 {
+		t.Fatalf("TimeToAccuracy = %v %v", tt, ok)
+	}
+}
+
+func TestTimeToMaxAccuracy(t *testing.T) {
+	s := curve(
+		[4]float64{1, 10, 2, 0.3},
+		[4]float64{2, 25, 1, 0.91},
+		[4]float64{3, 30, 0.5, 0.6},
+	)
+	tt, acc, ok := s.TimeToMaxAccuracy()
+	if !ok || tt != 25 || math.Abs(acc-0.91) > 1e-12 {
+		t.Fatalf("TimeToMaxAccuracy = %v %v %v", tt, acc, ok)
+	}
+}
+
+func TestFinalLoss(t *testing.T) {
+	s := curve([4]float64{1, 1, 2, 0}, [4]float64{2, 2, 0.7, 0})
+	if l, ok := s.FinalLoss(); !ok || l != 0.7 {
+		t.Fatalf("FinalLoss = %v %v", l, ok)
+	}
+	if _, ok := (&Series{}).FinalLoss(); ok {
+		t.Fatal("empty FinalLoss ok")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	fast := curve([4]float64{1, 100, 0, 0.9})
+	slow := curve([4]float64{1, 300, 0, 0.9})
+	sp, ok := Speedup(fast, slow, 0.9)
+	if !ok || math.Abs(sp-3) > 1e-12 {
+		t.Fatalf("Speedup = %v %v", sp, ok)
+	}
+	if _, ok := Speedup(fast, slow, 0.99); ok {
+		t.Fatal("speedup on unreachable target succeeded")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	s := curve([4]float64{1, 10, 2.5, 0.5})
+	s.Name = "hadfl"
+	if err := WriteCSV(&sb, []*Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "series,epoch,time,loss,accuracy\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "hadfl,1.0000,10.0000,2.500000,0.5000") {
+		t.Fatalf("missing row: %q", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Header: []string{"scheme", "time"}}
+	tbl.AddRow("hadfl", "805.00")
+	tbl.AddRow("distributed-training", "2431.38")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	// Columns aligned: "time" column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "time")
+	if off < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[1][off:], "805.00") && !strings.Contains(lines[1], "805.00") {
+		t.Fatalf("row misaligned: %q", lines[1])
+	}
+}

@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hadfl/internal/tensor"
+)
+
+// BatchNorm normalizes activations per feature (2-D input [N, F]) or per
+// channel (4-D input [N, C, H, W]), then applies a learned affine
+// transform y = γ·x̂ + β. Running statistics are tracked for inference.
+//
+// The running mean/variance are treated as (non-learned) state that still
+// travels with the model parameters during federated aggregation, matching
+// how FL systems ship batch-norm buffers.
+type BatchNorm struct {
+	Gamma, Beta   *tensor.Tensor
+	dGamma, dBeta *tensor.Tensor
+	RunMean       *tensor.Tensor
+	RunVar        *tensor.Tensor
+	Momentum      float64
+	Eps           float64
+
+	features int
+	// Permanent zero gradients for the running statistics, so the
+	// optimizer never moves them.
+	zeroMean, zeroVar *tensor.Tensor
+	// Backward caches.
+	xhat   *tensor.Tensor
+	invStd []float64
+	cached bool
+	nchw   bool
+	shape  []int
+}
+
+// NewBatchNorm returns a batch-norm layer over the given feature/channel
+// count.
+func NewBatchNorm(features int) *BatchNorm {
+	g := tensor.New(features)
+	g.Fill(1)
+	rv := tensor.New(features)
+	rv.Fill(1)
+	return &BatchNorm{
+		Gamma:    g,
+		Beta:     tensor.New(features),
+		dGamma:   tensor.New(features),
+		dBeta:    tensor.New(features),
+		RunMean:  tensor.New(features),
+		RunVar:   rv,
+		Momentum: 0.9,
+		Eps:      1e-5,
+		features: features,
+		zeroMean: tensor.New(features),
+		zeroVar:  tensor.New(features),
+	}
+}
+
+// view decomposes x into (groups m, features f) index math shared by 2-D
+// and 4-D inputs: for [N,F] each feature column has m=N samples; for
+// [N,C,H,W] each channel has m=N·H·W samples.
+func (b *BatchNorm) view(x *tensor.Tensor) (m int, get func(f, i int) int) {
+	switch x.Dims() {
+	case 2:
+		n, f := x.Dim(0), x.Dim(1)
+		if f != b.features {
+			panic(fmt.Sprintf("nn: BatchNorm features %d, input %v", b.features, x.Shape()))
+		}
+		return n, func(fi, i int) int { return i*f + fi }
+	case 4:
+		n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+		if c != b.features {
+			panic(fmt.Sprintf("nn: BatchNorm channels %d, input %v", b.features, x.Shape()))
+		}
+		plane := h * w
+		return n * plane, func(fi, i int) int {
+			ni, p := i/plane, i%plane
+			return (ni*c+fi)*plane + p
+		}
+	default:
+		panic(fmt.Sprintf("nn: BatchNorm input must be 2-D or 4-D, got %v", x.Shape()))
+	}
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	m, at := b.view(x)
+	out := x.Clone()
+	xd, od := x.Data(), out.Data()
+	if train {
+		b.xhat = tensor.New(x.Shape()...)
+		if cap(b.invStd) < b.features {
+			b.invStd = make([]float64, b.features)
+		}
+		b.invStd = b.invStd[:b.features]
+		b.shape = append(b.shape[:0], x.Shape()...)
+		b.nchw = x.Dims() == 4
+		b.cached = true
+	}
+	for f := 0; f < b.features; f++ {
+		var mean, variance float64
+		if train {
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += xd[at(f, i)]
+			}
+			mean = s / float64(m)
+			v := 0.0
+			for i := 0; i < m; i++ {
+				d := xd[at(f, i)] - mean
+				v += d * d
+			}
+			variance = v / float64(m)
+			b.RunMean.Data()[f] = b.Momentum*b.RunMean.Data()[f] + (1-b.Momentum)*mean
+			b.RunVar.Data()[f] = b.Momentum*b.RunVar.Data()[f] + (1-b.Momentum)*variance
+		} else {
+			mean = b.RunMean.Data()[f]
+			variance = b.RunVar.Data()[f]
+		}
+		inv := 1.0 / math.Sqrt(variance+b.Eps)
+		g, beta := b.Gamma.Data()[f], b.Beta.Data()[f]
+		if train {
+			b.invStd[f] = inv
+			for i := 0; i < m; i++ {
+				idx := at(f, i)
+				xh := (xd[idx] - mean) * inv
+				b.xhat.Data()[idx] = xh
+				od[idx] = g*xh + beta
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				idx := at(f, i)
+				od[idx] = g*(xd[idx]-mean)*inv + beta
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if !b.cached {
+		panic("nn: BatchNorm.Backward before Forward(train=true)")
+	}
+	m, at := b.view(grad)
+	out := tensor.New(grad.Shape()...)
+	gd, od, xh := grad.Data(), out.Data(), b.xhat.Data()
+	fm := float64(m)
+	for f := 0; f < b.features; f++ {
+		g := b.Gamma.Data()[f]
+		inv := b.invStd[f]
+		var sumDy, sumDyXhat float64
+		for i := 0; i < m; i++ {
+			idx := at(f, i)
+			sumDy += gd[idx]
+			sumDyXhat += gd[idx] * xh[idx]
+		}
+		b.dBeta.Data()[f] += sumDy
+		b.dGamma.Data()[f] += sumDyXhat
+		// dx = γ·inv/m · (m·dy − Σdy − x̂·Σ(dy·x̂))
+		c := g * inv / fm
+		for i := 0; i < m; i++ {
+			idx := at(f, i)
+			od[idx] = c * (fm*gd[idx] - sumDy - xh[idx]*sumDyXhat)
+		}
+	}
+	return out
+}
+
+// Params implements Layer. Running statistics are included so that model
+// aggregation also averages them (standard FL practice for BN buffers).
+func (b *BatchNorm) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{b.Gamma, b.Beta, b.RunMean, b.RunVar}
+}
+
+// Grads implements Layer. Running statistics receive zero gradients; the
+// optimizer skips them via the matching zero-length update.
+func (b *BatchNorm) Grads() []*tensor.Tensor {
+	// RunMean/RunVar are not learned: their "gradients" are permanently
+	// zero tensors so the optimizer leaves them untouched.
+	return []*tensor.Tensor{b.dGamma, b.dBeta, b.zeroMean, b.zeroVar}
+}

@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hadfl/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over [N, C, H, W] inputs with square
+// kernels, implemented via im2col + matmul.
+type Conv2D struct {
+	W, B        *tensor.Tensor // W: [OC, C, K, K], B: [OC]
+	dW, dB      *tensor.Tensor
+	Stride, Pad int
+
+	cols    *tensor.Tensor // cached im2col matrix
+	inShape []int
+}
+
+// NewConv2D constructs a Conv2D with He-normal initialization.
+func NewConv2D(rng *rand.Rand, inCh, outCh, kernel, stride, pad int) *Conv2D {
+	fanIn := inCh * kernel * kernel
+	return &Conv2D{
+		W:      tensor.HeNormal(rng, fanIn, outCh, inCh, kernel, kernel),
+		B:      tensor.New(outCh),
+		dW:     tensor.New(outCh, inCh, kernel, kernel),
+		dB:     tensor.New(outCh),
+		Stride: stride,
+		Pad:    pad,
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 || x.Dim(1) != c.W.Dim(1) {
+		panic(fmt.Sprintf("nn: Conv2D input %v, want [N %d H W]", x.Shape(), c.W.Dim(1)))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	k := c.W.Dim(2)
+	oc := c.W.Dim(0)
+	oh := tensor.Conv2DShape(h, k, c.Stride, c.Pad)
+	ow := tensor.Conv2DShape(w, k, c.Stride, c.Pad)
+
+	cols := tensor.Im2Col(x, k, k, c.Stride, c.Pad) // [N·OH·OW, C·K·K]
+	wmat := c.W.Reshape(oc, c.W.Len()/oc)           // [OC, C·K·K]
+	prod := tensor.MatMulTransB(cols, wmat)         // [N·OH·OW, OC]
+	tensor.AddRowVector(prod, c.B)
+
+	if train {
+		c.cols = cols
+		c.inShape = append(c.inShape[:0], x.Shape()...)
+	}
+	return channelsLastToFirst(prod, n, oc, oh, ow)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2D.Backward before Forward(train=true)")
+	}
+	n, oc, oh, ow := grad.Dim(0), grad.Dim(1), grad.Dim(2), grad.Dim(3)
+	g := channelsFirstToLast(grad) // [N·OH·OW, OC]
+	_ = n
+	_ = oh
+	_ = ow
+
+	// dW = gᵀ·cols reshaped; dB = column sums of g.
+	dwFlat := tensor.MatMulTransA(g, c.cols) // [OC, C·K·K]
+	c.dW.AddInPlace(dwFlat.Reshape(c.dW.Shape()...))
+	c.dB.AddInPlace(tensor.SumRows(g))
+
+	// dx = Col2Im(g·Wmat).
+	wmat := c.W.Reshape(oc, c.W.Len()/oc)
+	dcols := tensor.MatMul(g, wmat) // [N·OH·OW, C·K·K]
+	k := c.W.Dim(2)
+	in := c.inShape
+	return tensor.Col2Im(dcols, in[0], in[1], in[2], in[3], k, k, c.Stride, c.Pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
+
+// channelsLastToFirst converts a [N·OH·OW, OC] matrix into an
+// [N, OC, OH, OW] tensor.
+func channelsLastToFirst(m *tensor.Tensor, n, oc, oh, ow int) *tensor.Tensor {
+	out := tensor.New(n, oc, oh, ow)
+	md, od := m.Data(), out.Data()
+	plane := oh * ow
+	for ni := 0; ni < n; ni++ {
+		for p := 0; p < plane; p++ {
+			row := (ni*plane + p) * oc
+			for ci := 0; ci < oc; ci++ {
+				od[(ni*oc+ci)*plane+p] = md[row+ci]
+			}
+		}
+	}
+	return out
+}
+
+// channelsFirstToLast converts [N, OC, OH, OW] into [N·OH·OW, OC].
+func channelsFirstToLast(t *tensor.Tensor) *tensor.Tensor {
+	n, oc, oh, ow := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
+	plane := oh * ow
+	out := tensor.New(n*plane, oc)
+	td, od := t.Data(), out.Data()
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < oc; ci++ {
+			base := (ni*oc + ci) * plane
+			for p := 0; p < plane; p++ {
+				od[(ni*plane+p)*oc+ci] = td[base+p]
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool is a max-pooling layer with a square window.
+type MaxPool struct {
+	Window, Stride int
+	arg            []int
+	inShape        []int
+}
+
+// NewMaxPool returns a max-pooling layer.
+func NewMaxPool(window, stride int) *MaxPool { return &MaxPool{Window: window, Stride: stride} }
+
+// Forward implements Layer.
+func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out, arg := tensor.MaxPool2D(x, p.Window, p.Stride)
+	if train {
+		p.arg = arg
+		p.inShape = append(p.inShape[:0], x.Shape()...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxUnpool2D(grad, p.arg, p.inShape)
+}
+
+// Params implements Layer.
+func (p *MaxPool) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool) Grads() []*tensor.Tensor { return nil }
+
+// GlobalAvgPool averages each channel plane, producing [N, C] from
+// [N, C, H, W].
+type GlobalAvgPool struct {
+	h, w int
+}
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		p.h, p.w = x.Dim(2), x.Dim(3)
+	}
+	return tensor.AvgPoolGlobal(x)
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgUnpoolGlobal(grad, p.h, p.w)
+}
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *GlobalAvgPool) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hadfl/internal/tensor"
+)
+
+// Dropout randomly zeroes activations with probability P during
+// training, scaling survivors by 1/(1−P) (inverted dropout) so
+// inference needs no rescaling. VGG-style plain networks traditionally
+// regularize their dense heads this way.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+
+	mask []bool
+}
+
+// NewDropout constructs a dropout layer. p must be in [0, 1).
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout p %v outside [0,1)", p))
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]bool, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	scale := 1 / (1 - d.P)
+	for i := range out.Data() {
+		if d.rng.Float64() < d.P {
+			out.Data()[i] = 0
+			d.mask[i] = false
+		} else {
+			out.Data()[i] *= scale
+			d.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.P == 0 {
+		return grad
+	}
+	out := grad.Clone()
+	scale := 1 / (1 - d.P)
+	for i := range out.Data() {
+		if !d.mask[i] {
+			out.Data()[i] = 0
+		} else {
+			out.Data()[i] *= scale
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hadfl/internal/tensor"
+)
+
+func TestDropoutInferencePassthrough(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(1)), 0.5)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	y := d.Forward(x, false)
+	if !y.Equal(x, 0) {
+		t.Fatal("inference must be identity")
+	}
+}
+
+func TestDropoutZeroRate(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(1)), 0)
+	x := tensor.FromSlice([]float64{1, 2}, 2)
+	if !d.Forward(x, true).Equal(x, 0) {
+		t.Fatal("p=0 must be identity")
+	}
+	g := tensor.FromSlice([]float64{5, 6}, 2)
+	if !d.Backward(g).Equal(g, 0) {
+		t.Fatal("p=0 backward must be identity")
+	}
+}
+
+func TestDropoutMaskAndScale(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(2)), 0.5)
+	x := tensor.New(10000)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	zeros, scaled := 0, 0
+	for _, v := range y.Data() {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(v-2) < 1e-12: // survivors scaled by 1/(1-0.5)
+			scaled++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	if zeros < 4500 || zeros > 5500 {
+		t.Fatalf("dropped %d of 10000 at p=0.5", zeros)
+	}
+	// Expectation preserved: mean ≈ 1.
+	if mean := y.Mean(); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("mean %v, want ≈1", mean)
+	}
+}
+
+func TestDropoutBackwardRoutesThroughMask(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(3)), 0.5)
+	x := tensor.New(100)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	g := tensor.New(100)
+	g.Fill(1)
+	back := d.Backward(g)
+	for i := range back.Data() {
+		if y.Data()[i] == 0 && back.Data()[i] != 0 {
+			t.Fatal("gradient leaked through a dropped unit")
+		}
+		if y.Data()[i] != 0 && math.Abs(back.Data()[i]-2) > 1e-12 {
+			t.Fatal("surviving gradient not scaled")
+		}
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	for _, p := range []float64{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v did not panic", p)
+				}
+			}()
+			NewDropout(nil, p)
+		}()
+	}
+}
+
+func TestDropoutInsideModelTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewModel("dropout-mlp",
+		NewDense(rng, 8, 32), NewReLU(),
+		NewDropout(rand.New(rand.NewSource(5)), 0.2),
+		NewDense(rng, 32, 3),
+	)
+	opt := NewSGD(0.1, 0.9, 0)
+	x := tensor.RandNormal(rng, 0, 1, 24, 8)
+	labels := make([]int, 24)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	first, _ := SoftmaxCrossEntropy(m.Forward(x, true), labels)
+	var last float64
+	for i := 0; i < 120; i++ {
+		m.ZeroGrads()
+		logits := m.Forward(x, true)
+		l, g := SoftmaxCrossEntropy(logits, labels)
+		m.Backward(g)
+		opt.Step(m)
+		last = l
+	}
+	if last >= first {
+		t.Fatalf("dropout model did not learn: %v → %v", first, last)
+	}
+}

@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hadfl/internal/tensor"
+)
+
+// numericalGradAt estimates ∂loss/∂θᵢ for the given parameter indices via
+// central differences, with loss = SoftmaxCrossEntropy(model(x), labels).
+// Checking a sample keeps deep-model checks fast while still covering
+// every layer type (indices are spread across the whole vector).
+func numericalGradAt(m *Model, x *tensor.Tensor, labels []int, eps float64, idx []int) map[int]float64 {
+	flat := m.Parameters()
+	grad := make(map[int]float64, len(idx))
+	for _, i := range idx {
+		orig := flat[i]
+		flat[i] = orig + eps
+		m.SetParameters(flat)
+		lp, _ := SoftmaxCrossEntropy(m.Forward(x, true), labels)
+		flat[i] = orig - eps
+		m.SetParameters(flat)
+		lm, _ := SoftmaxCrossEntropy(m.Forward(x, true), labels)
+		flat[i] = orig
+		grad[i] = (lp - lm) / (2 * eps)
+	}
+	m.SetParameters(flat)
+	return grad
+}
+
+// analyticGrad runs one forward/backward pass and returns the flattened
+// parameter gradient.
+func analyticGrad(m *Model, x *tensor.Tensor, labels []int) []float64 {
+	m.ZeroGrads()
+	logits := m.Forward(x, true)
+	_, g := SoftmaxCrossEntropy(logits, labels)
+	m.Backward(g)
+	return m.GradientVector()
+}
+
+// checkGradients compares analytic and numerical gradients on up to 300
+// parameter indices spread evenly across the vector, so every layer type
+// in the stack is exercised. Batch-norm running statistics have zero
+// analytic gradients by design, and their numerical gradient is also ~0
+// in train mode because the loss uses batch (not running) statistics, so
+// no exemptions are needed.
+func checkGradients(t *testing.T, m *Model, x *tensor.Tensor, labels []int) {
+	t.Helper()
+	ana := analyticGrad(m, x, labels)
+	n := len(ana)
+	const maxChecks = 300
+	var idx []int
+	if n <= maxChecks {
+		for i := 0; i < n; i++ {
+			idx = append(idx, i)
+		}
+	} else {
+		stride := n / maxChecks
+		for i := 0; i < n; i += stride {
+			idx = append(idx, i)
+		}
+	}
+	num := numericalGradAt(m, x, labels, 1e-5, idx)
+	worst, worstIdx := 0.0, -1
+	for _, i := range idx {
+		denom := math.Max(1e-4, math.Abs(ana[i])+math.Abs(num[i]))
+		rel := math.Abs(ana[i]-num[i]) / denom
+		if rel > worst {
+			worst, worstIdx = rel, i
+		}
+	}
+	if worst > 2e-4 {
+		t.Fatalf("gradient check failed: worst relative error %.3g at param %d (analytic %.6g numerical %.6g)",
+			worst, worstIdx, ana[worstIdx], num[worstIdx])
+	}
+}
+
+func TestGradCheckDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewModel("dense", NewDense(rng, 5, 4))
+	x := tensor.RandNormal(rng, 0, 1, 3, 5)
+	checkGradients(t, m, x, []int{0, 2, 3})
+}
+
+func TestGradCheckMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, 6, []int{8, 8}, 4)
+	x := tensor.RandNormal(rng, 0, 1, 4, 6)
+	checkGradients(t, m, x, []int{0, 1, 2, 3})
+}
+
+func TestGradCheckConv2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewModel("conv",
+		NewConv2D(rng, 2, 3, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool(2, 2),
+		NewFlatten(),
+		NewDense(rng, 3*3*3, 4),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 2, 6, 6)
+	checkGradients(t, m, x, []int{1, 3})
+}
+
+func TestGradCheckConvStride2(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewModel("conv-s2",
+		NewConv2D(rng, 1, 2, 3, 2, 1),
+		NewFlatten(),
+		NewDense(rng, 2*3*3, 3),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 1, 6, 6)
+	checkGradients(t, m, x, []int{0, 2})
+}
+
+func TestGradCheckBatchNorm2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewModel("bn2d",
+		NewDense(rng, 4, 6),
+		NewBatchNorm(6),
+		NewReLU(),
+		NewDense(rng, 6, 3),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 5, 4)
+	checkGradients(t, m, x, []int{0, 1, 2, 0, 1})
+}
+
+func TestGradCheckBatchNorm4D(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewModel("bn4d",
+		NewConv2D(rng, 1, 2, 3, 1, 1),
+		NewBatchNorm(2),
+		NewReLU(),
+		NewGlobalAvgPool(),
+		NewDense(rng, 2, 3),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 3, 1, 5, 5)
+	checkGradients(t, m, x, []int{0, 1, 2})
+}
+
+func TestGradCheckResidualIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewModel("res-id",
+		NewDense(rng, 4, 6),
+		NewResidual([]Layer{NewDense(rng, 6, 6), NewReLU(), NewDense(rng, 6, 6)}, nil),
+		NewDense(rng, 6, 3),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 4, 4)
+	checkGradients(t, m, x, []int{0, 1, 2, 1})
+}
+
+func TestGradCheckResidualProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewModel("res-proj",
+		NewConv2D(rng, 1, 2, 3, 1, 1),
+		NewResidual(
+			[]Layer{NewConv2D(rng, 2, 4, 3, 2, 1), NewReLU(), NewConv2D(rng, 4, 4, 3, 1, 1)},
+			[]Layer{NewConv2D(rng, 2, 4, 1, 2, 0)},
+		),
+		NewGlobalAvgPool(),
+		NewDense(rng, 4, 3),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 1, 6, 6)
+	checkGradients(t, m, x, []int{0, 2})
+}
+
+func TestGradCheckResNetTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewResNetTiny(rng, 1, 8, 3)
+	x := tensor.RandNormal(rng, 0, 1, 2, 1, 8, 8)
+	checkGradients(t, m, x, []int{0, 2})
+}
+
+func TestGradCheckVGGTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := NewVGGTiny(rng, 1, 8, 3)
+	x := tensor.RandNormal(rng, 0, 1, 2, 1, 8, 8)
+	checkGradients(t, m, x, []int{1, 2})
+}

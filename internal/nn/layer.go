@@ -1,0 +1,158 @@
+// Package nn implements the neural-network training substrate HADFL runs
+// on: layers with explicit forward/backward passes, a softmax
+// cross-entropy loss, an SGD optimizer with momentum, and a small model
+// zoo (MLP, VGGTiny, ResNetTiny) standing in for the paper's VGG-16 and
+// ResNet-18.
+//
+// Layers cache whatever they need during Forward so the subsequent
+// Backward call can produce input and parameter gradients. A Layer is
+// therefore stateful and not safe for concurrent use; each simulated
+// device owns its own model replica.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hadfl/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output for input x. When train is true
+	// the layer caches intermediates for Backward and updates any
+	// training-time statistics (e.g. batch-norm running averages).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward receives ∂L/∂output and returns ∂L/∂input, accumulating
+	// parameter gradients internally. It must be called after a Forward
+	// with train=true.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's learnable tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors aligned with Params.
+	Grads() []*tensor.Tensor
+}
+
+// Dense is a fully connected layer: y = x·Wᵀ + b, with x of shape
+// [batch, in] and W of shape [out, in].
+type Dense struct {
+	W, B   *tensor.Tensor
+	dW, dB *tensor.Tensor
+	x      *tensor.Tensor // cached input
+}
+
+// NewDense constructs a Dense layer with He-normal weight initialization.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		W:  tensor.HeNormal(rng, in, out, in),
+		B:  tensor.New(out),
+		dW: tensor.New(out, in),
+		dB: tensor.New(out),
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 2 || x.Dim(1) != d.W.Dim(1) {
+		panic(fmt.Sprintf("nn: Dense input %v, want [batch %d]", x.Shape(), d.W.Dim(1)))
+	}
+	if train {
+		d.x = x
+	}
+	y := tensor.MatMulTransB(x, d.W)
+	tensor.AddRowVector(y, d.B)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.x == nil {
+		panic("nn: Dense.Backward before Forward(train=true)")
+	}
+	// dW += gradᵀ·x ; dB += Σ_batch grad ; dx = grad·W
+	d.dW.AddInPlace(tensor.MatMulTransA(grad, d.x))
+	d.dB.AddInPlace(tensor.SumRows(grad))
+	return tensor.MatMul(grad, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		if cap(r.mask) < x.Len() {
+			r.mask = make([]bool, x.Len())
+		}
+		r.mask = r.mask[:x.Len()]
+	}
+	for i, v := range out.Data() {
+		if v < 0 {
+			out.Data()[i] = 0
+			if train {
+				r.mask[i] = false
+			}
+		} else if train {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data() {
+		if !r.mask[i] {
+			out.Data()[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Flatten reshapes [N, ...] to [N, rest] for the transition from
+// convolutional to dense stages.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.inShape = append(f.inShape[:0], x.Shape()...)
+	}
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }

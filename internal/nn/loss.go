@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hadfl/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch of
+// logits [N, C] against integer labels, and the gradient ∂L/∂logits
+// (already divided by N, matching Eq. 1's 1/B factor).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	if logits.Dims() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy logits %v, want 2-D", logits.Shape()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy: %d rows vs %d labels", n, len(labels)))
+	}
+	grad = tensor.New(n, c)
+	ld, gd := logits.Data(), grad.Data()
+	invN := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		// Numerically stable log-sum-exp.
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxV)
+		}
+		logSum := maxV + math.Log(sum)
+		loss += (logSum - row[y]) * invN
+		grow := gd[i*c : (i+1)*c]
+		for j, v := range row {
+			p := math.Exp(v-maxV) / sum
+			grow[j] = p * invN
+		}
+		grow[y] -= invN
+	}
+	return loss, grad
+}
+
+// Softmax returns row-wise softmax probabilities for logits [N, C].
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, c)
+	ld, od := logits.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		orow := od[i*c : (i+1)*c]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1.0 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+
+	"hadfl/internal/tensor"
+)
+
+// Model is a sequential stack of layers plus the flat-parameter plumbing
+// federated aggregation needs: Parameters() serializes every learnable
+// tensor (and batch-norm buffer) into one []float64, SetParameters loads
+// such a vector back.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// NewModel builds a model from layers.
+func NewModel(name string, layers ...Layer) *Model {
+	return &Model{Name: name, Layers: layers}
+}
+
+// Forward runs the full stack.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates ∂L/∂output back through the stack, accumulating
+// parameter gradients, and returns ∂L/∂input.
+func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// ParamTensors returns every learnable tensor in layer order.
+func (m *Model) ParamTensors() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// GradTensors returns gradient tensors aligned with ParamTensors.
+func (m *Model) GradTensors() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range m.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.ParamTensors() {
+		n += p.Len()
+	}
+	return n
+}
+
+// Parameters flattens all parameters into a single vector, the wire and
+// aggregation format used throughout HADFL.
+func (m *Model) Parameters() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for _, p := range m.ParamTensors() {
+		out = append(out, p.Data()...)
+	}
+	return out
+}
+
+// SetParameters loads a flat vector produced by Parameters into the model.
+// It panics if the length does not match.
+func (m *Model) SetParameters(flat []float64) {
+	want := m.NumParams()
+	if len(flat) != want {
+		panic(fmt.Sprintf("nn: SetParameters length %d, model has %d", len(flat), want))
+	}
+	off := 0
+	for _, p := range m.ParamTensors() {
+		copy(p.Data(), flat[off:off+p.Len()])
+		off += p.Len()
+	}
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (m *Model) ZeroGrads() {
+	for _, g := range m.GradTensors() {
+		g.Zero()
+	}
+}
+
+// GradientVector flattens all gradients into one vector (for ring
+// all-reduce in the distributed-training baseline).
+func (m *Model) GradientVector() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for _, g := range m.GradTensors() {
+		out = append(out, g.Data()...)
+	}
+	return out
+}
+
+// SetGradientVector loads a flat gradient vector back into the model's
+// gradient tensors (after an all-reduce).
+func (m *Model) SetGradientVector(flat []float64) {
+	want := m.NumParams()
+	if len(flat) != want {
+		panic(fmt.Sprintf("nn: SetGradientVector length %d, model has %d", len(flat), want))
+	}
+	off := 0
+	for _, g := range m.GradTensors() {
+		copy(g.Data(), flat[off:off+g.Len()])
+		off += g.Len()
+	}
+}
+
+// Predict returns the argmax class for each row of the logits produced on
+// input x (inference mode).
+func (m *Model) Predict(x *tensor.Tensor) []int {
+	logits := m.Forward(x, false)
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, arg := logits.At(i, 0), 0
+		for j := 1; j < c; j++ {
+			if v := logits.At(i, j); v > best {
+				best, arg = v, j
+			}
+		}
+		out[i] = arg
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows of x classified as labels.
+func (m *Model) Accuracy(x *tensor.Tensor, labels []int) float64 {
+	pred := m.Predict(x)
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("nn: Accuracy: %d predictions vs %d labels", len(pred), len(labels)))
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

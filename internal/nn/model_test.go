@@ -1,0 +1,285 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hadfl/internal/tensor"
+)
+
+func TestParametersRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, 5, []int{7}, 3)
+	flat := m.Parameters()
+	if len(flat) != m.NumParams() {
+		t.Fatalf("Parameters len %d, NumParams %d", len(flat), m.NumParams())
+	}
+	want := 5*7 + 7 + 7*3 + 3
+	if m.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", m.NumParams(), want)
+	}
+	// Perturb, reload, verify.
+	mod := make([]float64, len(flat))
+	for i, v := range flat {
+		mod[i] = v + float64(i)
+	}
+	m.SetParameters(mod)
+	got := m.Parameters()
+	for i := range got {
+		if got[i] != mod[i] {
+			t.Fatalf("round trip mismatch at %d: %v vs %v", i, got[i], mod[i])
+		}
+	}
+}
+
+func TestSetParametersLengthPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, 3, nil, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetParameters with wrong length did not panic")
+		}
+	}()
+	m.SetParameters([]float64{1, 2, 3})
+}
+
+func TestTwoModelsSameParamsSameOutput(t *testing.T) {
+	rngA := rand.New(rand.NewSource(3))
+	rngB := rand.New(rand.NewSource(99))
+	a := NewResMLP(rngA, 6, 8, 2, 4)
+	b := NewResMLP(rngB, 6, 8, 2, 4)
+	b.SetParameters(a.Parameters())
+	x := tensor.RandNormal(rand.New(rand.NewSource(4)), 0, 1, 5, 6)
+	ya := a.Forward(x, false)
+	yb := b.Forward(x, false)
+	if !ya.Equal(yb, 1e-12) {
+		t.Fatal("identical parameters must give identical outputs")
+	}
+}
+
+func TestPredictAndAccuracy(t *testing.T) {
+	// Hand-built model: identity-ish dense that makes class = argmax(x).
+	m := NewModel("ident", &Dense{
+		W:  tensor.FromSlice([]float64{1, 0, 0, 1}, 2, 2),
+		B:  tensor.New(2),
+		dW: tensor.New(2, 2),
+		dB: tensor.New(2),
+	})
+	x := tensor.FromSlice([]float64{5, 1, 0, 3, 2, 2.5}, 3, 2)
+	pred := m.Predict(x)
+	want := []int{0, 1, 1}
+	for i := range want {
+		if pred[i] != want[i] {
+			t.Fatalf("Predict = %v, want %v", pred, want)
+		}
+	}
+	if acc := m.Accuracy(x, []int{0, 1, 0}); math.Abs(acc-2.0/3.0) > 1e-12 {
+		t.Fatalf("Accuracy = %v", acc)
+	}
+}
+
+func TestGradientVectorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, 4, []int{5}, 3)
+	x := tensor.RandNormal(rng, 0, 1, 2, 4)
+	_, g := SoftmaxCrossEntropy(m.Forward(x, true), []int{0, 1})
+	m.Backward(g)
+	vec := m.GradientVector()
+	if len(vec) != m.NumParams() {
+		t.Fatalf("GradientVector len %d", len(vec))
+	}
+	scaled := make([]float64, len(vec))
+	for i, v := range vec {
+		scaled[i] = 2 * v
+	}
+	m.SetGradientVector(scaled)
+	got := m.GradientVector()
+	for i := range got {
+		if math.Abs(got[i]-scaled[i]) > 1e-15 {
+			t.Fatal("SetGradientVector round trip failed")
+		}
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP(rng, 4, []int{5}, 3)
+	x := tensor.RandNormal(rng, 0, 1, 2, 4)
+	_, g := SoftmaxCrossEntropy(m.Forward(x, true), []int{0, 1})
+	m.Backward(g)
+	m.ZeroGrads()
+	for _, v := range m.GradientVector() {
+		if v != 0 {
+			t.Fatal("ZeroGrads left a nonzero gradient")
+		}
+	}
+}
+
+// Property: gradient accumulates additively — two backward passes double
+// the gradient of one.
+func TestPropertyGradAccumulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMLP(rng, 3, []int{4}, 2)
+		x := tensor.RandNormal(rng, 0, 1, 2, 3)
+		labels := []int{0, 1}
+		m.ZeroGrads()
+		logits := m.Forward(x, true)
+		_, g := SoftmaxCrossEntropy(logits, labels)
+		m.Backward(g)
+		once := m.GradientVector()
+		logits = m.Forward(x, true)
+		_, g = SoftmaxCrossEntropy(logits, labels)
+		m.Backward(g)
+		twice := m.GradientVector()
+		for i := range once {
+			if math.Abs(twice[i]-2*once[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	logits := tensor.RandNormal(rng, 0, 5, 6, 10)
+	p := Softmax(logits)
+	for i := 0; i < 6; i++ {
+		s := 0.0
+		for j := 0; j < 10; j++ {
+			v := p.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value out of [0,1]: %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("softmax row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits → loss = log(C).
+	logits := tensor.New(2, 4)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-9 {
+		t.Fatalf("loss = %v, want log 4 = %v", loss, math.Log(4))
+	}
+	// Gradient rows sum to zero (softmax minus one-hot).
+	for i := 0; i < 2; i++ {
+		s := 0.0
+		for j := 0; j < 4; j++ {
+			s += grad.At(i, j)
+		}
+		if math.Abs(s) > 1e-9 {
+			t.Fatalf("grad row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyLabelRangePanic(t *testing.T) {
+	logits := tensor.New(1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label did not panic")
+		}
+	}()
+	SoftmaxCrossEntropy(logits, []int{3})
+}
+
+func TestBatchNormNormalizesTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bn := NewBatchNorm(3)
+	x := tensor.RandNormal(rng, 5, 2, 64, 3)
+	y := bn.Forward(x, true)
+	// With γ=1, β=0 the per-feature output should be ~N(0,1).
+	for f := 0; f < 3; f++ {
+		var s, s2 float64
+		for i := 0; i < 64; i++ {
+			v := y.At(i, f)
+			s += v
+			s2 += v * v
+		}
+		mean := s / 64
+		variance := s2/64 - mean*mean
+		// Variance comes out as σ²/(σ²+ε) ≈ 1 − ε/σ².
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-4 {
+			t.Fatalf("feature %d: mean=%v var=%v", f, mean, variance)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bn := NewBatchNorm(2)
+	// Train on several batches to populate running stats.
+	for i := 0; i < 50; i++ {
+		bn.Forward(tensor.RandNormal(rng, 3, 2, 32, 2), true)
+	}
+	// Inference on a constant input: output should reflect running stats,
+	// not the (degenerate) batch stats.
+	x := tensor.New(4, 2)
+	x.Fill(3)
+	y := bn.Forward(x, false)
+	for _, v := range y.Data() {
+		if math.Abs(v) > 0.5 {
+			t.Fatalf("inference output %v, want ≈0 (input at running mean)", v)
+		}
+	}
+}
+
+func TestReLUTrainVsInfer(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice([]float64{-1, 2, -3, 4}, 4)
+	y := r.Forward(x, true)
+	want := tensor.FromSlice([]float64{0, 2, 0, 4}, 4)
+	if !y.Equal(want, 0) {
+		t.Fatalf("ReLU = %v", y.Data())
+	}
+	g := r.Backward(tensor.FromSlice([]float64{10, 10, 10, 10}, 4))
+	wantG := tensor.FromSlice([]float64{0, 10, 0, 10}, 4)
+	if !g.Equal(wantG, 0) {
+		t.Fatalf("ReLU backward = %v", g.Data())
+	}
+}
+
+func TestModelZooShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cases := []struct {
+		name string
+		m    *Model
+		x    *tensor.Tensor
+	}{
+		{"mlp", NewMLP(rng, 16, []int{32}, 10), tensor.RandNormal(rng, 0, 1, 3, 16)},
+		{"resmlp", NewResMLP(rng, 16, 24, 2, 10), tensor.RandNormal(rng, 0, 1, 3, 16)},
+		{"plainmlp", NewPlainMLP(rng, 16, 24, 2, 10), tensor.RandNormal(rng, 0, 1, 3, 16)},
+		{"vggtiny", NewVGGTiny(rng, 3, 8, 10), tensor.RandNormal(rng, 0, 1, 3, 3, 8, 8)},
+		{"resnettiny", NewResNetTiny(rng, 3, 8, 10), tensor.RandNormal(rng, 0, 1, 3, 3, 8, 8)},
+	}
+	for _, c := range cases {
+		y := c.m.Forward(c.x, false)
+		if y.Dims() != 2 || y.Dim(0) != 3 || y.Dim(1) != 10 {
+			t.Errorf("%s: output shape %v, want [3 10]", c.name, y.Shape())
+		}
+		if c.m.NumParams() == 0 {
+			t.Errorf("%s: no parameters", c.name)
+		}
+	}
+}
+
+func TestVGGTinySizePanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VGGTiny with size not divisible by 4 did not panic")
+		}
+	}()
+	NewVGGTiny(rng, 3, 10, 10)
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"hadfl/internal/tensor"
+)
+
+// Residual wraps a body sub-network with a skip connection:
+//
+//	y = ReLU(body(x) + shortcut(x))
+//
+// If Shortcut is nil the skip is the identity, which requires body(x) to
+// have the same shape as x. This is the structural element distinguishing
+// ResNetTiny from VGGTiny, mirroring ResNet-18 vs VGG-16 in the paper.
+type Residual struct {
+	Body     []Layer
+	Shortcut []Layer // nil means identity
+
+	reluMask []bool
+}
+
+// NewResidual builds a residual block with the given body and optional
+// projection shortcut.
+func NewResidual(body []Layer, shortcut []Layer) *Residual {
+	return &Residual{Body: body, Shortcut: shortcut}
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x
+	for _, l := range r.Body {
+		y = l.Forward(y, train)
+	}
+	s := x
+	for _, l := range r.Shortcut {
+		s = l.Forward(s, train)
+	}
+	out := y.Add(s)
+	if train {
+		if cap(r.reluMask) < out.Len() {
+			r.reluMask = make([]bool, out.Len())
+		}
+		r.reluMask = r.reluMask[:out.Len()]
+	}
+	for i, v := range out.Data() {
+		if v < 0 {
+			out.Data()[i] = 0
+			if train {
+				r.reluMask[i] = false
+			}
+		} else if train {
+			r.reluMask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	for i := range g.Data() {
+		if !r.reluMask[i] {
+			g.Data()[i] = 0
+		}
+	}
+	gBody := g
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		gBody = r.Body[i].Backward(gBody)
+	}
+	gShort := g
+	for i := len(r.Shortcut) - 1; i >= 0; i-- {
+		gShort = r.Shortcut[i].Backward(gShort)
+	}
+	return gBody.Add(gShort)
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range r.Body {
+		ps = append(ps, l.Params()...)
+	}
+	for _, l := range r.Shortcut {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads implements Layer.
+func (r *Residual) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range r.Body {
+		gs = append(gs, l.Grads()...)
+	}
+	for _, l := range r.Shortcut {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}

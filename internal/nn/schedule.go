@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// LRSchedule maps a global step index to a learning rate. Schedules are
+// pure functions so every device can evaluate them locally without
+// coordination — important in the asynchronous setting where devices
+// sit at different step counts.
+type LRSchedule interface {
+	// LR returns the learning rate for step t (t ≥ 0).
+	LR(t int) float64
+}
+
+// ConstantLR always returns the same rate.
+type ConstantLR float64
+
+// LR implements LRSchedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// StepDecay multiplies the base rate by Gamma every Every steps — the
+// classic ResNet schedule shape.
+type StepDecay struct {
+	Base  float64
+	Gamma float64 // decay factor per stage, e.g. 0.1
+	Every int     // steps per stage
+}
+
+// LR implements LRSchedule.
+func (s StepDecay) LR(t int) float64 {
+	if s.Every <= 0 {
+		panic(fmt.Sprintf("nn: StepDecay.Every = %d", s.Every))
+	}
+	return s.Base * math.Pow(s.Gamma, float64(t/s.Every))
+}
+
+// WarmupLinear ramps linearly from Base·Scale to Base over WarmupSteps,
+// then stays at Base — the "small learning rate during
+// mutual-negotiation" policy of the paper's §III-B generalized to a
+// smooth ramp.
+type WarmupLinear struct {
+	Base        float64
+	Scale       float64 // starting fraction of Base, e.g. 0.1
+	WarmupSteps int
+}
+
+// LR implements LRSchedule.
+func (w WarmupLinear) LR(t int) float64 {
+	if w.WarmupSteps <= 0 || t >= w.WarmupSteps {
+		return w.Base
+	}
+	frac := float64(t) / float64(w.WarmupSteps)
+	start := w.Base * w.Scale
+	return start + (w.Base-start)*frac
+}
+
+// CosineAnnealing decays from Base to Floor along a half cosine over
+// TotalSteps, then stays at Floor.
+type CosineAnnealing struct {
+	Base       float64
+	Floor      float64
+	TotalSteps int
+}
+
+// LR implements LRSchedule.
+func (c CosineAnnealing) LR(t int) float64 {
+	if c.TotalSteps <= 0 {
+		panic(fmt.Sprintf("nn: CosineAnnealing.TotalSteps = %d", c.TotalSteps))
+	}
+	if t >= c.TotalSteps {
+		return c.Floor
+	}
+	cos := math.Cos(math.Pi * float64(t) / float64(c.TotalSteps))
+	return c.Floor + (c.Base-c.Floor)*(1+cos)/2
+}
+
+// Chain runs Head for HeadSteps steps, then delegates to Tail with the
+// step index rebased to zero — e.g. warm-up followed by cosine.
+type Chain struct {
+	Head      LRSchedule
+	HeadSteps int
+	Tail      LRSchedule
+}
+
+// LR implements LRSchedule.
+func (ch Chain) LR(t int) float64 {
+	if t < ch.HeadSteps {
+		return ch.Head.LR(t)
+	}
+	return ch.Tail.LR(t - ch.HeadSteps)
+}
+
+// ApplySchedule sets the optimizer's learning rate for step t.
+func ApplySchedule(opt *SGD, s LRSchedule, t int) {
+	opt.LR = s.LR(t)
+}

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR(0.05)
+	for _, tt := range []int{0, 1, 1000} {
+		if s.LR(tt) != 0.05 {
+			t.Fatalf("LR(%d) = %v", tt, s.LR(tt))
+		}
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 1, Gamma: 0.1, Every: 10}
+	cases := map[int]float64{0: 1, 9: 1, 10: 0.1, 19: 0.1, 20: 0.01}
+	for tt, want := range cases {
+		if got := s.LR(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("LR(%d) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestStepDecayValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every=0 did not panic")
+		}
+	}()
+	StepDecay{Base: 1, Gamma: 0.5, Every: 0}.LR(1)
+}
+
+func TestWarmupLinear(t *testing.T) {
+	s := WarmupLinear{Base: 1, Scale: 0.1, WarmupSteps: 10}
+	if got := s.LR(0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("LR(0) = %v", got)
+	}
+	if got := s.LR(5); math.Abs(got-0.55) > 1e-12 {
+		t.Fatalf("LR(5) = %v", got)
+	}
+	if got := s.LR(10); got != 1 {
+		t.Fatalf("LR(10) = %v", got)
+	}
+	if got := s.LR(100); got != 1 {
+		t.Fatalf("LR(100) = %v", got)
+	}
+}
+
+func TestCosineAnnealing(t *testing.T) {
+	s := CosineAnnealing{Base: 1, Floor: 0.1, TotalSteps: 100}
+	if got := s.LR(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("LR(0) = %v", got)
+	}
+	mid := s.LR(50)
+	if math.Abs(mid-0.55) > 1e-9 {
+		t.Fatalf("LR(50) = %v, want 0.55", mid)
+	}
+	if got := s.LR(100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("LR(100) = %v", got)
+	}
+	if got := s.LR(500); got != 0.1 {
+		t.Fatalf("LR past end = %v", got)
+	}
+}
+
+func TestChain(t *testing.T) {
+	s := Chain{
+		Head:      WarmupLinear{Base: 1, Scale: 0.1, WarmupSteps: 10},
+		HeadSteps: 10,
+		Tail:      StepDecay{Base: 1, Gamma: 0.5, Every: 10},
+	}
+	if got := s.LR(0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("LR(0) = %v", got)
+	}
+	if got := s.LR(10); got != 1 { // tail step 0
+		t.Fatalf("LR(10) = %v", got)
+	}
+	if got := s.LR(20); got != 0.5 { // tail step 10
+		t.Fatalf("LR(20) = %v", got)
+	}
+}
+
+func TestApplySchedule(t *testing.T) {
+	opt := NewSGD(999, 0, 0)
+	ApplySchedule(opt, ConstantLR(0.01), 5)
+	if opt.LR != 0.01 {
+		t.Fatalf("LR = %v", opt.LR)
+	}
+}
+
+// Property: cosine annealing is monotonically non-increasing and bounded
+// by [Floor, Base].
+func TestPropertyCosineMonotone(t *testing.T) {
+	f := func(stepRaw uint16) bool {
+		s := CosineAnnealing{Base: 1, Floor: 0.05, TotalSteps: 200}
+		tt := int(stepRaw) % 220
+		v := s.LR(tt)
+		if v < s.Floor-1e-12 || v > s.Base+1e-12 {
+			return false
+		}
+		if tt > 0 && s.LR(tt-1) < v-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: warm-up is monotonically non-decreasing until Base.
+func TestPropertyWarmupMonotone(t *testing.T) {
+	f := func(stepRaw uint16) bool {
+		s := WarmupLinear{Base: 2, Scale: 0.25, WarmupSteps: 50}
+		tt := int(stepRaw) % 60
+		v := s.LR(tt)
+		if v < 0.5-1e-12 || v > 2+1e-12 {
+			return false
+		}
+		if tt > 0 && s.LR(tt-1) > v+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+package nn
+
+import "hadfl/internal/tensor"
+
+// SGD is a stochastic-gradient-descent optimizer with classical momentum
+// and (optionally) weight decay applied only to tensors of rank ≥ 2 —
+// i.e. weight matrices and convolution kernels, never biases or
+// batch-norm parameters, following standard practice.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []*tensor.Tensor
+}
+
+// NewSGD constructs an optimizer. momentum=0 disables momentum.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Step applies one update to the model's parameters from its accumulated
+// gradients, then zeroes the gradients.
+func (s *SGD) Step(m *Model) {
+	params := m.ParamTensors()
+	grads := m.GradTensors()
+	if s.velocity == nil {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Shape()...)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		v := s.velocity[i]
+		decay := 0.0
+		if s.WeightDecay > 0 && p.Dims() >= 2 {
+			decay = s.WeightDecay
+		}
+		pd, gd, vd := p.Data(), g.Data(), v.Data()
+		for j := range pd {
+			eff := gd[j] + decay*pd[j]
+			vd[j] = s.Momentum*vd[j] + eff
+			pd[j] -= s.LR * vd[j]
+		}
+	}
+	m.ZeroGrads()
+}
+
+// Reset clears momentum state, e.g. after parameters are replaced by a
+// freshly aggregated global model.
+func (s *SGD) Reset() { s.velocity = nil }

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hadfl/internal/tensor"
+)
+
+func TestSGDReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, 4, []int{16}, 3)
+	opt := NewSGD(0.1, 0.9, 0)
+	x := tensor.RandNormal(rng, 0, 1, 12, 4)
+	labels := make([]int, 12)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	first, _ := SoftmaxCrossEntropy(m.Forward(x, true), labels)
+	var last float64
+	for i := 0; i < 60; i++ {
+		m.ZeroGrads()
+		logits := m.Forward(x, true)
+		loss, g := SoftmaxCrossEntropy(logits, labels)
+		m.Backward(g)
+		opt.Step(m)
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("SGD did not reduce loss: first=%v last=%v", first, last)
+	}
+	if last > 0.1 {
+		t.Fatalf("SGD failed to fit 12 points: final loss %v", last)
+	}
+}
+
+func TestSGDStepMatchesManualUpdate(t *testing.T) {
+	// Single scalar "model": one Dense 1→1 without bias influence.
+	d := &Dense{
+		W:  tensor.FromSlice([]float64{2}, 1, 1),
+		B:  tensor.New(1),
+		dW: tensor.FromSlice([]float64{0.5}, 1, 1),
+		dB: tensor.New(1),
+	}
+	m := NewModel("scalar", d)
+	opt := NewSGD(0.1, 0, 0)
+	opt.Step(m)
+	if got := d.W.Data()[0]; math.Abs(got-(2-0.1*0.5)) > 1e-12 {
+		t.Fatalf("W after step = %v", got)
+	}
+	if d.dW.Data()[0] != 0 {
+		t.Fatal("Step must zero gradients")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	d := &Dense{
+		W:  tensor.FromSlice([]float64{0}, 1, 1),
+		B:  tensor.New(1),
+		dW: tensor.New(1, 1),
+		dB: tensor.New(1),
+	}
+	m := NewModel("scalar", d)
+	opt := NewSGD(1, 0.5, 0)
+	// Two steps with constant unit gradient: v1=1, w=-1; v2=1.5, w=-2.5.
+	d.dW.Data()[0] = 1
+	opt.Step(m)
+	if got := d.W.Data()[0]; math.Abs(got+1) > 1e-12 {
+		t.Fatalf("after step 1, W=%v want -1", got)
+	}
+	d.dW.Data()[0] = 1
+	opt.Step(m)
+	if got := d.W.Data()[0]; math.Abs(got+2.5) > 1e-12 {
+		t.Fatalf("after step 2, W=%v want -2.5", got)
+	}
+}
+
+func TestSGDWeightDecayOnlyOnMatrices(t *testing.T) {
+	d := &Dense{
+		W:  tensor.FromSlice([]float64{1}, 1, 1),
+		B:  tensor.FromSlice([]float64{1}, 1),
+		dW: tensor.New(1, 1),
+		dB: tensor.New(1),
+	}
+	m := NewModel("scalar", d)
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step(m)
+	// W (rank 2) decays: 1 - 0.1*0.5*1 = 0.95. B (rank 1) must not.
+	if got := d.W.Data()[0]; math.Abs(got-0.95) > 1e-12 {
+		t.Fatalf("W after decay = %v, want 0.95", got)
+	}
+	if got := d.B.Data()[0]; got != 1 {
+		t.Fatalf("B after step = %v, want 1 (no decay on rank-1)", got)
+	}
+}
+
+func TestSGDResetClearsMomentum(t *testing.T) {
+	d := &Dense{
+		W:  tensor.New(1, 1),
+		B:  tensor.New(1),
+		dW: tensor.New(1, 1),
+		dB: tensor.New(1),
+	}
+	m := NewModel("scalar", d)
+	opt := NewSGD(1, 0.9, 0)
+	d.dW.Data()[0] = 1
+	opt.Step(m)
+	opt.Reset()
+	d.dW.Data()[0] = 1
+	opt.Step(m)
+	// Without reset the second step would include momentum 0.9·1;
+	// with reset both steps move exactly -1.
+	if got := d.W.Data()[0]; math.Abs(got+2) > 1e-12 {
+		t.Fatalf("W = %v, want -2 after reset between steps", got)
+	}
+}
+
+func TestBatchNormRunningStatsNotMovedBySGD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewModel("bn",
+		NewDense(rng, 4, 6),
+		NewBatchNorm(6),
+		NewDense(rng, 6, 2),
+	)
+	bn := m.Layers[1].(*BatchNorm)
+	x := tensor.RandNormal(rng, 0, 1, 8, 4)
+	opt := NewSGD(0.1, 0.9, 1e-2)
+	logits := m.Forward(x, true)
+	_, g := SoftmaxCrossEntropy(logits, []int{0, 1, 0, 1, 0, 1, 0, 1})
+	m.Backward(g)
+	before := bn.RunMean.Clone()
+	beforeVar := bn.RunVar.Clone()
+	opt.Step(m)
+	if !bn.RunMean.Equal(before, 0) || !bn.RunVar.Equal(beforeVar, 0) {
+		t.Fatal("optimizer must not move batch-norm running statistics")
+	}
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arch constructs a fresh, randomly initialized model. Every device in a
+// federation builds the same Arch and then loads the coordinator's initial
+// parameter vector, so architectures must be deterministic given the rng.
+type Arch func(rng *rand.Rand) *Model
+
+// NewMLP builds a plain multi-layer perceptron: in → hidden... → classes
+// with ReLU activations. It is the fast model used by unit tests and
+// quick experiments.
+func NewMLP(rng *rand.Rand, in int, hidden []int, classes int) *Model {
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewDense(rng, prev, h), NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewDense(rng, prev, classes))
+	return NewModel(fmt.Sprintf("mlp-%d", len(hidden)), layers...)
+}
+
+// NewVGGTiny builds a small plain (non-residual) convolutional network in
+// the spirit of VGG-16: stacked 3×3 conv + BN + ReLU blocks with pooling,
+// then a dense classifier. Input is [N, inCh, size, size]; size must be
+// divisible by 4.
+func NewVGGTiny(rng *rand.Rand, inCh, size, classes int) *Model {
+	if size%4 != 0 {
+		panic(fmt.Sprintf("nn: VGGTiny size %d must be divisible by 4", size))
+	}
+	c1, c2 := 8, 16
+	layers := []Layer{
+		NewConv2D(rng, inCh, c1, 3, 1, 1), NewBatchNorm(c1), NewReLU(),
+		NewConv2D(rng, c1, c1, 3, 1, 1), NewBatchNorm(c1), NewReLU(),
+		NewMaxPool(2, 2),
+		NewConv2D(rng, c1, c2, 3, 1, 1), NewBatchNorm(c2), NewReLU(),
+		NewConv2D(rng, c2, c2, 3, 1, 1), NewBatchNorm(c2), NewReLU(),
+		NewMaxPool(2, 2),
+		NewFlatten(),
+		NewDense(rng, c2*(size/4)*(size/4), 64), NewReLU(),
+		NewDense(rng, 64, classes),
+	}
+	return NewModel("vgg-tiny", layers...)
+}
+
+// NewResNetTiny builds a small residual convolutional network in the
+// spirit of ResNet-18: a conv stem followed by residual blocks and a
+// global-average-pooled linear head. Input is [N, inCh, size, size].
+func NewResNetTiny(rng *rand.Rand, inCh, size, classes int) *Model {
+	c1, c2 := 8, 16
+	stem := []Layer{
+		NewConv2D(rng, inCh, c1, 3, 1, 1), NewBatchNorm(c1), NewReLU(),
+	}
+	block1 := NewResidual(
+		[]Layer{
+			NewConv2D(rng, c1, c1, 3, 1, 1), NewBatchNorm(c1), NewReLU(),
+			NewConv2D(rng, c1, c1, 3, 1, 1), NewBatchNorm(c1),
+		},
+		nil, // identity shortcut
+	)
+	// Downsampling block: stride-2 body with a 1×1 stride-2 projection.
+	block2 := NewResidual(
+		[]Layer{
+			NewConv2D(rng, c1, c2, 3, 2, 1), NewBatchNorm(c2), NewReLU(),
+			NewConv2D(rng, c2, c2, 3, 1, 1), NewBatchNorm(c2),
+		},
+		[]Layer{NewConv2D(rng, c1, c2, 1, 2, 0), NewBatchNorm(c2)},
+	)
+	block3 := NewResidual(
+		[]Layer{
+			NewConv2D(rng, c2, c2, 3, 1, 1), NewBatchNorm(c2), NewReLU(),
+			NewConv2D(rng, c2, c2, 3, 1, 1), NewBatchNorm(c2),
+		},
+		nil,
+	)
+	layers := append(stem, block1, block2, block3, NewGlobalAvgPool(), NewDense(rng, c2, classes))
+	_ = size
+	return NewModel("resnet-tiny", layers...)
+}
+
+// NewResMLP builds a residual MLP: dense stem, residual dense blocks,
+// classifier. It keeps the residual-vs-plain architectural contrast of
+// ResNetTiny/VGGTiny while training an order of magnitude faster, and is
+// the default "resnet-like" model for the fast experiment profiles.
+func NewResMLP(rng *rand.Rand, in, width, blocks, classes int) *Model {
+	layers := []Layer{NewDense(rng, in, width), NewReLU()}
+	for i := 0; i < blocks; i++ {
+		layers = append(layers, NewResidual(
+			[]Layer{NewDense(rng, width, width), NewReLU(), NewDense(rng, width, width)},
+			nil,
+		))
+	}
+	layers = append(layers, NewDense(rng, width, classes))
+	return NewModel(fmt.Sprintf("resmlp-%d", blocks), layers...)
+}
+
+// NewPlainMLP builds the non-residual counterpart of NewResMLP with the
+// same depth and width, used as the fast "vgg-like" model.
+func NewPlainMLP(rng *rand.Rand, in, width, blocks, classes int) *Model {
+	layers := []Layer{NewDense(rng, in, width), NewReLU()}
+	for i := 0; i < blocks; i++ {
+		layers = append(layers, NewDense(rng, width, width), NewReLU(), NewDense(rng, width, width), NewReLU())
+	}
+	layers = append(layers, NewDense(rng, width, classes))
+	return NewModel(fmt.Sprintf("plainmlp-%d", blocks), layers...)
+}

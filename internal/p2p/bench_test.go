@@ -1,0 +1,61 @@
+package p2p
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hadfl/internal/simclock"
+)
+
+func BenchmarkMessageMarshal(b *testing.B) {
+	m := Message{Kind: KindParams, From: 1, To: 2, Round: 3, Payload: make([]float64, 4096)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := m.Marshal()
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(m.WireSize()))
+}
+
+func BenchmarkSimNetSend(b *testing.B) {
+	e := simclock.New()
+	net := NewSimNet(e, Link{Latency: 0.001, Bandwidth: 1e9}, rand.New(rand.NewSource(1)))
+	net.Register(2, func(Message) {})
+	m := Message{Kind: KindParams, From: 1, To: 2, Payload: make([]float64, 1024)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(m)
+		e.Run(0)
+	}
+}
+
+func BenchmarkRingAllReduce4(b *testing.B) {
+	const n = 4
+	vec := make([]float64, 4096)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	opt := RingOptions{DataTimeout: 5 * time.Second, HandshakeTimeout: time.Second, MaxReforms: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub := NewChanHub()
+		ring := []int{0, 1, 2, 3}
+		var wg sync.WaitGroup
+		for _, id := range ring {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, _, err := RingAllReduce(hub.Node(id), ring, i, vec, opt); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.SetBytes(int64(8 * len(vec) * n))
+}

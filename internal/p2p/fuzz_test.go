@@ -1,0 +1,26 @@
+package p2p
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal ensures the wire decoder never panics and that every
+// successfully decoded message re-encodes to the same bytes (canonical
+// round trip).
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(Message{Kind: KindParams, From: 1, To: 2, Round: 3, Payload: []float64{1, 2}}.Marshal())
+	f.Add(Message{Kind: KindHeartbeat}.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		re := m.Marshal()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decoded message re-encodes differently:\n in  %x\n out %x", data, re)
+		}
+	})
+}

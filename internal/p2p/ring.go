@@ -1,0 +1,328 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RingOptions tunes the fault-tolerant ring all-reduce.
+type RingOptions struct {
+	// DataTimeout is how long a node waits for the next data chunk before
+	// suspecting its upstream neighbour has died (the paper's
+	// "pre-specified waiting time").
+	DataTimeout time.Duration
+	// HandshakeTimeout is how long the suspecting node waits for a
+	// handshake Ack before declaring the neighbour dead.
+	HandshakeTimeout time.Duration
+	// MaxReforms bounds how many bypasses one reduction tolerates.
+	MaxReforms int
+}
+
+// DefaultRingOptions returns timeouts suitable for in-process and
+// localhost transports.
+func DefaultRingOptions() RingOptions {
+	return RingOptions{
+		DataTimeout:      200 * time.Millisecond,
+		HandshakeTimeout: 100 * time.Millisecond,
+		MaxReforms:       3,
+	}
+}
+
+// ErrRingCollapsed is returned when bypassing failures leaves no live
+// members.
+var ErrRingCollapsed = errors.New("p2p: ring collapsed")
+
+// ringState carries the failure knowledge a node accumulates during one
+// all-reduce: the set of members it believes dead. The attempt number is
+// defined as len(dead), so two nodes agree on the attempt exactly when
+// they agree on the casualty list — which the Reform gossip drives them
+// to. This makes the bypass protocol convergent under concurrent
+// failures (two detectors announcing different deaths eventually merge
+// both into every survivor's set).
+type ringState struct {
+	full []int // original ring, fixed
+	dead map[int]bool
+	// pending buffers data chunks that arrived "from the future": a peer
+	// that learned of a casualty earlier restarts (and resends) before we
+	// do, and dropping its chunks would starve us after our own restart.
+	pending []Message
+}
+
+func (st *ringState) attempt() int { return len(st.dead) }
+
+func (st *ringState) ring() []int {
+	out := make([]int, 0, len(st.full))
+	for _, id := range st.full {
+		if !st.dead[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// markDead records a casualty; reports whether it was new information.
+func (st *ringState) markDead(id int) bool {
+	if st.dead[id] {
+		return false
+	}
+	st.dead[id] = true
+	return true
+}
+
+// RingAllReduce performs a gossip scatter-gather (Horovod-style ring)
+// all-reduce of vec across the devices in ring, over the blocking
+// transport tr. Every participant must call it with the same ring slice
+// and round number. It returns the element-wise SUM over the surviving
+// participants' vectors, and the surviving ring (callers divide by its
+// length for a mean).
+//
+// Fault tolerance (paper §III-D): if a node stops receiving data from
+// its upstream neighbour, it sends a Handshake to confirm the neighbour
+// is dead, then issues a Warning to the dead node's upstream and a
+// Reform announcement to the survivors; everyone restarts the reduction
+// on the shrunken ring with their original vectors.
+func RingAllReduce(tr Transport, ring []int, round int, vec []float64, opt RingOptions) ([]float64, []int, error) {
+	if opt.DataTimeout <= 0 {
+		opt = DefaultRingOptions()
+	}
+	st := &ringState{full: append([]int(nil), ring...), dead: map[int]bool{}}
+	for {
+		if st.attempt() > opt.MaxReforms {
+			return nil, nil, fmt.Errorf("p2p: all-reduce gave up after %d reforms", opt.MaxReforms)
+		}
+		cur := st.ring()
+		switch len(cur) {
+		case 0:
+			return nil, nil, ErrRingCollapsed
+		case 1:
+			return append([]float64(nil), vec...), cur, nil
+		}
+		res, err := ringAttempt(tr, st, round, vec, opt)
+		if err == nil {
+			return res, cur, nil
+		}
+		var rf *reformError
+		if errors.As(err, &rf) {
+			continue // st.dead already updated; retry on the smaller ring
+		}
+		return nil, nil, err
+	}
+}
+
+// reformError signals that new casualty information arrived and the
+// attempt must restart.
+type reformError struct{ dead int }
+
+func (e *reformError) Error() string {
+	return fmt.Sprintf("p2p: ring reformed around dead node %d", e.dead)
+}
+
+// ringAttempt runs one scatter-reduce + all-gather pass over the current
+// surviving ring.
+func ringAttempt(tr Transport, st *ringState, round int, vec []float64, opt RingOptions) ([]float64, error) {
+	ring := st.ring()
+	attempt := st.attempt()
+	n := len(ring)
+	me := indexOf(ring, tr.ID())
+	if me < 0 {
+		return nil, fmt.Errorf("p2p: node %d not in ring %v", tr.ID(), ring)
+	}
+	right := ring[(me+1)%n]
+	left := ring[(me-1+n)%n]
+
+	work := append([]float64(nil), vec...)
+	bounds := chunkBounds(len(work), n)
+	get := func(c int) []float64 { return work[bounds[c]:bounds[c+1]] }
+
+	// Scatter-reduce: after n−1 steps node me owns the fully reduced
+	// chunk (me+1) mod n.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (me - s + 2*n) % n
+		recvChunk := (me - s - 1 + 2*n) % n
+		if err := tr.Send(Message{
+			Kind: KindParams, To: right, Round: round,
+			Chunk: sendChunk, Meta: attempt, Payload: append([]float64(nil), get(sendChunk)...),
+		}); err != nil {
+			return nil, err
+		}
+		m, err := recvData(tr, st, left, round, recvChunk, opt)
+		if err != nil {
+			return nil, err
+		}
+		dst := get(recvChunk)
+		if len(m.Payload) != len(dst) {
+			return nil, fmt.Errorf("p2p: chunk %d size %d, want %d", recvChunk, len(m.Payload), len(dst))
+		}
+		for i, v := range m.Payload {
+			dst[i] += v
+		}
+	}
+	// All-gather: circulate the reduced chunks.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (me + 1 - s + 2*n) % n
+		recvChunk := (me - s + 2*n) % n
+		if err := tr.Send(Message{
+			Kind: KindParams, To: right, Round: round,
+			Chunk: sendChunk, Meta: attempt, Payload: append([]float64(nil), get(sendChunk)...),
+		}); err != nil {
+			return nil, err
+		}
+		m, err := recvData(tr, st, left, round, recvChunk, opt)
+		if err != nil {
+			return nil, err
+		}
+		copy(get(recvChunk), m.Payload)
+	}
+	return work, nil
+}
+
+// recvData waits for the expected data chunk, servicing control traffic
+// (handshakes, reform gossip) while it waits. On upstream silence it
+// runs the bypass protocol of §III-D. If the upstream turns out to be
+// alive but stalled (itself waiting on a casualty elsewhere), the wait
+// restarts — the eventual Reform gossip unblocks everyone.
+func recvData(tr Transport, st *ringState, left, round, wantChunk int, opt RingOptions) (Message, error) {
+	attempt := st.attempt()
+	// A matching chunk may already sit in the pending buffer, stashed by
+	// an earlier attempt that saw it arrive too early.
+	for i, m := range st.pending {
+		if m.Meta == attempt && m.Chunk == wantChunk && m.From == left && m.Round == round {
+			st.pending = append(st.pending[:i], st.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	deadline := time.Now().Add(opt.DataTimeout)
+	probes := 0
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			m, err := bypass(tr, st, left, round, wantChunk, opt)
+			if err == errUpstreamAlive {
+				probes++
+				if probes > opt.MaxReforms+3 {
+					return Message{}, fmt.Errorf("p2p: node %d stalled waiting for chunk %d of round %d", tr.ID(), wantChunk, round)
+				}
+				deadline = time.Now().Add(opt.DataTimeout)
+				continue
+			}
+			return m, err
+		}
+		m, ok := tr.Recv(remain)
+		if !ok {
+			continue // deadline branch handles the bypass
+		}
+		if out, err, handled := handleControl(tr, st, m, round, left, attempt, wantChunk); handled {
+			if err != nil || out.Kind == KindParams {
+				return out, err
+			}
+		}
+	}
+}
+
+// handleControl processes one inbound message during a wait. It returns
+// handled=false for messages that are silently ignored. When the message
+// is the awaited data chunk it returns it; when it is novel casualty
+// gossip it updates st and returns a *reformError.
+func handleControl(tr Transport, st *ringState, m Message, round, left, attempt, wantChunk int) (Message, error, bool) {
+	switch m.Kind {
+	case KindParams:
+		if m.Round == round && m.Meta == attempt && m.Chunk == wantChunk && m.From == left {
+			return m, nil, true
+		}
+		if m.Round == round && m.Meta > attempt {
+			// A peer ahead of us already restarted on a smaller ring;
+			// keep its chunk for after our own restart.
+			st.pending = append(st.pending, m)
+		}
+	case KindHandshake, KindHeartbeat:
+		_ = tr.Send(Message{Kind: KindAck, To: m.From, Round: m.Round})
+	case KindReform, KindWarning:
+		if m.Round == round && st.markDead(m.Meta) {
+			return Message{}, &reformError{dead: m.Meta}, true
+		}
+	}
+	return Message{}, nil, false
+}
+
+// errUpstreamAlive signals that a handshake probe got an Ack: the
+// upstream is alive but stalled, so the prober should resume waiting.
+var errUpstreamAlive = errors.New("p2p: upstream alive but stalled")
+
+// bypass implements the §III-D failure protocol from the viewpoint of
+// the dead node's downstream neighbour: handshake to confirm death, warn
+// the dead node's upstream, gossip the reform to all survivors.
+func bypass(tr Transport, st *ringState, left, round, wantChunk int, opt RingOptions) (Message, error) {
+	attempt := st.attempt()
+	// "device 3 sends a handshake message to device 2 to confirm its
+	// status."
+	_ = tr.Send(Message{Kind: KindHandshake, To: left, Round: round})
+	hsDeadline := time.Now().Add(opt.HandshakeTimeout)
+	for {
+		remain := time.Until(hsDeadline)
+		if remain <= 0 {
+			break
+		}
+		m, ok := tr.Recv(remain)
+		if !ok {
+			break
+		}
+		if m.Kind == KindAck && m.From == left {
+			return Message{}, errUpstreamAlive
+		}
+		if out, herr, handled := handleControl(tr, st, m, round, left, attempt, wantChunk); handled {
+			return out, herr
+		}
+	}
+	// No Ack: declare left dead. Warn its upstream ("issues a warning to
+	// device 1, the upstream of device 2") and gossip the reform to every
+	// member of the original ring we still believe alive.
+	ring := st.ring()
+	n := len(ring)
+	li := indexOf(ring, left)
+	if li >= 0 {
+		upstream := ring[(li-1+n)%n]
+		if upstream != tr.ID() {
+			_ = tr.Send(Message{Kind: KindWarning, To: upstream, Round: round, Meta: left})
+		}
+	}
+	st.markDead(left)
+	for _, id := range st.ring() {
+		if id == tr.ID() {
+			continue
+		}
+		_ = tr.Send(Message{Kind: KindReform, To: id, Round: round, Chunk: st.attempt(), Meta: left})
+	}
+	return Message{}, &reformError{dead: left}
+}
+
+// chunkBounds splits length len into n contiguous chunks, returning n+1
+// boundaries. Chunks differ in size by at most one element; when
+// len < n some chunks are empty, which the protocol tolerates.
+func chunkBounds(length, n int) []int {
+	b := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		b[i] = i * length / n
+	}
+	return b
+}
+
+func indexOf(ring []int, id int) int {
+	for i, v := range ring {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Broadcast sends m to each target (non-blocking from the protocol's
+// perspective: sends are fire-and-forget). Used for the post-aggregation
+// model broadcast to unselected devices.
+func Broadcast(tr Transport, targets []int, m Message) {
+	for _, to := range targets {
+		mm := m
+		mm.To = to
+		_ = tr.Send(mm)
+	}
+}

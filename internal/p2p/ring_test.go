@@ -1,0 +1,237 @@
+package p2p
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runRing executes RingAllReduce concurrently on all live members and
+// returns each node's result (nil for members that errored).
+func runRing(t *testing.T, hub *ChanHub, ring []int, vecs map[int][]float64, opt RingOptions) (map[int][]float64, map[int][]int) {
+	t.Helper()
+	var mu sync.Mutex
+	results := make(map[int][]float64)
+	survivors := make(map[int][]int)
+	var wg sync.WaitGroup
+	for _, id := range ring {
+		if vecs[id] == nil {
+			continue // dead from the start
+		}
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, surv, err := RingAllReduce(hub.Node(id), ring, 1, vecs[id], opt)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				results[id] = res
+				survivors[id] = surv
+			}
+		}()
+	}
+	wg.Wait()
+	return results, survivors
+}
+
+func TestRingAllReduceSums(t *testing.T) {
+	hub := NewChanHub()
+	ring := []int{0, 1, 2, 3}
+	vecs := map[int][]float64{}
+	want := make([]float64, 10)
+	rng := rand.New(rand.NewSource(1))
+	for _, id := range ring {
+		v := make([]float64, 10)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			want[i] += v[i]
+		}
+		vecs[id] = v
+	}
+	results, _ := runRing(t, hub, ring, vecs, DefaultRingOptions())
+	if len(results) != 4 {
+		t.Fatalf("only %d nodes finished", len(results))
+	}
+	for id, res := range results {
+		for i := range want {
+			if math.Abs(res[i]-want[i]) > 1e-9 {
+				t.Fatalf("node %d element %d: %v want %v", id, i, res[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRingAllReduceTwoNodes(t *testing.T) {
+	hub := NewChanHub()
+	ring := []int{5, 9}
+	vecs := map[int][]float64{5: {1, 2, 3}, 9: {10, 20, 30}}
+	results, _ := runRing(t, hub, ring, vecs, DefaultRingOptions())
+	for id, res := range results {
+		for i, want := range []float64{11, 22, 33} {
+			if math.Abs(res[i]-want) > 1e-12 {
+				t.Fatalf("node %d: %v", id, res)
+			}
+		}
+	}
+}
+
+func TestRingAllReduceSingleNode(t *testing.T) {
+	hub := NewChanHub()
+	res, surv, err := RingAllReduce(hub.Node(3), []int{3}, 1, []float64{4, 5}, DefaultRingOptions())
+	if err != nil || len(surv) != 1 || res[0] != 4 || res[1] != 5 {
+		t.Fatalf("res=%v surv=%v err=%v", res, surv, err)
+	}
+}
+
+func TestRingAllReduceVectorShorterThanRing(t *testing.T) {
+	// 2-element vector over 4 nodes: some chunks are empty.
+	hub := NewChanHub()
+	ring := []int{0, 1, 2, 3}
+	vecs := map[int][]float64{0: {1, 1}, 1: {2, 2}, 2: {3, 3}, 3: {4, 4}}
+	results, _ := runRing(t, hub, ring, vecs, DefaultRingOptions())
+	if len(results) != 4 {
+		t.Fatalf("finished %d", len(results))
+	}
+	for id, res := range results {
+		if math.Abs(res[0]-10) > 1e-12 || math.Abs(res[1]-10) > 1e-12 {
+			t.Fatalf("node %d: %v", id, res)
+		}
+	}
+}
+
+func TestRingAllReduceBypassesDeadNode(t *testing.T) {
+	// Node 2 is dead before the round starts. Survivors must detect it,
+	// reform {0,1,3}, and produce the sum of their three vectors —
+	// exactly the §III-D scenario (device 3 bypasses device 2).
+	hub := NewChanHub()
+	ring := []int{0, 1, 2, 3}
+	hub.Kill(2)
+	vecs := map[int][]float64{
+		0: {1, 10}, 1: {2, 20}, 2: nil, 3: {4, 40},
+	}
+	opt := RingOptions{DataTimeout: 150 * time.Millisecond, HandshakeTimeout: 80 * time.Millisecond, MaxReforms: 3}
+	results, survivors := runRing(t, hub, ring, vecs, opt)
+	if len(results) != 3 {
+		t.Fatalf("finished %d survivors, want 3", len(results))
+	}
+	want := []float64{7, 70}
+	for id, res := range results {
+		for i := range want {
+			if math.Abs(res[i]-want[i]) > 1e-9 {
+				t.Fatalf("node %d result %v, want %v", id, res, want)
+			}
+		}
+		surv := survivors[id]
+		if len(surv) != 3 {
+			t.Fatalf("node %d sees %d survivors", id, len(surv))
+		}
+		for _, s := range surv {
+			if s == 2 {
+				t.Fatalf("dead node still in surviving ring %v", surv)
+			}
+		}
+	}
+}
+
+func TestRingAllReduceTwoDeadNodes(t *testing.T) {
+	hub := NewChanHub()
+	ring := []int{0, 1, 2, 3, 4}
+	hub.Kill(1)
+	hub.Kill(3)
+	vecs := map[int][]float64{0: {1}, 1: nil, 2: {4}, 3: nil, 4: {16}}
+	opt := RingOptions{DataTimeout: 150 * time.Millisecond, HandshakeTimeout: 80 * time.Millisecond, MaxReforms: 4}
+	results, _ := runRing(t, hub, ring, vecs, opt)
+	if len(results) != 3 {
+		t.Fatalf("finished %d, want 3", len(results))
+	}
+	for id, res := range results {
+		if math.Abs(res[0]-21) > 1e-9 {
+			t.Fatalf("node %d result %v, want 21", id, res[0])
+		}
+	}
+}
+
+func TestRingAllReduceNotInRing(t *testing.T) {
+	hub := NewChanHub()
+	_, _, err := RingAllReduce(hub.Node(9), []int{0, 1}, 1, []float64{1}, DefaultRingOptions())
+	if err == nil {
+		t.Fatal("node outside ring must error")
+	}
+}
+
+func TestChanHubKillRevive(t *testing.T) {
+	hub := NewChanHub()
+	a, b := hub.Node(1), hub.Node(2)
+	hub.Kill(2)
+	if err := a.Send(Message{To: 2}); err != nil {
+		t.Fatalf("send to dead node errored at transport layer: %v", err)
+	}
+	if _, ok := b.Recv(30 * time.Millisecond); ok {
+		t.Fatal("dead node received")
+	}
+	hub.Revive(2)
+	if err := a.Send(Message{To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := b.Recv(time.Second); !ok || m.From != 1 {
+		t.Fatalf("revived node recv %v %v", m, ok)
+	}
+}
+
+func TestChanHubEarlySendIsQueued(t *testing.T) {
+	// Sends to a node that has not attached yet are queued, not lost —
+	// otherwise concurrent ring members racing through startup would
+	// drop each other's first chunks.
+	hub := NewChanHub()
+	a := hub.Node(1)
+	if err := a.Send(Message{To: 42, Round: 9}); err != nil {
+		t.Fatal(err)
+	}
+	late := hub.Node(42)
+	m, ok := late.Recv(time.Second)
+	if !ok || m.Round != 9 {
+		t.Fatalf("queued message lost: %v %v", m, ok)
+	}
+}
+
+func TestBroadcastReachesAllTargets(t *testing.T) {
+	hub := NewChanHub()
+	src := hub.Node(0)
+	targets := []int{1, 2, 3}
+	nodes := map[int]*ChanNode{}
+	for _, id := range targets {
+		nodes[id] = hub.Node(id)
+	}
+	Broadcast(src, targets, Message{Kind: KindBroadcast, Payload: []float64{42}, Round: 7})
+	for _, id := range targets {
+		m, ok := nodes[id].Recv(time.Second)
+		if !ok || m.Kind != KindBroadcast || m.Round != 7 || m.Payload[0] != 42 {
+			t.Fatalf("target %d got %+v ok=%v", id, m, ok)
+		}
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	b := chunkBounds(10, 4)
+	if b[0] != 0 || b[4] != 10 {
+		t.Fatalf("bounds %v", b)
+	}
+	for i := 0; i < 4; i++ {
+		size := b[i+1] - b[i]
+		if size < 2 || size > 3 {
+			t.Fatalf("chunk %d size %d", i, size)
+		}
+	}
+	// Degenerate: fewer elements than chunks.
+	b = chunkBounds(2, 5)
+	total := 0
+	for i := 0; i < 5; i++ {
+		total += b[i+1] - b[i]
+	}
+	if total != 2 {
+		t.Fatalf("chunks cover %d of 2 elements", total)
+	}
+}

@@ -1,0 +1,141 @@
+package p2p
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runSegmented executes one segmented-gossip round on all peers
+// concurrently and returns each peer's updated vector.
+func runSegmented(t *testing.T, peers []int, vecs map[int][]float64, opt SegmentedGossipOptions) map[int][]float64 {
+	t.Helper()
+	hub := NewChanHub()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	out := make(map[int][]float64)
+	for _, id := range peers {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := SegmentedGossip(hub.Node(id), peers, 1, vecs[id], opt)
+			if err != nil {
+				t.Errorf("peer %d: %v", id, err)
+				return
+			}
+			mu.Lock()
+			out[id] = res
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// spread measures the maximum pairwise L2 distance between vectors.
+func spread(vecs map[int][]float64) float64 {
+	worst := 0.0
+	for a, va := range vecs {
+		for b, vb := range vecs {
+			if a >= b {
+				continue
+			}
+			s := 0.0
+			for i := range va {
+				d := va[i] - vb[i]
+				s += d * d
+			}
+			if d := math.Sqrt(s); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestSegmentedGossipContracts(t *testing.T) {
+	peers := []int{0, 1, 2, 3}
+	vecs := map[int][]float64{}
+	for _, id := range peers {
+		v := make([]float64, 16)
+		for i := range v {
+			v[i] = float64(id * 10)
+		}
+		vecs[id] = v
+	}
+	before := spread(vecs)
+	opt := DefaultSegmentedGossipOptions()
+	opt.Window = 300 * time.Millisecond
+	opt.Replicas = 3 // full fan-out for a deterministic-ish contraction
+	after := runSegmented(t, peers, vecs, opt)
+	if len(after) != 4 {
+		t.Fatalf("%d peers finished", len(after))
+	}
+	if got := spread(after); got >= before {
+		t.Fatalf("gossip did not contract the spread: %v → %v", before, got)
+	}
+}
+
+func TestSegmentedGossipPreservesConsensus(t *testing.T) {
+	// If everyone already agrees, gossip must not move the model.
+	peers := []int{0, 1, 2}
+	shared := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	vecs := map[int][]float64{}
+	for _, id := range peers {
+		vecs[id] = append([]float64(nil), shared...)
+	}
+	opt := DefaultSegmentedGossipOptions()
+	opt.Window = 200 * time.Millisecond
+	after := runSegmented(t, peers, vecs, opt)
+	for id, v := range after {
+		for i := range shared {
+			if math.Abs(v[i]-shared[i]) > 1e-9 {
+				t.Fatalf("peer %d drifted at %d: %v", id, i, v[i])
+			}
+		}
+	}
+}
+
+func TestSegmentedGossipSinglePeer(t *testing.T) {
+	hub := NewChanHub()
+	v := []float64{1, 2, 3}
+	out, err := SegmentedGossip(hub.Node(7), []int{7}, 1, v, DefaultSegmentedGossipOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if out[i] != v[i] {
+			t.Fatal("single peer must keep its vector")
+		}
+	}
+}
+
+func TestSegmentedGossipValidation(t *testing.T) {
+	hub := NewChanHub()
+	opt := DefaultSegmentedGossipOptions()
+	opt.Segments = 0
+	if _, err := SegmentedGossip(hub.Node(0), []int{0, 1}, 1, []float64{1}, opt); err == nil {
+		t.Fatal("segments=0 accepted")
+	}
+}
+
+func TestSegmentedGossipReplicasClamped(t *testing.T) {
+	// Replicas beyond the peer count are clamped, not an error.
+	peers := []int{0, 1}
+	vecs := map[int][]float64{0: {0, 0}, 1: {10, 10}}
+	opt := DefaultSegmentedGossipOptions()
+	opt.Segments = 2
+	opt.Replicas = 99
+	opt.Window = 200 * time.Millisecond
+	after := runSegmented(t, peers, vecs, opt)
+	// With full exchange both peers average to 5.
+	for id, v := range after {
+		for i := range v {
+			if math.Abs(v[i]-5) > 1e-9 {
+				t.Fatalf("peer %d got %v, want [5 5]", id, v)
+			}
+		}
+	}
+}

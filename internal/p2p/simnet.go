@@ -1,0 +1,187 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hadfl/internal/simclock"
+)
+
+// Link models one directed connection's latency and bandwidth.
+type Link struct {
+	Latency   float64 // seconds added to every message
+	Bandwidth float64 // bytes/second; 0 = infinite
+}
+
+// TransferTime returns how long a message of size bytes occupies the link.
+func (l Link) TransferTime(bytes int) float64 {
+	t := l.Latency
+	if l.Bandwidth > 0 {
+		t += float64(bytes) / l.Bandwidth
+	}
+	return t
+}
+
+// SimNet is a deterministic simulated network driven by a simclock
+// engine. Nodes register handlers; Send schedules delivery events after
+// the link's latency + transfer time. It models crashes (messages to or
+// from a crashed node vanish), random loss, and partitions, and accounts
+// every byte sent per node — the basis of the communication-volume
+// experiment.
+type SimNet struct {
+	Engine *simclock.Engine
+
+	DefaultLink Link
+	DropRate    float64 // probability a message is silently lost
+	rng         *rand.Rand
+
+	handlers  map[int]func(Message)
+	links     map[[2]int]Link
+	down      map[int]bool
+	partition map[[2]int]bool // blocked directed pairs
+
+	bytesSent map[int]int64
+	msgsSent  map[int]int64
+	total     int64
+}
+
+// NewSimNet creates a network on the given engine. rng drives message
+// loss; pass a seeded source for reproducibility.
+func NewSimNet(engine *simclock.Engine, defaultLink Link, rng *rand.Rand) *SimNet {
+	if engine == nil {
+		panic("p2p: SimNet needs an engine")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0))
+	}
+	return &SimNet{
+		Engine:      engine,
+		DefaultLink: defaultLink,
+		rng:         rng,
+		handlers:    make(map[int]func(Message)),
+		links:       make(map[[2]int]Link),
+		down:        make(map[int]bool),
+		partition:   make(map[[2]int]bool),
+		bytesSent:   make(map[int]int64),
+		msgsSent:    make(map[int]int64),
+	}
+}
+
+// Register installs the delivery handler for node id, replacing any
+// previous handler.
+func (n *SimNet) Register(id int, h func(Message)) {
+	if h == nil {
+		panic("p2p: nil handler")
+	}
+	n.handlers[id] = h
+}
+
+// SetLink overrides the link parameters for the directed pair from→to.
+func (n *SimNet) SetLink(from, to int, l Link) {
+	n.links[[2]int{from, to}] = l
+}
+
+// linkFor returns the effective link for a pair.
+func (n *SimNet) linkFor(from, to int) Link {
+	if l, ok := n.links[[2]int{from, to}]; ok {
+		return l
+	}
+	return n.DefaultLink
+}
+
+// Crash marks a node as failed: it neither sends nor receives until
+// Recover. In-flight messages to it are dropped at delivery time.
+func (n *SimNet) Crash(id int) { n.down[id] = true }
+
+// Recover brings a crashed node back.
+func (n *SimNet) Recover(id int) { delete(n.down, id) }
+
+// IsDown reports whether a node is crashed.
+func (n *SimNet) IsDown(id int) bool { return n.down[id] }
+
+// Partition blocks the directed pair from→to (both directions require
+// two calls). Heal removes the block.
+func (n *SimNet) Partition(from, to int) { n.partition[[2]int{from, to}] = true }
+
+// Heal unblocks a previously partitioned directed pair.
+func (n *SimNet) Heal(from, to int) { delete(n.partition, [2]int{from, to}) }
+
+// Send schedules delivery of m from its From node to its To node. The
+// send is charged to the sender's accounting even if the message is later
+// lost (bytes leave the NIC either way). Sending from a crashed node is
+// a silent no-op (the node is gone).
+func (n *SimNet) Send(m Message) {
+	if n.down[m.From] {
+		return
+	}
+	size := m.WireSize()
+	n.bytesSent[m.From] += int64(size)
+	n.msgsSent[m.From]++
+	n.total += int64(size)
+	if n.partition[[2]int{m.From, m.To}] {
+		return
+	}
+	if n.DropRate > 0 && n.rng.Float64() < n.DropRate {
+		return
+	}
+	delay := n.linkFor(m.From, m.To).TransferTime(size)
+	n.Engine.Schedule(simclock.Time(delay), func() {
+		if n.down[m.To] {
+			return
+		}
+		h, ok := n.handlers[m.To]
+		if !ok {
+			panic(fmt.Sprintf("p2p: no handler registered for node %d", m.To))
+		}
+		h(m)
+	})
+}
+
+// BytesSent returns the bytes node id has sent so far.
+func (n *SimNet) BytesSent(id int) int64 { return n.bytesSent[id] }
+
+// MessagesSent returns the message count node id has sent so far.
+func (n *SimNet) MessagesSent(id int) int64 { return n.msgsSent[id] }
+
+// TotalBytes returns bytes sent across all nodes.
+func (n *SimNet) TotalBytes() int64 { return n.total }
+
+// ResetAccounting zeroes all byte/message counters.
+func (n *SimNet) ResetAccounting() {
+	n.bytesSent = make(map[int]int64)
+	n.msgsSent = make(map[int]int64)
+	n.total = 0
+}
+
+// CommModel provides the analytic communication-time formulas the
+// simulation engine charges for collective operations. They follow the
+// standard α–β cost model on a ring.
+type CommModel struct {
+	Link Link
+}
+
+// RingAllReduceTime returns the duration of a Horovod-style ring
+// all-reduce of vecBytes bytes across n nodes: 2(n−1) steps, each moving
+// vecBytes/n per node.
+func (c CommModel) RingAllReduceTime(n, vecBytes int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	chunk := vecBytes / n
+	if chunk < 1 {
+		chunk = 1
+	}
+	per := c.Link.TransferTime(chunk + headerBytes)
+	return float64(2*(n-1)) * per
+}
+
+// BroadcastTime returns the duration for one node to send vecBytes to
+// each of targets receivers sequentially (the paper's non-blocking
+// broadcast overlaps with compute on the receiving side, but the sender
+// still serializes onto its NIC).
+func (c CommModel) BroadcastTime(targets, vecBytes int) float64 {
+	if targets <= 0 {
+		return 0
+	}
+	return float64(targets) * c.Link.TransferTime(vecBytes+headerBytes)
+}

@@ -1,0 +1,185 @@
+package p2p
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hadfl/internal/simclock"
+)
+
+func newTestNet(link Link) (*simclock.Engine, *SimNet) {
+	e := simclock.New()
+	return e, NewSimNet(e, link, rand.New(rand.NewSource(1)))
+}
+
+func TestSimNetDelivery(t *testing.T) {
+	e, net := newTestNet(Link{Latency: 0.5})
+	var got []Message
+	net.Register(2, func(m Message) { got = append(got, m) })
+	net.Send(Message{Kind: KindParams, From: 1, To: 2, Payload: []float64{7}})
+	if len(got) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	e.Run(0)
+	if len(got) != 1 || got[0].Payload[0] != 7 {
+		t.Fatalf("got %v", got)
+	}
+	if e.Now() != 0.5 {
+		t.Fatalf("delivery time %v, want 0.5", e.Now())
+	}
+}
+
+func TestSimNetBandwidthDelay(t *testing.T) {
+	e, net := newTestNet(Link{Latency: 1, Bandwidth: 800}) // 100 float64/s
+	net.Register(2, func(m Message) {})
+	m := Message{Kind: KindParams, From: 1, To: 2, Payload: make([]float64, 100)}
+	net.Send(m)
+	e.Run(0)
+	want := 1 + float64(m.WireSize())/800
+	if math.Abs(float64(e.Now())-want) > 1e-9 {
+		t.Fatalf("delivery at %v, want %v", e.Now(), want)
+	}
+}
+
+func TestSimNetCrash(t *testing.T) {
+	e, net := newTestNet(Link{})
+	delivered := 0
+	net.Register(2, func(m Message) { delivered++ })
+	net.Crash(2)
+	net.Send(Message{From: 1, To: 2})
+	e.Run(0)
+	if delivered != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	// Crashed sender emits nothing (count stays at the one charged above).
+	before := net.MessagesSent(1)
+	net.Crash(1)
+	net.Send(Message{From: 1, To: 2})
+	if net.MessagesSent(1) != before {
+		t.Fatal("crashed sender was charged a send")
+	}
+	// Recovery restores delivery.
+	net.Recover(1)
+	net.Recover(2)
+	net.Send(Message{From: 1, To: 2})
+	e.Run(0)
+	if delivered != 1 {
+		t.Fatalf("delivered %d after recovery", delivered)
+	}
+	if net.IsDown(1) || net.IsDown(2) {
+		t.Fatal("IsDown after Recover")
+	}
+}
+
+func TestSimNetCrashDropsInFlight(t *testing.T) {
+	e, net := newTestNet(Link{Latency: 1})
+	delivered := 0
+	net.Register(2, func(m Message) { delivered++ })
+	net.Send(Message{From: 1, To: 2})
+	// Crash after the send but before delivery.
+	e.Schedule(0.5, func() { net.Crash(2) })
+	e.Run(0)
+	if delivered != 0 {
+		t.Fatal("in-flight message delivered to node that crashed first")
+	}
+}
+
+func TestSimNetPartition(t *testing.T) {
+	e, net := newTestNet(Link{})
+	delivered := 0
+	net.Register(2, func(m Message) { delivered++ })
+	net.Partition(1, 2)
+	net.Send(Message{From: 1, To: 2})
+	e.Run(0)
+	if delivered != 0 {
+		t.Fatal("partitioned message delivered")
+	}
+	net.Heal(1, 2)
+	net.Send(Message{From: 1, To: 2})
+	e.Run(0)
+	if delivered != 1 {
+		t.Fatal("healed partition did not deliver")
+	}
+}
+
+func TestSimNetDropRate(t *testing.T) {
+	e, net := newTestNet(Link{})
+	net.DropRate = 1.0
+	delivered := 0
+	net.Register(2, func(m Message) { delivered++ })
+	for i := 0; i < 10; i++ {
+		net.Send(Message{From: 1, To: 2})
+	}
+	e.Run(0)
+	if delivered != 0 {
+		t.Fatalf("DropRate=1 delivered %d", delivered)
+	}
+	// Accounting still charges the sender.
+	if net.MessagesSent(1) != 10 {
+		t.Fatalf("sender charged %d sends", net.MessagesSent(1))
+	}
+}
+
+func TestSimNetAccounting(t *testing.T) {
+	e, net := newTestNet(Link{})
+	net.Register(2, func(m Message) {})
+	m := Message{From: 1, To: 2, Payload: make([]float64, 10)}
+	net.Send(m)
+	net.Send(m)
+	e.Run(0)
+	want := int64(2 * m.WireSize())
+	if net.BytesSent(1) != want || net.TotalBytes() != want {
+		t.Fatalf("bytes %d total %d, want %d", net.BytesSent(1), net.TotalBytes(), want)
+	}
+	net.ResetAccounting()
+	if net.TotalBytes() != 0 || net.BytesSent(1) != 0 {
+		t.Fatal("ResetAccounting did not clear")
+	}
+}
+
+func TestSimNetPerLinkOverride(t *testing.T) {
+	e, net := newTestNet(Link{Latency: 10})
+	net.SetLink(1, 2, Link{Latency: 0.1})
+	net.Register(2, func(m Message) {})
+	net.Send(Message{From: 1, To: 2})
+	e.Run(0)
+	if math.Abs(float64(e.Now())-0.1) > 1e-9 {
+		t.Fatalf("override link latency not applied: %v", e.Now())
+	}
+}
+
+func TestSimNetUnregisteredPanics(t *testing.T) {
+	e, net := newTestNet(Link{})
+	net.Send(Message{From: 1, To: 99})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery to unregistered node did not panic")
+		}
+	}()
+	e.Run(0)
+}
+
+func TestCommModel(t *testing.T) {
+	c := CommModel{Link: Link{Latency: 0.01, Bandwidth: 1e6}}
+	// Single node: free.
+	if c.RingAllReduceTime(1, 1000) != 0 {
+		t.Fatal("n=1 all-reduce should cost 0")
+	}
+	// More nodes → more steps but smaller chunks; time grows roughly with
+	// the latency term.
+	t4 := c.RingAllReduceTime(4, 80000)
+	t2 := c.RingAllReduceTime(2, 80000)
+	if t4 <= 0 || t2 <= 0 {
+		t.Fatal("non-positive all-reduce time")
+	}
+	// Broadcast scales with target count.
+	b1 := c.BroadcastTime(1, 80000)
+	b3 := c.BroadcastTime(3, 80000)
+	if math.Abs(b3-3*b1) > 1e-9 {
+		t.Fatalf("broadcast %v vs 3×%v", b3, b1)
+	}
+	if c.BroadcastTime(0, 1000) != 0 {
+		t.Fatal("broadcast to nobody should cost 0")
+	}
+}

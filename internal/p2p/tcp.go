@@ -1,0 +1,208 @@
+package p2p
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNode is a Transport over real TCP sockets: it listens for inbound
+// peer connections and lazily dials peers on first send. Frames are
+// length-prefixed Marshal()ed messages. It backs the live deployment
+// binaries (cmd/hadfl-node, cmd/hadfl-coordinator).
+type TCPNode struct {
+	id    int
+	ln    net.Listener
+	inbox chan Message
+
+	mu      sync.Mutex
+	peers   map[int]string // id → address
+	conns   map[int]net.Conn
+	inbound []net.Conn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// maxFrame bounds inbound frame size (64 MiB) against corrupt length
+// prefixes.
+const maxFrame = 64 << 20
+
+// ListenTCP starts a node listening on addr (e.g. "127.0.0.1:0").
+func ListenTCP(id int, addr string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id:    id,
+		ln:    ln,
+		inbox: make(chan Message, 1024),
+		peers: make(map[int]string),
+		conns: make(map[int]net.Conn),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the listening address (useful with port 0).
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// ID implements Transport.
+func (n *TCPNode) ID() int { return n.id }
+
+// AddPeer registers a peer's address for outbound dials.
+func (n *TCPNode) AddPeer(id int, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = addr
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound = append(n.inbound, conn)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(lenBuf[:])
+		if size == 0 || size > maxFrame {
+			return
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		m, err := Unmarshal(frame)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case n.inbox <- m:
+		default:
+			// Inbox full: drop, like a saturated receiver.
+		}
+	}
+}
+
+// Send implements Transport. Unknown or unreachable peers yield an
+// error; transient write failures close the cached connection so the
+// next send re-dials.
+func (n *TCPNode) Send(m Message) error {
+	m.From = n.id
+	conn, err := n.connTo(m.To)
+	if err != nil {
+		return err
+	}
+	frame := m.Marshal()
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		n.dropConn(m.To, conn)
+		return fmt.Errorf("p2p: send to %d: %w", m.To, err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		n.dropConn(m.To, conn)
+		return fmt.Errorf("p2p: send to %d: %w", m.To, err)
+	}
+	return nil
+}
+
+// connTo returns a cached or freshly dialed connection to peer id.
+func (n *TCPNode) connTo(id int) (net.Conn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[id]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.peers[id]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("p2p: unknown peer %d", id)
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: dial peer %d at %s: %w", id, addr, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.conns[id]; ok {
+		c.Close()
+		return existing, nil
+	}
+	n.conns[id] = c
+	return c, nil
+}
+
+func (n *TCPNode) dropConn(id int, c net.Conn) {
+	if n.conns[id] == c {
+		delete(n.conns, id)
+	}
+	c.Close()
+}
+
+// Recv implements Transport.
+func (n *TCPNode) Recv(timeout time.Duration) (Message, bool) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case m := <-n.inbox:
+		return m, true
+	case <-t.C:
+		return Message{}, false
+	}
+}
+
+// Close shuts down the listener and all connections.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	for id, c := range n.conns {
+		c.Close()
+		delete(n.conns, id)
+	}
+	for _, c := range n.inbound {
+		c.Close()
+	}
+	n.inbound = nil
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}

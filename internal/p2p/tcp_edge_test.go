@@ -1,0 +1,125 @@
+package p2p
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestTCPRejectsOversizeFrame(t *testing.T) {
+	node, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Claim a frame far beyond maxFrame; the node must drop the
+	// connection without allocating or crashing.
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(maxFrame+1))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The node should close its side promptly.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection still open after oversize frame")
+	}
+	// Node still serves legitimate peers.
+	if _, ok := node.Recv(50 * time.Millisecond); ok {
+		t.Fatal("phantom message delivered")
+	}
+}
+
+func TestTCPRejectsZeroLengthFrame(t *testing.T) {
+	node, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var lenBuf [4]byte // zero length
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection still open after zero-length frame")
+	}
+}
+
+func TestTCPGarbageFrameIgnored(t *testing.T) {
+	node, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A well-framed but undecodable payload closes the read loop without
+	// delivering anything.
+	garbage := []byte{1, 2, 3}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(garbage)))
+	conn.Write(lenBuf[:])
+	conn.Write(garbage)
+	if _, ok := node.Recv(100 * time.Millisecond); ok {
+		t.Fatal("garbage frame delivered as a message")
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b1, err := ListenTCP(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.Addr()
+	a.AddPeer(2, addr)
+	if err := a.Send(Message{Kind: KindHeartbeat, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b1.Recv(2 * time.Second); !ok {
+		t.Fatal("first message lost")
+	}
+	// Restart the peer on the same address.
+	b1.Close()
+	b2, err := ListenTCP(2, addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer b2.Close()
+	// The cached connection is dead; the first send may fail and drop
+	// it, after which a retry dials fresh.
+	deadline := time.Now().Add(5 * time.Second)
+	delivered := false
+	for time.Now().Before(deadline) {
+		_ = a.Send(Message{Kind: KindHeartbeat, To: 2})
+		if _, ok := b2.Recv(200 * time.Millisecond); ok {
+			delivered = true
+			break
+		}
+	}
+	if !delivered {
+		t.Fatal("no delivery after peer restart")
+	}
+}

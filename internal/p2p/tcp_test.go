@@ -1,0 +1,177 @@
+package p2p
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTCPPair(t *testing.T) (*TCPNode, *TCPNode) {
+	t.Helper()
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP(2, "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	a.AddPeer(2, b.Addr())
+	b.AddPeer(1, a.Addr())
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	a, b := newTCPPair(t)
+	msg := Message{Kind: KindParams, To: 2, Round: 3, Version: 1.5, Payload: []float64{1, 2, 3}}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Recv(2 * time.Second)
+	if !ok {
+		t.Fatal("no message received")
+	}
+	if got.From != 1 || got.Round != 3 || got.Version != 1.5 || len(got.Payload) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, b := newTCPPair(t)
+	if err := a.Send(Message{Kind: KindHeartbeat, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Recv(2 * time.Second); !ok {
+		t.Fatal("b did not receive")
+	}
+	if err := b.Send(Message{Kind: KindAck, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := a.Recv(2 * time.Second); !ok || m.Kind != KindAck {
+		t.Fatal("a did not receive ack")
+	}
+}
+
+func TestTCPRecvTimeout(t *testing.T) {
+	a, _ := newTCPPair(t)
+	start := time.Now()
+	_, ok := a.Recv(50 * time.Millisecond)
+	if ok {
+		t.Fatal("unexpected message")
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("timeout returned too early")
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _ := newTCPPair(t)
+	if err := a.Send(Message{To: 99}); err == nil {
+		t.Fatal("unknown peer must error")
+	}
+}
+
+func TestTCPManyMessagesInOrder(t *testing.T) {
+	a, b := newTCPPair(t)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(Message{Kind: KindParams, To: 2, Round: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, ok := b.Recv(2 * time.Second)
+		if !ok {
+			t.Fatalf("missing message %d", i)
+		}
+		if m.Round != i {
+			t.Fatalf("out of order: got %d want %d", m.Round, i)
+		}
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	a, b := newTCPPair(t)
+	payload := make([]float64, 100000)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	if err := a.Send(Message{Kind: KindParams, To: 2, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := b.Recv(5 * time.Second)
+	if !ok || len(m.Payload) != len(payload) {
+		t.Fatalf("large payload: ok=%v len=%d", ok, len(m.Payload))
+	}
+	if m.Payload[99999] != 99999 {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close errored: %v", err)
+	}
+}
+
+func TestTCPRingAllReduce(t *testing.T) {
+	// Full ring all-reduce over real sockets on localhost.
+	const n = 3
+	nodes := make([]*TCPNode, n)
+	ring := make([]int, n)
+	for i := 0; i < n; i++ {
+		node, err := ListenTCP(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		ring[i] = i
+		defer node.Close()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				nodes[i].AddPeer(j, nodes[j].Addr())
+			}
+		}
+	}
+	vecs := [][]float64{{1, 2, 3, 4}, {10, 20, 30, 40}, {100, 200, 300, 400}}
+	want := []float64{111, 222, 333, 444}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	results := make(map[int][]float64)
+	opt := RingOptions{DataTimeout: 2 * time.Second, HandshakeTimeout: time.Second, MaxReforms: 2}
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _, err := RingAllReduce(nodes[i], ring, 1, vecs[i], opt)
+			if err != nil {
+				t.Errorf("node %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			results[i] = res
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for id, res := range results {
+		for i := range want {
+			if math.Abs(res[i]-want[i]) > 1e-9 {
+				t.Fatalf("node %d: %v", id, res)
+			}
+		}
+	}
+}

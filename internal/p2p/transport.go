@@ -1,0 +1,129 @@
+package p2p
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Transport is a blocking point-to-point message channel, the abstraction
+// the live (goroutine-per-device) protocols run over. Implementations:
+// ChanHub nodes (in-process, for tests and local simulation of the live
+// path) and TCPNode (real sockets).
+type Transport interface {
+	// ID returns this node's device id.
+	ID() int
+	// Send transmits m (m.From is overwritten with the node's id).
+	// Sending to a dead or unknown peer is not an error at this layer;
+	// failures surface as receive timeouts, as on a real network.
+	Send(m Message) error
+	// Recv blocks for the next inbound message, up to timeout.
+	// ok=false means the timeout elapsed.
+	Recv(timeout time.Duration) (msg Message, ok bool)
+	// Close releases resources.
+	Close() error
+}
+
+// ChanHub is an in-process message switchboard connecting ChanNode
+// transports. It supports killing nodes (messages to/from them vanish),
+// which the fault-tolerance tests use to emulate sudden disconnection.
+type ChanHub struct {
+	mu      sync.Mutex
+	inboxes map[int]chan Message
+	dead    map[int]bool
+}
+
+// NewChanHub returns an empty hub.
+func NewChanHub() *ChanHub {
+	return &ChanHub{
+		inboxes: make(map[int]chan Message),
+		dead:    make(map[int]bool),
+	}
+}
+
+// Node creates (or returns) the transport endpoint for device id.
+func (h *ChanHub) Node(id int) *ChanNode {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.inboxes[id]; !ok {
+		h.inboxes[id] = make(chan Message, 1024)
+	}
+	return &ChanNode{hub: h, id: id}
+}
+
+// Kill makes a node unreachable: pending and future messages to it are
+// dropped and its sends are swallowed, as if its link went down.
+func (h *ChanHub) Kill(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dead[id] = true
+}
+
+// Revive reverses Kill.
+func (h *ChanHub) Revive(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.dead, id)
+}
+
+func (h *ChanHub) send(m Message) error {
+	h.mu.Lock()
+	if h.dead[m.From] || h.dead[m.To] {
+		h.mu.Unlock()
+		return nil // silently lost, like a dead NIC
+	}
+	ch, ok := h.inboxes[m.To]
+	if !ok {
+		// The peer has not attached yet; create its inbox so early
+		// messages are queued rather than lost (mirrors a network where
+		// the address exists before the process binds it).
+		ch = make(chan Message, 1024)
+		h.inboxes[m.To] = ch
+	}
+	h.mu.Unlock()
+	select {
+	case ch <- m:
+		return nil
+	default:
+		return fmt.Errorf("p2p: inbox of %d full", m.To)
+	}
+}
+
+// ChanNode is one endpoint on a ChanHub.
+type ChanNode struct {
+	hub *ChanHub
+	id  int
+}
+
+// ID implements Transport.
+func (n *ChanNode) ID() int { return n.id }
+
+// Send implements Transport.
+func (n *ChanNode) Send(m Message) error {
+	m.From = n.id
+	return n.hub.send(m)
+}
+
+// Recv implements Transport.
+func (n *ChanNode) Recv(timeout time.Duration) (Message, bool) {
+	n.hub.mu.Lock()
+	ch := n.hub.inboxes[n.id]
+	dead := n.hub.dead[n.id]
+	n.hub.mu.Unlock()
+	if ch == nil || dead {
+		// A dead node never receives; emulate by sleeping out the timeout.
+		time.Sleep(timeout)
+		return Message{}, false
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case m := <-ch:
+		return m, true
+	case <-t.C:
+		return Message{}, false
+	}
+}
+
+// Close implements Transport (no-op for channel nodes).
+func (n *ChanNode) Close() error { return nil }

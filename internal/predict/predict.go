@@ -1,0 +1,151 @@
+// Package predict implements HADFL's runtime parameter-version
+// prediction (paper §III-B): Brown's double exponential smoothing over
+// the observed per-round parameter versions of each device, used by the
+// strategy generator to forecast versions for the next round.
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// Brown is Brown's double-exponential-smoothing forecaster, the exact
+// recurrence of the paper's Eq. 7:
+//
+//	v¹ⱼ = α·vⱼ + (1−α)·v¹ⱼ₋₁
+//	v²ⱼ = α·v¹ⱼ + (1−α)·v²ⱼ₋₁
+//	aⱼ  = 2·v¹ⱼ − v²ⱼ
+//	bⱼ  = α/(1−α)·(v¹ⱼ − v²ⱼ)
+//	v̂ⱼ₊ₘ = aⱼ + bⱼ·m
+//
+// α ∈ (0,1) weights recent observations; larger α tracks changes faster.
+type Brown struct {
+	Alpha  float64
+	s1, s2 float64
+	n      int
+}
+
+// NewBrown returns a forecaster with the given smoothing factor. It
+// panics unless 0 < alpha < 1 (the open interval the paper requires;
+// alpha=1 would divide by zero in the trend term).
+func NewBrown(alpha float64) *Brown {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("predict: alpha %v outside (0,1)", alpha))
+	}
+	return &Brown{Alpha: alpha}
+}
+
+// Observe feeds the actual parameter version measured in the latest
+// synchronization round. The first observation initializes both smoothing
+// registers (the standard bootstrap for Brown's method).
+func (b *Brown) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("predict: invalid observation %v", v))
+	}
+	if b.n == 0 {
+		b.s1, b.s2 = v, v
+	} else {
+		b.s1 = b.Alpha*v + (1-b.Alpha)*b.s1
+		b.s2 = b.Alpha*b.s1 + (1-b.Alpha)*b.s2
+	}
+	b.n++
+}
+
+// Count returns the number of observations so far.
+func (b *Brown) Count() int { return b.n }
+
+// Forecast predicts the version m rounds ahead (m ≥ 0; m=0 returns the
+// smoothed level). It panics if no observation has been made.
+func (b *Brown) Forecast(m int) float64 {
+	if b.n == 0 {
+		panic("predict: Forecast before any observation")
+	}
+	a := 2*b.s1 - b.s2
+	slope := b.Alpha / (1 - b.Alpha) * (b.s1 - b.s2)
+	return a + slope*float64(m)
+}
+
+// ExpectedVersion computes the warm-up–based initial version estimate of
+// the paper's Eq. 6. The paper writes v̂ᵢ = Tsync·Tᵢ/Ewarmup; read
+// dimensionally, the intended quantity is the number of local epochs
+// device i completes within one synchronization period:
+//
+//	v̂ᵢ = syncPeriod / (Tᵢ / Ewarmup)
+//
+// where Tᵢ is the device's total warm-up calculation time over Ewarmup
+// epochs, so Tᵢ/Ewarmup is its per-epoch time. This reading — documented
+// as a deviation in DESIGN.md — makes faster devices (smaller Tᵢ) expect
+// larger versions, matching the paper's use of the estimate.
+func ExpectedVersion(syncPeriod, warmupTime float64, warmupEpochs int) float64 {
+	if syncPeriod <= 0 || warmupTime <= 0 || warmupEpochs <= 0 {
+		panic(fmt.Sprintf("predict: invalid ExpectedVersion args %v %v %d", syncPeriod, warmupTime, warmupEpochs))
+	}
+	perEpoch := warmupTime / float64(warmupEpochs)
+	return syncPeriod / perEpoch
+}
+
+// Tracker maintains one Brown forecaster per device and answers
+// next-round forecasts for all of them, the role of the paper's runtime
+// supervisor prediction step.
+type Tracker struct {
+	Alpha    float64
+	byDevice map[int]*Brown
+}
+
+// NewTracker creates an empty tracker with the given smoothing factor.
+func NewTracker(alpha float64) *Tracker {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("predict: alpha %v outside (0,1)", alpha))
+	}
+	return &Tracker{Alpha: alpha, byDevice: make(map[int]*Brown)}
+}
+
+// Observe records device dev's actual version for the latest round.
+func (t *Tracker) Observe(dev int, version float64) {
+	b, ok := t.byDevice[dev]
+	if !ok {
+		b = NewBrown(t.Alpha)
+		t.byDevice[dev] = b
+	}
+	b.Observe(version)
+}
+
+// Seed installs a prior estimate (e.g. from Eq. 6's warm-up measurement)
+// for a device that has not reported yet. It is a no-op if the device
+// already has observations.
+func (t *Tracker) Seed(dev int, version float64) {
+	if _, ok := t.byDevice[dev]; ok {
+		return
+	}
+	b := NewBrown(t.Alpha)
+	b.Observe(version)
+	t.byDevice[dev] = b
+}
+
+// Forecast predicts device dev's version m rounds ahead. ok is false if
+// the device has never been observed or seeded.
+func (t *Tracker) Forecast(dev, m int) (v float64, ok bool) {
+	b, found := t.byDevice[dev]
+	if !found {
+		return 0, false
+	}
+	return b.Forecast(m), true
+}
+
+// ForecastAll returns next-round (m=1) forecasts for the given devices,
+// skipping unknown ones.
+func (t *Tracker) ForecastAll(devs []int) map[int]float64 {
+	out := make(map[int]float64, len(devs))
+	for _, d := range devs {
+		if v, ok := t.Forecast(d, 1); ok {
+			out[d] = v
+		}
+	}
+	return out
+}
+
+// Forget drops a device's history (e.g. after it leaves the federation).
+func (t *Tracker) Forget(dev int) { delete(t.byDevice, dev) }
+
+// Known returns the number of tracked devices.
+func (t *Tracker) Known() int { return len(t.byDevice) }

@@ -1,0 +1,181 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBrownAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v did not panic", a)
+				}
+			}()
+			NewBrown(a)
+		}()
+	}
+}
+
+func TestBrownConstantSeries(t *testing.T) {
+	b := NewBrown(0.5)
+	for i := 0; i < 20; i++ {
+		b.Observe(7)
+	}
+	for m := 0; m < 5; m++ {
+		if got := b.Forecast(m); math.Abs(got-7) > 1e-9 {
+			t.Fatalf("Forecast(%d) = %v on constant series", m, got)
+		}
+	}
+}
+
+func TestBrownLinearTrendConverges(t *testing.T) {
+	// Series v_j = 3 + 2j: after enough observations Brown's method
+	// recovers slope 2 and forecasts exactly.
+	b := NewBrown(0.4)
+	var last float64
+	for j := 0; j < 200; j++ {
+		last = 3 + 2*float64(j)
+		b.Observe(last)
+	}
+	got := b.Forecast(1)
+	want := last + 2
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("Forecast(1) = %v, want ≈%v", got, want)
+	}
+	got5 := b.Forecast(5)
+	if math.Abs(got5-(last+10)) > 0.25 {
+		t.Fatalf("Forecast(5) = %v, want ≈%v", got5, last+10)
+	}
+}
+
+func TestBrownTracksLevelShift(t *testing.T) {
+	// Big alpha adapts fast to a level shift; small alpha lags.
+	fast, slow := NewBrown(0.9), NewBrown(0.1)
+	for i := 0; i < 10; i++ {
+		fast.Observe(10)
+		slow.Observe(10)
+	}
+	for i := 0; i < 5; i++ {
+		fast.Observe(50)
+		slow.Observe(50)
+	}
+	fe := math.Abs(fast.Forecast(0) - 50)
+	se := math.Abs(slow.Forecast(0) - 50)
+	if fe >= se {
+		t.Fatalf("alpha=0.9 error %v should be below alpha=0.1 error %v", fe, se)
+	}
+}
+
+func TestForecastBeforeObservePanics(t *testing.T) {
+	b := NewBrown(0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Forecast on empty history did not panic")
+		}
+	}()
+	b.Forecast(1)
+}
+
+func TestObserveRejectsNaN(t *testing.T) {
+	b := NewBrown(0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN observation did not panic")
+		}
+	}()
+	b.Observe(math.NaN())
+}
+
+func TestExpectedVersion(t *testing.T) {
+	// Device with 2s/epoch (warmupTime=4 over 2 epochs) and a 10s sync
+	// period should reach version 5.
+	if got := ExpectedVersion(10, 4, 2); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("ExpectedVersion = %v, want 5", got)
+	}
+	// Faster device (1s/epoch) reaches a higher version.
+	fast := ExpectedVersion(10, 2, 2)
+	slow := ExpectedVersion(10, 8, 2)
+	if fast <= slow {
+		t.Fatalf("faster device version %v must exceed slower %v", fast, slow)
+	}
+}
+
+func TestExpectedVersionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid ExpectedVersion args did not panic")
+		}
+	}()
+	ExpectedVersion(0, 1, 1)
+}
+
+func TestTrackerSeedAndObserve(t *testing.T) {
+	tr := NewTracker(0.5)
+	tr.Seed(1, 10)
+	tr.Seed(1, 999) // no-op: already seeded
+	if v, ok := tr.Forecast(1, 0); !ok || math.Abs(v-10) > 1e-9 {
+		t.Fatalf("Forecast after seed = %v, %v", v, ok)
+	}
+	if _, ok := tr.Forecast(2, 1); ok {
+		t.Fatal("unknown device must not forecast")
+	}
+	tr.Observe(2, 4)
+	tr.Observe(2, 6)
+	if v, ok := tr.Forecast(2, 1); !ok || v <= 4 {
+		t.Fatalf("device 2 forecast %v, %v", v, ok)
+	}
+	if tr.Known() != 2 {
+		t.Fatalf("Known = %d", tr.Known())
+	}
+	all := tr.ForecastAll([]int{1, 2, 3})
+	if len(all) != 2 {
+		t.Fatalf("ForecastAll = %v", all)
+	}
+	tr.Forget(1)
+	if tr.Known() != 1 {
+		t.Fatalf("Known after Forget = %d", tr.Known())
+	}
+}
+
+// Property: forecasts of a constant series equal the constant, for any
+// valid alpha and any horizon.
+func TestPropertyConstantSeriesFixedPoint(t *testing.T) {
+	f := func(seed int64, aRaw, mRaw uint8) bool {
+		alpha := (float64(aRaw%98) + 1) / 100 // 0.01..0.99
+		m := int(mRaw % 10)
+		rng := rand.New(rand.NewSource(seed))
+		c := rng.Float64()*100 - 50
+		b := NewBrown(alpha)
+		for i := 0; i < 30; i++ {
+			b.Observe(c)
+		}
+		return math.Abs(b.Forecast(m)-c) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Forecast is affine in the horizon m: the increments
+// Forecast(m+1)−Forecast(m) are constant.
+func TestPropertyForecastAffineInHorizon(t *testing.T) {
+	f := func(seed int64, aRaw uint8) bool {
+		alpha := (float64(aRaw%98) + 1) / 100
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBrown(alpha)
+		for i := 0; i < 15; i++ {
+			b.Observe(rng.Float64() * 20)
+		}
+		d1 := b.Forecast(1) - b.Forecast(0)
+		d2 := b.Forecast(2) - b.Forecast(1)
+		d3 := b.Forecast(7) - b.Forecast(6)
+		return math.Abs(d1-d2) < 1e-9 && math.Abs(d1-d3) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

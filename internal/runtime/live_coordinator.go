@@ -1,0 +1,206 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"hadfl/internal/coordinator"
+	"hadfl/internal/p2p"
+	"hadfl/internal/strategy"
+)
+
+// CoordinatorConfig configures the live coordinator.
+type CoordinatorConfig struct {
+	ID      int   // coordinator's transport id
+	Workers []int // worker ids
+	// Strategy holds Tsync/Np/selection parameters.
+	Strategy strategy.Config
+	// Alpha is the version-predictor smoothing factor.
+	Alpha float64
+	// Rounds is how many training rounds to orchestrate.
+	Rounds int
+	// ReportTimeout bounds the wait for worker reports each round;
+	// silent workers are marked dead and excluded from the next plan.
+	ReportTimeout time.Duration
+	// StepsPerEpoch converts the strategy's epoch-denominated plan into
+	// local steps for live workers (the live path has no virtual clock,
+	// so E_k is derived from measured calc times).
+	Seed int64
+}
+
+// RoundStatus is the per-round telemetry the live coordinator reports.
+type RoundStatus struct {
+	Round    int
+	Plan     strategy.Plan
+	Reports  map[int]reportPayload
+	MeanLoss float64
+}
+
+// LiveCoordinator orchestrates live workers over a transport.
+type LiveCoordinator struct {
+	cfg   CoordinatorConfig
+	tr    p2p.Transport
+	coord *coordinator.Coordinator
+	// OnRound, if set, receives telemetry after every round.
+	OnRound func(RoundStatus)
+}
+
+// NewLiveCoordinator wires a coordinator to its transport.
+func NewLiveCoordinator(cfg CoordinatorConfig, tr p2p.Transport) (*LiveCoordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("runtime: no workers")
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("runtime: rounds %d", cfg.Rounds)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		cfg.Alpha = 0.5
+	}
+	if cfg.ReportTimeout <= 0 {
+		cfg.ReportTimeout = 60 * time.Second
+	}
+	if err := cfg.Strategy.Validate(len(cfg.Workers)); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	return &LiveCoordinator{
+		cfg:   cfg,
+		tr:    tr,
+		coord: coordinator.New(cfg.Strategy, cfg.Alpha, 8, rng),
+	}, nil
+}
+
+// Run drives warm-up plus cfg.Rounds training rounds, then sends the
+// shutdown marker (Round = −1) to all workers.
+func (lc *LiveCoordinator) Run() error {
+	defer func() {
+		for _, id := range lc.cfg.Workers {
+			_ = sendConfig(lc.tr, id, -1, configPayload{Kind: planTraining})
+		}
+	}()
+
+	// --- Warm-up: ask every worker to run the mutual-negotiation phase.
+	for _, id := range lc.cfg.Workers {
+		if err := sendConfig(lc.tr, id, 0, configPayload{Kind: planWarmup}); err != nil {
+			return err
+		}
+	}
+	reports := lc.collectReports(0, lc.cfg.Workers)
+	if len(reports) == 0 {
+		return fmt.Errorf("runtime: no workers completed warm-up")
+	}
+	now := 0.0
+	for id, rep := range reports {
+		// Per-step time from the warm-up measurement; the loader's
+		// batches/epoch is unknown here, so treat the warm-up as one
+		// "epoch" and derive steps from the version delta.
+		steps := rep.Version
+		if steps <= 0 {
+			steps = 1
+		}
+		stepTime := rep.CalcSecs / steps
+		if err := lc.coord.RegisterProfile(coordinator.DeviceProfile{
+			ID:           id,
+			EpochTime:    rep.CalcSecs,
+			StepTime:     stepTime,
+			WarmupTime:   rep.CalcSecs,
+			WarmupEpochs: 1,
+		}, now); err != nil {
+			return err
+		}
+	}
+
+	// --- Training rounds.
+	for round := 1; round <= lc.cfg.Rounds; round++ {
+		plan, avail, err := lc.coord.NextPlan(now, 1e18)
+		if err != nil {
+			return fmt.Errorf("runtime: round %d: %w", round, err)
+		}
+		unselected := plan.Unselected(avail)
+		broadcaster := -1
+		if len(plan.Ring) > 0 {
+			broadcaster = plan.Ring[0]
+		}
+		for _, id := range avail {
+			cp := configPayload{
+				Kind:       planTraining,
+				LocalSteps: plan.LocalSteps[id],
+			}
+			if contains(plan.Selected, id) {
+				cp.Selected = true
+				cp.Ring = plan.Ring
+				if id == broadcaster {
+					cp.Broadcaster = true
+					cp.Unselected = unselected
+				}
+			} else {
+				cp.ExpectBcast = 1
+			}
+			if err := sendConfig(lc.tr, id, round, cp); err != nil {
+				return err
+			}
+		}
+		reports := lc.collectReports(round, avail)
+		now += 1 // liveness bookkeeping advances once per round
+		meanLoss := 0.0
+		for id, rep := range reports {
+			lc.coord.ReportVersion(id, rep.Version, now)
+			meanLoss += rep.Loss
+		}
+		if len(reports) > 0 {
+			meanLoss /= float64(len(reports))
+		}
+		// Workers that stayed silent are treated as dead for planning.
+		for _, id := range avail {
+			if _, ok := reports[id]; !ok {
+				lc.coord.Liveness.MarkDead(id)
+			}
+		}
+		if lc.OnRound != nil {
+			lc.OnRound(RoundStatus{Round: round, Plan: plan, Reports: reports, MeanLoss: meanLoss})
+		}
+	}
+	return nil
+}
+
+// collectReports gathers KindReport messages for the round until all
+// expected workers answered or the timeout elapses.
+func (lc *LiveCoordinator) collectReports(round int, expect []int) map[int]reportPayload {
+	want := map[int]bool{}
+	for _, id := range expect {
+		want[id] = true
+	}
+	out := map[int]reportPayload{}
+	deadline := time.Now().Add(lc.cfg.ReportTimeout)
+	for len(out) < len(expect) {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		m, ok := lc.tr.Recv(remain)
+		if !ok {
+			break
+		}
+		if m.Kind != p2p.KindReport || m.Round != round || !want[m.From] {
+			continue
+		}
+		rep, err := decodeReport(m.Payload)
+		if err != nil {
+			continue
+		}
+		out[m.From] = rep
+	}
+	return out
+}
+
+// Store exposes the model-backup store (empty in the live demo: the
+// coordinator never sees parameters, underlining the decentralized data
+// plane; workers could push snapshots with KindParams if desired).
+func (lc *LiveCoordinator) Store() *coordinator.ModelStore { return lc.coord.Store }
+
+func contains(xs []int, x int) bool {
+	i := sort.SearchInts(xs, x)
+	return i < len(xs) && xs[i] == x
+}

@@ -1,0 +1,119 @@
+// Package runtime implements the live (message-level) HADFL deployment:
+// a coordinator process and worker processes exchanging real p2p
+// messages — KindConfig plans out, KindReport telemetry back, parameter
+// traffic strictly peer-to-peer via the fault-tolerant ring all-reduce
+// and broadcasts. It runs over any p2p.Transport: the in-process ChanHub
+// (tests) or TCP (cmd/hadfl-coordinator, cmd/hadfl-node).
+//
+// Heterogeneity is emulated exactly as in the paper: each worker sleeps
+// proportionally to 1/power after every mini-batch.
+package runtime
+
+import (
+	"fmt"
+
+	"hadfl/internal/p2p"
+)
+
+// Plan wire format inside a KindConfig payload:
+//
+//	[0] kind: 0 = warm-up request, 1 = training round
+//	[1] localSteps E_k for the receiving worker
+//	[2] selected flag (1 = ring member)
+//	[3] broadcaster flag (1 = this ring member broadcasts the aggregate)
+//	[4] number of unselected devices that expect the broadcast
+//	[5] ring length n (0 when unselected)
+//	[6..6+n) ring member ids in ring order
+//	[6+n..) unselected ids (only for the broadcaster)
+//
+// Report wire format inside a KindReport payload:
+//
+//	[0] parameter version (total local steps)
+//	[1] mean training loss over the round
+//	[2] calculation seconds for the round (wall time incl. emulated sleep)
+const (
+	planWarmup   = 0
+	planTraining = 1
+)
+
+// configPayload encodes a per-worker round plan.
+type configPayload struct {
+	Kind        int
+	LocalSteps  int
+	Selected    bool
+	Broadcaster bool
+	ExpectBcast int
+	Ring        []int
+	Unselected  []int
+}
+
+func (c configPayload) encode() []float64 {
+	out := []float64{
+		float64(c.Kind), float64(c.LocalSteps),
+		boolF(c.Selected), boolF(c.Broadcaster),
+		float64(c.ExpectBcast), float64(len(c.Ring)),
+	}
+	for _, id := range c.Ring {
+		out = append(out, float64(id))
+	}
+	for _, id := range c.Unselected {
+		out = append(out, float64(id))
+	}
+	return out
+}
+
+func decodeConfig(p []float64) (configPayload, error) {
+	if len(p) < 6 {
+		return configPayload{}, fmt.Errorf("runtime: config payload too short: %d", len(p))
+	}
+	c := configPayload{
+		Kind:        int(p[0]),
+		LocalSteps:  int(p[1]),
+		Selected:    p[2] != 0,
+		Broadcaster: p[3] != 0,
+		ExpectBcast: int(p[4]),
+	}
+	n := int(p[5])
+	if n < 0 || 6+n > len(p) {
+		return configPayload{}, fmt.Errorf("runtime: config ring length %d exceeds payload %d", n, len(p))
+	}
+	for i := 0; i < n; i++ {
+		c.Ring = append(c.Ring, int(p[6+i]))
+	}
+	for i := 6 + n; i < len(p); i++ {
+		c.Unselected = append(c.Unselected, int(p[i]))
+	}
+	return c, nil
+}
+
+// reportPayload is worker→coordinator telemetry.
+type reportPayload struct {
+	Version  float64
+	Loss     float64
+	CalcSecs float64
+}
+
+func (r reportPayload) encode() []float64 {
+	return []float64{r.Version, r.Loss, r.CalcSecs}
+}
+
+func decodeReport(p []float64) (reportPayload, error) {
+	if len(p) < 3 {
+		return reportPayload{}, fmt.Errorf("runtime: report payload too short: %d", len(p))
+	}
+	return reportPayload{Version: p[0], Loss: p[1], CalcSecs: p[2]}, nil
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sendConfig ships a plan to one worker.
+func sendConfig(tr p2p.Transport, to, round int, c configPayload) error {
+	return tr.Send(p2p.Message{
+		Kind: p2p.KindConfig, To: to, Round: round, Payload: c.encode(),
+	})
+}

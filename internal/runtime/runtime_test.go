@@ -1,0 +1,297 @@
+package runtime
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hadfl/internal/dataset"
+	"hadfl/internal/nn"
+	"hadfl/internal/p2p"
+	"hadfl/internal/strategy"
+)
+
+func TestConfigPayloadRoundTrip(t *testing.T) {
+	c := configPayload{
+		Kind: planTraining, LocalSteps: 17, Selected: true, Broadcaster: true,
+		ExpectBcast: 0, Ring: []int{2, 0, 3}, Unselected: []int{1},
+	}
+	got, err := decodeConfig(c.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != c.Kind || got.LocalSteps != 17 || !got.Selected || !got.Broadcaster {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Ring) != 3 || got.Ring[0] != 2 || got.Ring[2] != 3 {
+		t.Fatalf("ring %v", got.Ring)
+	}
+	if len(got.Unselected) != 1 || got.Unselected[0] != 1 {
+		t.Fatalf("unselected %v", got.Unselected)
+	}
+}
+
+func TestConfigPayloadRejectsTruncated(t *testing.T) {
+	if _, err := decodeConfig([]float64{1, 2}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, err := decodeConfig([]float64{1, 2, 0, 0, 0, 99}); err == nil {
+		t.Fatal("overlong ring accepted")
+	}
+}
+
+func TestReportPayloadRoundTrip(t *testing.T) {
+	r := reportPayload{Version: 120, Loss: 0.75, CalcSecs: 3.5}
+	got, err := decodeReport(r.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := decodeReport([]float64{1}); err == nil {
+		t.Fatal("short report accepted")
+	}
+}
+
+// buildLiveFederation wires a coordinator and K workers over a ChanHub.
+func buildLiveFederation(t *testing.T, powers []float64, rounds int, sleepUnit time.Duration) (*LiveCoordinator, []*Worker, *dataset.Dataset) {
+	t.Helper()
+	const coordID = 1000
+	hub := p2p.NewChanHub()
+	full := dataset.Synthetic(dataset.SyntheticConfig{
+		Samples: 1000, Features: 12, Classes: 4, ModesPerClass: 2, NoiseStd: 0.35, Seed: 5,
+	})
+	train, test := full.Split(800)
+	parts := dataset.PartitionIID(train, len(powers), rand.New(rand.NewSource(6)))
+
+	ref := nn.NewMLP(rand.New(rand.NewSource(7)), 12, []int{16}, 4)
+	init := ref.Parameters()
+
+	var workerIDs []int
+	var workers []*Worker
+	for i, p := range powers {
+		m := nn.NewMLP(rand.New(rand.NewSource(8+int64(i))), 12, []int{16}, 4)
+		m.SetParameters(init)
+		w, err := NewWorker(WorkerConfig{
+			ID: i, CoordID: coordID, Power: p, SleepUnit: sleepUnit,
+			Model: m, Opt: nn.NewSGD(0.1, 0.9, 0),
+			Loader:       dataset.NewLoader(parts[i], 16, rand.New(rand.NewSource(20+int64(i)))),
+			WarmupEpochs: 1,
+			RingOpt: p2p.RingOptions{
+				DataTimeout:      500 * time.Millisecond,
+				HandshakeTimeout: 250 * time.Millisecond,
+				MaxReforms:       3,
+			},
+			// ConfigTimeout must exceed the coordinator's ReportTimeout:
+			// when a peer dies, the coordinator stalls a full report
+			// window while live workers idle in waitConfig.
+			ConfigTimeout: 12 * time.Second,
+			BcastTimeout:  2 * time.Second,
+		}, hub.Node(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+		workerIDs = append(workerIDs, i)
+	}
+	lc, err := NewLiveCoordinator(CoordinatorConfig{
+		ID: coordID, Workers: workerIDs,
+		// Quantum/MaxFactor keep the hyperperiod LCM tame under noisy
+		// wall-clock warm-up measurements; otherwise a near-coprime pair
+		// of epoch times can cap out at a multi-second sync period that
+		// outlasts the report window.
+		Strategy:      strategy.Config{Tsync: 1, Np: 2, Quantum: 0.005, MaxFactor: 4},
+		Alpha:         0.5,
+		Rounds:        rounds,
+		ReportTimeout: 5 * time.Second,
+		Seed:          1,
+	}, hub.Node(coordID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lc, workers, test
+}
+
+func TestLiveFederationEndToEnd(t *testing.T) {
+	// SleepUnit > 0 turns on the paper's sleep()-based heterogeneity
+	// emulation; without it every worker measures the same speed and the
+	// planner correctly assigns near-uniform steps. The unit must be
+	// large enough to dominate scheduler noise on a loaded machine.
+	lc, workers, test := buildLiveFederation(t, []float64{4, 2, 2, 1}, 5, 5*time.Millisecond)
+	var statuses []RoundStatus
+	lc.OnRound = func(s RoundStatus) { statuses = append(statuses, s) }
+
+	var wg sync.WaitGroup
+	workerRounds := make([]int, len(workers))
+	for i, w := range workers {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := w.Run()
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			workerRounds[i] = r
+		}()
+	}
+	if err := lc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if len(statuses) != 5 {
+		t.Fatalf("%d round statuses", len(statuses))
+	}
+	for _, s := range statuses {
+		if len(s.Reports) != 4 {
+			t.Fatalf("round %d got %d reports", s.Round, len(s.Reports))
+		}
+		if len(s.Plan.Selected) != 2 {
+			t.Fatalf("round %d selected %v", s.Round, s.Plan.Selected)
+		}
+	}
+	for i, r := range workerRounds {
+		if r != 5 {
+			t.Fatalf("worker %d completed %d rounds", i, r)
+		}
+	}
+	// The faster device must have computed more local steps overall.
+	if workers[0].Version() <= workers[3].Version() {
+		t.Fatalf("power-4 worker version %d not above power-1 worker %d",
+			workers[0].Version(), workers[3].Version())
+	}
+	// The federation learned something: evaluate worker 0's model.
+	acc := workers[0].cfg.Model.Accuracy(test.X, test.Y)
+	if acc < 0.5 {
+		t.Fatalf("live federation accuracy %.2f", acc)
+	}
+	// Loss telemetry decreased from the first to the last round.
+	if statuses[len(statuses)-1].MeanLoss >= statuses[0].MeanLoss {
+		t.Logf("warning: loss did not decrease (%v → %v) — acceptable for 5 rounds",
+			statuses[0].MeanLoss, statuses[len(statuses)-1].MeanLoss)
+	}
+}
+
+func TestLiveFederationSleepEmulation(t *testing.T) {
+	// With sleep-based heterogeneity (the paper's method), the power-4
+	// worker is assigned more local steps than the power-1 worker.
+	lc, workers, _ := buildLiveFederation(t, []float64{4, 1}, 2, 5*time.Millisecond)
+	var mu sync.Mutex
+	stepsByRound := map[int]map[int]int{}
+	lc.OnRound = func(s RoundStatus) {
+		mu.Lock()
+		defer mu.Unlock()
+		m := map[int]int{}
+		for id, e := range s.Plan.LocalSteps {
+			m[id] = e
+		}
+		stepsByRound[s.Round] = m
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := w.Run(); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := lc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	last := stepsByRound[2]
+	if last == nil {
+		t.Fatal("no round-2 plan recorded")
+	}
+	if last[0] <= last[1] {
+		t.Fatalf("fast worker steps %d not above slow worker %d", last[0], last[1])
+	}
+}
+
+func TestLiveFederationWorkerDeath(t *testing.T) {
+	// A worker that dies after warm-up is marked dead and the federation
+	// completes the remaining rounds without it.
+	lc, workers, _ := buildLiveFederation(t, []float64{2, 2, 1, 1}, 4, 0)
+	var statuses []RoundStatus
+	lc.OnRound = func(s RoundStatus) { statuses = append(statuses, s) }
+
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i == 3 {
+				// Worker 3 completes warm-up + one round, then vanishes.
+				w.cfg.ConfigTimeout = time.Second
+				msg, ok := w.waitConfig()
+				if !ok {
+					return
+				}
+				plan, _ := decodeConfig(msg.Payload)
+				_ = w.warmup(msg.Round)
+				_ = plan
+				return // dead: never participates in training rounds
+			}
+			if _, err := w.Run(); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}()
+	}
+	if err := lc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(statuses) != 4 {
+		t.Fatalf("%d rounds", len(statuses))
+	}
+	// After round 1 times out on worker 3, later rounds exclude it.
+	lastReports := statuses[len(statuses)-1].Reports
+	if _, ok := lastReports[3]; ok {
+		t.Fatal("dead worker reported in final round")
+	}
+	if len(lastReports) != 3 {
+		t.Fatalf("final round has %d reports, want 3", len(lastReports))
+	}
+}
+
+func TestWorkerValidation(t *testing.T) {
+	hub := p2p.NewChanHub()
+	if _, err := NewWorker(WorkerConfig{ID: 0, Power: 0}, hub.Node(0)); err == nil {
+		t.Fatal("power 0 accepted")
+	}
+	if _, err := NewWorker(WorkerConfig{ID: 0, Power: 1}, hub.Node(0)); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	hub := p2p.NewChanHub()
+	if _, err := NewLiveCoordinator(CoordinatorConfig{ID: 1, Rounds: 1, Strategy: strategy.Config{Tsync: 1, Np: 1}}, hub.Node(1)); err == nil {
+		t.Fatal("no workers accepted")
+	}
+	if _, err := NewLiveCoordinator(CoordinatorConfig{ID: 1, Workers: []int{0}, Rounds: 0, Strategy: strategy.Config{Tsync: 1, Np: 1}}, hub.Node(1)); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, err := NewLiveCoordinator(CoordinatorConfig{ID: 1, Workers: []int{0}, Rounds: 1, Strategy: strategy.Config{Tsync: 0, Np: 1}}, hub.Node(1)); err == nil {
+		t.Fatal("invalid strategy accepted")
+	}
+}
+
+func TestBoolF(t *testing.T) {
+	if boolF(true) != 1 || boolF(false) != 0 {
+		t.Fatal("boolF broken")
+	}
+	if math.IsNaN(boolF(true)) {
+		t.Fatal("NaN")
+	}
+}

@@ -1,0 +1,250 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"hadfl/internal/aggregate"
+	"hadfl/internal/dataset"
+	"hadfl/internal/nn"
+	"hadfl/internal/p2p"
+)
+
+// WorkerConfig configures one live training worker.
+type WorkerConfig struct {
+	ID      int
+	CoordID int
+	// Power is the emulated computing-power ratio: after each step the
+	// worker sleeps SleepUnit/Power, the paper's sleep() heterogeneity.
+	Power float64
+	// SleepUnit is the per-step sleep at power 1 (wall time). Zero
+	// disables the emulation (full speed).
+	SleepUnit time.Duration
+
+	Model  *nn.Model
+	Opt    *nn.SGD
+	Loader *dataset.Loader
+
+	// WarmupEpochs and WarmupLRScale drive the mutual-negotiation phase.
+	WarmupEpochs  int
+	WarmupLRScale float64
+	// MergeBeta is the broadcast integration weight (see aggregate.Merge).
+	MergeBeta float64
+
+	RingOpt p2p.RingOptions
+	// ConfigTimeout is how long to wait for the next coordinator plan
+	// before giving up.
+	ConfigTimeout time.Duration
+	// BcastTimeout is how long an unselected worker waits for the
+	// aggregated model broadcast.
+	BcastTimeout time.Duration
+}
+
+// Worker is a live HADFL device process.
+type Worker struct {
+	cfg     WorkerConfig
+	tr      p2p.Transport
+	version int
+}
+
+// NewWorker wires a worker to its transport.
+func NewWorker(cfg WorkerConfig, tr p2p.Transport) (*Worker, error) {
+	if cfg.Power <= 0 {
+		return nil, fmt.Errorf("runtime: power %v", cfg.Power)
+	}
+	if cfg.Model == nil || cfg.Opt == nil || cfg.Loader == nil {
+		return nil, fmt.Errorf("runtime: worker %d missing model/opt/loader", cfg.ID)
+	}
+	if cfg.WarmupEpochs < 1 {
+		cfg.WarmupEpochs = 1
+	}
+	if cfg.WarmupLRScale <= 0 {
+		cfg.WarmupLRScale = 0.1
+	}
+	if cfg.MergeBeta <= 0 {
+		cfg.MergeBeta = 1
+	}
+	if cfg.ConfigTimeout <= 0 {
+		cfg.ConfigTimeout = 30 * time.Second
+	}
+	if cfg.BcastTimeout <= 0 {
+		cfg.BcastTimeout = 10 * time.Second
+	}
+	if cfg.RingOpt.DataTimeout <= 0 {
+		cfg.RingOpt = p2p.DefaultRingOptions()
+		cfg.RingOpt.DataTimeout = 2 * time.Second
+		cfg.RingOpt.HandshakeTimeout = time.Second
+	}
+	return &Worker{cfg: cfg, tr: tr}, nil
+}
+
+// Version returns the worker's parameter version (total local steps).
+func (w *Worker) Version() int { return w.version }
+
+// Model exposes the worker's local model (for evaluation after a run).
+func (w *Worker) Model() *nn.Model { return w.cfg.Model }
+
+// Run executes the worker loop until the coordinator stops sending
+// plans (config timeout) or rounds plans arrive with Round < 0
+// (shutdown marker). It returns the number of training rounds completed.
+func (w *Worker) Run() (rounds int, err error) {
+	for {
+		msg, ok := w.waitConfig()
+		if !ok {
+			return rounds, nil // coordinator gone: clean exit
+		}
+		if msg.Round < 0 {
+			return rounds, nil // explicit shutdown
+		}
+		plan, err := decodeConfig(msg.Payload)
+		if err != nil {
+			return rounds, err
+		}
+		switch plan.Kind {
+		case planWarmup:
+			if err := w.warmup(msg.Round); err != nil {
+				return rounds, err
+			}
+		case planTraining:
+			if err := w.trainRound(msg.Round, plan); err != nil {
+				return rounds, err
+			}
+			rounds++
+		default:
+			return rounds, fmt.Errorf("runtime: unknown plan kind %d", plan.Kind)
+		}
+	}
+}
+
+// waitConfig blocks for the next KindConfig, servicing handshakes so ring
+// peers probing this worker between rounds still get Acks.
+func (w *Worker) waitConfig() (p2p.Message, bool) {
+	deadline := time.Now().Add(w.cfg.ConfigTimeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return p2p.Message{}, false
+		}
+		m, ok := w.tr.Recv(remain)
+		if !ok {
+			return p2p.Message{}, false
+		}
+		switch m.Kind {
+		case p2p.KindConfig:
+			return m, true
+		case p2p.KindHandshake, p2p.KindHeartbeat:
+			_ = w.tr.Send(p2p.Message{Kind: p2p.KindAck, To: m.From, Round: m.Round})
+		default:
+			// Stale broadcast or ring traffic from the previous round.
+		}
+	}
+}
+
+// step runs one local mini-batch with the paper's sleep()-based
+// heterogeneity emulation, returning the loss.
+func (w *Worker) step() float64 {
+	x, y := w.cfg.Loader.Next()
+	logits := w.cfg.Model.Forward(x, true)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, y)
+	w.cfg.Model.Backward(grad)
+	w.cfg.Opt.Step(w.cfg.Model)
+	w.version++
+	if w.cfg.SleepUnit > 0 {
+		time.Sleep(time.Duration(float64(w.cfg.SleepUnit) / w.cfg.Power))
+	}
+	return loss
+}
+
+// warmup runs the mutual-negotiation phase and reports T_i.
+func (w *Worker) warmup(round int) error {
+	start := time.Now()
+	origLR := w.cfg.Opt.LR
+	w.cfg.Opt.LR = origLR * w.cfg.WarmupLRScale
+	steps := w.cfg.WarmupEpochs * w.cfg.Loader.BatchesPerEpoch()
+	if steps < 1 {
+		steps = w.cfg.WarmupEpochs
+	}
+	var loss float64
+	for i := 0; i < steps; i++ {
+		loss = w.step()
+	}
+	w.cfg.Opt.LR = origLR
+	rep := reportPayload{
+		Version:  float64(w.version),
+		Loss:     loss,
+		CalcSecs: time.Since(start).Seconds(),
+	}
+	return w.tr.Send(p2p.Message{
+		Kind: p2p.KindReport, To: w.cfg.CoordID, Round: round, Payload: rep.encode(),
+	})
+}
+
+// trainRound executes one HADFL round: E_k local steps, then partial
+// synchronization per the plan.
+func (w *Worker) trainRound(round int, plan configPayload) error {
+	start := time.Now()
+	lossSum := 0.0
+	steps := plan.LocalSteps
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; i < steps; i++ {
+		lossSum += w.step()
+	}
+
+	if plan.Selected {
+		sum, survivors, err := p2p.RingAllReduce(w.tr, plan.Ring, round, w.cfg.Model.Parameters(), w.cfg.RingOpt)
+		if err != nil {
+			return fmt.Errorf("runtime: worker %d round %d all-reduce: %w", w.cfg.ID, round, err)
+		}
+		aggregate.ScaleInPlace(sum, 1/float64(len(survivors)))
+		w.cfg.Model.SetParameters(sum)
+		w.cfg.Opt.Reset()
+		if plan.Broadcaster {
+			p2p.Broadcast(w.tr, plan.Unselected, p2p.Message{
+				Kind: p2p.KindBroadcast, Round: round, Payload: sum,
+			})
+		}
+	} else if plan.ExpectBcast > 0 {
+		if agg, ok := w.waitBroadcast(round); ok {
+			merged := aggregate.Merge(w.cfg.Model.Parameters(), agg, w.cfg.MergeBeta)
+			w.cfg.Model.SetParameters(merged)
+			w.cfg.Opt.Reset()
+		}
+		// A missing broadcast is tolerated: the worker continues on its
+		// local model (non-blocking broadcast semantics).
+	}
+
+	rep := reportPayload{
+		Version:  float64(w.version),
+		Loss:     lossSum / float64(steps),
+		CalcSecs: time.Since(start).Seconds(),
+	}
+	return w.tr.Send(p2p.Message{
+		Kind: p2p.KindReport, To: w.cfg.CoordID, Round: round, Payload: rep.encode(),
+	})
+}
+
+// waitBroadcast waits for this round's aggregated model, answering
+// handshake probes meanwhile.
+func (w *Worker) waitBroadcast(round int) ([]float64, bool) {
+	deadline := time.Now().Add(w.cfg.BcastTimeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, false
+		}
+		m, ok := w.tr.Recv(remain)
+		if !ok {
+			return nil, false
+		}
+		switch m.Kind {
+		case p2p.KindBroadcast:
+			if m.Round == round {
+				return m.Payload, true
+			}
+		case p2p.KindHandshake, p2p.KindHeartbeat:
+			_ = w.tr.Send(p2p.Message{Kind: p2p.KindAck, To: m.From, Round: m.Round})
+		}
+	}
+}

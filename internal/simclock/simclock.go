@@ -1,0 +1,156 @@
+// Package simclock is a deterministic discrete-event simulator. All
+// experiment "time" in this repository is virtual time advanced by this
+// engine, mirroring how the paper injects sleep() to emulate heterogeneous
+// compute: per-batch compute costs, link latencies and synchronization
+// waits are all scheduled events.
+//
+// Determinism: events firing at the same instant run in scheduling order
+// (FIFO), so a simulation with fixed rng seeds reproduces exactly.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual time in seconds.
+type Time float64
+
+// Engine is a discrete-event simulation loop. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	now   Time
+	queue eventHeap
+	seq   uint64
+}
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once fired/cancelled
+	cancelled bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// New returns an empty engine at time 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run after delay. A negative delay panics; a
+// zero delay runs fn at the current instant, after already-queued events
+// for that instant.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %v", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at absolute time t (≥ now).
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
+		panic(fmt.Sprintf("simclock: invalid time %v", t))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty. The maxEvents guard converts
+// runaway simulations (e.g. a protocol bug that reschedules forever) into
+// a panic instead of a hang.
+func (e *Engine) Run(maxEvents int) {
+	for i := 0; e.Step(); i++ {
+		if maxEvents > 0 && i >= maxEvents {
+			panic(fmt.Sprintf("simclock: exceeded %d events — runaway simulation?", maxEvents))
+		}
+	}
+}
+
+// RunUntil fires events with timestamps ≤ t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for e.queue.Len() > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunWhile fires events while cond() holds and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// eventHeap orders events by (time, sequence number).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

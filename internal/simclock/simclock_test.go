@@ -1,0 +1,231 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var got []Time
+	e.Schedule(1, func() {
+		got = append(got, e.Now())
+		e.Schedule(2, func() { got = append(got, e.Now()) })
+	})
+	e.Run(0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("nested times %v", got)
+	}
+}
+
+func TestZeroDelayRunsAfterQueuedSameInstant(t *testing.T) {
+	e := New()
+	var got []string
+	e.Schedule(0, func() {
+		got = append(got, "a")
+		e.Schedule(0, func() { got = append(got, "c") })
+	})
+	e.Schedule(0, func() { got = append(got, "b") })
+	e.Run(0)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {})
+	e.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schedule in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-after-fire are no-ops.
+	e.Cancel(ev)
+	ev2 := e.Schedule(1, func() {})
+	e.Run(0)
+	e.Cancel(ev2)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.Schedule(Time(i), func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[5])
+	e.Cancel(evs[2])
+	e.Run(0)
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v == 2 || v == 5 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, d := range []Time{1, 2, 3, 4, 5} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("fired %d events by t=3", len(got))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	// RunUntil past the queue advances the clock.
+	e.RunUntil(100)
+	if e.Now() != 100 || e.Pending() != 0 {
+		t.Fatalf("Now=%v Pending=%d", e.Now(), e.Pending())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() { count++ })
+	}
+	e.RunWhile(func() bool { return count < 4 })
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	e := New()
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway simulation did not panic")
+		}
+	}()
+	e.Run(1000)
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// insertion order.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var fired []Time
+		n := rng.Intn(50) + 1
+		for i := 0; i < n; i++ {
+			d := Time(rng.Float64() * 100)
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(0)
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a random mix of schedules and cancels fires exactly the
+// non-cancelled events.
+func TestPropertyCancelExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		fired := map[int]bool{}
+		var evs []*Event
+		n := rng.Intn(40) + 10
+		for i := 0; i < n; i++ {
+			i := i
+			evs = append(evs, e.Schedule(Time(rng.Float64()*10), func() { fired[i] = true }))
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < n/3; i++ {
+			j := rng.Intn(n)
+			e.Cancel(evs[j])
+			cancelled[j] = true
+		}
+		e.Run(0)
+		for i := 0; i < n; i++ {
+			if cancelled[i] && fired[i] {
+				return false
+			}
+			if !cancelled[i] && !fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

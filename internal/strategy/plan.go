@@ -1,0 +1,102 @@
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DeviceEstimate is the per-device input to plan generation: the warm-up
+// (or predicted) per-epoch compute time and the forecast parameter
+// version for the coming round.
+type DeviceEstimate struct {
+	ID        int
+	EpochTime float64 // seconds per local epoch
+	StepTime  float64 // seconds per local step (mini-batch)
+	Version   float64 // predicted parameter version
+}
+
+// Plan is one round's training configuration, produced by the strategy
+// generator and shipped to devices (paper workflow step 4).
+type Plan struct {
+	Hyperperiod float64     // HE, seconds
+	SyncPeriod  float64     // Tsync × HE, seconds
+	LocalSteps  map[int]int // device id → E_k
+	Selected    []int       // device ids chosen for partial aggregation
+	Ring        []int       // directed ring over Selected (order = edges)
+	Probs       map[int]float64
+}
+
+// Config are the tunables of plan generation.
+type Config struct {
+	Tsync     int     // sync every Tsync hyperperiods (positive integer)
+	Np        int     // devices selected per partial aggregation
+	Sigma     float64 // Eq. 8 Gaussian width; ≤0 = robust auto
+	Quantum   float64 // hyperperiod grid; ≤0 = auto
+	MaxFactor int     // hyperperiod cap multiplier; ≤0 = 64
+}
+
+// Validate checks the configuration against a device count.
+func (c Config) Validate(devices int) error {
+	if c.Tsync < 1 {
+		return fmt.Errorf("strategy: Tsync %d must be ≥ 1", c.Tsync)
+	}
+	if c.Np < 1 || c.Np > devices {
+		return fmt.Errorf("strategy: Np %d outside [1,%d]", c.Np, devices)
+	}
+	return nil
+}
+
+// Generate produces one round's Plan from per-device estimates.
+func Generate(rng *rand.Rand, cfg Config, devs []DeviceEstimate) (Plan, error) {
+	if err := cfg.Validate(len(devs)); err != nil {
+		return Plan{}, err
+	}
+	if len(devs) == 0 {
+		return Plan{}, fmt.Errorf("strategy: no devices")
+	}
+	epochTimes := make([]float64, len(devs))
+	stepTimes := make([]float64, len(devs))
+	versions := make([]float64, len(devs))
+	for i, d := range devs {
+		epochTimes[i] = d.EpochTime
+		stepTimes[i] = d.StepTime
+		versions[i] = d.Version
+	}
+	he := Hyperperiod(epochTimes, cfg.Quantum, cfg.MaxFactor)
+	syncPeriod := float64(cfg.Tsync) * he
+	steps := LocalSteps(syncPeriod, stepTimes)
+	probs := SelectionProbs(versions, cfg.Sigma)
+	selIdx := SelectDevices(rng, probs, cfg.Np)
+
+	plan := Plan{
+		Hyperperiod: he,
+		SyncPeriod:  syncPeriod,
+		LocalSteps:  make(map[int]int, len(devs)),
+		Probs:       make(map[int]float64, len(devs)),
+	}
+	for i, d := range devs {
+		plan.LocalSteps[d.ID] = steps[i]
+		plan.Probs[d.ID] = probs[i]
+	}
+	for _, i := range selIdx {
+		plan.Selected = append(plan.Selected, devs[i].ID)
+	}
+	plan.Ring = RandomRing(rng, plan.Selected)
+	return plan, nil
+}
+
+// Unselected returns the device ids not chosen for partial aggregation,
+// i.e. the K−Np broadcast targets of §III-D.
+func (p Plan) Unselected(all []int) []int {
+	sel := make(map[int]bool, len(p.Selected))
+	for _, id := range p.Selected {
+		sel[id] = true
+	}
+	var out []int
+	for _, id := range all {
+		if !sel[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+// Package strategy implements HADFL's training-strategy generation
+// (paper §III-C): the hyperperiod computation, heterogeneity-aware
+// local-step assignment, the probability-based device selection of Eq. 8,
+// and the random directed-ring partial-synchronization topology.
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Hyperperiod returns the least common multiple of the devices' per-epoch
+// training times (paper: HE = LCM(Tᵢ/Ewarmup)), computed on a discrete
+// grid of the given quantum (seconds). Times are rounded to the nearest
+// quantum before the integer LCM; a zero quantum defaults to 1/20 of the
+// fastest epoch time. The result is capped at maxFactor× the slowest
+// epoch time (default 64 when maxFactor ≤ 0) to keep pathological
+// near-coprime times from exploding the schedule; the cap is the smallest
+// multiple of the slowest epoch time ≥ the true LCM would be truncated to.
+func Hyperperiod(epochTimes []float64, quantum float64, maxFactor int) float64 {
+	if len(epochTimes) == 0 {
+		panic("strategy: Hyperperiod needs at least one device")
+	}
+	minT, maxT := epochTimes[0], epochTimes[0]
+	for _, t := range epochTimes {
+		if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			panic(fmt.Sprintf("strategy: invalid epoch time %v", t))
+		}
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if quantum <= 0 {
+		quantum = minT / 20
+	}
+	if maxFactor <= 0 {
+		maxFactor = 64
+	}
+	lcm := int64(1)
+	cap64 := int64(math.Ceil(maxT/quantum)) * int64(maxFactor)
+	for _, t := range epochTimes {
+		ticks := int64(math.Round(t / quantum))
+		if ticks < 1 {
+			ticks = 1
+		}
+		lcm = lcm / gcd(lcm, ticks) * ticks
+		if lcm > cap64 {
+			lcm = cap64
+			break
+		}
+	}
+	return float64(lcm) * quantum
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LocalSteps assigns each device the number of local steps it can fit in
+// one synchronization period (syncPeriod seconds), given its per-step
+// compute time. Every device runs at least one step, so stragglers always
+// contribute (paper §III-C: straggler efforts are never wasted).
+func LocalSteps(syncPeriod float64, stepTimes []float64) []int {
+	if syncPeriod <= 0 {
+		panic(fmt.Sprintf("strategy: non-positive sync period %v", syncPeriod))
+	}
+	out := make([]int, len(stepTimes))
+	for i, st := range stepTimes {
+		if st <= 0 {
+			panic(fmt.Sprintf("strategy: invalid step time %v for device %d", st, i))
+		}
+		e := int(syncPeriod / st)
+		if e < 1 {
+			e = 1
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// Quartile3 returns the third quartile (75th percentile, linear
+// interpolation) of vs — the centre µ of Eq. 8's Gaussian.
+func Quartile3(vs []float64) float64 {
+	if len(vs) == 0 {
+		panic("strategy: Quartile3 of empty slice")
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := 0.75 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// SelectionProbs computes Eq. 8's selection distribution: each device's
+// probability is the unit Gaussian density centred at µ = Quartile3 of
+// the versions, normalized over devices. sigma scales the Gaussian width;
+// sigma ≤ 0 selects a robust automatic width (half the interquartile
+// range, floored at 1) so wide version spreads — common when compute
+// ratios are large — do not collapse the distribution onto a single
+// device. The paper's literal unit-variance form is sigma = 1.
+func SelectionProbs(versions []float64, sigma float64) []float64 {
+	n := len(versions)
+	if n == 0 {
+		panic("strategy: SelectionProbs of empty slice")
+	}
+	mu := Quartile3(versions)
+	if sigma <= 0 {
+		s := append([]float64(nil), versions...)
+		sort.Float64s(s)
+		q1pos := 0.25 * float64(n-1)
+		lo := int(q1pos)
+		frac := q1pos - float64(lo)
+		q1 := s[lo]
+		if lo+1 < n {
+			q1 = s[lo]*(1-frac) + s[lo+1]*frac
+		}
+		sigma = (mu - q1) / 2
+		if sigma < 1 {
+			sigma = 1
+		}
+	}
+	probs := make([]float64, n)
+	sum := 0.0
+	for i, v := range versions {
+		z := (v - mu) / sigma
+		probs[i] = math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+		sum += probs[i]
+	}
+	if sum == 0 {
+		// All densities underflowed; fall back to uniform.
+		for i := range probs {
+			probs[i] = 1 / float64(n)
+		}
+		return probs
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// SelectDevices samples np distinct indices without replacement according
+// to probs (renormalizing after each draw). It panics if np exceeds the
+// number of devices.
+func SelectDevices(rng *rand.Rand, probs []float64, np int) []int {
+	n := len(probs)
+	if np <= 0 || np > n {
+		panic(fmt.Sprintf("strategy: cannot select %d of %d devices", np, n))
+	}
+	remaining := append([]float64(nil), probs...)
+	chosen := make([]int, 0, np)
+	taken := make([]bool, n)
+	for len(chosen) < np {
+		sum := 0.0
+		for i, p := range remaining {
+			if !taken[i] {
+				sum += p
+			}
+		}
+		var pick int
+		if sum <= 0 {
+			// Degenerate weights: pick uniformly among the untaken.
+			k := rng.Intn(n - len(chosen))
+			for i := 0; i < n; i++ {
+				if !taken[i] {
+					if k == 0 {
+						pick = i
+						break
+					}
+					k--
+				}
+			}
+		} else {
+			r := rng.Float64() * sum
+			pick = -1
+			for i, p := range remaining {
+				if taken[i] {
+					continue
+				}
+				r -= p
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 { // float round-off: take the last untaken
+				for i := n - 1; i >= 0; i-- {
+					if !taken[i] {
+						pick = i
+						break
+					}
+				}
+			}
+		}
+		taken[pick] = true
+		chosen = append(chosen, pick)
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// RandomRing returns the ids in a uniformly random cyclic order; device
+// order[i] sends to order[(i+1) mod len]. This is the "randomly
+// determined directed ring" partial-synchronization topology of §III-C.
+func RandomRing(rng *rand.Rand, ids []int) []int {
+	order := append([]int(nil), ids...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// Groups partitions device ids into ⌈n/size⌉ contiguous groups after a
+// random shuffle, the multi-group management scheme of Fig. 2(a). The
+// inter-group synchronization period is an integer multiple of the
+// intra-group period (see GroupSchedule).
+func Groups(rng *rand.Rand, ids []int, size int) [][]int {
+	if size <= 0 {
+		panic("strategy: group size must be positive")
+	}
+	shuffled := append([]int(nil), ids...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	var out [][]int
+	for len(shuffled) > 0 {
+		n := size
+		if n > len(shuffled) {
+			n = len(shuffled)
+		}
+		out = append(out, shuffled[:n])
+		shuffled = shuffled[n:]
+	}
+	return out
+}
+
+// GroupSchedule reports whether round j is an inter-group round, given
+// that inter-group synchronization happens every interEvery intra-group
+// rounds (paper: "the inter-group synchronization period can be an
+// integer multiple of the intra-group synchronization period").
+func GroupSchedule(round, interEvery int) (interGroup bool) {
+	if interEvery <= 0 {
+		panic("strategy: interEvery must be positive")
+	}
+	return round > 0 && round%interEvery == 0
+}

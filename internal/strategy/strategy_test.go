@@ -1,0 +1,388 @@
+package strategy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHyperperiodSimpleRatios(t *testing.T) {
+	// Paper's example: compute power 4:2:1 → epoch times 1,2,4 → LCM 4.
+	he := Hyperperiod([]float64{1, 2, 4}, 0.001, 0)
+	if math.Abs(he-4) > 1e-9 {
+		t.Fatalf("Hyperperiod = %v, want 4", he)
+	}
+	// [3,3,1,1] → times 1,1,3,3 → LCM 3.
+	he = Hyperperiod([]float64{1, 1, 3, 3}, 0.001, 0)
+	if math.Abs(he-3) > 1e-9 {
+		t.Fatalf("Hyperperiod = %v, want 3", he)
+	}
+}
+
+func TestHyperperiodIsMultipleOfEach(t *testing.T) {
+	times := []float64{0.5, 0.75, 1.5}
+	he := Hyperperiod(times, 0.01, 0)
+	for _, tt := range times {
+		ratio := he / tt
+		if math.Abs(ratio-math.Round(ratio)) > 1e-6 {
+			t.Fatalf("hyperperiod %v not a multiple of %v", he, tt)
+		}
+	}
+}
+
+func TestHyperperiodCap(t *testing.T) {
+	// Near-coprime times would explode; the cap bounds the result.
+	times := []float64{0.997, 1.003, 1.013}
+	he := Hyperperiod(times, 0.001, 8)
+	if he > 1.013*8+1e-9 {
+		t.Fatalf("Hyperperiod %v exceeds cap", he)
+	}
+}
+
+func TestHyperperiodValidation(t *testing.T) {
+	for _, times := range [][]float64{{}, {0}, {-1}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Hyperperiod(%v) did not panic", times)
+				}
+			}()
+			Hyperperiod(times, 0, 0)
+		}()
+	}
+}
+
+func TestLocalStepsProportionalToPower(t *testing.T) {
+	// Step times 1, 2, 4 (power 4:2:1) in a 8-second window → 8, 4, 2.
+	steps := LocalSteps(8, []float64{1, 2, 4})
+	want := []int{8, 4, 2}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("LocalSteps = %v, want %v", steps, want)
+		}
+	}
+}
+
+func TestLocalStepsMinimumOne(t *testing.T) {
+	steps := LocalSteps(1, []float64{10})
+	if steps[0] != 1 {
+		t.Fatalf("straggler must run at least one step, got %d", steps[0])
+	}
+}
+
+func TestQuartile3(t *testing.T) {
+	cases := []struct {
+		vs   []float64
+		want float64
+	}{
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 3.25},
+		{[]float64{1, 2, 3, 4, 5}, 4},
+		{[]float64{10, 10, 10}, 10},
+	}
+	for _, c := range cases {
+		if got := Quartile3(c.vs); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quartile3(%v) = %v, want %v", c.vs, got, c.want)
+		}
+	}
+}
+
+func TestSelectionProbsSumToOne(t *testing.T) {
+	versions := []float64{10, 20, 30, 40}
+	for _, sigma := range []float64{0, 1, 5} {
+		probs := SelectionProbs(versions, sigma)
+		sum := 0.0
+		for _, p := range probs {
+			if p < 0 {
+				t.Fatalf("negative probability %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probs sum %v (sigma=%v)", sum, sigma)
+		}
+	}
+}
+
+func TestSelectionPrefersMedialFreshVersions(t *testing.T) {
+	// µ is the 3rd quartile: the device *at* Q3 gets the highest
+	// probability; the most stale gets the lowest. The freshest device is
+	// NOT the most likely — the paper's "medial versions" preference.
+	versions := []float64{10, 20, 30, 40}
+	probs := SelectionProbs(versions, 0)
+	// Q3 of {10,20,30,40} = 32.5 → device 2 (v=30) closest.
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	if best != 2 {
+		t.Fatalf("highest probability at device %d (probs %v), want 2 (nearest Q3)", best, probs)
+	}
+	if probs[0] >= probs[2] {
+		t.Fatalf("most stale device should have lower probability: %v", probs)
+	}
+	if probs[3] >= probs[2] {
+		t.Fatalf("freshest device should not beat the medial one: %v", probs)
+	}
+	// But the straggler still has nonzero probability (never discarded).
+	if probs[0] <= 0 {
+		t.Fatalf("straggler probability must stay positive: %v", probs)
+	}
+}
+
+func TestSelectionProbsUnderflowFallsBackToUniform(t *testing.T) {
+	// Hugely spread versions with sigma=1 underflow every density except
+	// possibly one; with all underflowed we fall back to uniform.
+	versions := []float64{0, 1e9, -1e9, 5e8}
+	probs := SelectionProbs(versions, 1)
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("underflow fallback sums to %v", sum)
+	}
+}
+
+func TestSelectDevicesWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	for trial := 0; trial < 100; trial++ {
+		sel := SelectDevices(rng, probs, 3)
+		if len(sel) != 3 {
+			t.Fatalf("selected %d", len(sel))
+		}
+		seen := map[int]bool{}
+		for _, s := range sel {
+			if seen[s] {
+				t.Fatalf("duplicate selection %v", sel)
+			}
+			seen[s] = true
+			if s < 0 || s > 3 {
+				t.Fatalf("selection out of range %v", sel)
+			}
+		}
+	}
+}
+
+func TestSelectDevicesFrequencyTracksProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	probs := []float64{0.05, 0.05, 0.45, 0.45}
+	counts := make([]int, 4)
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		for _, s := range SelectDevices(rng, probs, 1) {
+			counts[s]++
+		}
+	}
+	if counts[2] < counts[0]*3 || counts[3] < counts[1]*3 {
+		t.Fatalf("selection frequencies %v do not track probabilities %v", counts, probs)
+	}
+}
+
+func TestSelectDevicesDegenerateWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sel := SelectDevices(rng, []float64{0, 0, 0}, 2)
+	if len(sel) != 2 {
+		t.Fatalf("degenerate weights selection %v", sel)
+	}
+}
+
+func TestSelectDevicesPanicsOnBadNp(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("np > n did not panic")
+		}
+	}()
+	SelectDevices(rng, []float64{1}, 2)
+}
+
+func TestRandomRingIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ids := []int{3, 7, 9, 11}
+	ring := RandomRing(rng, ids)
+	if len(ring) != 4 {
+		t.Fatalf("ring size %d", len(ring))
+	}
+	sorted := append([]int(nil), ring...)
+	sort.Ints(sorted)
+	for i, id := range []int{3, 7, 9, 11} {
+		if sorted[i] != id {
+			t.Fatalf("ring %v is not a permutation of %v", ring, ids)
+		}
+	}
+	// Original slice untouched.
+	if ids[0] != 3 || ids[3] != 11 {
+		t.Fatal("RandomRing mutated input")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ids := []int{0, 1, 2, 3, 4, 5, 6}
+	groups := Groups(rng, ids, 3)
+	if len(groups) != 3 {
+		t.Fatalf("group count %d", len(groups))
+	}
+	total := 0
+	seen := map[int]bool{}
+	for _, g := range groups {
+		total += len(g)
+		for _, id := range g {
+			if seen[id] {
+				t.Fatalf("device %d in two groups", id)
+			}
+			seen[id] = true
+		}
+	}
+	if total != 7 {
+		t.Fatalf("groups cover %d devices", total)
+	}
+}
+
+func TestGroupSchedule(t *testing.T) {
+	if GroupSchedule(0, 3) {
+		t.Fatal("round 0 must not be inter-group")
+	}
+	if !GroupSchedule(3, 3) || !GroupSchedule(6, 3) {
+		t.Fatal("rounds 3 and 6 must be inter-group with interEvery=3")
+	}
+	if GroupSchedule(4, 3) {
+		t.Fatal("round 4 must be intra-group")
+	}
+}
+
+func TestGeneratePlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	devs := []DeviceEstimate{
+		{ID: 0, EpochTime: 1, StepTime: 0.1, Version: 30},
+		{ID: 1, EpochTime: 2, StepTime: 0.2, Version: 15},
+		{ID: 2, EpochTime: 2, StepTime: 0.2, Version: 15},
+		{ID: 3, EpochTime: 4, StepTime: 0.4, Version: 8},
+	}
+	cfg := Config{Tsync: 1, Np: 2}
+	plan, err := Generate(rng, cfg, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Hyperperiod-4) > 1e-9 {
+		t.Fatalf("Hyperperiod = %v, want 4", plan.Hyperperiod)
+	}
+	if math.Abs(plan.SyncPeriod-4) > 1e-9 {
+		t.Fatalf("SyncPeriod = %v", plan.SyncPeriod)
+	}
+	// Fast device runs 4× the steps of the slowest.
+	if plan.LocalSteps[0] != 40 || plan.LocalSteps[3] != 10 {
+		t.Fatalf("LocalSteps = %v", plan.LocalSteps)
+	}
+	if len(plan.Selected) != 2 || len(plan.Ring) != 2 {
+		t.Fatalf("Selected %v Ring %v", plan.Selected, plan.Ring)
+	}
+	un := plan.Unselected([]int{0, 1, 2, 3})
+	if len(un)+len(plan.Selected) != 4 {
+		t.Fatalf("Unselected %v with Selected %v", un, plan.Selected)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	devs := []DeviceEstimate{{ID: 0, EpochTime: 1, StepTime: 0.1, Version: 1}}
+	if _, err := Generate(rng, Config{Tsync: 0, Np: 1}, devs); err == nil {
+		t.Fatal("Tsync=0 must error")
+	}
+	if _, err := Generate(rng, Config{Tsync: 1, Np: 2}, devs); err == nil {
+		t.Fatal("Np>devices must error")
+	}
+	if _, err := Generate(rng, Config{Tsync: 1, Np: 1}, nil); err == nil {
+		t.Fatal("no devices must error")
+	}
+}
+
+// Property: SelectionProbs always yields a probability distribution.
+func TestPropertySelectionProbsDistribution(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = rng.Float64() * 100
+		}
+		probs := SelectionProbs(vs, 0)
+		sum := 0.0
+		for _, p := range probs {
+			if p < 0 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the hyperperiod is at least the largest epoch time and an
+// integer multiple (on the quantum grid) of every epoch time when no cap
+// is hit.
+func TestPropertyHyperperiodBounds(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		times := make([]float64, n)
+		maxT := 0.0
+		for i := range times {
+			times[i] = float64(rng.Intn(8)+1) * 0.5 // clean multiples of 0.5
+			if times[i] > maxT {
+				maxT = times[i]
+			}
+		}
+		he := Hyperperiod(times, 0.5, 10000)
+		if he < maxT-1e-9 {
+			return false
+		}
+		for _, tt := range times {
+			ratio := he / tt
+			if math.Abs(ratio-math.Round(ratio)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SelectDevices returns exactly np distinct, in-range indices.
+func TestPropertySelectDevicesValid(t *testing.T) {
+	f := func(seed int64, nRaw, npRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		np := int(npRaw)%n + 1
+		rng := rand.New(rand.NewSource(seed))
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		sel := SelectDevices(rng, probs, np)
+		if len(sel) != np {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, s := range sel {
+			if s < 0 || s >= n || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

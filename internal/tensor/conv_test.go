@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConv2DShape(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{32, 3, 1, 1, 32},
+		{32, 3, 2, 1, 16},
+		{8, 2, 2, 0, 4},
+		{5, 5, 1, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Conv2DShape(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("Conv2DShape(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestConv2DShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for impossible conv shape")
+		}
+	}()
+	Conv2DShape(2, 5, 1, 0)
+}
+
+// naiveConv computes convolution directly for verification.
+func naiveConv(x, w *Tensor, stride, pad int) *Tensor {
+	n, c, h, wd := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oc, kh, kw := w.shape[0], w.shape[2], w.shape[3]
+	oh := Conv2DShape(h, kh, stride, pad)
+	ow := Conv2DShape(wd, kw, stride, pad)
+	out := New(n, oc, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for oci := 0; oci < oc; oci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for ci := 0; ci < c; ci++ {
+						for ky := 0; ky < kh; ky++ {
+							for kx := 0; kx < kw; kx++ {
+								iy, ix := oy*stride+ky-pad, ox*stride+kx-pad
+								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+									continue
+								}
+								s += x.At(ni, ci, iy, ix) * w.At(oci, ci, ky, kx)
+							}
+						}
+					}
+					out.Set(s, ni, oci, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// im2colConv performs convolution through Im2Col + MatMul, the production
+// path used by nn.Conv2D.
+func im2colConv(x, w *Tensor, stride, pad int) *Tensor {
+	n, h, wd := x.shape[0], x.shape[2], x.shape[3]
+	oc, c, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	oh := Conv2DShape(h, kh, stride, pad)
+	ow := Conv2DShape(wd, kw, stride, pad)
+	cols := Im2Col(x, kh, kw, stride, pad) // [N·OH·OW, C·KH·KW]
+	wmat := w.Reshape(oc, c*kh*kw)         // [OC, C·KH·KW]
+	prod := MatMulTransB(cols, wmat)       // [N·OH·OW, OC]
+	out := New(n, oc, oh, ow)              // transpose channel-last → channel-first
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := (ni*oh+oy)*ow + ox
+				for oci := 0; oci < oc; oci++ {
+					out.Set(prod.At(row, oci), ni, oci, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColConvMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, cfg := range []struct{ n, c, h, w, oc, k, stride, pad int }{
+		{1, 1, 5, 5, 1, 3, 1, 0},
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{1, 2, 7, 7, 3, 3, 2, 1},
+		{2, 1, 6, 6, 2, 2, 2, 0},
+	} {
+		x := RandNormal(rng, 0, 1, cfg.n, cfg.c, cfg.h, cfg.w)
+		w := RandNormal(rng, 0, 1, cfg.oc, cfg.c, cfg.k, cfg.k)
+		got := im2colConv(x, w, cfg.stride, cfg.pad)
+		want := naiveConv(x, w, cfg.stride, cfg.pad)
+		if !got.Equal(want, 1e-9) {
+			t.Errorf("im2col conv mismatch for %+v", cfg)
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col: ⟨Im2Col(x), y⟩ == ⟨x, Col2Im(y)⟩.
+// This is exactly the property backprop relies on.
+func TestPropertyCol2ImAdjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, c := rng.Intn(2)+1, rng.Intn(3)+1
+		h := rng.Intn(5) + 4
+		k := rng.Intn(2) + 2
+		stride := rng.Intn(2) + 1
+		pad := rng.Intn(2)
+		x := RandNormal(rng, 0, 1, n, c, h, h)
+		cols := Im2Col(x, k, k, stride, pad)
+		y := RandNormal(rng, 0, 1, cols.shape...)
+		lhs := cols.Dot(y)
+		rhs := x.Dot(Col2Im(y, n, c, h, h, k, k, stride, pad))
+		return math.Abs(lhs-rhs) < 1e-8*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxPool2DKnown(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 1, 4, 4)
+	out, arg := MaxPool2D(x, 2, 2)
+	want := FromSlice([]float64{4, 8, 12, 16}, 1, 1, 2, 2)
+	if !out.Equal(want, 0) {
+		t.Fatalf("MaxPool2D = %v", out.Data())
+	}
+	// Gradient routing: each pooled grad goes back to the argmax position.
+	grad := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	back := MaxUnpool2D(grad, arg, x.Shape())
+	if back.At(0, 0, 1, 1) != 1 || back.At(0, 0, 1, 3) != 2 || back.At(0, 0, 3, 1) != 3 || back.At(0, 0, 3, 3) != 4 {
+		t.Fatalf("MaxUnpool2D = %v", back.Data())
+	}
+	if back.Sum() != grad.Sum() {
+		t.Fatal("unpool must conserve gradient mass")
+	}
+}
+
+func TestAvgPoolGlobal(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 10, 20, 30, 40}, 1, 2, 2, 2)
+	out := AvgPoolGlobal(x)
+	want := FromSlice([]float64{2.5, 25}, 1, 2)
+	if !out.Equal(want, 1e-12) {
+		t.Fatalf("AvgPoolGlobal = %v", out.Data())
+	}
+	grad := FromSlice([]float64{4, 8}, 1, 2)
+	back := AvgUnpoolGlobal(grad, 2, 2)
+	if back.At(0, 0, 0, 0) != 1 || back.At(0, 1, 1, 1) != 2 {
+		t.Fatalf("AvgUnpoolGlobal = %v", back.Data())
+	}
+	if math.Abs(back.Sum()-grad.Sum()) > 1e-12 {
+		t.Fatal("avg unpool must conserve gradient mass")
+	}
+}
+
+// Property: max pooling output is always ≥ the mean of its window inputs,
+// and unpooled gradients conserve total mass.
+func TestPropertyPoolMassConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, c := rng.Intn(2)+1, rng.Intn(2)+1
+		h := (rng.Intn(3) + 2) * 2
+		x := RandNormal(rng, 0, 1, n, c, h, h)
+		out, arg := MaxPool2D(x, 2, 2)
+		grad := RandNormal(rng, 0, 1, out.shape...)
+		back := MaxUnpool2D(grad, arg, x.Shape())
+		return math.Abs(back.Sum()-grad.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := XavierUniform(rng, 100, 100, 1000)
+	limit := math.Sqrt(6.0 / 200.0)
+	for _, v := range x.Data() {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier value %v outside ±%v", v, limit)
+		}
+	}
+	h := HeNormal(rng, 50, 5000)
+	std := math.Sqrt(2.0 / 50.0)
+	var s, s2 float64
+	for _, v := range h.Data() {
+		s += v
+		s2 += v * v
+	}
+	mean := s / float64(h.Len())
+	variance := s2/float64(h.Len()) - mean*mean
+	if math.Abs(mean) > 0.05 || math.Abs(math.Sqrt(variance)-std) > 0.05 {
+		t.Fatalf("HeNormal stats mean=%v std=%v want std=%v", mean, math.Sqrt(variance), std)
+	}
+	u := RandUniform(rng, 2, 3, 100)
+	for _, v := range u.Data() {
+		if v < 2 || v >= 3 {
+			t.Fatalf("RandUniform out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandNormal returns a tensor with i.i.d. N(mean, std²) entries drawn from
+// rng. Passing the rng explicitly keeps every experiment reproducible.
+func RandNormal(rng *rand.Rand, mean, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = mean + std*rng.NormFloat64()
+	}
+	return t
+}
+
+// RandUniform returns a tensor with i.i.d. U[lo, hi) entries drawn from rng.
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return t
+}
+
+// XavierUniform returns a tensor initialized with the Glorot/Xavier uniform
+// scheme for a layer with the given fan-in and fan-out.
+func XavierUniform(rng *rand.Rand, fanIn, fanOut int, shape ...int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(rng, -limit, limit, shape...)
+}
+
+// HeNormal returns a tensor initialized with the He/Kaiming normal scheme
+// (std = sqrt(2/fanIn)), the standard choice before ReLU activations.
+func HeNormal(rng *rand.Rand, fanIn int, shape ...int) *Tensor {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return RandNormal(rng, 0, std, shape...)
+}

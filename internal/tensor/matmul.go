@@ -1,0 +1,152 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b for 2-D tensors a (m×k) and b (k×n).
+// The inner loops are ordered i-k-j so the innermost traversal is contiguous
+// in both b and the result, which matters for the conv-heavy training loops.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v · %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a·b, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	for i := range dd {
+		dd[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		drow := dd[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n), producing m×n, without
+// materializing the transpose.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA needs 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimensions differ: %vᵀ · %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := od[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ for a (m×k) and b (n×k), producing m×n, without
+// materializing the transpose.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB needs 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions differ: %v · %vᵀ", a.shape, b.shape))
+	}
+	n := b.shape[0]
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs a 2-D tensor, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// AddRowVector adds the length-n vector v to every row of the m×n matrix a,
+// in place, and returns a. Used to apply bias terms.
+func AddRowVector(a, v *Tensor) *Tensor {
+	if a.Dims() != 2 || v.Dims() != 1 || v.shape[0] != a.shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVector shapes %v, %v", a.shape, v.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		for j, bv := range v.data {
+			row[j] += bv
+		}
+	}
+	return a
+}
+
+// SumRows returns the length-n column-sum of the m×n matrix a. Used to
+// reduce bias gradients over a batch.
+func SumRows(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: SumRows needs a 2-D tensor, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}

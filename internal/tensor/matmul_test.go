@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 0, 1, 4, 4)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	if got := MatMul(a, id); !got.Equal(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if got := MatMul(id, a); !got.Equal(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulDimensionPanics(t *testing.T) {
+	a, b := New(2, 3), New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul with bad inner dims did not panic")
+		}
+	}()
+	MatMul(a, b)
+}
+
+func TestMatMulTransAMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandNormal(rng, 0, 1, 5, 3) // k=5, m=3
+	b := RandNormal(rng, 0, 1, 5, 4) // k=5, n=4
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose(a), b)
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("MatMulTransA != Transpose+MatMul")
+	}
+}
+
+func TestMatMulTransBMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandNormal(rng, 0, 1, 3, 5)
+	b := RandNormal(rng, 0, 1, 4, 5)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, Transpose(b))
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("MatMulTransB != MatMul+Transpose")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandNormal(rng, 0, 1, 3, 7)
+	if !Transpose(Transpose(a)).Equal(a, 0) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestAddRowVectorAndSumRows(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	v := FromSlice([]float64{10, 20, 30}, 3)
+	AddRowVector(a, v)
+	want := FromSlice([]float64{11, 22, 33, 14, 25, 36}, 2, 3)
+	if !a.Equal(want, 0) {
+		t.Fatalf("AddRowVector = %v", a.Data())
+	}
+	s := SumRows(a)
+	wantS := FromSlice([]float64{25, 47, 69}, 3)
+	if !s.Equal(wantS, 0) {
+		t.Fatalf("SumRows = %v", s.Data())
+	}
+}
+
+// Property: matrix multiplication is associative: (AB)C == A(BC).
+func TestPropertyMatMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n, p := rng.Intn(5)+1, rng.Intn(5)+1, rng.Intn(5)+1, rng.Intn(5)+1
+		a := RandNormal(rng, 0, 1, m, k)
+		b := RandNormal(rng, 0, 1, k, n)
+		c := RandNormal(rng, 0, 1, n, p)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return left.Equal(right, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (AB)ᵀ == Bᵀ Aᵀ.
+func TestPropertyMatMulTransposeRule(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := rng.Intn(6)+1, rng.Intn(6)+1, rng.Intn(6)+1
+		a := RandNormal(rng, 0, 1, m, k)
+		b := RandNormal(rng, 0, 1, k, n)
+		left := Transpose(MatMul(a, b))
+		right := MatMul(Transpose(b), Transpose(a))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 0, 1, 64, 64)
+	y := RandNormal(rng, 0, 1, 64, 64)
+	dst := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}

@@ -1,0 +1,306 @@
+// Package tensor implements dense numeric tensors and the linear-algebra
+// kernels the neural-network stack is built on: element-wise arithmetic,
+// matrix multiplication, 2-D convolution via im2col, and pooling.
+//
+// Tensors store float64 data in row-major order. The package favours
+// explicit, allocation-conscious APIs: most operations come in both an
+// allocating form (Add) and an in-place form (AddInPlace) so hot training
+// loops can avoid garbage pressure.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major n-dimensional array of float64.
+//
+// The zero value is not usable; construct tensors with New, FromSlice, or
+// one of the random initializers in init.go.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape. It panics if any
+// dimension is non-positive or if no dimensions are given.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); the caller must not alias it afterwards unless that
+// sharing is intended. It panics if len(data) does not match the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Data returns the backing slice in row-major order. Mutating it mutates
+// the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.data[t.offset(idx)]
+}
+
+// Set assigns v to the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape sharing the same backing
+// data. It panics if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) mustSameShape(o *Tensor, op string) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
+	}
+}
+
+// Add returns t + o element-wise.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Add")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] += v
+	}
+	return r
+}
+
+// AddInPlace sets t = t + o element-wise and returns t.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "AddInPlace")
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+	return t
+}
+
+// Sub returns t - o element-wise.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Sub")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] -= v
+	}
+	return r
+}
+
+// SubInPlace sets t = t - o element-wise and returns t.
+func (t *Tensor) SubInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "SubInPlace")
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+	return t
+}
+
+// Mul returns the element-wise (Hadamard) product t ⊙ o.
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Mul")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] *= v
+	}
+	return r
+}
+
+// MulInPlace sets t = t ⊙ o and returns t.
+func (t *Tensor) MulInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "MulInPlace")
+	for i, v := range o.data {
+		t.data[i] *= v
+	}
+	return t
+}
+
+// Scale returns s·t.
+func (t *Tensor) Scale(s float64) *Tensor {
+	r := t.Clone()
+	for i := range r.data {
+		r.data[i] *= s
+	}
+	return r
+}
+
+// ScaleInPlace sets t = s·t and returns t.
+func (t *Tensor) ScaleInPlace(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// AxpyInPlace sets t = t + a·o (BLAS axpy) and returns t.
+func (t *Tensor) AxpyInPlace(a float64, o *Tensor) *Tensor {
+	t.mustSameShape(o, "AxpyInPlace")
+	for i, v := range o.data {
+		t.data[i] += a * v
+	}
+	return t
+}
+
+// Apply returns a new tensor with f applied to every element.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	r := t.Clone()
+	for i, v := range r.data {
+		r.data[i] = f(v)
+	}
+	return r
+}
+
+// ApplyInPlace applies f to every element in place and returns t.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.data)) }
+
+// Max returns the maximum element and its flat index.
+func (t *Tensor) Max() (float64, int) {
+	best, arg := math.Inf(-1), -1
+	for i, v := range t.data {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return best, arg
+}
+
+// Norm2 returns the Euclidean (L2) norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of the flattened tensors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	t.mustSameShape(o, "Dot")
+	s := 0.0
+	for i, v := range t.data {
+		s += v * o.data[i]
+	}
+	return s
+}
+
+// Equal reports whether t and o have the same shape and all elements are
+// within tol of each other.
+func (t *Tensor) Equal(o *Tensor, tol float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.data {
+		if math.Abs(v-o.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small tensors fully and large tensors as a summary.
+func (t *Tensor) String() string {
+	if len(t.data) <= 16 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%d elems, ‖·‖₂=%.4g]", t.shape, len(t.data), t.Norm2())
+}

@@ -1,0 +1,256 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", x.Len())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if x.Dims() != 2 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("shape = %v", x.Shape())
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][]int{{}, {0}, {2, -1}, {3, 0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape...)
+		}()
+	}
+}
+
+func TestFromSliceLengthCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(7.5, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Row-major layout: offset of [1,2,3] in [2,3,4] is 1*12 + 2*4 + 3 = 23.
+	if x.Data()[23] != 7.5 {
+		t.Fatalf("row-major offset wrong: %v", x.Data())
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := x.Clone()
+	y.Data()[0] = 99
+	if x.Data()[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Data()[0] = 42
+	if x.Data()[0] != 42 {
+		t.Fatal("Reshape must share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape with wrong element count did not panic")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	if got := a.Add(b); !got.Equal(FromSlice([]float64{11, 22, 33, 44}, 2, 2), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !got.Equal(FromSlice([]float64{9, 18, 27, 36}, 2, 2), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); !got.Equal(FromSlice([]float64{10, 40, 90, 160}, 2, 2), 0) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Scale(3); !got.Equal(FromSlice([]float64{3, 6, 9, 12}, 2, 2), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestInPlaceOpsReturnReceiver(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{3, 4}, 2)
+	if got := a.AddInPlace(b); got != a {
+		t.Fatal("AddInPlace must return receiver")
+	}
+	if a.Data()[0] != 4 || a.Data()[1] != 6 {
+		t.Fatalf("AddInPlace result %v", a.Data())
+	}
+	a.SubInPlace(b)
+	if a.Data()[0] != 1 || a.Data()[1] != 2 {
+		t.Fatalf("SubInPlace result %v", a.Data())
+	}
+	a.MulInPlace(b)
+	if a.Data()[0] != 3 || a.Data()[1] != 8 {
+		t.Fatalf("MulInPlace result %v", a.Data())
+	}
+	a.AxpyInPlace(2, b)
+	if a.Data()[0] != 9 || a.Data()[1] != 16 {
+		t.Fatalf("AxpyInPlace result %v", a.Data())
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := New(2, 2), New(4)
+	for name, f := range map[string]func(){
+		"Add": func() { a.Add(b) },
+		"Sub": func() { a.Sub(b) },
+		"Mul": func() { a.Mul(b) },
+		"Dot": func() { a.Dot(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched shapes did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{-1, 5, 2, 0}, 4)
+	if x.Sum() != 6 {
+		t.Errorf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 1.5 {
+		t.Errorf("Mean = %v", x.Mean())
+	}
+	if v, i := x.Max(); v != 5 || i != 1 {
+		t.Errorf("Max = %v at %d", v, i)
+	}
+	if got := x.Norm2(); math.Abs(got-math.Sqrt(30)) > 1e-12 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	y := FromSlice([]float64{1, 1, 1, 1}, 4)
+	if x.Dot(y) != 6 {
+		t.Errorf("Dot = %v", x.Dot(y))
+	}
+}
+
+func TestApply(t *testing.T) {
+	x := FromSlice([]float64{1, 4, 9}, 3)
+	y := x.Apply(math.Sqrt)
+	if !y.Equal(FromSlice([]float64{1, 2, 3}, 3), 1e-12) {
+		t.Errorf("Apply = %v", y.Data())
+	}
+	if x.Data()[1] != 4 {
+		t.Error("Apply mutated the receiver")
+	}
+	x.ApplyInPlace(func(v float64) float64 { return -v })
+	if x.Data()[0] != -1 {
+		t.Errorf("ApplyInPlace = %v", x.Data())
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	x := New(3)
+	x.Fill(2.5)
+	if x.Sum() != 7.5 {
+		t.Fatalf("Fill sum = %v", x.Sum())
+	}
+	x.Zero()
+	if x.Sum() != 0 {
+		t.Fatalf("Zero sum = %v", x.Sum())
+	}
+}
+
+// Property: (a+b)-b == a element-wise for random tensors.
+func TestPropertyAddSubInverse(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		n := int(raw%31) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := RandNormal(rng, 0, 10, n)
+		b := RandNormal(rng, 0, 10, n)
+		return a.Add(b).Sub(b).Equal(a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Scale distributes over Add: s·(a+b) == s·a + s·b.
+func TestPropertyScaleDistributes(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		n := int(raw%31) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := RandNormal(rng, 0, 5, n)
+		b := RandNormal(rng, 0, 5, n)
+		s := rng.Float64()*4 - 2
+		left := a.Add(b).Scale(s)
+		right := a.Scale(s).Add(b.Scale(s))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is symmetric and ‖a‖² == a·a.
+func TestPropertyDotSymmetry(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		n := int(raw%31) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := RandNormal(rng, 0, 3, n)
+		b := RandNormal(rng, 0, 3, n)
+		if math.Abs(a.Dot(b)-b.Dot(a)) > 1e-9 {
+			return false
+		}
+		return math.Abs(a.Dot(a)-a.Norm2()*a.Norm2()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromSlice([]float64{1, 2}, 2)
+	if small.String() == "" {
+		t.Error("empty String for small tensor")
+	}
+	big := New(100)
+	if big.String() == "" {
+		t.Error("empty String for big tensor")
+	}
+}
