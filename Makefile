@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check fmt vet build test test-short bench serve
+
+check: fmt vet build test-short
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+serve:
+	$(GO) run ./cmd/hadfl-serve -addr :8080

@@ -1,0 +1,106 @@
+package hadfl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero options invalid: %v", err)
+	}
+	if err := fastOpts(1).Validate(); err != nil {
+		t.Fatalf("fast options invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadOptions(t *testing.T) {
+	cases := map[string]Options{
+		"negative power": {Powers: []float64{4, -1}},
+		"zero power":     {Powers: []float64{0, 1}},
+		"bad model":      {Model: "transformer"},
+		"neg epochs":     {TargetEpochs: -3},
+		"neg alpha":      {NonIIDAlpha: -0.5},
+		"fail id range":  {FailAt: map[int]float64{9: 10}},
+		"neg fail time":  {FailAt: map[int]float64{1: -1}},
+	}
+	for name, opts := range cases {
+		if err := opts.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCanonicalNormalizesDefaults(t *testing.T) {
+	// The zero value and the explicitly-filled defaults agree.
+	explicit := Options{Powers: []float64{4, 2, 2, 1}, Model: "resnet", Seed: 1}
+	if got, want := (Options{}).Canonical(), explicit.Canonical(); got != want {
+		t.Fatalf("canonical mismatch:\n%s\n%s", got, want)
+	}
+	// OnRound does not change the canonical form.
+	withCB := explicit
+	withCB.OnRound = func(RoundUpdate) {}
+	if withCB.Canonical() != explicit.Canonical() {
+		t.Fatal("OnRound leaked into canonical form")
+	}
+	// The failure schedule is order-independent (map iteration).
+	a := Options{FailAt: map[int]float64{3: 50, 1: 20}}
+	if !strings.Contains(a.Canonical(), "fail={1=20,3=50}") {
+		t.Fatalf("canonical = %s", a.Canonical())
+	}
+}
+
+func TestFingerprintDistinguishesRuns(t *testing.T) {
+	base := fastOpts(1)
+	fp1, err := Fingerprint(SchemeHADFL, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp1) != 64 {
+		t.Fatalf("fingerprint %q not a sha256 hex", fp1)
+	}
+	fp2, _ := Fingerprint(SchemeHADFL, fastOpts(1))
+	if fp1 != fp2 {
+		t.Fatal("identical options produced different fingerprints")
+	}
+	for name, alt := range map[string]func() (string, Options){
+		"scheme": func() (string, Options) { return SchemeFedAvg, base },
+		"seed":   func() (string, Options) { o := base; o.Seed = 2; return SchemeHADFL, o },
+		"epochs": func() (string, Options) { o := base; o.TargetEpochs = 9; return SchemeHADFL, o },
+		"powers": func() (string, Options) { o := base; o.Powers = []float64{4, 2, 2, 2}; return SchemeHADFL, o },
+		"model":  func() (string, Options) { o := base; o.Model = "vgg"; return SchemeHADFL, o },
+	} {
+		scheme, opts := alt()
+		fp, err := Fingerprint(scheme, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fp == fp1 {
+			t.Errorf("%s: fingerprint collision", name)
+		}
+	}
+}
+
+func TestFingerprintRejectsInvalid(t *testing.T) {
+	if _, err := Fingerprint("nope", Options{}); err == nil {
+		t.Fatal("unknown scheme fingerprinted")
+	}
+	if _, err := Fingerprint(SchemeHADFL, Options{Powers: []float64{-1}}); err == nil {
+		t.Fatal("invalid options fingerprinted")
+	}
+}
+
+func TestSchemesAndValidScheme(t *testing.T) {
+	all := Schemes()
+	if len(all) != 3 {
+		t.Fatalf("Schemes() = %v", all)
+	}
+	for _, s := range all {
+		if !ValidScheme(s) {
+			t.Errorf("ValidScheme(%q) = false", s)
+		}
+	}
+	if ValidScheme("centralized") {
+		t.Error("ValidScheme accepted unknown name")
+	}
+}

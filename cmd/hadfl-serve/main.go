@@ -1,0 +1,111 @@
+// hadfl-serve exposes the HADFL simulator as a long-lived HTTP
+// service: a bounded job queue drained by a worker pool, a
+// content-addressed result cache (identical requests are served
+// without retraining; concurrent duplicates coalesce onto one run),
+// and per-round progress streaming over SSE. See internal/serve for
+// the API.
+//
+// Examples:
+//
+//	hadfl-serve -addr :8080 -workers 4 -job-timeout 5m
+//	curl -s localhost:8080/runs -d '{"scheme":"hadfl","options":{"powers":[4,2,2,1],"targetEpochs":8,"seed":1}}'
+//	curl -N localhost:8080/runs/<id>/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hadfl/internal/serve"
+)
+
+// errBadFlags signals that the FlagSet already printed the problem and
+// usage; main exits without re-printing.
+var errBadFlags = errors.New("invalid command line")
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil); err != nil {
+		if errors.Is(err, errBadFlags) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run parses flags (errors and usage go to errOut), binds the listener
+// and serves until the process is signaled or quit is closed. When
+// ready is non-nil the bound address is sent on it once the listener
+// is up (the smoke test's hook).
+func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-chan struct{}) error {
+	fs := flag.NewFlagSet("hadfl-serve", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		queueDepth = fs.Int("queue", 64, "waiting jobs beyond the running ones")
+		jobTimeout = fs.Duration("job-timeout", 10*time.Minute, "per-run wall limit (0 = none)")
+		rate       = fs.Float64("rate", 50, "sustained POST /runs per second (0 = unlimited)")
+		burst      = fs.Int("burst", 100, "POST /runs burst size")
+		grace      = fs.Duration("grace", 30*time.Second, "shutdown grace for running jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errBadFlags
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		JobTimeout: *jobTimeout,
+		RatePerSec: *rate,
+		Burst:      *burst,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hadfl-serve listening on %s (workers=%d queue=%d job-timeout=%s)\n",
+		ln.Addr(), *workers, *queueDepth, *jobTimeout)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	case <-quit:
+	}
+
+	fmt.Fprintln(out, "hadfl-serve shutting down")
+	// Close the pool first: once every job is terminal the SSE streams
+	// end on their own, so Shutdown below isn't wedged behind
+	// long-lived /events connections waiting on running jobs.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Close(shutdownCtx); err != nil {
+		fmt.Fprintf(out, "hadfl-serve: running jobs canceled after grace: %v\n", err)
+	}
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	return httpSrv.Shutdown(httpCtx)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb, eb strings.Builder
+	if err := run([]string{"-not-a-flag"}, &sb, &eb, nil, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if sb.Len() != 0 || !strings.Contains(eb.String(), "not-a-flag") {
+		t.Fatalf("stdout %q stderr %q", sb.String(), eb.String())
+	}
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, &sb, &eb, nil, nil); err == nil {
+		t.Fatal("unbindable address accepted")
+	}
+}
+
+// TestServeSmoke exercises the binary's main path: flag parsing, bind,
+// one full HTTP request/response cycle against a live run, shutdown.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training run in -short mode")
+	}
+	var sb strings.Builder
+	ready := make(chan net.Addr, 1)
+	quit := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-grace", "5s"}, &sb, io.Discard, ready, quit)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("server died early: %v (output %q)", err, sb.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Post(base+"/runs", "application/json",
+		strings.NewReader(`{"scheme":"hadfl","options":{"powers":[2,1],"targetEpochs":2,"seed":7}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("POST /runs = %d %+v", resp.StatusCode, submitted)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var final struct {
+		State  string `json:"state"`
+		Result *struct {
+			Accuracy float64 `json:"accuracy"`
+		} `json:"result"`
+	}
+	for {
+		r, err := http.Get(fmt.Sprintf("%s/runs/%s", base, submitted.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&final)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run stuck in state %q", final.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.Result == nil || final.Result.Accuracy <= 0 {
+		t.Fatalf("result %+v", final.Result)
+	}
+
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hr.StatusCode)
+	}
+
+	close(quit)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+	if out := sb.String(); !strings.Contains(out, "listening on") || !strings.Contains(out, "shutting down") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParsePowers(t *testing.T) {
+	got, err := parsePowers("4, 2,2,1")
+	if err != nil || len(got) != 4 || got[0] != 4 || got[3] != 1 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	for _, bad := range []string{"", "a,b", "1,-2", "1,0"} {
+		if _, err := parsePowers(bad); err == nil {
+			t.Errorf("parsePowers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseFailures(t *testing.T) {
+	got, err := parseFailures("1=60, 3=120")
+	if err != nil || len(got) != 2 || got[1] != 60 || got[3] != 120 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	if got, err := parseFailures(""); err != nil || got != nil {
+		t.Fatalf("empty spec: %v %v", got, err)
+	}
+	for _, bad := range []string{"1", "x=1", "1=y"} {
+		if _, err := parseFailures(bad); err == nil {
+			t.Errorf("parseFailures(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb, eb strings.Builder
+	if err := run([]string{"-powers", "nope"}, &sb, &eb); err == nil {
+		t.Fatal("bad powers accepted")
+	}
+	if err := run([]string{"-scheme", "quantum", "-epochs", "1"}, &sb, &eb); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &sb, &eb); !errors.Is(err, errBadFlags) {
+		t.Fatalf("unknown flag: err = %v", err)
+	}
+	// Flag diagnostics go to errOut, not the result stream.
+	if sb.Len() != 0 || !strings.Contains(eb.String(), "definitely-not-a-flag") {
+		t.Fatalf("stdout %q stderr %q", sb.String(), eb.String())
+	}
+	// -h prints usage and succeeds.
+	eb.Reset()
+	if err := run([]string{"-h"}, &sb, &eb); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if !strings.Contains(eb.String(), "Usage of hadfl-sim") {
+		t.Fatalf("-h output %q", eb.String())
+	}
+}
+
+func TestRunTinyTrainingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training run in -short mode")
+	}
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "curve.csv")
+	snap := filepath.Join(dir, "model.bin")
+	var sb strings.Builder
+	err := run([]string{
+		"-powers", "2,1", "-epochs", "2", "-seed", "7", "-v",
+		"-csv", csv, "-save", snap,
+	}, &sb, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"scheme          : hadfl", "max accuracy", "rounds", "curve written", "snapshot saved"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if data, err := os.ReadFile(csv); err != nil || !strings.HasPrefix(string(data), "series,epoch,time,loss,accuracy") {
+		t.Fatalf("csv: %v %q", err, data)
+	}
+
+	// The persisted snapshot evaluates through the -load path.
+	sb.Reset()
+	if err := run([]string{"-powers", "2,1", "-seed", "7", "-load", snap}, &sb, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "test accuracy") {
+		t.Fatalf("load output:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,121 @@
+// Command serve demonstrates the hadfl-serve experiment service from
+// a client's point of view: it starts the service in-process on a
+// loopback port, submits the same training run twice concurrently
+// (watch the two requests coalesce onto one job), follows per-round
+// progress over SSE, and finally shows the instant cache hit a
+// repeated request gets.
+//
+// Against a separately-started server the same traffic is plain curl:
+//
+//	hadfl-serve -addr :8080 &
+//	curl -s :8080/runs -d '{"scheme":"hadfl","options":{"powers":[4,2,2,1],"targetEpochs":8,"seed":1}}'
+//	curl -N :8080/runs/<id>/events
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"hadfl/internal/serve"
+)
+
+const runBody = `{"scheme":"hadfl","options":{"powers":[4,2,2,1],"targetEpochs":8,"seed":1}}`
+
+func main() {
+	log.SetFlags(0)
+	svc := serve.New(serve.Config{Workers: 2, JobTimeout: 2 * time.Minute})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Close(context.Background())
+	fmt.Printf("service up at %s\n\n", ts.URL)
+
+	// Two identical submissions race; the service runs the job once.
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	codes := make([]int, 2)
+	for i := range ids {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			codes[i], ids[i] = submit(ts.URL)
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("request A: HTTP %d  job %.12s…\n", codes[0], ids[0])
+	fmt.Printf("request B: HTTP %d  job %.12s…  (coalesced: same job)\n\n", codes[1], ids[1])
+
+	// Stream per-round progress over SSE until the job finishes.
+	resp, err := http.Get(ts.URL + "/runs/" + ids[0] + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e serve.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			log.Fatal(err)
+		}
+		switch e.Type {
+		case "state":
+			fmt.Printf("state → %s\n", e.State)
+		case "round":
+			fmt.Printf("  round %2d  t=%7.1fs  loss=%.4f  acc=%5.1f%%\n",
+				e.Round.Round, e.Round.Time, e.Round.Loss, 100*e.Round.Accuracy)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A repeat of the same request is a pure cache hit: HTTP 200 with
+	// the finished result, no retraining.
+	start := time.Now()
+	code, id := submit(ts.URL)
+	fmt.Printf("\nrepeat request: HTTP %d on job %.12s… in %s (cache hit)\n", code, id, time.Since(start).Round(time.Microsecond))
+
+	var stats struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sr.Body.Close()
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	c := stats.Metrics.Counters
+	fmt.Printf("stats: %d submitted / %d run / %d cache hits\n",
+		c["cache_hits_total"]+c["cache_misses_total"], c["runs_completed_total"], c["cache_hits_total"])
+}
+
+func submit(base string) (int, string) {
+	resp, err := http.Post(base+"/runs", "application/json", strings.NewReader(runBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return resp.StatusCode, st.ID
+}

@@ -71,6 +71,32 @@ func TestSnapshotPersistenceRoundTrip(t *testing.T) {
 	}
 }
 
+func TestOnRoundCallbackForBaselineSchemes(t *testing.T) {
+	for _, scheme := range []string{SchemeFedAvg, SchemeDistributed} {
+		opts := fastOpts(25)
+		calls := 0
+		opts.OnRound = func(u RoundUpdate) {
+			calls++
+			if u.Round <= 0 || u.Time <= 0 {
+				t.Errorf("%s: bad update %+v", scheme, u)
+			}
+			if len(u.Selected) != 0 || u.Bypassed != 0 {
+				t.Errorf("%s: baseline update carries ring fields: %+v", scheme, u)
+			}
+		}
+		res, err := RunScheme(scheme, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls == 0 {
+			t.Fatalf("%s: OnRound never fired", scheme)
+		}
+		if scheme == SchemeFedAvg && calls != res.Rounds {
+			t.Fatalf("fedavg: %d callbacks for %d rounds", calls, res.Rounds)
+		}
+	}
+}
+
 func TestOnRoundCallbackThroughFacade(t *testing.T) {
 	opts := fastOpts(24)
 	calls := 0

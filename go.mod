@@ -1,0 +1,3 @@
+module hadfl
+
+go 1.22

@@ -61,8 +61,10 @@ type Options struct {
 	// Seed makes runs reproducible. Default 1.
 	Seed int64
 	// OnRound, when non-nil, receives progress after every HADFL
-	// synchronization round (ignored by the baseline schemes, which
-	// report only through the final Series).
+	// synchronization round. The baseline schemes report through it
+	// too — FedAvg per round, distributed per evaluation interval —
+	// with Selected empty and Bypassed zero. It never changes the run's
+	// outcome (excluded from Canonical/Fingerprint).
 	OnRound func(RoundUpdate)
 }
 
@@ -221,6 +223,7 @@ func RunScheme(scheme string, opts Options) (*Result, error) {
 		cfg.TargetEpochs = w.TargetEpochs
 		cfg.LocalSteps = w.FedAvgLocalSteps
 		cfg.Seed = opts.Seed
+		cfg.OnRound = baselineCallback(opts.OnRound)
 		res, err := baselines.RunFedAvg(cluster, cfg)
 		if err != nil {
 			return nil, err
@@ -230,6 +233,7 @@ func RunScheme(scheme string, opts Options) (*Result, error) {
 		cfg := baselines.DefaultDistributedConfig()
 		cfg.TargetEpochs = w.TargetEpochs
 		cfg.Seed = opts.Seed
+		cfg.OnRound = baselineCallback(opts.OnRound)
 		res, err := baselines.RunDistributed(cluster, cfg)
 		if err != nil {
 			return nil, err
@@ -240,11 +244,22 @@ func RunScheme(scheme string, opts Options) (*Result, error) {
 	}
 }
 
+// baselineCallback adapts Options.OnRound to the baselines' progress
+// hook; Selected/Bypassed stay zero (no partial aggregation there).
+func baselineCallback(cb func(RoundUpdate)) func(int, metrics.Point) {
+	if cb == nil {
+		return nil
+	}
+	return func(round int, p metrics.Point) {
+		cb(RoundUpdate{Round: round, Time: p.Time, Loss: p.Loss, Accuracy: p.Accuracy})
+	}
+}
+
 // Compare runs all three schemes on identical clusters and returns
 // results keyed by scheme name.
 func Compare(opts Options) (map[string]*Result, error) {
 	out := make(map[string]*Result, 3)
-	for _, scheme := range []string{SchemeHADFL, SchemeFedAvg, SchemeDistributed} {
+	for _, scheme := range Schemes() {
 		res, err := RunScheme(scheme, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", scheme, err)

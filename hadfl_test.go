@@ -88,6 +88,9 @@ func TestRunWithFailure(t *testing.T) {
 }
 
 func TestRunNonIID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("non-IID run in -short mode")
+	}
 	opts := fastOpts(5)
 	opts.NonIIDAlpha = 0.3
 	res, err := Run(opts)

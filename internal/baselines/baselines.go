@@ -32,6 +32,11 @@ type DistributedConfig struct {
 	// EvalEvery evaluates the model every this many iterations.
 	EvalEvery int
 	Seed      int64
+	// OnRound, when non-nil, receives each evaluation point as it is
+	// recorded (round = the iteration count so far). Long runs can be
+	// observed — and aborted, by panicking across the callback — at
+	// every EvalEvery iterations.
+	OnRound func(round int, p metrics.Point)
 }
 
 // DefaultDistributedConfig mirrors core.DefaultConfig's budget.
@@ -108,10 +113,14 @@ func RunDistributed(c *core.Cluster, cfg DistributedConfig) (*core.Result, error
 		if (iter+1)%cfg.EvalEvery == 0 {
 			global = c.Devices[0].Parameters()
 			_, acc := c.Evaluate(global)
-			series.Add(metrics.Point{
+			p := metrics.Point{
 				Epoch: c.EpochsProcessed(totalSteps), Time: now,
 				Loss: lossSum / float64(k), Accuracy: acc,
-			})
+			}
+			series.Add(p)
+			if cfg.OnRound != nil {
+				cfg.OnRound(iter+1, p)
+			}
 		}
 	}
 	global = c.Devices[0].Parameters()
@@ -129,6 +138,10 @@ type FedAvgConfig struct {
 	TargetEpochs float64
 	MaxRounds    int
 	Seed         int64
+	// OnRound, when non-nil, receives each round's evaluation point as
+	// it is recorded. Long runs can be observed — and aborted, by
+	// panicking across the callback — at every synchronization round.
+	OnRound func(round int, p metrics.Point)
 }
 
 // DefaultFedAvgConfig uses E=20 local steps per round.
@@ -197,10 +210,14 @@ func RunFedAvg(c *core.Cluster, cfg FedAvgConfig) (*core.Result, error) {
 		comm.Rounds++
 
 		_, acc := c.Evaluate(global)
-		series.Add(metrics.Point{
+		p := metrics.Point{
 			Epoch: c.EpochsProcessed(totalSteps), Time: now,
 			Loss: lossSum / float64(k), Accuracy: acc,
-		})
+		}
+		series.Add(p)
+		if cfg.OnRound != nil {
+			cfg.OnRound(round+1, p)
+		}
 	}
 	return &core.Result{Series: series, Comm: comm, Rounds: round, FinalParams: global}, nil
 }

@@ -39,6 +39,9 @@ func TestRunComparisonProducesAllSchemes(t *testing.T) {
 }
 
 func TestHADFLFasterThanBaselinesOnSkewedCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("25-epoch comparison in -short mode")
+	}
 	// The headline claim, in the paper's own metric (Table I): on a
 	// heterogeneous cluster HADFL reaches its maximum test accuracy in
 	// less virtual time than both synchronous baselines, because the
@@ -102,6 +105,9 @@ func TestTable1RowsComplete(t *testing.T) {
 }
 
 func TestWorstCaseUnderperformsNormal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worst-case sweep in -short mode")
+	}
 	normal, worst, err := WorstCase(true, 4)
 	if err != nil {
 		t.Fatal(err)

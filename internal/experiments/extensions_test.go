@@ -3,6 +3,9 @@ package experiments
 import "testing"
 
 func TestAsyncComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("async baseline comparison in -short mode")
+	}
 	rows, err := AsyncComparison(true, 41)
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +36,9 @@ func TestAsyncComparison(t *testing.T) {
 }
 
 func TestHetBandwidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bandwidth sweep in -short mode")
+	}
 	rows, err := HetBandwidth(true, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +63,9 @@ func TestHetBandwidth(t *testing.T) {
 }
 
 func TestGroupedComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grouped comparison in -short mode")
+	}
 	flat, grouped, err := GroupedComparison(true, 43)
 	if err != nil {
 		t.Fatal(err)

@@ -12,12 +12,12 @@ import (
 
 // ScaleRow is one federation size's outcome.
 type ScaleRow struct {
-	Devices      int
-	Variant      string // "flat" or "grouped"
-	MaxAccuracy  float64
-	TimeToMax    float64
-	BytesPerDev  int64
-	Rounds       int
+	Devices     int
+	Variant     string // "flat" or "grouped"
+	MaxAccuracy float64
+	TimeToMax   float64
+	BytesPerDev int64
+	Rounds      int
 }
 
 // repeatPattern tiles the [4,2,2,1] heterogeneity pattern to k devices.

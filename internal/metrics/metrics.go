@@ -10,12 +10,13 @@ import (
 	"sort"
 )
 
-// Point is one measurement on a training curve.
+// Point is one measurement on a training curve. The JSON tags match
+// the serve layer's camelCase wire convention (?curve=1 responses).
 type Point struct {
-	Epoch    float64 // global epoch count (fractional for async schemes)
-	Time     float64 // virtual seconds since training start
-	Loss     float64 // training loss at this point
-	Accuracy float64 // test accuracy in [0,1]
+	Epoch    float64 `json:"epoch"`    // global epoch count (fractional for async schemes)
+	Time     float64 `json:"time"`     // virtual seconds since training start
+	Loss     float64 `json:"loss"`     // training loss at this point
+	Accuracy float64 `json:"accuracy"` // test accuracy in [0,1]
 }
 
 // Series is a named training curve, e.g. "hadfl/resnet/[4,2,2,1]".

@@ -1,0 +1,85 @@
+package metrics
+
+import "sync"
+
+// Registry is a concurrency-safe set of named monotonic counters and
+// free-floating gauges. The serve layer uses one to track queue depth,
+// cache hit rate and per-scheme run counts, and exposes a Snapshot at
+// GET /stats; any long-lived component can hang its operational
+// telemetry here.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// Inc adds 1 to the named counter, creating it at zero first.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Add adds delta to the named counter, creating it at zero first.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of the named counter (0 if never
+// touched).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// SetGauge sets the named gauge to v.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// AddGauge adds delta to the named gauge, creating it at zero first.
+func (r *Registry) AddGauge(name string, delta float64) {
+	r.mu.Lock()
+	r.gauges[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge returns the current value of the named gauge (0 if never set).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Snapshot is a point-in-time copy of a registry's contents.
+type Snapshot struct {
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// Snapshot copies the registry. The maps in the result are owned by
+// the caller.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("absent") != 0 || r.Gauge("absent") != 0 {
+		t.Fatal("untouched names not zero")
+	}
+	r.Inc("runs")
+	r.Add("runs", 4)
+	r.SetGauge("depth", 3)
+	r.AddGauge("depth", -1)
+	if got := r.Counter("runs"); got != 5 {
+		t.Fatalf("runs = %d", got)
+	}
+	if got := r.Gauge("depth"); got != 2 {
+		t.Fatalf("depth = %v", got)
+	}
+}
+
+func TestRegistrySnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a")
+	r.SetGauge("g", 1.5)
+	s := r.Snapshot()
+	s.Counters["a"] = 99
+	s.Gauges["g"] = 99
+	if r.Counter("a") != 1 || r.Gauge("g") != 1.5 {
+		t.Fatal("snapshot aliased registry state")
+	}
+	if len(s.Counters) != 1 || len(s.Gauges) != 1 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Inc("hits")
+				r.AddGauge("depth", 1)
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits"); got != 8000 {
+		t.Fatalf("hits = %d", got)
+	}
+	if got := r.Gauge("depth"); got != 8000 {
+		t.Fatalf("depth = %v", got)
+	}
+}

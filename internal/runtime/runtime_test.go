@@ -218,6 +218,9 @@ func TestLiveFederationSleepEmulation(t *testing.T) {
 }
 
 func TestLiveFederationWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report-timeout federation in -short mode")
+	}
 	// A worker that dies after warm-up is marked dead and the federation
 	// completes the remaining rounds without it.
 	lc, workers, _ := buildLiveFederation(t, []float64{2, 2, 1, 1}, 4, 0)

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"sync"
+
+	"hadfl/internal/metrics"
+)
+
+// Cache is the content-addressed job/result store. Keys are
+// hadfl.Fingerprint values, so "the cache" and "the job table" are the
+// same structure: a hit may be a completed result (served without
+// retraining) or a queued/running job (the new request coalesces onto
+// it). Failed, canceled and timed-out jobs are evicted at the next
+// identical submission so that a retry actually reruns.
+type Cache struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	reg  *metrics.Registry
+}
+
+// NewCache returns an empty cache reporting hit/miss counters to reg.
+func NewCache(reg *metrics.Registry) *Cache {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Cache{jobs: make(map[string]*Job), reg: reg}
+}
+
+// GetOrCreate returns the job for id, creating it with mk on a miss.
+// existing is true when the returned job predates this call — the
+// caller must then NOT enqueue it again. A terminal-but-unsuccessful
+// job is replaced (the retry path), counted as a miss.
+func (c *Cache) GetOrCreate(id string, mk func() *Job) (j *Job, existing bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.jobs[id]; ok {
+		if s := j.State(); !s.Terminal() || s == StateDone {
+			c.reg.Inc("cache_hits_total")
+			return j, true
+		}
+		c.reg.Inc("cache_evictions_total")
+	}
+	c.reg.Inc("cache_misses_total")
+	j = mk()
+	c.jobs[id] = j
+	c.reg.SetGauge("cache_jobs", float64(len(c.jobs)))
+	return j, false
+}
+
+// Get looks up a job without creating one.
+func (c *Cache) Get(id string) (*Job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Len returns the number of cached jobs (any state).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.jobs)
+}

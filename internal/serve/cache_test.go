@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+)
+
+func TestCacheCoalescesAndServesDone(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewCache(reg)
+	mk := func() *Job { return newJob("fp", hadfl.SchemeHADFL, hadfl.Options{}) }
+
+	j1, existing := c.GetOrCreate("fp", mk)
+	if existing {
+		t.Fatal("first lookup hit")
+	}
+	// Still queued: the duplicate coalesces onto the same job.
+	j2, existing := c.GetOrCreate("fp", mk)
+	if !existing || j2 != j1 {
+		t.Fatal("queued job not coalesced")
+	}
+	// Done: served from cache.
+	j1.start(func() {})
+	j1.finish(&hadfl.Result{Accuracy: 0.8}, nil)
+	j3, existing := c.GetOrCreate("fp", mk)
+	if !existing || j3 != j1 {
+		t.Fatal("done job not served from cache")
+	}
+	if reg.Counter("cache_hits_total") != 2 || reg.Counter("cache_misses_total") != 1 {
+		t.Fatalf("hits=%d misses=%d", reg.Counter("cache_hits_total"), reg.Counter("cache_misses_total"))
+	}
+}
+
+func TestCacheEvictsFailedJobsOnResubmit(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewCache(reg)
+	fresh := 0
+	mk := func() *Job {
+		fresh++
+		return newJob("fp", hadfl.SchemeHADFL, hadfl.Options{})
+	}
+	j1, _ := c.GetOrCreate("fp", mk)
+	j1.start(func() {})
+	j1.finish(nil, &JobError{JobID: "fp", Err: errors.New("boom")})
+
+	j2, existing := c.GetOrCreate("fp", mk)
+	if existing || j2 == j1 {
+		t.Fatal("failed job served instead of retried")
+	}
+	if fresh != 2 {
+		t.Fatalf("%d jobs created", fresh)
+	}
+	if reg.Counter("cache_evictions_total") != 1 {
+		t.Fatalf("evictions = %d", reg.Counter("cache_evictions_total"))
+	}
+	got, ok := c.Get("fp")
+	if !ok || got != j2 {
+		t.Fatal("cache does not hold the retry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}

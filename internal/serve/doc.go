@@ -1,0 +1,54 @@
+// Package serve turns the one-shot HADFL simulator into a long-lived
+// experiment service: a bounded job queue drained by a worker pool, a
+// content-addressed result cache, and an HTTP/JSON API with per-round
+// streaming progress. It is the entry point used by cmd/hadfl-serve.
+//
+// # API
+//
+//	POST /runs              submit {"scheme": "...", "options": {...}};
+//	                        202 with {id, state} for a new job, 200 with
+//	                        cached:true when the content-addressed cache
+//	                        already holds (or is computing) the result
+//	GET  /runs/{id}         job status; includes the result summary once
+//	                        done, and the full training curve with ?curve=1
+//	GET  /runs/{id}/events  Server-Sent Events: one "state" event per
+//	                        transition and one "round" event per
+//	                        progress report (fed from
+//	                        hadfl.Options.OnRound); past events are
+//	                        replayed so late subscribers miss nothing
+//	GET  /healthz           liveness: {"status":"ok", uptime, jobs}
+//	GET  /stats             metrics.Registry snapshot (queue depth, cache
+//	                        hit/miss, per-scheme run counts, ...) plus
+//	                        pool and cache configuration
+//
+// # Cache semantics
+//
+// Runs are deterministic given their options (seeded simulation), so
+// the result is content-addressed by hadfl.Fingerprint(scheme,
+// options) — the job ID *is* the fingerprint. A resubmission of
+// identical work returns the existing job whether it is still queued,
+// running, or done: concurrent duplicates coalesce onto one in-flight
+// run and completed results are served from memory without retraining.
+// Failed, canceled and timed-out jobs are evicted on the next
+// identical submission, which therefore retries the run; successful
+// results are kept until the server exits (persistence via
+// coordinator.ModelStore is a tracked follow-on in ROADMAP.md).
+//
+// Coalescing happens before admission: a duplicate arriving between a
+// creator's cache insert and its enqueue shares that job's fate, so
+// if the enqueue is then rejected (queue full) the duplicate's job
+// reads as failed with the queue-full cause — an honest outcome for
+// an async API; resubmitting evicts and retries it.
+//
+// # Concurrency and shutdown
+//
+// Submissions beyond the queue bound are rejected with 503 rather than
+// accepted unboundedly, and a token bucket rate-limits POST /runs with
+// 429. Each job runs under a per-job timeout; all built-in schemes are
+// cooperatively canceled at their next progress report (HADFL and
+// FedAvg per round, distributed per evaluation interval), and a
+// custom Runner that ignores its context is abandoned instead (the
+// worker moves on, the run's late result is discarded). Close
+// drains nothing: queued jobs are marked canceled immediately and
+// running jobs get a grace period before their contexts are cut.
+package serve

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"hadfl"
+)
+
+// Sentinel errors returned by Server and Pool entry points.
+var (
+	// ErrQueueFull rejects a submission when the job queue is at its
+	// bound; the client should retry later (HTTP 503).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrShuttingDown rejects work arriving after Close began.
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrUnknownJob is returned for lookups of IDs never submitted.
+	ErrUnknownJob = errors.New("serve: unknown job id")
+)
+
+// JobError is the rich error attached to a failed, timed-out or
+// canceled job. Beyond the underlying cause it captures what was
+// being run (scheme + the exact input options), where along the
+// service path the failure happened, how long the job had been
+// executing, and whether the cause was a deadline or a cancellation —
+// so an operator can reproduce the run from the error alone.
+type JobError struct {
+	// JobID is the content-addressed job (and cache) identifier.
+	JobID string
+	// Scheme and Options are the failed run's full input.
+	Scheme  string
+	Options hadfl.Options
+	// Path traces where the failure occurred, outermost first,
+	// e.g. ["queue", "worker-3", "run"].
+	Path []string
+	// Err is the underlying cause.
+	Err error
+	// Duration is how long the job had been running (zero if it never
+	// left the queue).
+	Duration time.Duration
+	// Timeout and Canceled flag deadline-exceeded and canceled jobs.
+	Timeout  bool
+	Canceled bool
+}
+
+// Error implements the error interface.
+func (e *JobError) Error() string {
+	site := e.Scheme
+	if len(e.Path) > 0 {
+		site += " at " + strings.Join(e.Path, "→")
+	}
+	switch {
+	case e.Timeout:
+		return fmt.Sprintf("serve: job %.12s (%s) timed out after %v: %v", e.JobID, site, e.Duration, e.Err)
+	case e.Canceled:
+		return fmt.Sprintf("serve: job %.12s (%s) canceled after %v: %v", e.JobID, site, e.Duration, e.Err)
+	default:
+		return fmt.Sprintf("serve: job %.12s (%s) failed after %v: %v", e.JobID, site, e.Duration, e.Err)
+	}
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// IsTimeout reports whether the job died to a deadline.
+func (e *JobError) IsTimeout() bool {
+	return e.Timeout || errors.Is(e.Err, context.DeadlineExceeded)
+}
+
+// IsCanceled reports whether the job was canceled (client abandonment
+// or server shutdown).
+func (e *JobError) IsCanceled() bool {
+	return e.Canceled || errors.Is(e.Err, context.Canceled)
+}

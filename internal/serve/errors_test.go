@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hadfl"
+)
+
+func TestJobErrorMessageVariants(t *testing.T) {
+	base := JobError{
+		JobID:    "abcdef0123456789",
+		Scheme:   hadfl.SchemeHADFL,
+		Options:  hadfl.Options{Seed: 7},
+		Path:     []string{"pool", "worker-1", "run"},
+		Err:      errors.New("boom"),
+		Duration: 1500 * time.Millisecond,
+	}
+	plain := base
+	if msg := plain.Error(); !strings.Contains(msg, "failed after 1.5s") ||
+		!strings.Contains(msg, "abcdef012345") ||
+		!strings.Contains(msg, "pool→worker-1→run") {
+		t.Fatalf("message %q", msg)
+	}
+	timeout := base
+	timeout.Timeout = true
+	if msg := timeout.Error(); !strings.Contains(msg, "timed out") {
+		t.Fatalf("timeout message %q", msg)
+	}
+	canceled := base
+	canceled.Canceled = true
+	if msg := canceled.Error(); !strings.Contains(msg, "canceled") {
+		t.Fatalf("canceled message %q", msg)
+	}
+}
+
+func TestJobErrorUnwrapAndFlags(t *testing.T) {
+	cause := context.DeadlineExceeded
+	e := &JobError{Err: cause}
+	if !errors.Is(e, context.DeadlineExceeded) {
+		t.Fatal("Unwrap broken")
+	}
+	// Flag set explicitly OR inferable from the cause.
+	if !e.IsTimeout() {
+		t.Fatal("deadline cause not detected as timeout")
+	}
+	if e.IsCanceled() {
+		t.Fatal("deadline detected as canceled")
+	}
+	c := &JobError{Err: context.Canceled}
+	if !c.IsCanceled() || c.IsTimeout() {
+		t.Fatal("canceled cause misclassified")
+	}
+	flagged := &JobError{Err: errors.New("x"), Timeout: true}
+	if !flagged.IsTimeout() {
+		t.Fatal("explicit timeout flag ignored")
+	}
+}

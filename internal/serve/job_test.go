@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hadfl"
+)
+
+func TestJobLifecycleAndReplay(t *testing.T) {
+	j := newJob("id1", hadfl.SchemeHADFL, hadfl.Options{Seed: 3})
+	if j.State() != StateQueued {
+		t.Fatalf("state %v", j.State())
+	}
+	replay, live, cancel := j.Subscribe()
+	defer cancel()
+	if len(replay) != 1 || replay[0].State != StateQueued {
+		t.Fatalf("replay %+v", replay)
+	}
+
+	if !j.start(func() {}) {
+		t.Fatal("start refused")
+	}
+	if j.start(func() {}) {
+		t.Fatal("double start accepted")
+	}
+	j.publishRound(hadfl.RoundUpdate{Round: 1, Time: 10})
+	j.finish(&hadfl.Result{Scheme: hadfl.SchemeHADFL}, nil)
+	if j.State() != StateDone {
+		t.Fatalf("state %v", j.State())
+	}
+
+	var got []Event
+	for e := range live {
+		got = append(got, e)
+	}
+	// running, round, done — in order.
+	if len(got) != 3 || got[0].State != StateRunning || got[1].Type != "round" || got[2].State != StateDone {
+		t.Fatalf("events %+v", got)
+	}
+
+	// A late subscriber replays everything and gets a closed channel.
+	replay2, live2, cancel2 := j.Subscribe()
+	defer cancel2()
+	if len(replay2) != 4 {
+		t.Fatalf("late replay has %d events", len(replay2))
+	}
+	if _, ok := <-live2; ok {
+		t.Fatal("late live channel not closed")
+	}
+
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Done not closed")
+	}
+}
+
+func TestJobCancelWhileQueued(t *testing.T) {
+	j := newJob("id2", hadfl.SchemeFedAvg, hadfl.Options{})
+	j.Cancel(ErrShuttingDown)
+	if j.State() != StateCanceled {
+		t.Fatalf("state %v", j.State())
+	}
+	_, jerr := j.Result()
+	if jerr == nil || !jerr.Canceled || !errors.Is(jerr, ErrShuttingDown) {
+		t.Fatalf("error %+v", jerr)
+	}
+	if j.start(func() {}) {
+		t.Fatal("canceled job started")
+	}
+}
+
+func TestJobCancelWhileRunningCutsContext(t *testing.T) {
+	j := newJob("id3", hadfl.SchemeHADFL, hadfl.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	j.start(cancel)
+	j.Cancel(errors.New("client gone"))
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("running job's context not cut")
+	}
+}
+
+func TestJobFinishFirstWriterWins(t *testing.T) {
+	j := newJob("id4", hadfl.SchemeHADFL, hadfl.Options{})
+	j.start(func() {})
+	j.finish(nil, &JobError{JobID: "id4", Err: context.DeadlineExceeded, Timeout: true})
+	// A stale result from an abandoned runner arrives late: discarded.
+	j.finish(&hadfl.Result{Accuracy: 0.9}, nil)
+	if j.State() != StateFailed {
+		t.Fatalf("state %v", j.State())
+	}
+	res, jerr := j.Result()
+	if res != nil || jerr == nil {
+		t.Fatal("stale result clobbered recorded failure")
+	}
+	// Rounds after termination are dropped too.
+	before := len(j.events)
+	j.publishRound(hadfl.RoundUpdate{Round: 99})
+	if len(j.events) != before {
+		t.Fatal("round published after terminal state")
+	}
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+)
+
+// Runner executes one training run, honoring ctx for timeout and
+// cancellation and reporting per-round progress through onRound. The
+// pool takes it as a seam so tests can substitute instrumented or
+// failing runs.
+type Runner func(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (*hadfl.Result, error)
+
+// runAbort carries ctx.Err() out of the simulation through the round
+// callback; RunScheme offers no context plumbing, so cooperative
+// cancellation unwinds via panic/recover the way encoding/json aborts
+// marshaling.
+type runAbort struct{ err error }
+
+// DefaultRunner runs hadfl.RunScheme. Every built-in scheme reports
+// progress through OnRound (HADFL per synchronization round, FedAvg
+// per round, distributed per evaluation interval), so runs observe
+// ctx at that cadence and abort cooperatively; the pool's
+// goroutine-abandonment path remains only as a backstop for custom
+// runners that ignore ctx.
+func DefaultRunner(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (res *hadfl.Result, err error) {
+	opts.OnRound = func(u hadfl.RoundUpdate) {
+		if onRound != nil {
+			onRound(u)
+		}
+		if err := ctx.Err(); err != nil {
+			panic(runAbort{err})
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(runAbort)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, a.err
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return hadfl.RunScheme(scheme, opts)
+}
+
+// PoolConfig sizes a Pool.
+type PoolConfig struct {
+	// Workers bounds concurrent runs. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs waiting beyond the running ones; Enqueue
+	// returns ErrQueueFull past it. Default 64.
+	QueueDepth int
+	// JobTimeout bounds each run's execution time. 0 = unlimited.
+	JobTimeout time.Duration
+	// Runner executes runs. Default DefaultRunner.
+	Runner Runner
+	// Metrics receives queue/run telemetry. Default: private registry.
+	Metrics *metrics.Registry
+}
+
+// Pool is a bounded job queue drained by a fixed set of workers. Jobs
+// enter via Enqueue, run under a per-job context, and reach a terminal
+// state exactly once; Close stops intake, cancels queued work, grants
+// running jobs a grace period, then cuts their contexts.
+type Pool struct {
+	cfg   PoolConfig
+	reg   *metrics.Registry
+	queue chan *Job
+	stop  chan struct{} // closed once: workers stop picking up work
+	base  context.Context
+	cut   context.CancelFunc // cancels every job context
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	closing bool
+}
+
+// NewPool starts cfg.Workers workers and returns the running pool.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = DefaultRunner
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	base, cut := context.WithCancel(context.Background())
+	p := &Pool{
+		cfg:   cfg,
+		reg:   cfg.Metrics,
+		queue: make(chan *Job, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		base:  base,
+		cut:   cut,
+	}
+	p.reg.SetGauge("pool_workers", float64(cfg.Workers))
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	return p
+}
+
+// Enqueue admits a job to the queue. It fails fast with ErrQueueFull
+// at the bound and ErrShuttingDown after Close has begun.
+func (p *Pool) Enqueue(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closing {
+		return ErrShuttingDown
+	}
+	select {
+	case p.queue <- j:
+		p.reg.Inc("runs_submitted_total")
+		p.reg.SetGauge("queue_depth", float64(len(p.queue)))
+		return nil
+	default:
+		p.reg.Inc("queue_rejections_total")
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth returns the number of jobs waiting (not running).
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Close shuts the pool down: intake stops, queued jobs are canceled
+// immediately, and running jobs may finish until ctx expires, after
+// which their contexts are cut (HADFL runs abort at the next round;
+// callback-free schemes are abandoned). Returns ctx.Err() when the
+// grace period was exhausted, nil on a clean drain.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	already := p.closing
+	p.closing = true
+	p.mu.Unlock()
+	if !already {
+		close(p.stop)
+	drain:
+		for {
+			select {
+			case j := <-p.queue:
+				j.Cancel(ErrShuttingDown)
+			default:
+				break drain
+			}
+		}
+		p.reg.SetGauge("queue_depth", 0)
+	}
+
+	idle := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		p.cut()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) worker(i int) {
+	defer p.wg.Done()
+	name := fmt.Sprintf("worker-%d", i)
+	for {
+		// Prefer stopping over racing the queue once Close has begun.
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		select {
+		case <-p.stop:
+			return
+		case j := <-p.queue:
+			p.reg.SetGauge("queue_depth", float64(len(p.queue)))
+			p.runJob(name, j)
+		}
+	}
+}
+
+// runJob executes one job under its own context and records the
+// outcome. If the context dies before the runner returns (a scheme
+// that never reports rounds, or a hard wall), the job is finished as
+// timed-out/canceled and the runner goroutine is abandoned — its late
+// result is discarded by Job.finish's first-writer-wins rule.
+func (p *Pool) runJob(worker string, j *Job) {
+	ctx := p.base
+	var cancel context.CancelFunc
+	if p.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	if !j.start(cancel) {
+		return // canceled while queued
+	}
+	p.reg.AddGauge("jobs_running", 1)
+	defer p.reg.AddGauge("jobs_running", -1)
+	p.reg.Inc("runs_started_total")
+	p.reg.Inc("runs_scheme_" + j.Scheme)
+
+	type outcome struct {
+		res *hadfl.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := p.cfg.Runner(ctx, j.Scheme, j.Options, j.publishRound)
+		ch <- outcome{res, err}
+	}()
+
+	finishErr := func(cause error, path ...string) {
+		jerr := &JobError{
+			JobID: j.ID, Scheme: j.Scheme, Options: j.Options,
+			Path:     append([]string{"pool", worker}, path...),
+			Err:      cause,
+			Duration: j.RunningFor(),
+			Timeout:  errors.Is(cause, context.DeadlineExceeded),
+			Canceled: errors.Is(cause, context.Canceled),
+		}
+		j.finish(nil, jerr)
+		switch {
+		case jerr.Timeout:
+			p.reg.Inc("runs_timeout_total")
+		case jerr.Canceled:
+			p.reg.Inc("runs_canceled_total")
+		default:
+			p.reg.Inc("runs_failed_total")
+		}
+	}
+
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			finishErr(o.err, "run")
+			return
+		}
+		j.finish(o.res, nil)
+		p.reg.Inc("runs_completed_total")
+	case <-ctx.Done():
+		finishErr(ctx.Err(), "run", "abandoned")
+	}
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+)
+
+// stubRunner returns a Runner that reports into the given counters and
+// blocks until release is closed (nil release = return immediately).
+func stubRunner(running, peak *atomic.Int64, release <-chan struct{}) Runner {
+	return func(ctx context.Context, _ string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+		if running != nil {
+			n := running.Add(1)
+			defer running.Add(-1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+		}
+		if release != nil {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return &hadfl.Result{Scheme: "stub", Accuracy: 1}, nil
+	}
+}
+
+func waitTerminal(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s stuck in state %v", j.ID, j.State())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	var running, peak atomic.Int64
+	release := make(chan struct{})
+	p := NewPool(PoolConfig{Workers: 2, QueueDepth: 8, Runner: stubRunner(&running, &peak, release)})
+	defer p.Close(context.Background())
+
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j := newJob(fmt.Sprintf("job-%d", i), hadfl.SchemeHADFL, hadfl.Options{Seed: int64(i)})
+		if err := p.Enqueue(j); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	time.Sleep(50 * time.Millisecond) // let both workers pick up work
+	close(release)
+	for _, j := range jobs {
+		waitTerminal(t, j)
+		if j.State() != StateDone {
+			t.Fatalf("job %s state %v", j.ID, j.State())
+		}
+	}
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("peak concurrency %d with 2 workers", got)
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 1, Runner: stubRunner(nil, nil, release)})
+	defer p.Close(context.Background())
+
+	a := newJob("a", hadfl.SchemeHADFL, hadfl.Options{})
+	if err := p.Enqueue(a); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the single worker holds job a, then fill the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.State() == StateQueued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b := newJob("b", hadfl.SchemeHADFL, hadfl.Options{})
+	if err := p.Enqueue(b); err != nil {
+		t.Fatal(err)
+	}
+	c := newJob("c", hadfl.SchemeHADFL, hadfl.Options{})
+	if err := p.Enqueue(c); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	waitTerminal(t, a)
+	waitTerminal(t, b)
+}
+
+func TestPoolJobTimeoutAbandonsCallbackFreeRun(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// The runner ignores rounds and only honors ctx via the stub's
+	// select — emulating a baseline scheme wrapped by DefaultRunner's
+	// goroutine abandonment.
+	blocked := make(chan struct{}) // never closed
+	p := NewPool(PoolConfig{Workers: 1, JobTimeout: 50 * time.Millisecond, Metrics: reg,
+		Runner: func(ctx context.Context, _ string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			<-blocked
+			return nil, nil
+		}})
+	defer p.Close(context.Background())
+
+	j := newJob("t", hadfl.SchemeDistributed, hadfl.Options{})
+	if err := p.Enqueue(j); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if j.State() != StateFailed {
+		t.Fatalf("state %v", j.State())
+	}
+	_, jerr := j.Result()
+	if jerr == nil || !jerr.IsTimeout() {
+		t.Fatalf("error %+v", jerr)
+	}
+	if jerr.Duration <= 0 || len(jerr.Path) == 0 {
+		t.Fatalf("error lacks context: %+v", jerr)
+	}
+	if reg.Counter("runs_timeout_total") != 1 {
+		t.Fatalf("timeout counter %d", reg.Counter("runs_timeout_total"))
+	}
+}
+
+func TestPoolCancelRunningJob(t *testing.T) {
+	release := make(chan struct{}) // never closed: job must die to cancel
+	p := NewPool(PoolConfig{Workers: 1, Runner: stubRunner(nil, nil, release)})
+	defer p.Close(context.Background())
+
+	j := newJob("c", hadfl.SchemeHADFL, hadfl.Options{})
+	if err := p.Enqueue(j); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.State() == StateQueued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	j.Cancel(errors.New("client gave up"))
+	waitTerminal(t, j)
+	if j.State() != StateCanceled {
+		t.Fatalf("state %v", j.State())
+	}
+	_, jerr := j.Result()
+	if jerr == nil || !jerr.IsCanceled() {
+		t.Fatalf("error %+v", jerr)
+	}
+}
+
+func TestPoolGracefulShutdown(t *testing.T) {
+	release := make(chan struct{}) // never closed: running job outlives grace
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 4, Runner: stubRunner(nil, nil, release)})
+
+	running := newJob("r", hadfl.SchemeHADFL, hadfl.Options{})
+	if err := p.Enqueue(running); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for running.State() == StateQueued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	queued := newJob("q", hadfl.SchemeHADFL, hadfl.Options{})
+	if err := p.Enqueue(queued); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := p.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close = %v, want deadline exceeded", err)
+	}
+	waitTerminal(t, queued)
+	waitTerminal(t, running)
+	if queued.State() != StateCanceled {
+		t.Fatalf("queued job state %v", queued.State())
+	}
+	if s := running.State(); s != StateCanceled && s != StateFailed {
+		t.Fatalf("running job state %v", s)
+	}
+	// The pool rejects new work after Close.
+	if err := p.Enqueue(newJob("late", hadfl.SchemeHADFL, hadfl.Options{})); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-close enqueue = %v", err)
+	}
+}
+
+func TestDefaultRunnerCooperativeCancellation(t *testing.T) {
+	// A long HADFL run aborts at the first synchronization round after
+	// its deadline: the sentinel panic unwinds RunScheme cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := DefaultRunner(ctx, hadfl.SchemeHADFL,
+		hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 5000, Seed: 1}, nil)
+	if res != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("res %v err %v", res, err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cooperative abort took %v", elapsed)
+	}
+}
+
+func TestDefaultRunnerCancelsBaselineSchemes(t *testing.T) {
+	// Regression: baseline schemes used to ignore OnRound, so a huge
+	// epoch budget produced an unkillable abandoned goroutine. They now
+	// report per round / per eval interval and abort there.
+	for _, scheme := range []string{hadfl.SchemeFedAvg, hadfl.SchemeDistributed} {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+		start := time.Now()
+		res, err := DefaultRunner(ctx, scheme,
+			hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 1e9, Seed: 1}, nil)
+		cancel()
+		if res != nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: res %v err %v", scheme, res, err)
+		}
+		if elapsed := time.Since(start); elapsed > 30*time.Second {
+			t.Fatalf("%s: cooperative abort took %v", scheme, elapsed)
+		}
+	}
+}
+
+func TestDefaultRunnerPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DefaultRunner(ctx, hadfl.SchemeHADFL, hadfl.Options{}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDefaultRunnerRunsTinyJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training run in -short mode")
+	}
+	rounds := 0
+	res, err := DefaultRunner(context.Background(), hadfl.SchemeHADFL,
+		hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 3, Seed: 2},
+		func(hadfl.RoundUpdate) { rounds++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 || rounds != res.Rounds {
+		t.Fatalf("rounds %d, callback saw %d", res.Rounds, rounds)
+	}
+}

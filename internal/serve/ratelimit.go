@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a minimal token-bucket rate limiter: capacity `burst`
+// tokens, refilled continuously at `rate` tokens/second. Allow is
+// non-blocking — the HTTP layer turns a refusal into 429 rather than
+// queueing the request. It is a stateful singleton: create one per
+// protected resource and share it across requests.
+type TokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	rate   float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+// NewTokenBucket returns a full bucket sustaining rate requests/second
+// with bursts up to burst. A rate <= 0 disables limiting (Allow always
+// succeeds).
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{
+		tokens: float64(burst),
+		burst:  float64(burst),
+		rate:   rate,
+		now:    time.Now,
+	}
+}
+
+// Allow consumes one token if available and reports whether the caller
+// may proceed.
+func (b *TokenBucket) Allow() bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

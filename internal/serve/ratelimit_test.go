@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewTokenBucket(10, 3) // 10/s, burst 3
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket allowed a request")
+	}
+	// 100ms refills exactly one token at 10/s.
+	now = now.Add(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("refilled token refused")
+	}
+	if b.Allow() {
+		t.Fatal("second token granted after single refill")
+	}
+	// A long idle period must not exceed the burst cap.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("post-idle request %d refused", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("burst cap exceeded after idle")
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	b := NewTokenBucket(0, 1)
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("disabled limiter refused")
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Workers / QueueDepth / JobTimeout size the pool (see PoolConfig).
+	Workers    int
+	QueueDepth int
+	JobTimeout time.Duration
+	// RatePerSec / Burst shape the POST /runs token bucket; RatePerSec
+	// <= 0 disables limiting.
+	RatePerSec float64
+	Burst      int
+	// Runner overrides the run executor (tests). Default DefaultRunner.
+	Runner Runner
+	// Metrics receives service telemetry. Default: private registry.
+	Metrics *metrics.Registry
+}
+
+// Server wires cache, pool, limiter and metrics behind an
+// http.Handler. See the package documentation for the API.
+type Server struct {
+	cfg     Config
+	reg     *metrics.Registry
+	cache   *Cache
+	pool    *Pool
+	limiter *TokenBucket
+	start   time.Time
+	mux     *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		cache:   NewCache(cfg.Metrics),
+		limiter: NewTokenBucket(cfg.RatePerSec, cfg.Burst),
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.pool = NewPool(PoolConfig{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		JobTimeout: cfg.JobTimeout,
+		Runner:     cfg.Runner,
+		Metrics:    cfg.Metrics,
+	})
+	s.mux.HandleFunc("POST /runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the service's HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the pool down (see Pool.Close).
+func (s *Server) Close(ctx context.Context) error { return s.pool.Close(ctx) }
+
+// Submit is the programmatic submission path behind POST /runs:
+// fingerprint, coalesce through the cache, enqueue on a miss. cached
+// reports whether an existing job (in any live state, or done) was
+// reused. On enqueue failure the fresh job is finished as failed so a
+// later identical submission retries it.
+func (s *Server) Submit(scheme string, opts hadfl.Options) (job *Job, cached bool, err error) {
+	fp, err := hadfl.Fingerprint(scheme, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	job, cached = s.cache.GetOrCreate(fp, func() *Job { return newJob(fp, scheme, opts) })
+	if cached {
+		return job, true, nil
+	}
+	if err := s.pool.Enqueue(job); err != nil {
+		job.finish(nil, &JobError{
+			JobID: fp, Scheme: scheme, Options: opts,
+			Path: []string{"submit"}, Err: err,
+			Canceled: errors.Is(err, ErrShuttingDown),
+		})
+		return nil, false, err
+	}
+	return job, false, nil
+}
+
+// RunRequest is the POST /runs body.
+type RunRequest struct {
+	Scheme  string     `json:"scheme"`
+	Options RunOptions `json:"options"`
+}
+
+// RunOptions mirrors hadfl.Options minus the callback field (progress
+// flows through /events instead).
+type RunOptions struct {
+	Powers       []float64       `json:"powers,omitempty"`
+	Model        string          `json:"model,omitempty"`
+	Full         bool            `json:"full,omitempty"`
+	TargetEpochs float64         `json:"targetEpochs,omitempty"`
+	NonIIDAlpha  float64         `json:"nonIIDAlpha,omitempty"`
+	Seed         int64           `json:"seed,omitempty"`
+	FailAt       map[int]float64 `json:"failAt,omitempty"`
+}
+
+func (o RunOptions) toOptions() hadfl.Options {
+	return hadfl.Options{
+		Powers:       o.Powers,
+		Model:        o.Model,
+		Full:         o.Full,
+		TargetEpochs: o.TargetEpochs,
+		NonIIDAlpha:  o.NonIIDAlpha,
+		Seed:         o.Seed,
+		FailAt:       o.FailAt,
+	}
+}
+
+// JobStatus is the wire form of a job.
+type JobStatus struct {
+	ID          string      `json:"id"`
+	Scheme      string      `json:"scheme"`
+	State       State       `json:"state"`
+	Cached      bool        `json:"cached,omitempty"`
+	Created     time.Time   `json:"created"`
+	Started     *time.Time  `json:"started,omitempty"`
+	Finished    *time.Time  `json:"finished,omitempty"`
+	DurationSec float64     `json:"durationSec,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Timeout     bool        `json:"timeout,omitempty"`
+	Canceled    bool        `json:"canceled,omitempty"`
+	Result      *RunSummary `json:"result,omitempty"`
+}
+
+// RunSummary is the wire form of a hadfl.Result; the full curve rides
+// along only when requested (?curve=1).
+type RunSummary struct {
+	Scheme      string          `json:"scheme"`
+	Accuracy    float64         `json:"accuracy"`
+	Time        float64         `json:"time"`
+	Rounds      int             `json:"rounds"`
+	DeviceBytes int64           `json:"deviceBytes"`
+	ServerBytes int64           `json:"serverBytes"`
+	CurvePoints int             `json:"curvePoints"`
+	Curve       []metrics.Point `json:"curve,omitempty"`
+}
+
+func (s *Server) status(j *Job, cached, withCurve bool) JobStatus {
+	v := j.snapshot()
+	st := JobStatus{
+		ID:      j.ID,
+		Scheme:  j.Scheme,
+		State:   v.state,
+		Cached:  cached,
+		Created: j.Created,
+	}
+	if !v.started.IsZero() {
+		started := v.started
+		st.Started = &started
+		if !v.finished.IsZero() {
+			finished := v.finished
+			st.Finished = &finished
+		}
+		st.DurationSec = v.running.Seconds()
+	}
+	if v.jerr != nil {
+		st.Error = v.jerr.Error()
+		st.Timeout = v.jerr.IsTimeout()
+		st.Canceled = v.jerr.IsCanceled()
+	}
+	if v.result != nil {
+		sum := &RunSummary{
+			Scheme:      v.result.Scheme,
+			Accuracy:    v.result.Accuracy,
+			Time:        v.result.Time,
+			Rounds:      v.result.Rounds,
+			DeviceBytes: v.result.DeviceBytes,
+			ServerBytes: v.result.ServerBytes,
+		}
+		if v.result.Series != nil {
+			sum.CurvePoints = v.result.Series.Len()
+			if withCurve {
+				sum.Curve = v.result.Series.Points
+			}
+		}
+		st.Result = sum
+	}
+	return st
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.limiter.Allow() {
+		s.reg.Inc("rate_limited_total")
+		httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		return
+	}
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Scheme == "" {
+		req.Scheme = hadfl.SchemeHADFL
+	}
+	job, cached, err := s.Submit(req.Scheme, req.Options.toOptions())
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	code := http.StatusAccepted
+	if cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, s.status(job, cached, false))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.cache.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrUnknownJob.Error())
+		return
+	}
+	withCurve := r.URL.Query().Get("curve") == "1"
+	writeJSON(w, http.StatusOK, s.status(job, false, withCurve))
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: the
+// full replay first, then live events until the job finishes or the
+// client disconnects. Event names are the Event.Type values ("state",
+// "round"); payloads are the Event JSON.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.cache.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrUnknownJob.Error())
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	s.reg.Inc("sse_streams_total")
+
+	replay, live, cancel := job.Subscribe()
+	defer cancel()
+	for _, e := range replay {
+		if err := writeSSE(w, e); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-live:
+			if !ok {
+				return
+			}
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptimeSec": time.Since(s.start).Seconds(),
+		"jobs":      s.cache.Len(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptimeSec":  time.Since(s.start).Seconds(),
+		"queueDepth": s.pool.QueueDepth(),
+		"cacheJobs":  s.cache.Len(),
+		"config": map[string]any{
+			"workers":       s.pool.cfg.Workers,
+			"queueDepth":    s.pool.cfg.QueueDepth,
+			"jobTimeoutSec": s.cfg.JobTimeout.Seconds(),
+			"ratePerSec":    s.cfg.RatePerSec,
+			"burst":         s.cfg.Burst,
+		},
+		"metrics": s.reg.Snapshot(),
+	})
+}
+
+func writeSSE(w http.ResponseWriter, e Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+)
+
+func postRun(t *testing.T, url string, body string) (int, JobStatus) {
+	t.Helper()
+	resp, err := http.Post(url+"/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func getStatus(t *testing.T, url, id string) (int, JobStatus) {
+	t.Helper()
+	resp, err := http.Get(url + "/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func waitDone(t *testing.T, url, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, st := getStatus(t, url, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /runs/%s = %d", id, code)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobStatus{}
+}
+
+// TestConcurrentIdenticalSubmissionsRunOnce is the acceptance check:
+// N identical concurrent POST /runs coalesce onto ONE underlying run,
+// and a later identical request is served from cache.
+func TestConcurrentIdenticalSubmissionsRunOnce(t *testing.T) {
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	openGate := sync.OnceFunc(func() { close(gate) })
+	srv := New(Config{Workers: 4, Runner: func(ctx context.Context, scheme string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+		runs.Add(1)
+		<-gate // hold the run so every duplicate arrives while in flight
+		return &hadfl.Result{Scheme: scheme, Accuracy: 0.9, Rounds: 3}, nil
+	}})
+	defer srv.Close(context.Background())
+	defer openGate() // unblock the runner before Close waits on it
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 16
+	body := `{"scheme":"hadfl","options":{"powers":[4,2,2,1],"targetEpochs":5,"seed":42}}`
+	ids := make([]string, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			codes[i], ids[i] = func() (int, string) {
+				code, st := postRun(t, ts.URL, body)
+				return code, st.ID
+			}()
+		}()
+	}
+	wg.Wait()
+	openGate()
+
+	accepted := 0
+	for i := 0; i < n; i++ {
+		if ids[i] != ids[0] || ids[i] == "" {
+			t.Fatalf("request %d got id %q, want %q", i, ids[i], ids[0])
+		}
+		if codes[i] == http.StatusAccepted {
+			accepted++
+		} else if codes[i] != http.StatusOK {
+			t.Fatalf("request %d status %d", i, codes[i])
+		}
+	}
+	if accepted != 1 {
+		t.Fatalf("%d requests created a job, want exactly 1", accepted)
+	}
+	st := waitDone(t, ts.URL, ids[0])
+	if st.State != StateDone || st.Result == nil || st.Result.Accuracy != 0.9 {
+		t.Fatalf("final status %+v", st)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("%d underlying runs for %d identical submissions", got, n)
+	}
+
+	// Completed: a repeat is served from cache, still exactly one run.
+	code, st2 := postRun(t, ts.URL, body)
+	if code != http.StatusOK || !st2.Cached || st2.State != StateDone || st2.Result == nil {
+		t.Fatalf("cached resubmit: code %d status %+v", code, st2)
+	}
+	if runs.Load() != 1 {
+		t.Fatal("cached resubmit re-ran training")
+	}
+}
+
+// TestSSEStreamsRoundsDuringLiveRun is the acceptance check for the
+// events endpoint: a real (tiny) HADFL training run streams at least
+// one per-round update over SSE before the terminal "done" event.
+func TestSSEStreamsRoundsDuringLiveRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training run in -short mode")
+	}
+	srv := New(Config{Workers: 1})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"scheme":"hadfl","options":{"powers":[4,2,2,1],"targetEpochs":8,"seed":11}}`
+	code, st := postRun(t, ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/runs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	rounds, states := 0, []State(nil)
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		switch e.Type {
+		case "round":
+			rounds++
+			if e.Round == nil || e.Round.Time <= 0 {
+				t.Fatalf("degenerate round event %+v", e)
+			}
+		case "state":
+			states = append(states, e.State)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 {
+		t.Fatal("no per-round SSE updates streamed")
+	}
+	if len(states) == 0 || states[len(states)-1] != StateDone {
+		t.Fatalf("states %v, want trailing done", states)
+	}
+	final := waitDone(t, ts.URL, st.ID)
+	if final.Result == nil || final.Result.Rounds != rounds {
+		t.Fatalf("streamed %d rounds, result has %+v", rounds, final.Result)
+	}
+}
+
+func TestStatusCurveParameter(t *testing.T) {
+	srv := New(Config{Workers: 1, Runner: func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+		s := &metrics.Series{Name: "stub"}
+		s.Add(metrics.Point{Epoch: 1, Time: 2, Loss: 0.5, Accuracy: 0.7})
+		return &hadfl.Result{Scheme: "stub", Accuracy: 0.7, Series: s}, nil
+	}})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, st := postRun(t, ts.URL, `{"options":{"seed":5}}`)
+	waitDone(t, ts.URL, st.ID)
+
+	_, plain := getStatus(t, ts.URL, st.ID)
+	if plain.Result == nil || plain.Result.Curve != nil || plain.Result.CurvePoints != 1 {
+		t.Fatalf("plain status %+v", plain.Result)
+	}
+	code, withCurve := getStatus(t, ts.URL, st.ID+"?curve=1")
+	if code != http.StatusOK || withCurve.Result == nil || len(withCurve.Result.Curve) != 1 {
+		t.Fatalf("curve status %+v", withCurve.Result)
+	}
+}
+
+func TestBadRequestsAndUnknownJobs(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _ := postRun(t, ts.URL, `{"scheme":"quantum"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown scheme = %d", code)
+	}
+	if code, _ := postRun(t, ts.URL, `{"options":{"powers":[-1]}}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid options = %d", code)
+	}
+	if code, _ := postRun(t, ts.URL, `{not json`); code != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d", code)
+	}
+	if code, _ := postRun(t, ts.URL, `{"bogus":1}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d", code)
+	}
+	if code, _ := getStatus(t, ts.URL, "deadbeef"); code != http.StatusNotFound {
+		t.Fatalf("unknown id = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/runs/deadbeef/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id events = %d", resp.StatusCode)
+	}
+}
+
+func TestRateLimiterRejectsBursts(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Config{Workers: 1, RatePerSec: 0.001, Burst: 2,
+		Runner: func(ctx context.Context, s string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			<-gate
+			return &hadfl.Result{Scheme: s}, nil
+		}})
+	defer srv.Close(context.Background())
+	defer close(gate) // unblock the runner before Close waits on it
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	codes := map[int]int{}
+	for i := 0; i < 4; i++ {
+		code, _ := postRun(t, ts.URL, fmt.Sprintf(`{"options":{"seed":%d}}`, i+1))
+		codes[code]++
+	}
+	if codes[http.StatusAccepted] != 2 || codes[http.StatusTooManyRequests] != 2 {
+		t.Fatalf("codes %v", codes)
+	}
+	var buf bytes.Buffer
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Metrics metrics.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(io.TeeReader(resp.Body, &buf)).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Metrics.Counters["rate_limited_total"] != 2 {
+		t.Fatalf("stats %s", buf.String())
+	}
+}
+
+func TestQueueFullReturns503(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Config{Workers: 1, QueueDepth: 1,
+		Runner: func(ctx context.Context, s string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+			return &hadfl.Result{Scheme: s}, nil
+		}})
+	defer srv.Close(context.Background())
+	defer close(gate) // unblock the runner before Close waits on it
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code1, st1 := postRun(t, ts.URL, `{"options":{"seed":1}}`)
+	if code1 != http.StatusAccepted {
+		t.Fatalf("first = %d", code1)
+	}
+	// Wait for the worker to hold job 1 so job 2 occupies the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, st := getStatus(t, ts.URL, st1.ID); st.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, _ := postRun(t, ts.URL, `{"options":{"seed":2}}`); code != http.StatusAccepted {
+		t.Fatalf("second = %d", code)
+	}
+	code3, _ := postRun(t, ts.URL, `{"options":{"seed":3}}`)
+	if code3 != http.StatusServiceUnavailable {
+		t.Fatalf("third = %d, want 503", code3)
+	}
+	// The rejected job was finished as failed, so resubmitting retries
+	// (and is rejected again while the queue is still full) rather than
+	// returning the dead job as a cache hit.
+	code4, st4 := postRun(t, ts.URL, `{"options":{"seed":3}}`)
+	if code4 != http.StatusServiceUnavailable || st4.Cached {
+		t.Fatalf("resubmit = %d cached=%v", code4, st4.Cached)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	srv := New(Config{Workers: 1, Runner: stubRunner(nil, nil, nil)})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, st := postRun(t, ts.URL, `{"options":{"seed":9}}`)
+	waitDone(t, ts.URL, st.ID)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["jobs"].(float64) != 1 {
+		t.Fatalf("health %v", health)
+	}
+
+	resp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var stats struct {
+		CacheJobs int              `json:"cacheJobs"`
+		Config    map[string]any   `json:"config"`
+		Metrics   metrics.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheJobs != 1 || stats.Config["workers"].(float64) != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.Metrics.Counters["runs_completed_total"] != 1 ||
+		stats.Metrics.Counters["runs_scheme_"+hadfl.SchemeHADFL] != 1 {
+		t.Fatalf("metrics %+v", stats.Metrics.Counters)
+	}
+}
