@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short bench serve
+.PHONY: check fmt vet build test test-short test-race bench bench-json serve
 
 check: fmt vet build test-short
 
@@ -22,6 +22,25 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# test-race runs the fixed-seed parallel-determinism contract (and the
+# kernel bit-determinism tests) under the race detector.
+test-race:
+	$(GO) test -race -run 'TestParallelDeterminism' .
+	$(GO) test -race ./internal/tensor ./internal/core ./internal/baselines
+
+# bench-json snapshots the compute-core benchmarks (tensor kernels, nn
+# training steps, the end-to-end HADFL round) into BENCH_compute.json
+# so the perf trajectory is recorded; diff it across PRs.
+# Each step is its own recipe line so any bench failure aborts before
+# the old snapshot is replaced.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/tensor ./internal/nn > BENCH_compute.txt.tmp
+	$(GO) test -run '^$$' -bench 'BenchmarkHADFLRound' -benchtime 3x -benchmem . >> BENCH_compute.txt.tmp
+	$(GO) run ./cmd/hadfl-benchjson < BENCH_compute.txt.tmp > BENCH_compute.json.tmp
+	rm BENCH_compute.txt.tmp
+	mv BENCH_compute.json.tmp BENCH_compute.json
+	@echo wrote BENCH_compute.json
 
 serve:
 	$(GO) run ./cmd/hadfl-serve -addr :8080

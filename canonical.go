@@ -2,10 +2,12 @@ package hadfl
 
 // Canonical-form helpers for Options: validation and content
 // addressing. Runs are deterministic given their options (the
-// simulation is seeded and single-threaded per run), so a canonical
-// hash of scheme + options is a content address for the *result* —
-// the serve layer (internal/serve) uses it to deduplicate identical
-// requests and coalesce concurrent duplicates onto one in-flight run.
+// simulation is seeded, and the concurrent runner and parallel tensor
+// kernels keep all floating-point reduction orders fixed), so a
+// canonical hash of scheme + options is a content address for the
+// *result* — the serve layer (internal/serve) uses it to deduplicate
+// identical requests and coalesce concurrent duplicates onto one
+// in-flight run.
 
 import (
 	"crypto/sha256"
@@ -69,7 +71,11 @@ func (o Options) Validate() error {
 // filled, failure schedule sorted by device, floats in shortest
 // round-trip notation. Two Options values with the same canonical form
 // produce identical results under the same scheme. OnRound is
-// excluded — progress callbacks observe a run but do not change it.
+// excluded — progress callbacks observe a run but do not change it —
+// and so is Parallelism: the concurrent runner joins per-device
+// partials in a deterministic order, so every parallelism level
+// produces byte-identical results (enforced by TestParallelDeterminism)
+// and requests differing only in Parallelism share one cache entry.
 func (o Options) Canonical() string {
 	o.fill()
 	var b strings.Builder

@@ -1,0 +1,112 @@
+// hadfl-benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark snapshot on stdout, so `make bench-json` can record
+// the compute-core perf trajectory (ns/op, allocs/op, custom metrics)
+// in BENCH_compute.json and later PRs can diff against it.
+//
+//	go test -run '^$' -bench . -benchmem ./internal/tensor | hadfl-benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Go appends "-<GOMAXPROCS>" to
+// benchmark names on multi-core hosts; the suffix is split into Procs
+// so snapshots from machines with different core counts still match
+// entry-by-entry on Name.
+type Benchmark struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	Note       string      `json:"note"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	snap, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadfl-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "hadfl-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans benchmark output. Result lines have the shape
+//
+//	BenchmarkName-8   	 200	  746890 ns/op	 2229 B/op	 0 allocs/op
+//
+// i.e. a name, an iteration count, then value/unit pairs; `pkg:` and
+// `cpu:` context lines annotate subsequent results.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Note: "compute-core benchmark snapshot; regenerate with `make bench-json`"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // gofmt'd result lines have name, count, then pairs
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name, procs := fields[0], 0
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+				name, procs = name[:i], p
+			}
+		}
+		b := Benchmark{
+			Package:    pkg,
+			Name:       name,
+			Procs:      procs,
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	return snap, nil
+}

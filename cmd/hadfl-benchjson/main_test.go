@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: hadfl/internal/nn
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTrainStepResMLP     	     200	    746890 ns/op	    2229 B/op	       0 allocs/op
+BenchmarkHADFLRound 	       3	 488536968 ns/op	         5.000 rounds/run	300252600 B/op	  158988 allocs/op
+BenchmarkTable1/resnet/het=3,3,1,1-4 	       2	 900000000 ns/op
+PASS
+ok  	hadfl/internal/nn	5.745s
+`
+	snap, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkTrainStepResMLP" || b.Package != "hadfl/internal/nn" || b.Iterations != 200 || b.Procs != 0 {
+		t.Fatalf("benchmark header parsed wrong: %+v", b)
+	}
+	multi := snap.Benchmarks[2]
+	if multi.Name != "BenchmarkTable1/resnet/het=3,3,1,1" || multi.Procs != 4 {
+		t.Fatalf("GOMAXPROCS suffix not split: %+v", multi)
+	}
+	if b.Metrics["ns/op"] != 746890 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics parsed wrong: %v", b.Metrics)
+	}
+	if snap.Benchmarks[1].Metrics["rounds/run"] != 5 {
+		t.Fatalf("custom metric parsed wrong: %v", snap.Benchmarks[1].Metrics)
+	}
+	if !strings.Contains(snap.CPU, "Xeon") {
+		t.Fatalf("cpu line not captured: %q", snap.CPU)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"hadfl"
 	"hadfl/internal/serve"
 )
 
@@ -58,6 +59,9 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		rate       = fs.Float64("rate", 50, "sustained POST /runs per second (0 = unlimited)")
 		burst      = fs.Int("burst", 100, "POST /runs burst size")
 		grace      = fs.Duration("grace", 30*time.Second, "shutdown grace for running jobs")
+		cacheMax   = fs.Int("cache-max", 1024, "max cached results before LRU eviction (0 = unbounded)")
+		runPar     = fs.Int("run-parallelism", 0, "per-run device concurrency when a request leaves it unset (0 = sequential)")
+		tpar       = fs.Int("tensor-workers", 0, "tensor kernel worker pool size (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -66,12 +70,15 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		return errBadFlags
 	}
 
+	hadfl.SetComputeParallelism(*tpar)
 	srv := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		JobTimeout: *jobTimeout,
-		RatePerSec: *rate,
-		Burst:      *burst,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		JobTimeout:      *jobTimeout,
+		RatePerSec:      *rate,
+		Burst:           *burst,
+		CacheMaxEntries: *cacheMax,
+		RunParallelism:  *runPar,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -54,6 +54,8 @@ func run(args []string, out, errOut io.Writer) error {
 		verbose = fs.Bool("v", false, "print per-round progress")
 		save    = fs.String("save", "", "persist the final model snapshot to this file")
 		load    = fs.String("load", "", "skip training; evaluate a persisted snapshot instead")
+		par     = fs.Int("parallelism", 0, "concurrent devices per round (0 = GOMAXPROCS, 1 = sequential; never changes results)")
+		tpar    = fs.Int("tensor-workers", 0, "tensor kernel worker pool size (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,6 +72,7 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	hadfl.SetComputeParallelism(*tpar)
 	opts := hadfl.Options{
 		Powers:       pw,
 		Model:        *model,
@@ -78,6 +81,7 @@ func run(args []string, out, errOut io.Writer) error {
 		NonIIDAlpha:  *noniid,
 		Seed:         *seed,
 		FailAt:       failAt,
+		Parallelism:  *par,
 	}
 	if err := opts.Validate(); err != nil {
 		return err

@@ -26,11 +26,13 @@ package hadfl
 
 import (
 	"fmt"
+	"runtime"
 
 	"hadfl/internal/baselines"
 	"hadfl/internal/core"
 	"hadfl/internal/experiments"
 	"hadfl/internal/metrics"
+	"hadfl/internal/tensor"
 )
 
 // Scheme names accepted by RunScheme.
@@ -66,6 +68,27 @@ type Options struct {
 	// with Selected empty and Bypassed zero. It never changes the run's
 	// outcome (excluded from Canonical/Fingerprint).
 	OnRound func(RoundUpdate)
+	// Parallelism bounds how many simulated devices train concurrently
+	// inside each synchronization round, for every scheme (0 =
+	// GOMAXPROCS, 1 = sequential). It is a throughput knob only:
+	// results are byte-identical at every setting, so it is excluded
+	// from Canonical/Fingerprint and two requests differing only in
+	// Parallelism coalesce onto one cached result. Kernel-level
+	// parallelism inside tensor operations is configured separately
+	// via SetComputeParallelism.
+	Parallelism int
+}
+
+// SetComputeParallelism sets the worker count of the shared tensor
+// kernel pool (matrix multiplies, im2col, vector math), which every
+// run in the process shares; 0 or negative resets it to GOMAXPROCS.
+// Like Options.Parallelism this never changes results, only
+// throughput. Call it at startup, not while runs are in flight.
+func SetComputeParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	tensor.SetParallelism(n)
 }
 
 // RoundUpdate is per-round progress delivered to Options.OnRound.
@@ -204,6 +227,7 @@ func RunScheme(scheme string, opts Options) (*Result, error) {
 		cfg := core.DefaultConfig()
 		cfg.TargetEpochs = w.TargetEpochs
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Parallelism
 		if opts.OnRound != nil {
 			cb := opts.OnRound
 			cfg.OnRound = func(ri core.RoundInfo) {
@@ -223,6 +247,7 @@ func RunScheme(scheme string, opts Options) (*Result, error) {
 		cfg.TargetEpochs = w.TargetEpochs
 		cfg.LocalSteps = w.FedAvgLocalSteps
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Parallelism
 		cfg.OnRound = baselineCallback(opts.OnRound)
 		res, err := baselines.RunFedAvg(cluster, cfg)
 		if err != nil {
@@ -233,6 +258,7 @@ func RunScheme(scheme string, opts Options) (*Result, error) {
 		cfg := baselines.DefaultDistributedConfig()
 		cfg.TargetEpochs = w.TargetEpochs
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Parallelism
 		cfg.OnRound = baselineCallback(opts.OnRound)
 		res, err := baselines.RunDistributed(cluster, cfg)
 		if err != nil {

@@ -5,12 +5,18 @@
 //
 // All functions operate on flat []float64 parameter vectors (the wire
 // format produced by nn.Model.Parameters), keeping the package agnostic
-// to model architecture.
+// to model architecture. The arithmetic itself lives in the shared
+// vector-math layer (internal/tensor's Vec helpers), so the simulator
+// and the wire paths (internal/p2p ring reduce, internal/runtime) run
+// one chunked — and, on large models, parallel — implementation whose
+// results are bit-identical at every parallelism level.
 package aggregate
 
 import (
 	"fmt"
 	"math"
+
+	"hadfl/internal/tensor"
 )
 
 // Mean returns the element-wise average of the vectors (FedAvg, Eq. 4).
@@ -19,21 +25,23 @@ func Mean(vectors [][]float64) []float64 {
 	if len(vectors) == 0 {
 		panic("aggregate: Mean of no vectors")
 	}
-	n := len(vectors[0])
-	out := make([]float64, n)
-	for _, v := range vectors {
-		if len(v) != n {
-			panic(fmt.Sprintf("aggregate: vector length %d, want %d", len(v), n))
-		}
-		for i, x := range v {
-			out[i] += x
-		}
-	}
-	inv := 1.0 / float64(len(vectors))
-	for i := range out {
-		out[i] *= inv
-	}
+	out := make([]float64, len(vectors[0]))
+	MeanInto(out, vectors)
 	return out
+}
+
+// MeanInto writes the element-wise average into out, the allocation-free
+// path for callers that reuse an aggregation buffer across rounds.
+func MeanInto(out []float64, vectors [][]float64) {
+	if len(vectors) == 0 {
+		panic("aggregate: Mean of no vectors")
+	}
+	for _, v := range vectors {
+		if len(v) != len(out) {
+			panic(fmt.Sprintf("aggregate: vector length %d, want %d", len(v), len(out)))
+		}
+	}
+	tensor.VecMeanInto(out, vectors)
 }
 
 // WeightedMean returns Σ wᵢ·vᵢ / Σ wᵢ. Weights must be non-negative with
@@ -43,28 +51,22 @@ func WeightedMean(vectors [][]float64, weights []float64) []float64 {
 		panic(fmt.Sprintf("aggregate: %d vectors vs %d weights", len(vectors), len(weights)))
 	}
 	n := len(vectors[0])
-	out := make([]float64, n)
 	sum := 0.0
 	for k, v := range vectors {
 		if len(v) != n {
 			panic(fmt.Sprintf("aggregate: vector length %d, want %d", len(v), n))
 		}
-		w := weights[k]
-		if w < 0 {
-			panic(fmt.Sprintf("aggregate: negative weight %v", w))
+		if weights[k] < 0 {
+			panic(fmt.Sprintf("aggregate: negative weight %v", weights[k]))
 		}
-		sum += w
-		for i, x := range v {
-			out[i] += w * x
-		}
+		sum += weights[k]
 	}
 	if sum <= 0 {
 		panic("aggregate: weights sum to zero")
 	}
-	inv := 1.0 / sum
-	for i := range out {
-		out[i] *= inv
-	}
+	out := make([]float64, n)
+	tensor.VecWeightedSumInto(out, vectors, weights)
+	tensor.VecScale(out, 1/sum)
 	return out
 }
 
@@ -95,17 +97,21 @@ func PartialMean(vectors [][]float64, flags []bool) []float64 {
 // parameters with local parameters" step for unselected devices
 // (§III-D). beta=1 replaces the local model outright.
 func Merge(local, recv []float64, beta float64) []float64 {
+	out := make([]float64, len(local))
+	MergeInto(out, local, recv, beta)
+	return out
+}
+
+// MergeInto is Merge writing into a caller-owned buffer (which may
+// alias local, the in-place integration case).
+func MergeInto(out, local, recv []float64, beta float64) {
 	if len(local) != len(recv) {
 		panic(fmt.Sprintf("aggregate: Merge lengths %d vs %d", len(local), len(recv)))
 	}
 	if beta < 0 || beta > 1 {
 		panic(fmt.Sprintf("aggregate: Merge beta %v outside [0,1]", beta))
 	}
-	out := make([]float64, len(local))
-	for i := range out {
-		out[i] = beta*recv[i] + (1-beta)*local[i]
-	}
-	return out
+	tensor.VecLerpInto(out, local, recv, beta)
 }
 
 // SumInto accumulates src into dst element-wise (the reduce step of ring
@@ -114,16 +120,12 @@ func SumInto(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("aggregate: SumInto lengths %d vs %d", len(dst), len(src)))
 	}
-	for i, v := range src {
-		dst[i] += v
-	}
+	tensor.VecAccumulate(dst, src)
 }
 
 // ScaleInPlace multiplies vec by s (the 1/K step after an all-reduce sum).
 func ScaleInPlace(vec []float64, s float64) {
-	for i := range vec {
-		vec[i] *= s
-	}
+	tensor.VecScale(vec, s)
 }
 
 // L2Distance returns the Euclidean distance between two parameter
@@ -132,10 +134,5 @@ func L2Distance(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("aggregate: L2Distance lengths %d vs %d", len(a), len(b)))
 	}
-	s := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(tensor.VecSquaredDistance(a, b))
 }

@@ -32,6 +32,10 @@ type DistributedConfig struct {
 	// EvalEvery evaluates the model every this many iterations.
 	EvalEvery int
 	Seed      int64
+	// Parallelism bounds concurrent per-device gradient computation
+	// within an iteration (0 = GOMAXPROCS, 1 = sequential). Results
+	// are byte-identical at every setting.
+	Parallelism int
 	// OnRound, when non-nil, receives each evaluation point as it is
 	// recorded (round = the iteration count so far). Long runs can be
 	// observed — and aborted, by panicking across the callback — at
@@ -71,24 +75,41 @@ func RunDistributed(c *core.Cluster, cfg DistributedConfig) (*core.Result, error
 	loss0, acc0 := c.Evaluate(global)
 	series.Add(metrics.Point{Epoch: 0, Time: 0, Loss: loss0, Accuracy: acc0})
 
+	par := core.ResolveParallelism(cfg.Parallelism)
+	grads := make([][]float64, k)
+	losses := make([]float64, k)
+	stepTimes := make([]float64, k)
 	iter := 0
 	for ; iter < cfg.MaxIters && c.EpochsProcessed(totalSteps) < cfg.TargetEpochs; iter++ {
-		// Each device computes one gradient on its local batch. The
-		// barrier makes the iteration as slow as the slowest device.
-		grads := make([][]float64, k)
-		slowest := 0.0
-		lossSum := 0.0
-		for i, d := range c.Devices {
+		// Each device computes one gradient on its local batch,
+		// concurrently up to par (devices touch only their own model,
+		// loader and RNG). The barrier makes the iteration as slow as
+		// the slowest device; partials join in device order so curves
+		// are byte-identical at every parallelism.
+		gradOne := func(i int) {
+			d := c.Devices[i]
 			x, y := d.Loader.Next()
 			d.Model.ZeroGrads()
 			logits := d.Model.Forward(x, true)
 			l, g := nn.SoftmaxCrossEntropy(logits, y)
 			d.Model.Backward(g)
 			grads[i] = d.Model.GradientVector()
-			lossSum += l
-			st := d.StepTime()
-			if st > slowest {
-				slowest = st
+			losses[i] = l
+			stepTimes[i] = d.StepTime()
+		}
+		if par > 1 && k > 1 {
+			core.RunConcurrent(k, par, gradOne)
+		} else {
+			for i := range c.Devices {
+				gradOne(i)
+			}
+		}
+		slowest := 0.0
+		lossSum := 0.0
+		for i := range c.Devices {
+			lossSum += losses[i]
+			if stepTimes[i] > slowest {
+				slowest = stepTimes[i]
 			}
 			totalSteps++
 		}
@@ -138,6 +159,10 @@ type FedAvgConfig struct {
 	TargetEpochs float64
 	MaxRounds    int
 	Seed         int64
+	// Parallelism bounds concurrent per-device local training within a
+	// round (0 = GOMAXPROCS, 1 = sequential). Results are
+	// byte-identical at every setting.
+	Parallelism int
 	// OnRound, when non-nil, receives each round's evaluation point as
 	// it is recorded. Long runs can be observed — and aborted, by
 	// panicking across the callback — at every synchronization round.
@@ -177,17 +202,31 @@ func RunFedAvg(c *core.Cluster, cfg FedAvgConfig) (*core.Result, error) {
 	loss0, acc0 := c.Evaluate(global)
 	series.Add(metrics.Point{Epoch: 0, Time: 0, Loss: loss0, Accuracy: acc0})
 
+	par := core.ResolveParallelism(cfg.Parallelism)
+	losses := make([]float64, k)
+	elapsedTimes := make([]float64, k)
 	round := 0
 	for ; round < cfg.MaxRounds && c.EpochsProcessed(totalSteps) < cfg.TargetEpochs; round++ {
-		// E local steps on every device; the synchronous barrier waits
-		// for the slowest.
+		// E local steps on every device, concurrently up to par; the
+		// synchronous barrier waits for the slowest. Partials join in
+		// device order, keeping curves byte-identical at every
+		// parallelism.
+		trainOne := func(i int) {
+			losses[i], elapsedTimes[i] = c.Devices[i].TrainSteps(cfg.LocalSteps)
+		}
+		if par > 1 && k > 1 {
+			core.RunConcurrent(k, par, trainOne)
+		} else {
+			for i := range c.Devices {
+				trainOne(i)
+			}
+		}
 		slowest := 0.0
 		lossSum := 0.0
-		for _, d := range c.Devices {
-			meanLoss, elapsed := d.TrainSteps(cfg.LocalSteps)
-			lossSum += meanLoss
-			if elapsed > slowest {
-				slowest = elapsed
+		for i := range c.Devices {
+			lossSum += losses[i]
+			if elapsedTimes[i] > slowest {
+				slowest = elapsedTimes[i]
 			}
 			totalSteps += cfg.LocalSteps
 		}

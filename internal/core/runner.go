@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"hadfl/internal/aggregate"
 	"hadfl/internal/coordinator"
@@ -53,6 +55,13 @@ type Config struct {
 	OnRound func(RoundInfo)
 	// Seed drives selection and ring randomness.
 	Seed int64
+	// Parallelism bounds how many devices run their local-training
+	// phase concurrently within a round (devices are independent
+	// between synchronizations; each owns its model, optimizer, loader
+	// and RNG). 0 means GOMAXPROCS, 1 is fully sequential. Results are
+	// byte-identical at every setting: per-device partials are combined
+	// in a deterministic device order after the concurrent phase joins.
+	Parallelism int
 }
 
 // RoundInfo is per-round telemetry delivered to Config.OnRound.
@@ -191,25 +200,17 @@ func RunHADFL(c *Cluster, cfg Config) (*Result, error) {
 		// Local training: each available device fills the sync period
 		// with local steps (Alg. 1 lines 13–19). Devices run at least
 		// one step; jitter and drift shift the realized counts, which is
-		// what the predictor has to track.
+		// what the predictor has to track. Devices are independent
+		// between syncs, so they train concurrently (bounded by
+		// cfg.Parallelism); per-device partials join in avail order so
+		// the curve is byte-identical to the sequential schedule.
 		roundLoss := 0.0
 		lossCount := 0
-		for _, id := range avail {
-			d := c.Device(id)
-			elapsed := 0.0
-			steps := 0
-			target := plan.LocalSteps[id]
-			for steps == 0 || (elapsed < plan.SyncPeriod && steps < 4*target+4) {
-				l, e := d.TrainStep()
-				elapsed += e
-				steps++
-				roundLoss += l
-				lossCount++
-				if elapsed+d.StepTime() > plan.SyncPeriod && steps >= 1 {
-					break
-				}
-			}
-			totalSteps += steps
+		results := trainDevices(c, avail, plan, ResolveParallelism(cfg.Parallelism))
+		for _, r := range results {
+			roundLoss += r.lossSum
+			lossCount += r.steps
+			totalSteps += r.steps
 		}
 		now += plan.SyncPeriod
 
@@ -331,6 +332,89 @@ func RunHADFL(c *Cluster, cfg Config) (*Result, error) {
 		}
 	}
 	return &Result{Series: series, Comm: comm, Rounds: round, FinalParams: global}, nil
+}
+
+// devResult carries one device's local-training partials out of the
+// (possibly concurrent) training phase. Summing partials in avail
+// order keeps the floating-point reduction identical whether devices
+// ran sequentially or concurrently.
+type devResult struct {
+	steps   int
+	lossSum float64
+}
+
+// ResolveParallelism resolves a Parallelism config value: 0 (or
+// negative) means GOMAXPROCS. Shared by the HADFL runner and the
+// baseline schemes.
+func ResolveParallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// RunConcurrent executes fn(0..n-1) with at most par goroutines in
+// flight (par < 1 is clamped to 1) and waits for all of them. fn
+// calls must touch disjoint state; combine any shared totals after
+// the join, in index order, so results stay independent of
+// scheduling.
+func RunConcurrent(n, par int, fn func(i int)) {
+	if par < 1 {
+		par = 1
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// trainOneDevice runs device id's local steps for this sync period
+// (Alg. 1 lines 13–19) and returns its partials. It touches only
+// device-owned state (model, optimizer, loader, RNG), so distinct
+// devices may run concurrently.
+func trainOneDevice(c *Cluster, id int, plan strategy.Plan) devResult {
+	d := c.Device(id)
+	elapsed := 0.0
+	steps := 0
+	lossSum := 0.0
+	target := plan.LocalSteps[id]
+	for steps == 0 || (elapsed < plan.SyncPeriod && steps < 4*target+4) {
+		l, e := d.TrainStep()
+		elapsed += e
+		steps++
+		lossSum += l
+		if elapsed+d.StepTime() > plan.SyncPeriod && steps >= 1 {
+			break
+		}
+	}
+	return devResult{steps: steps, lossSum: lossSum}
+}
+
+// trainDevices runs the local-training phase for every available
+// device, at most par concurrently, and returns per-device partials
+// indexed like avail.
+func trainDevices(c *Cluster, avail []int, plan strategy.Plan, par int) []devResult {
+	results := make([]devResult, len(avail))
+	if par <= 1 || len(avail) <= 1 {
+		for i, id := range avail {
+			results[i] = trainOneDevice(c, id, plan)
+		}
+		return results
+	}
+	RunConcurrent(len(avail), par, func(i int) {
+		results[i] = trainOneDevice(c, avail[i], plan)
+	})
+	return results
 }
 
 func contains(xs []int, x int) bool {

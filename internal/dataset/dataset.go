@@ -77,12 +77,20 @@ func (d *Dataset) ClassCounts() []int {
 // Loader iterates over a dataset in shuffled mini-batches. Each call to
 // Next returns one batch; after the epoch is exhausted the loader
 // reshuffles and starts over, so it can serve any number of local steps.
+//
+// Next reuses one batch buffer per loader: the returned tensor and
+// label slice are valid until the next Next call. Training loops
+// consume a batch within the step that fetched it, which keeps the
+// per-step hot path free of per-batch allocations.
 type Loader struct {
 	ds    *Dataset
 	batch int
 	rng   *rand.Rand
 	perm  []int
 	pos   int
+
+	batchX *tensor.Tensor
+	batchY []int
 }
 
 // NewLoader creates a loader with the given batch size and rng.
@@ -110,14 +118,26 @@ func (l *Loader) reshuffle() {
 }
 
 // Next returns the next mini-batch, wrapping (with reshuffle) at epoch
-// boundaries.
+// boundaries. The returned tensor and labels are owned by the loader
+// and overwritten by the following Next call.
 func (l *Loader) Next() (*tensor.Tensor, []int) {
 	if l.pos+l.batch > len(l.perm) {
 		l.reshuffle()
 	}
 	idx := l.perm[l.pos : l.pos+l.batch]
 	l.pos += l.batch
-	return l.ds.Batch(idx)
+	if l.batchX == nil {
+		shape := append([]int{l.batch}, l.ds.X.Shape()[1:]...)
+		l.batchX = tensor.New(shape...)
+		l.batchY = make([]int, l.batch)
+	}
+	ss := l.ds.sampleSize()
+	xd, sd := l.batchX.Data(), l.ds.X.Data()
+	for i, j := range idx {
+		copy(xd[i*ss:(i+1)*ss], sd[j*ss:(j+1)*ss])
+		l.batchY[i] = l.ds.Y[j]
+	}
+	return l.batchX, l.batchY
 }
 
 // BatchesPerEpoch returns the number of full batches in one epoch.

@@ -14,6 +14,7 @@ import (
 
 	"hadfl/internal/dataset"
 	"hadfl/internal/nn"
+	"hadfl/internal/tensor"
 )
 
 // Config describes one simulated device.
@@ -48,6 +49,9 @@ type Device struct {
 	Schedule nn.LRSchedule
 
 	rng *rand.Rand
+
+	// lossGrad is the reused ∂L/∂logits buffer for TrainStep.
+	lossGrad *tensor.Tensor
 
 	// Version counts completed local steps since the start of training
 	// (the paper's parameter version v_{i,j}).
@@ -108,8 +112,9 @@ func (d *Device) TrainStep() (loss float64, elapsed float64) {
 	}
 	x, y := d.Loader.Next()
 	logits := d.Model.Forward(x, true)
-	loss, grad := nn.SoftmaxCrossEntropy(logits, y)
-	d.Model.Backward(grad)
+	d.lossGrad = tensor.Ensure(d.lossGrad, logits.Dim(0), logits.Dim(1))
+	loss = nn.SoftmaxCrossEntropyInto(d.lossGrad, logits, y)
+	d.Model.Backward(d.lossGrad)
 	d.Opt.Step(d.Model)
 	d.Version++
 	d.StepsSinceSync++

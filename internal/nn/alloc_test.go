@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"hadfl/internal/tensor"
+)
+
+// The zero-allocation guarantee: after warm-up, a steady-state training
+// step (forward, loss, backward, optimizer update at a fixed batch
+// shape) performs no heap allocations. The guarantee covers the serial
+// kernel path — parallel kernels spend a few small allocations per call
+// on goroutine coordination — so the test pins tensor parallelism to 1.
+func testZeroAllocStep(t *testing.T, m *Model, x *tensor.Tensor, labels []int) {
+	t.Helper()
+	prev := tensor.Parallelism()
+	tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+
+	opt := NewSGD(0.05, 0.9, 1e-4)
+	grad := tensor.New(x.Dim(0), 1) // resized to the logits shape below
+	step := func() {
+		logits := m.Forward(x, true)
+		grad = tensor.Ensure(grad, logits.Dim(0), logits.Dim(1))
+		loss := SoftmaxCrossEntropyInto(grad, logits, labels)
+		_ = loss
+		m.Backward(grad)
+		opt.Step(m)
+	}
+	for i := 0; i < 3; i++ { // warm up layer buffers, optimizer state
+		step()
+	}
+	if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+		t.Fatalf("steady-state training step allocates %.1f times per step, want 0", allocs)
+	}
+}
+
+func TestTrainStepZeroAllocResMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewResMLP(rng, 32, 32, 2, 10)
+	x := tensor.RandNormal(rng, 0, 1, 64, 32)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	testZeroAllocStep(t, m, x, labels)
+}
+
+func TestTrainStepZeroAllocVGGTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convolutional zero-alloc check skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2))
+	m := NewVGGTiny(rng, 3, 8, 10)
+	x := tensor.RandNormal(rng, 0, 1, 16, 3, 8, 8)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	testZeroAllocStep(t, m, x, labels)
+}
+
+func TestTrainStepZeroAllocResNetTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convolutional zero-alloc check skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(3))
+	m := NewResNetTiny(rng, 3, 8, 10)
+	x := tensor.RandNormal(rng, 0, 1, 16, 3, 8, 8)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	testZeroAllocStep(t, m, x, labels)
+}

@@ -14,6 +14,10 @@ import (
 // The running mean/variance are treated as (non-learned) state that still
 // travels with the model parameters during federated aggregation, matching
 // how FL systems ship batch-norm buffers.
+//
+// The 2-D and 4-D cases run specialized index loops (no per-element
+// closure) and write into persistent buffers, keeping training steps
+// allocation-free.
 type BatchNorm struct {
 	Gamma, Beta   *tensor.Tensor
 	dGamma, dBeta *tensor.Tensor
@@ -30,8 +34,8 @@ type BatchNorm struct {
 	xhat   *tensor.Tensor
 	invStd []float64
 	cached bool
-	nchw   bool
-	shape  []int
+	// Persistent output buffers (forward / backward).
+	out, dx *tensor.Tensor
 }
 
 // NewBatchNorm returns a batch-norm layer over the given feature/channel
@@ -56,85 +60,133 @@ func NewBatchNorm(features int) *BatchNorm {
 	}
 }
 
-// view decomposes x into (groups m, features f) index math shared by 2-D
-// and 4-D inputs: for [N,F] each feature column has m=N samples; for
-// [N,C,H,W] each channel has m=N·H·W samples.
-func (b *BatchNorm) view(x *tensor.Tensor) (m int, get func(f, i int) int) {
+// dims validates x and returns the per-feature group size m and the
+// (plane, chanStride) index geometry: sample i of feature f lives at
+// base(f) + block(i) where the 2-D case degenerates to plane=1.
+func (b *BatchNorm) dims(x *tensor.Tensor) (m, plane int) {
 	switch x.Dims() {
 	case 2:
-		n, f := x.Dim(0), x.Dim(1)
-		if f != b.features {
+		if x.Dim(1) != b.features {
 			panic(fmt.Sprintf("nn: BatchNorm features %d, input %v", b.features, x.Shape()))
 		}
-		return n, func(fi, i int) int { return i*f + fi }
+		return x.Dim(0), 1
 	case 4:
-		n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-		if c != b.features {
+		if x.Dim(1) != b.features {
 			panic(fmt.Sprintf("nn: BatchNorm channels %d, input %v", b.features, x.Shape()))
 		}
-		plane := h * w
-		return n * plane, func(fi, i int) int {
-			ni, p := i/plane, i%plane
-			return (ni*c+fi)*plane + p
-		}
+		return x.Dim(0) * x.Dim(2) * x.Dim(3), x.Dim(2) * x.Dim(3)
 	default:
 		panic(fmt.Sprintf("nn: BatchNorm input must be 2-D or 4-D, got %v", x.Shape()))
 	}
 }
 
+// forEach iterates the m samples of feature f in ascending order,
+// yielding their flat indices. Implemented as explicit loops at both
+// call shapes below — kept here as documentation of the layout:
+// 2-D [N,F]: idx = i*F + f; 4-D [N,C,H,W]: idx = (ni*C+f)*plane + p.
+
 // Forward implements Layer.
 func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	m, at := b.view(x)
-	out := x.Clone()
-	xd, od := x.Data(), out.Data()
+	m, plane := b.dims(x)
+	b.out = tensor.Ensure(b.out, x.Shape()...)
+	xd, od := x.Data(), b.out.Data()
 	if train {
-		b.xhat = tensor.New(x.Shape()...)
+		b.xhat = tensor.Ensure(b.xhat, x.Shape()...)
 		if cap(b.invStd) < b.features {
 			b.invStd = make([]float64, b.features)
 		}
 		b.invStd = b.invStd[:b.features]
-		b.shape = append(b.shape[:0], x.Shape()...)
-		b.nchw = x.Dims() == 4
 		b.cached = true
 	}
-	for f := 0; f < b.features; f++ {
+	f := b.features
+	nchw := x.Dims() == 4
+	groups := 1
+	if nchw {
+		groups = x.Dim(0)
+	}
+	gd, bd := b.Gamma.Data(), b.Beta.Data()
+	for fi := 0; fi < f; fi++ {
+		// stride/base geometry: 2-D walks column fi with stride f;
+		// 4-D walks each image's channel plane contiguously.
 		var mean, variance float64
 		if train {
 			s := 0.0
-			for i := 0; i < m; i++ {
-				s += xd[at(f, i)]
+			if nchw {
+				for ni := 0; ni < groups; ni++ {
+					base := (ni*f + fi) * plane
+					for p := 0; p < plane; p++ {
+						s += xd[base+p]
+					}
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					s += xd[i*f+fi]
+				}
 			}
 			mean = s / float64(m)
 			v := 0.0
-			for i := 0; i < m; i++ {
-				d := xd[at(f, i)] - mean
-				v += d * d
+			if nchw {
+				for ni := 0; ni < groups; ni++ {
+					base := (ni*f + fi) * plane
+					for p := 0; p < plane; p++ {
+						d := xd[base+p] - mean
+						v += d * d
+					}
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					d := xd[i*f+fi] - mean
+					v += d * d
+				}
 			}
 			variance = v / float64(m)
-			b.RunMean.Data()[f] = b.Momentum*b.RunMean.Data()[f] + (1-b.Momentum)*mean
-			b.RunVar.Data()[f] = b.Momentum*b.RunVar.Data()[f] + (1-b.Momentum)*variance
+			b.RunMean.Data()[fi] = b.Momentum*b.RunMean.Data()[fi] + (1-b.Momentum)*mean
+			b.RunVar.Data()[fi] = b.Momentum*b.RunVar.Data()[fi] + (1-b.Momentum)*variance
 		} else {
-			mean = b.RunMean.Data()[f]
-			variance = b.RunVar.Data()[f]
+			mean = b.RunMean.Data()[fi]
+			variance = b.RunVar.Data()[fi]
 		}
 		inv := 1.0 / math.Sqrt(variance+b.Eps)
-		g, beta := b.Gamma.Data()[f], b.Beta.Data()[f]
+		g, beta := gd[fi], bd[fi]
 		if train {
-			b.invStd[f] = inv
-			for i := 0; i < m; i++ {
-				idx := at(f, i)
-				xh := (xd[idx] - mean) * inv
-				b.xhat.Data()[idx] = xh
-				od[idx] = g*xh + beta
+			b.invStd[fi] = inv
+			xh := b.xhat.Data()
+			if nchw {
+				for ni := 0; ni < groups; ni++ {
+					base := (ni*f + fi) * plane
+					for p := 0; p < plane; p++ {
+						idx := base + p
+						h := (xd[idx] - mean) * inv
+						xh[idx] = h
+						od[idx] = g*h + beta
+					}
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					idx := i*f + fi
+					h := (xd[idx] - mean) * inv
+					xh[idx] = h
+					od[idx] = g*h + beta
+				}
 			}
 		} else {
-			for i := 0; i < m; i++ {
-				idx := at(f, i)
-				od[idx] = g*(xd[idx]-mean)*inv + beta
+			if nchw {
+				for ni := 0; ni < groups; ni++ {
+					base := (ni*f + fi) * plane
+					for p := 0; p < plane; p++ {
+						idx := base + p
+						od[idx] = g*(xd[idx]-mean)*inv + beta
+					}
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					idx := i*f + fi
+					od[idx] = g*(xd[idx]-mean)*inv + beta
+				}
 			}
 		}
 	}
-	return out
+	return b.out
 }
 
 // Backward implements Layer.
@@ -142,29 +194,56 @@ func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if !b.cached {
 		panic("nn: BatchNorm.Backward before Forward(train=true)")
 	}
-	m, at := b.view(grad)
-	out := tensor.New(grad.Shape()...)
-	gd, od, xh := grad.Data(), out.Data(), b.xhat.Data()
+	m, plane := b.dims(grad)
+	b.dx = tensor.Ensure(b.dx, grad.Shape()...)
+	gd, od, xh := grad.Data(), b.dx.Data(), b.xhat.Data()
 	fm := float64(m)
-	for f := 0; f < b.features; f++ {
-		g := b.Gamma.Data()[f]
-		inv := b.invStd[f]
+	f := b.features
+	nchw := grad.Dims() == 4
+	groups := 1
+	if nchw {
+		groups = grad.Dim(0)
+	}
+	for fi := 0; fi < f; fi++ {
+		g := b.Gamma.Data()[fi]
+		inv := b.invStd[fi]
 		var sumDy, sumDyXhat float64
-		for i := 0; i < m; i++ {
-			idx := at(f, i)
-			sumDy += gd[idx]
-			sumDyXhat += gd[idx] * xh[idx]
+		if nchw {
+			for ni := 0; ni < groups; ni++ {
+				base := (ni*f + fi) * plane
+				for p := 0; p < plane; p++ {
+					idx := base + p
+					sumDy += gd[idx]
+					sumDyXhat += gd[idx] * xh[idx]
+				}
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				idx := i*f + fi
+				sumDy += gd[idx]
+				sumDyXhat += gd[idx] * xh[idx]
+			}
 		}
-		b.dBeta.Data()[f] += sumDy
-		b.dGamma.Data()[f] += sumDyXhat
+		b.dBeta.Data()[fi] += sumDy
+		b.dGamma.Data()[fi] += sumDyXhat
 		// dx = γ·inv/m · (m·dy − Σdy − x̂·Σ(dy·x̂))
 		c := g * inv / fm
-		for i := 0; i < m; i++ {
-			idx := at(f, i)
-			od[idx] = c * (fm*gd[idx] - sumDy - xh[idx]*sumDyXhat)
+		if nchw {
+			for ni := 0; ni < groups; ni++ {
+				base := (ni*f + fi) * plane
+				for p := 0; p < plane; p++ {
+					idx := base + p
+					od[idx] = c * (fm*gd[idx] - sumDy - xh[idx]*sumDyXhat)
+				}
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				idx := i*f + fi
+				od[idx] = c * (fm*gd[idx] - sumDy - xh[idx]*sumDyXhat)
+			}
 		}
 	}
-	return out
+	return b.dx
 }
 
 // Params implements Layer. Running statistics are included so that model

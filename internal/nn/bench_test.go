@@ -10,12 +10,15 @@ import (
 func benchTrainStep(b *testing.B, m *Model, x *tensor.Tensor, labels []int) {
 	b.Helper()
 	opt := NewSGD(0.05, 0.9, 0)
+	var grad *tensor.Tensor
+	b.ReportAllocs() // steady-state steps must report 0 allocs/op
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.ZeroGrads()
 		logits := m.Forward(x, true)
-		_, g := SoftmaxCrossEntropy(logits, labels)
-		m.Backward(g)
+		grad = tensor.Ensure(grad, logits.Dim(0), logits.Dim(1))
+		SoftmaxCrossEntropyInto(grad, logits, labels)
+		m.Backward(grad)
 		opt.Step(m)
 	}
 }

@@ -8,14 +8,21 @@ import (
 )
 
 // Conv2D is a 2-D convolution layer over [N, C, H, W] inputs with square
-// kernels, implemented via im2col + matmul.
+// kernels, implemented via im2col + matmul. The im2col matrix, the
+// product buffer and both gradient matrices are recycled through a
+// per-layer arena, so steady-state steps allocate nothing.
 type Conv2D struct {
 	W, B        *tensor.Tensor // W: [OC, C, K, K], B: [OC]
 	dW, dB      *tensor.Tensor
 	Stride, Pad int
 
-	cols    *tensor.Tensor // cached im2col matrix
+	arena   tensor.Arena
+	cols    *tensor.Tensor // cached im2col matrix (Forward → Backward)
 	inShape []int
+	// Persistent views/buffers.
+	wmat, dwmat *tensor.Tensor // matrix views of W / dW
+	prod, out   *tensor.Tensor
+	dx          *tensor.Tensor
 }
 
 // NewConv2D constructs a Conv2D with He-normal initialization.
@@ -42,16 +49,23 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh := tensor.Conv2DShape(h, k, c.Stride, c.Pad)
 	ow := tensor.Conv2DShape(w, k, c.Stride, c.Pad)
 
-	cols := tensor.Im2Col(x, k, k, c.Stride, c.Pad) // [N·OH·OW, C·K·K]
-	wmat := c.W.Reshape(oc, c.W.Len()/oc)           // [OC, C·K·K]
-	prod := tensor.MatMulTransB(cols, wmat)         // [N·OH·OW, OC]
-	tensor.AddRowVector(prod, c.B)
+	if c.cols != nil {
+		// Previous step's matrix (already consumed by Backward, or
+		// never needed): recycle it.
+		c.arena.Put(c.cols)
+	}
+	c.cols = c.arena.Get(n*oh*ow, c.W.Len()/oc) // [N·OH·OW, C·K·K]
+	tensor.Im2ColInto(c.cols, x, k, k, c.Stride, c.Pad)
+	c.wmat = tensor.AsShape(c.wmat, c.W, oc, c.W.Len()/oc) // [OC, C·K·K]
+	c.prod = tensor.Ensure(c.prod, n*oh*ow, oc)            // [N·OH·OW, OC]
+	tensor.MatMulTransBBiasInto(c.prod, c.cols, c.wmat, c.B)
 
 	if train {
-		c.cols = cols
 		c.inShape = append(c.inShape[:0], x.Shape()...)
 	}
-	return channelsLastToFirst(prod, n, oc, oh, ow)
+	c.out = tensor.Ensure(c.out, n, oc, oh, ow)
+	channelsLastToFirstInto(c.out, c.prod, n, oc, oh, ow)
+	return c.out
 }
 
 // Backward implements Layer.
@@ -60,22 +74,26 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Conv2D.Backward before Forward(train=true)")
 	}
 	n, oc, oh, ow := grad.Dim(0), grad.Dim(1), grad.Dim(2), grad.Dim(3)
-	g := channelsFirstToLast(grad) // [N·OH·OW, OC]
-	_ = n
-	_ = oh
-	_ = ow
+	g := c.arena.Get(n*oh*ow, oc)
+	channelsFirstToLastInto(g, grad) // [N·OH·OW, OC]
 
-	// dW = gᵀ·cols reshaped; dB = column sums of g.
-	dwFlat := tensor.MatMulTransA(g, c.cols) // [OC, C·K·K]
-	c.dW.AddInPlace(dwFlat.Reshape(c.dW.Shape()...))
-	c.dB.AddInPlace(tensor.SumRows(g))
+	// dW += gᵀ·cols viewed as a matrix; dB += column sums of g.
+	c.dwmat = tensor.AsShape(c.dwmat, c.dW, oc, c.dW.Len()/oc)
+	tensor.MatMulTransAAccInto(c.dwmat, g, c.cols)
+	tensor.SumRowsAccInto(c.dB, g)
 
 	// dx = Col2Im(g·Wmat).
-	wmat := c.W.Reshape(oc, c.W.Len()/oc)
-	dcols := tensor.MatMul(g, wmat) // [N·OH·OW, C·K·K]
+	dcols := c.arena.Get(n*oh*ow, c.W.Len()/oc)
+	tensor.MatMulInto(dcols, g, c.wmat)
+	c.arena.Put(g)
 	k := c.W.Dim(2)
 	in := c.inShape
-	return tensor.Col2Im(dcols, in[0], in[1], in[2], in[3], k, k, c.Stride, c.Pad)
+	c.dx = tensor.Ensure(c.dx, in...)
+	tensor.Col2ImInto(c.dx, dcols, k, k, c.Stride, c.Pad)
+	c.arena.Put(dcols)
+	c.arena.Put(c.cols)
+	c.cols = nil
+	return c.dx
 }
 
 // Params implements Layer.
@@ -84,10 +102,9 @@ func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
 // Grads implements Layer.
 func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
 
-// channelsLastToFirst converts a [N·OH·OW, OC] matrix into an
+// channelsLastToFirstInto converts a [N·OH·OW, OC] matrix into an
 // [N, OC, OH, OW] tensor.
-func channelsLastToFirst(m *tensor.Tensor, n, oc, oh, ow int) *tensor.Tensor {
-	out := tensor.New(n, oc, oh, ow)
+func channelsLastToFirstInto(out, m *tensor.Tensor, n, oc, oh, ow int) {
 	md, od := m.Data(), out.Data()
 	plane := oh * ow
 	for ni := 0; ni < n; ni++ {
@@ -98,14 +115,12 @@ func channelsLastToFirst(m *tensor.Tensor, n, oc, oh, ow int) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
-// channelsFirstToLast converts [N, OC, OH, OW] into [N·OH·OW, OC].
-func channelsFirstToLast(t *tensor.Tensor) *tensor.Tensor {
+// channelsFirstToLastInto converts [N, OC, OH, OW] into [N·OH·OW, OC].
+func channelsFirstToLastInto(out, t *tensor.Tensor) {
 	n, oc, oh, ow := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
 	plane := oh * ow
-	out := tensor.New(n*plane, oc)
 	td, od := t.Data(), out.Data()
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < oc; ci++ {
@@ -115,7 +130,6 @@ func channelsFirstToLast(t *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MaxPool is a max-pooling layer with a square window.
@@ -123,6 +137,7 @@ type MaxPool struct {
 	Window, Stride int
 	arg            []int
 	inShape        []int
+	out, dx        *tensor.Tensor
 }
 
 // NewMaxPool returns a max-pooling layer.
@@ -130,17 +145,29 @@ func NewMaxPool(window, stride int) *MaxPool { return &MaxPool{Window: window, S
 
 // Forward implements Layer.
 func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out, arg := tensor.MaxPool2D(x, p.Window, p.Stride)
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool input %v, want [N C H W]", x.Shape()))
+	}
+	n, c := x.Dim(0), x.Dim(1)
+	oh := tensor.Conv2DShape(x.Dim(2), p.Window, p.Stride, 0)
+	ow := tensor.Conv2DShape(x.Dim(3), p.Window, p.Stride, 0)
+	p.out = tensor.Ensure(p.out, n, c, oh, ow)
+	if cap(p.arg) < p.out.Len() {
+		p.arg = make([]int, p.out.Len())
+	}
+	p.arg = p.arg[:p.out.Len()]
+	tensor.MaxPool2DInto(p.out, p.arg, x, p.Window, p.Stride)
 	if train {
-		p.arg = arg
 		p.inShape = append(p.inShape[:0], x.Shape()...)
 	}
-	return out
+	return p.out
 }
 
 // Backward implements Layer.
 func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return tensor.MaxUnpool2D(grad, p.arg, p.inShape)
+	p.dx = tensor.Ensure(p.dx, p.inShape...)
+	tensor.MaxUnpool2DInto(p.dx, grad, p.arg)
+	return p.dx
 }
 
 // Params implements Layer.
@@ -152,7 +179,8 @@ func (p *MaxPool) Grads() []*tensor.Tensor { return nil }
 // GlobalAvgPool averages each channel plane, producing [N, C] from
 // [N, C, H, W].
 type GlobalAvgPool struct {
-	h, w int
+	h, w    int
+	out, dx *tensor.Tensor
 }
 
 // NewGlobalAvgPool returns a global average pooling layer.
@@ -163,12 +191,16 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		p.h, p.w = x.Dim(2), x.Dim(3)
 	}
-	return tensor.AvgPoolGlobal(x)
+	p.out = tensor.Ensure(p.out, x.Dim(0), x.Dim(1))
+	tensor.AvgPoolGlobalInto(p.out, x)
+	return p.out
 }
 
 // Backward implements Layer.
 func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return tensor.AvgUnpoolGlobal(grad, p.h, p.w)
+	p.dx = tensor.Ensure(p.dx, grad.Dim(0), grad.Dim(1), p.h, p.w)
+	tensor.AvgUnpoolGlobalInto(p.dx, grad)
+	return p.dx
 }
 
 // Params implements Layer.

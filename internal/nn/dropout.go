@@ -15,7 +15,8 @@ type Dropout struct {
 	P   float64
 	rng *rand.Rand
 
-	mask []bool
+	mask    []bool
+	out, dx *tensor.Tensor
 }
 
 // NewDropout constructs a dropout layer. p must be in [0, 1).
@@ -34,22 +35,23 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P == 0 {
 		return x
 	}
-	out := x.Clone()
+	d.out = tensor.Ensure(d.out, x.Shape()...)
 	if cap(d.mask) < x.Len() {
 		d.mask = make([]bool, x.Len())
 	}
 	d.mask = d.mask[:x.Len()]
 	scale := 1 / (1 - d.P)
-	for i := range out.Data() {
+	xd, od := x.Data(), d.out.Data()
+	for i, v := range xd {
 		if d.rng.Float64() < d.P {
-			out.Data()[i] = 0
+			od[i] = 0
 			d.mask[i] = false
 		} else {
-			out.Data()[i] *= scale
+			od[i] = v * scale
 			d.mask[i] = true
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward implements Layer.
@@ -57,16 +59,17 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.P == 0 {
 		return grad
 	}
-	out := grad.Clone()
+	d.dx = tensor.Ensure(d.dx, grad.Shape()...)
 	scale := 1 / (1 - d.P)
-	for i := range out.Data() {
+	gd, od := grad.Data(), d.dx.Data()
+	for i, v := range gd {
 		if !d.mask[i] {
-			out.Data()[i] = 0
+			od[i] = 0
 		} else {
-			out.Data()[i] *= scale
+			od[i] = v * scale
 		}
 	}
-	return out
+	return d.dx
 }
 
 // Params implements Layer.

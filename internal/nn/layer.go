@@ -8,6 +8,18 @@
 // Backward call can produce input and parameter gradients. A Layer is
 // therefore stateful and not safe for concurrent use; each simulated
 // device owns its own model replica.
+//
+// Every layer keeps persistent activation and gradient buffers (resized
+// lazily via tensor.Ensure, or recycled through a tensor.Arena) and
+// routes its linear algebra through the in-place kernels of
+// internal/tensor, so a steady-state training step — forward, loss,
+// backward, optimizer update at a fixed batch shape — performs zero
+// heap allocations after the first step warms the buffers up (see
+// alloc_test.go for the enforced guarantee). Two aliasing rules keep
+// the buffer reuse sound: a layer may read its cached input during
+// Backward (upstream buffers are only rewritten by the *next* Forward),
+// and Backward must never mutate the incoming gradient in place — it
+// writes to the layer's own output-gradient buffer.
 package nn
 
 import (
@@ -22,10 +34,13 @@ type Layer interface {
 	// Forward computes the layer output for input x. When train is true
 	// the layer caches intermediates for Backward and updates any
 	// training-time statistics (e.g. batch-norm running averages).
+	// The returned tensor is a buffer owned by the layer, valid until
+	// its next Forward call.
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	// Backward receives ∂L/∂output and returns ∂L/∂input, accumulating
 	// parameter gradients internally. It must be called after a Forward
-	// with train=true.
+	// with train=true. It must not modify grad; the returned tensor is
+	// a buffer owned by the layer, valid until its next Backward call.
 	Backward(grad *tensor.Tensor) *tensor.Tensor
 	// Params returns the layer's learnable tensors (possibly empty).
 	Params() []*tensor.Tensor
@@ -39,6 +54,7 @@ type Dense struct {
 	W, B   *tensor.Tensor
 	dW, dB *tensor.Tensor
 	x      *tensor.Tensor // cached input
+	y, dx  *tensor.Tensor // persistent output / input-gradient buffers
 }
 
 // NewDense constructs a Dense layer with He-normal weight initialization.
@@ -59,9 +75,9 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		d.x = x
 	}
-	y := tensor.MatMulTransB(x, d.W)
-	tensor.AddRowVector(y, d.B)
-	return y
+	d.y = tensor.Ensure(d.y, x.Dim(0), d.W.Dim(0))
+	tensor.MatMulTransBBiasInto(d.y, x, d.W, d.B)
+	return d.y
 }
 
 // Backward implements Layer.
@@ -70,9 +86,11 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Dense.Backward before Forward(train=true)")
 	}
 	// dW += gradᵀ·x ; dB += Σ_batch grad ; dx = grad·W
-	d.dW.AddInPlace(tensor.MatMulTransA(grad, d.x))
-	d.dB.AddInPlace(tensor.SumRows(grad))
-	return tensor.MatMul(grad, d.W)
+	tensor.MatMulTransAAccInto(d.dW, grad, d.x)
+	tensor.SumRowsAccInto(d.dB, grad)
+	d.dx = tensor.Ensure(d.dx, d.x.Dim(0), d.W.Dim(1))
+	tensor.MatMulInto(d.dx, grad, d.W)
+	return d.dx
 }
 
 // Params implements Layer.
@@ -83,7 +101,8 @@ func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
 
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
-	mask []bool
+	mask    []bool
+	out, dx *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -91,35 +110,42 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	r.out = tensor.Ensure(r.out, x.Shape()...)
 	if train {
 		if cap(r.mask) < x.Len() {
 			r.mask = make([]bool, x.Len())
 		}
 		r.mask = r.mask[:x.Len()]
 	}
-	for i, v := range out.Data() {
+	xd, od := x.Data(), r.out.Data()
+	for i, v := range xd {
 		if v < 0 {
-			out.Data()[i] = 0
+			od[i] = 0
 			if train {
 				r.mask[i] = false
 			}
-		} else if train {
-			r.mask[i] = true
+		} else {
+			od[i] = v
+			if train {
+				r.mask[i] = true
+			}
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
-	for i := range out.Data() {
-		if !r.mask[i] {
-			out.Data()[i] = 0
+	r.dx = tensor.Ensure(r.dx, grad.Shape()...)
+	gd, od := grad.Data(), r.dx.Data()
+	for i, v := range gd {
+		if r.mask[i] {
+			od[i] = v
+		} else {
+			od[i] = 0
 		}
 	}
-	return out
+	return r.dx
 }
 
 // Params implements Layer.
@@ -132,6 +158,8 @@ func (r *ReLU) Grads() []*tensor.Tensor { return nil }
 // convolutional to dense stages.
 type Flatten struct {
 	inShape []int
+	view    *tensor.Tensor // cached forward view (aliases the input)
+	gview   *tensor.Tensor // cached backward view (aliases the gradient)
 }
 
 // NewFlatten returns a Flatten layer.
@@ -143,12 +171,14 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		f.inShape = append(f.inShape[:0], x.Shape()...)
 	}
 	n := x.Dim(0)
-	return x.Reshape(n, x.Len()/n)
+	f.view = tensor.AsShape(f.view, x, n, x.Len()/n)
+	return f.view
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+	f.gview = tensor.AsShape(f.gview, grad, f.inShape...)
+	return f.gview
 }
 
 // Params implements Layer.

@@ -11,6 +11,15 @@ import (
 // logits [N, C] against integer labels, and the gradient ∂L/∂logits
 // (already divided by N, matching Eq. 1's 1/B factor).
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	grad = tensor.New(logits.Dim(0), logits.Dim(1))
+	loss = SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing ∂L/∂logits
+// into a caller-owned buffer of the logits' shape, the zero-allocation
+// path used by the training loops.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss float64) {
 	if logits.Dims() != 2 {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy logits %v, want 2-D", logits.Shape()))
 	}
@@ -18,7 +27,9 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy: %d rows vs %d labels", n, len(labels)))
 	}
-	grad = tensor.New(n, c)
+	if !grad.SameShape(logits) {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyInto grad %v, logits %v", grad.Shape(), logits.Shape()))
+	}
 	ld, gd := logits.Data(), grad.Data()
 	invN := 1.0 / float64(n)
 	for i := 0; i < n; i++ {
@@ -47,7 +58,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 		}
 		grow[y] -= invN
 	}
-	return loss, grad
+	return loss
 }
 
 // Softmax returns row-wise softmax probabilities for logits [N, C].

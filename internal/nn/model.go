@@ -10,9 +10,16 @@ import (
 // federated aggregation needs: Parameters() serializes every learnable
 // tensor (and batch-norm buffer) into one []float64, SetParameters loads
 // such a vector back.
+//
+// The parameter and gradient tensor lists are cached on first use so
+// the per-step paths (optimizer update, gradient zeroing) allocate
+// nothing; Layers must therefore not be modified after the model is
+// first used.
 type Model struct {
 	Name   string
 	Layers []Layer
+
+	params, grads []*tensor.Tensor // cached flattening of the layer lists
 }
 
 // NewModel builds a model from layers.
@@ -37,22 +44,27 @@ func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// ParamTensors returns every learnable tensor in layer order.
+// ParamTensors returns every learnable tensor in layer order. The
+// returned slice is cached and owned by the model; callers must not
+// modify it.
 func (m *Model) ParamTensors() []*tensor.Tensor {
-	var ps []*tensor.Tensor
-	for _, l := range m.Layers {
-		ps = append(ps, l.Params()...)
+	if m.params == nil {
+		for _, l := range m.Layers {
+			m.params = append(m.params, l.Params()...)
+		}
 	}
-	return ps
+	return m.params
 }
 
-// GradTensors returns gradient tensors aligned with ParamTensors.
+// GradTensors returns gradient tensors aligned with ParamTensors, with
+// the same caching contract.
 func (m *Model) GradTensors() []*tensor.Tensor {
-	var gs []*tensor.Tensor
-	for _, l := range m.Layers {
-		gs = append(gs, l.Grads()...)
+	if m.grads == nil {
+		for _, l := range m.Layers {
+			m.grads = append(m.grads, l.Grads()...)
+		}
 	}
-	return gs
+	return m.grads
 }
 
 // NumParams returns the total scalar parameter count.

@@ -1,6 +1,8 @@
 package nn
 
 import (
+	"fmt"
+
 	"hadfl/internal/tensor"
 )
 
@@ -16,6 +18,9 @@ type Residual struct {
 	Shortcut []Layer // nil means identity
 
 	reluMask []bool
+	// Persistent buffers: block output, masked incoming gradient, and
+	// the summed input gradient.
+	out, gmask, dx *tensor.Tensor
 }
 
 // NewResidual builds a residual block with the given body and optional
@@ -34,21 +39,30 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range r.Shortcut {
 		s = l.Forward(s, train)
 	}
-	out := y.Add(s)
+	if !y.SameShape(s) {
+		panic(fmt.Sprintf("nn: Residual body %v vs shortcut %v", y.Shape(), s.Shape()))
+	}
+	r.out = tensor.Ensure(r.out, y.Shape()...)
+	out := r.out
 	if train {
 		if cap(r.reluMask) < out.Len() {
 			r.reluMask = make([]bool, out.Len())
 		}
 		r.reluMask = r.reluMask[:out.Len()]
 	}
-	for i, v := range out.Data() {
+	yd, sd, od := y.Data(), s.Data(), out.Data()
+	for i, v := range yd {
+		v += sd[i]
 		if v < 0 {
-			out.Data()[i] = 0
+			od[i] = 0
 			if train {
 				r.reluMask[i] = false
 			}
-		} else if train {
-			r.reluMask[i] = true
+		} else {
+			od[i] = v
+			if train {
+				r.reluMask[i] = true
+			}
 		}
 	}
 	return out
@@ -56,10 +70,14 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	for i := range g.Data() {
-		if !r.reluMask[i] {
-			g.Data()[i] = 0
+	r.gmask = tensor.Ensure(r.gmask, grad.Shape()...)
+	g := r.gmask
+	gd, md := grad.Data(), g.Data()
+	for i, v := range gd {
+		if r.reluMask[i] {
+			md[i] = v
+		} else {
+			md[i] = 0
 		}
 	}
 	gBody := g
@@ -70,7 +88,12 @@ func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(r.Shortcut) - 1; i >= 0; i-- {
 		gShort = r.Shortcut[i].Backward(gShort)
 	}
-	return gBody.Add(gShort)
+	r.dx = tensor.Ensure(r.dx, gBody.Shape()...)
+	dd, bd, sd := r.dx.Data(), gBody.Data(), gShort.Data()
+	for i := range dd {
+		dd[i] = bd[i] + sd[i]
+	}
+	return r.dx
 }
 
 // Params implements Layer.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"container/list"
 	"sync"
 
 	"hadfl/internal/metrics"
@@ -12,18 +13,43 @@ import (
 // retraining) or a queued/running job (the new request coalesces onto
 // it). Failed, canceled and timed-out jobs are evicted at the next
 // identical submission so that a retry actually reruns.
+//
+// A bounded cache additionally evicts least-recently-used *terminal*
+// jobs once the entry count exceeds the cap — live (queued/running)
+// jobs are never evicted, since subscribers and the pool still hold
+// them, so the cache may transiently exceed the cap while more than
+// maxEntries runs are in flight.
 type Cache struct {
-	mu   sync.Mutex
-	jobs map[string]*Job
-	reg  *metrics.Registry
+	mu         sync.Mutex
+	jobs       map[string]*list.Element // value: *cacheEntry
+	lru        *list.List               // front = most recently used
+	maxEntries int
+	reg        *metrics.Registry
 }
 
-// NewCache returns an empty cache reporting hit/miss counters to reg.
-func NewCache(reg *metrics.Registry) *Cache {
+type cacheEntry struct {
+	id  string
+	job *Job
+}
+
+// NewCache returns an unbounded cache reporting hit/miss counters to
+// reg.
+func NewCache(reg *metrics.Registry) *Cache { return NewBoundedCache(reg, 0) }
+
+// NewBoundedCache returns a cache reporting to reg that holds at most
+// maxEntries jobs (0 or negative = unbounded), evicting the least
+// recently used terminal job past the cap. Evictions are counted on
+// the cache_evictions_lru_total metric.
+func NewBoundedCache(reg *metrics.Registry, maxEntries int) *Cache {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Cache{jobs: make(map[string]*Job), reg: reg}
+	return &Cache{
+		jobs:       make(map[string]*list.Element),
+		lru:        list.New(),
+		maxEntries: maxEntries,
+		reg:        reg,
+	}
 }
 
 // GetOrCreate returns the job for id, creating it with mk on a miss.
@@ -33,26 +59,34 @@ func NewCache(reg *metrics.Registry) *Cache {
 func (c *Cache) GetOrCreate(id string, mk func() *Job) (j *Job, existing bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if j, ok := c.jobs[id]; ok {
+	if el, ok := c.jobs[id]; ok {
+		j := el.Value.(*cacheEntry).job
 		if s := j.State(); !s.Terminal() || s == StateDone {
+			c.lru.MoveToFront(el)
 			c.reg.Inc("cache_hits_total")
 			return j, true
 		}
-		c.reg.Inc("cache_evictions_total")
+		// Terminal failure: evict so the retry reruns.
+		c.removeLocked(el, "cache_evictions_total")
 	}
 	c.reg.Inc("cache_misses_total")
 	j = mk()
-	c.jobs[id] = j
+	c.jobs[id] = c.lru.PushFront(&cacheEntry{id: id, job: j})
+	c.evictOverCapLocked()
 	c.reg.SetGauge("cache_jobs", float64(len(c.jobs)))
 	return j, false
 }
 
-// Get looks up a job without creating one.
+// Get looks up a job without creating one, refreshing its recency.
 func (c *Cache) Get(id string) (*Job, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	j, ok := c.jobs[id]
-	return j, ok
+	el, ok := c.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).job, true
 }
 
 // Len returns the number of cached jobs (any state).
@@ -60,4 +94,27 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.jobs)
+}
+
+// removeLocked drops an entry and bumps the given eviction counter.
+func (c *Cache) removeLocked(el *list.Element, counter string) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.jobs, e.id)
+	c.reg.Inc(counter)
+}
+
+// evictOverCapLocked removes least-recently-used terminal jobs until
+// the cache fits its cap (live jobs are skipped and survive).
+func (c *Cache) evictOverCapLocked() {
+	if c.maxEntries <= 0 {
+		return
+	}
+	for el := c.lru.Back(); el != nil && len(c.jobs) > c.maxEntries; {
+		prev := el.Prev()
+		if el.Value.(*cacheEntry).job.State().Terminal() {
+			c.removeLocked(el, "cache_evictions_lru_total")
+		}
+		el = prev
+	}
 }

@@ -34,6 +34,75 @@ func TestCacheCoalescesAndServesDone(t *testing.T) {
 	}
 }
 
+func TestBoundedCacheEvictsLRUTerminalJobs(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewBoundedCache(reg, 2)
+	mk := func(id string) func() *Job {
+		return func() *Job { return newJob(id, hadfl.SchemeHADFL, hadfl.Options{}) }
+	}
+	finish := func(j *Job) {
+		j.start(func() {})
+		j.finish(&hadfl.Result{}, nil)
+	}
+
+	a, _ := c.GetOrCreate("a", mk("a"))
+	finish(a)
+	b, _ := c.GetOrCreate("b", mk("b"))
+	finish(b)
+	// Touch a so b becomes the LRU entry.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	d, _ := c.GetOrCreate("d", mk("d"))
+	finish(d)
+
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2 after LRU eviction", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := c.Get("d"); !ok {
+		t.Fatal("new entry d missing")
+	}
+	if got := reg.Counter("cache_evictions_lru_total"); got != 1 {
+		t.Fatalf("cache_evictions_lru_total = %d, want 1", got)
+	}
+}
+
+func TestBoundedCacheNeverEvictsLiveJobs(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewBoundedCache(reg, 1)
+	mk := func(id string) func() *Job {
+		return func() *Job { return newJob(id, hadfl.SchemeHADFL, hadfl.Options{}) }
+	}
+	// Two live (queued) jobs: the cap is exceeded but nothing may go.
+	c.GetOrCreate("a", mk("a"))
+	c.GetOrCreate("b", mk("b"))
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (live jobs are not evictable)", c.Len())
+	}
+	if got := reg.Counter("cache_evictions_lru_total"); got != 0 {
+		t.Fatalf("cache_evictions_lru_total = %d, want 0", got)
+	}
+	// Once one finishes, the next insertion trims back to the cap.
+	a, _ := c.Get("a")
+	a.start(func() {})
+	a.finish(&hadfl.Result{}, nil)
+	j, _ := c.GetOrCreate("d", mk("d"))
+	j.start(func() {})
+	j.finish(&hadfl.Result{}, nil)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("terminal LRU job a should have been evicted")
+	}
+	if c.Len() != 2 { // b (live) + d
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
 func TestCacheEvictsFailedJobsOnResubmit(t *testing.T) {
 	reg := metrics.NewRegistry()
 	c := NewCache(reg)

@@ -22,6 +22,16 @@ type Config struct {
 	// <= 0 disables limiting.
 	RatePerSec float64
 	Burst      int
+	// RunParallelism is the per-run device concurrency applied to
+	// submissions that leave options.parallelism unset. The default 0
+	// keeps runs sequential (1): the pool already runs Workers jobs
+	// concurrently, so per-run parallelism is an explicit opt-in to
+	// trade job throughput for single-run latency. Parallelism never
+	// changes results, so it does not participate in the cache key.
+	RunParallelism int
+	// CacheMaxEntries bounds the result cache (LRU eviction of
+	// terminal jobs past the cap; <= 0 means unbounded).
+	CacheMaxEntries int
 	// Runner overrides the run executor (tests). Default DefaultRunner.
 	Runner Runner
 	// Metrics receives service telemetry. Default: private registry.
@@ -48,7 +58,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
-		cache:   NewCache(cfg.Metrics),
+		cache:   NewBoundedCache(cfg.Metrics, cfg.CacheMaxEntries),
 		limiter: NewTokenBucket(cfg.RatePerSec, cfg.Burst),
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
@@ -84,6 +94,17 @@ func (s *Server) Submit(scheme string, opts hadfl.Options) (job *Job, cached boo
 	if err != nil {
 		return nil, false, err
 	}
+	if opts.Parallelism <= 0 {
+		// Unset (or nonsense-negative) means the server default;
+		// unlike the library (where 0 is GOMAXPROCS), a serve job
+		// defaults to sequential because the pool already runs jobs
+		// concurrently.
+		if s.cfg.RunParallelism > 0 {
+			opts.Parallelism = s.cfg.RunParallelism
+		} else {
+			opts.Parallelism = 1
+		}
+	}
 	job, cached = s.cache.GetOrCreate(fp, func() *Job { return newJob(fp, scheme, opts) })
 	if cached {
 		return job, true, nil
@@ -106,7 +127,9 @@ type RunRequest struct {
 }
 
 // RunOptions mirrors hadfl.Options minus the callback field (progress
-// flows through /events instead).
+// flows through /events instead). Parallelism is a throughput hint
+// only — it never changes the run's result and is excluded from the
+// cache fingerprint, so requests differing only here coalesce.
 type RunOptions struct {
 	Powers       []float64       `json:"powers,omitempty"`
 	Model        string          `json:"model,omitempty"`
@@ -115,6 +138,7 @@ type RunOptions struct {
 	NonIIDAlpha  float64         `json:"nonIIDAlpha,omitempty"`
 	Seed         int64           `json:"seed,omitempty"`
 	FailAt       map[int]float64 `json:"failAt,omitempty"`
+	Parallelism  int             `json:"parallelism,omitempty"`
 }
 
 func (o RunOptions) toOptions() hadfl.Options {
@@ -126,6 +150,7 @@ func (o RunOptions) toOptions() hadfl.Options {
 		NonIIDAlpha:  o.NonIIDAlpha,
 		Seed:         o.Seed,
 		FailAt:       o.FailAt,
+		Parallelism:  o.Parallelism,
 	}
 }
 

@@ -1,0 +1,104 @@
+package tensor
+
+// Arena is a scratch-buffer recycler for hot loops that need
+// temporaries whose lifetime spans at most one forward/backward pass.
+// Get pops a tensor with the requested element count from a
+// size-bucketed free list (reshaping it in place) or allocates one on
+// first use; Put returns it. In steady state a Get/Put cycle performs
+// zero heap allocations — both the backing arrays and the Tensor
+// headers are reused.
+//
+// An Arena is not safe for concurrent use; give each goroutine (each
+// simulated device owns its model and therefore its layers' arenas)
+// its own.
+type Arena struct {
+	free map[int][]*Tensor
+}
+
+// Get returns a tensor of the given shape with undefined contents.
+// Call Zero (or GetZeroed) when the kernel needs a cleared buffer.
+func (a *Arena) Get(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if a.free == nil {
+		a.free = make(map[int][]*Tensor)
+	}
+	bucket := a.free[n]
+	if len(bucket) == 0 {
+		return New(shape...)
+	}
+	t := bucket[len(bucket)-1]
+	a.free[n] = bucket[:len(bucket)-1]
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// GetZeroed returns a zero-filled tensor of the given shape.
+func (a *Arena) GetZeroed(shape ...int) *Tensor {
+	t := a.Get(shape...)
+	t.Zero()
+	return t
+}
+
+// Put returns t to the arena for reuse. The caller must not touch t
+// afterwards.
+func (a *Arena) Put(t *Tensor) {
+	if t == nil {
+		return
+	}
+	if a.free == nil {
+		a.free = make(map[int][]*Tensor)
+	}
+	n := len(t.data)
+	a.free[n] = append(a.free[n], t)
+}
+
+// Ensure returns t when it already holds exactly the given shape, the
+// usual steady-state case for per-layer activation and gradient
+// buffers; otherwise it returns a fresh tensor. Contents are undefined
+// after a reallocation, so callers must fully overwrite the buffer.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if t == nil || len(t.data) != n {
+		return New(shape...)
+	}
+	if len(t.shape) == len(shape) {
+		same := true
+		for i, d := range shape {
+			if t.shape[i] != d {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t
+		}
+	}
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// EnsureZeroed is Ensure followed by a Zero, for buffers that are
+// accumulated into (scatter targets, gradient sums).
+func EnsureZeroed(t *Tensor, shape ...int) *Tensor {
+	t = Ensure(t, shape...)
+	t.Zero()
+	return t
+}
+
+// mustShape panics unless t has exactly the given shape. Like
+// checkShape it formats errors without fmt, so variadic call sites do
+// not heap-allocate their shape arguments.
+func mustShape(op string, t *Tensor, shape ...int) {
+	bad := len(t.shape) != len(shape)
+	if !bad {
+		for i, d := range shape {
+			if t.shape[i] != d {
+				bad = true
+				break
+			}
+		}
+	}
+	if bad {
+		panic("tensor: " + op + " shape " + shapeStr(t.shape) + ", want " + shapeStr(shape))
+	}
+}

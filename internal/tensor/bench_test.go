@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel benchmarks for the compute core. Run serial-vs-parallel with:
+//
+//	go test -bench BenchmarkMatMul -benchmem ./internal/tensor
+//
+// Sizes mirror the training hot paths: the dense stack's [batch×width]
+// products and the im2col matrices of the convolutional profile.
+
+func benchMatMulInto(b *testing.B, m, k, n, par int) {
+	prev := Parallelism()
+	SetParallelism(par)
+	defer SetParallelism(prev)
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 0, 1, m, k)
+	bb := RandNormal(rng, 0, 1, k, n)
+	dst := New(m, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, bb)
+	}
+}
+
+func BenchmarkMatMulInto64x64x64(b *testing.B)     { benchMatMulInto(b, 64, 64, 64, 1) }
+func BenchmarkMatMulInto256(b *testing.B)          { benchMatMulInto(b, 256, 256, 256, 1) }
+func BenchmarkMatMulInto256Parallel(b *testing.B)  { benchMatMulInto(b, 256, 256, 256, 8) }
+func BenchmarkMatMulInto1024(b *testing.B)         { benchMatMulInto(b, 1024, 256, 256, 1) }
+func BenchmarkMatMulInto1024Parallel(b *testing.B) { benchMatMulInto(b, 1024, 256, 256, 8) }
+
+func benchTransB(b *testing.B, m, k, n, par int) {
+	prev := Parallelism()
+	SetParallelism(par)
+	defer SetParallelism(prev)
+	rng := rand.New(rand.NewSource(2))
+	a := RandNormal(rng, 0, 1, m, k)
+	w := RandNormal(rng, 0, 1, n, k)
+	bias := RandNormal(rng, 0, 1, n)
+	dst := New(m, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransBBiasInto(dst, a, w, bias)
+	}
+}
+
+func BenchmarkDenseForwardFused512(b *testing.B)         { benchTransB(b, 512, 256, 256, 1) }
+func BenchmarkDenseForwardFused512Parallel(b *testing.B) { benchTransB(b, 512, 256, 256, 8) }
+
+func BenchmarkVecMean(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const n, k = 1 << 16, 4
+	vecs := make([][]float64, k)
+	for i := range vecs {
+		v := make([]float64, n)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	dst := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VecMeanInto(dst, vecs)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := RandNormal(rng, 0, 1, 32, 3, 8, 8)
+	cols := New(32*8*8, 3*3*3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2ColInto(cols, x, 3, 3, 1, 1)
+	}
+}

@@ -20,13 +20,46 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if x.Dims() != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col needs [N C H W], got %v", x.shape))
 	}
+	n, c := x.shape[0], x.shape[1]
+	oh := Conv2DShape(x.shape[2], kh, stride, pad)
+	ow := Conv2DShape(x.shape[3], kw, stride, pad)
+	cols := New(n*oh*ow, c*kh*kw)
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColInto is Im2Col reusing cols' storage ([N·OH·OW, C·KH·KW]).
+// Images unroll independently, sharded across the worker pool.
+func Im2ColInto(cols *Tensor, x *Tensor, kh, kw, stride, pad int) {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col needs [N C H W], got %v", x.shape))
+	}
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh := Conv2DShape(h, kh, stride, pad)
 	ow := Conv2DShape(w, kw, stride, pad)
-	cols := New(n*oh*ow, c*kh*kw)
-	xd, cd := x.data, cols.data
 	rowLen := c * kh * kw
-	for ni := 0; ni < n; ni++ {
+	mustShape("Im2ColInto cols", cols, n*oh*ow, rowLen)
+	xd, cd := x.data, cols.data
+	if runSerial(n * oh * ow * rowLen * 4) {
+		im2colRange(cd, xd, 0, n, c, h, w, oh, ow, kh, kw, stride, pad, rowLen)
+		return
+	}
+	parallelFor(n, 1, func(n0, n1 int) {
+		im2colRange(cd, xd, n0, n1, c, h, w, oh, ow, kh, kw, stride, pad, rowLen)
+	})
+}
+
+// im2colRange unrolls images [n0, n1); images are independent, so the
+// range shards freely across workers.
+func im2colRange(cd, xd []float64, n0, n1, c, h, w, oh, ow, kh, kw, stride, pad, rowLen int) {
+	if pad > 0 {
+		// Padding positions are skipped below and must read as zero.
+		seg := cd[n0*oh*ow*rowLen : n1*oh*ow*rowLen]
+		for i := range seg {
+			seg[i] = 0
+		}
+	}
+	for ni := n0; ni < n1; ni++ {
 		imgBase := ni * c * h * w
 		for oy := 0; oy < oh; oy++ {
 			iy0 := oy*stride - pad
@@ -55,22 +88,48 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters (accumulates) the column
 // matrix back into an image batch of shape [N, C, H, W]. It is used to
 // back-propagate gradients through the im2col transform.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	img := New(n, c, h, w)
+	Col2ImInto(img, cols, kh, kw, stride, pad)
+	return img
+}
+
+// Col2ImInto is Col2Im scattering into img's storage (zeroed first).
+// Images scatter independently, sharded across the worker pool.
+func Col2ImInto(img *Tensor, cols *Tensor, kh, kw, stride, pad int) {
+	if img.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Col2ImInto needs [N C H W] dst, got %v", img.shape))
+	}
+	n, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
 	oh := Conv2DShape(h, kh, stride, pad)
 	ow := Conv2DShape(w, kw, stride, pad)
 	rowLen := c * kh * kw
 	if cols.Dims() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
 		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want [%d %d]", cols.shape, n*oh*ow, rowLen))
 	}
-	img := New(n, c, h, w)
 	xd, cd := img.data, cols.data
-	for ni := 0; ni < n; ni++ {
+	if runSerial(n * oh * ow * rowLen * 4) {
+		col2imRange(xd, cd, 0, n, c, h, w, oh, ow, kh, kw, stride, pad, rowLen)
+		return
+	}
+	parallelFor(n, 1, func(n0, n1 int) {
+		col2imRange(xd, cd, n0, n1, c, h, w, oh, ow, kh, kw, stride, pad, rowLen)
+	})
+}
+
+// col2imRange zeroes and scatter-accumulates images [n0, n1); each
+// image's scatter touches only its own plane, so ranges shard freely.
+func col2imRange(xd, cd []float64, n0, n1, c, h, w, oh, ow, kh, kw, stride, pad, rowLen int) {
+	seg := xd[n0*c*h*w : n1*c*h*w]
+	for i := range seg {
+		seg[i] = 0
+	}
+	for ni := n0; ni < n1; ni++ {
 		imgBase := ni * c * h * w
 		for oy := 0; oy < oh; oy++ {
 			iy0 := oy*stride - pad
@@ -99,7 +158,6 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return img
 }
 
 // MaxPool2D applies max pooling with a square window and equal stride over
@@ -109,51 +167,84 @@ func MaxPool2D(x *Tensor, window, stride int) (*Tensor, []int) {
 	if x.Dims() != 4 {
 		panic(fmt.Sprintf("tensor: MaxPool2D needs [N C H W], got %v", x.shape))
 	}
+	n, c := x.shape[0], x.shape[1]
+	oh := Conv2DShape(x.shape[2], window, stride, 0)
+	ow := Conv2DShape(x.shape[3], window, stride, 0)
+	out := New(n, c, oh, ow)
+	arg := make([]int, out.Len())
+	MaxPool2DInto(out, arg, x, window, stride)
+	return out, arg
+}
+
+// MaxPool2DInto is MaxPool2D reusing out ([N, C, OH, OW]) and arg
+// (len out.Len()).
+func MaxPool2DInto(out *Tensor, arg []int, x *Tensor, window, stride int) {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: MaxPool2D needs [N C H W], got %v", x.shape))
+	}
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh := Conv2DShape(h, window, stride, 0)
 	ow := Conv2DShape(w, window, stride, 0)
-	out := New(n, c, oh, ow)
-	arg := make([]int, out.Len())
+	mustShape("MaxPool2DInto out", out, n, c, oh, ow)
+	if len(arg) != out.Len() {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto arg len %d, want %d", len(arg), out.Len()))
+	}
 	xd, od := x.data, out.data
-	oi := 0
-	for ni := 0; ni < n; ni++ {
-		for ci := 0; ci < c; ci++ {
-			chBase := (ni*c + ci) * h * w
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					best := -1
-					bestV := 0.0
-					for ky := 0; ky < window; ky++ {
-						iy := oy*stride + ky
-						for kx := 0; kx < window; kx++ {
-							ix := ox*stride + kx
-							idx := chBase + iy*w + ix
-							if best == -1 || xd[idx] > bestV {
-								best, bestV = idx, xd[idx]
-							}
+	if runSerial(n * c * h * w * 2) {
+		maxPoolPlanes(od, xd, arg, 0, n*c, h, w, oh, ow, window, stride)
+		return
+	}
+	parallelFor(n*c, 1, func(p0, p1 int) {
+		maxPoolPlanes(od, xd, arg, p0, p1, h, w, oh, ow, window, stride)
+	})
+}
+
+// maxPoolPlanes pools (image, channel) planes [p0, p1); planes are
+// independent, so the range shards freely.
+func maxPoolPlanes(od, xd []float64, arg []int, p0, p1, h, w, oh, ow, window, stride int) {
+	plane := oh * ow
+	for pc := p0; pc < p1; pc++ {
+		chBase := pc * h * w
+		oi := pc * plane
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := -1
+				bestV := 0.0
+				for ky := 0; ky < window; ky++ {
+					iy := oy*stride + ky
+					for kx := 0; kx < window; kx++ {
+						ix := ox*stride + kx
+						idx := chBase + iy*w + ix
+						if best == -1 || xd[idx] > bestV {
+							best, bestV = idx, xd[idx]
 						}
 					}
-					od[oi] = bestV
-					arg[oi] = best
-					oi++
 				}
+				od[oi] = bestV
+				arg[oi] = best
+				oi++
 			}
 		}
 	}
-	return out, arg
 }
 
 // MaxUnpool2D scatters the pooled gradient grad back to the input shape
 // using the argmax indices recorded by MaxPool2D.
 func MaxUnpool2D(grad *Tensor, arg []int, inShape []int) *Tensor {
+	out := New(inShape...)
+	MaxUnpool2DInto(out, grad, arg)
+	return out
+}
+
+// MaxUnpool2DInto is MaxUnpool2D scattering into dst (zeroed first).
+func MaxUnpool2DInto(dst, grad *Tensor, arg []int) {
 	if grad.Len() != len(arg) {
 		panic(fmt.Sprintf("tensor: MaxUnpool2D grad len %d vs arg len %d", grad.Len(), len(arg)))
 	}
-	out := New(inShape...)
+	dst.Zero()
 	for i, idx := range arg {
-		out.data[idx] += grad.data[i]
+		dst.data[idx] += grad.data[i]
 	}
-	return out
 }
 
 // AvgPoolGlobal averages each channel plane of x [N, C, H, W], returning
@@ -162,21 +253,28 @@ func AvgPoolGlobal(x *Tensor) *Tensor {
 	if x.Dims() != 4 {
 		panic(fmt.Sprintf("tensor: AvgPoolGlobal needs [N C H W], got %v", x.shape))
 	}
+	out := New(x.shape[0], x.shape[1])
+	AvgPoolGlobalInto(out, x)
+	return out
+}
+
+// AvgPoolGlobalInto is AvgPoolGlobal reusing out ([N, C]).
+func AvgPoolGlobalInto(out, x *Tensor) {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: AvgPoolGlobal needs [N C H W], got %v", x.shape))
+	}
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	out := New(n, c)
+	mustShape("AvgPoolGlobalInto out", out, n, c)
 	plane := h * w
 	inv := 1.0 / float64(plane)
-	for ni := 0; ni < n; ni++ {
-		for ci := 0; ci < c; ci++ {
-			base := (ni*c + ci) * plane
-			s := 0.0
-			for i := 0; i < plane; i++ {
-				s += x.data[base+i]
-			}
-			out.data[ni*c+ci] = s * inv
+	for pc := 0; pc < n*c; pc++ {
+		base := pc * plane
+		s := 0.0
+		for i := 0; i < plane; i++ {
+			s += x.data[base+i]
 		}
+		out.data[pc] = s * inv
 	}
-	return out
 }
 
 // AvgUnpoolGlobal spreads the [N, C] gradient evenly back over [N, C, H, W].
@@ -184,18 +282,25 @@ func AvgUnpoolGlobal(grad *Tensor, h, w int) *Tensor {
 	if grad.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: AvgUnpoolGlobal needs [N C], got %v", grad.shape))
 	}
-	n, c := grad.shape[0], grad.shape[1]
-	out := New(n, c, h, w)
+	out := New(grad.shape[0], grad.shape[1], h, w)
+	AvgUnpoolGlobalInto(out, grad)
+	return out
+}
+
+// AvgUnpoolGlobalInto is AvgUnpoolGlobal writing into out [N, C, H, W].
+func AvgUnpoolGlobalInto(out, grad *Tensor) {
+	if grad.Dims() != 2 || out.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: AvgUnpoolGlobalInto shapes %v, %v", out.shape, grad.shape))
+	}
+	n, c, h, w := out.shape[0], out.shape[1], out.shape[2], out.shape[3]
+	mustShape("AvgUnpoolGlobalInto grad", grad, n, c)
 	plane := h * w
 	inv := 1.0 / float64(plane)
-	for ni := 0; ni < n; ni++ {
-		for ci := 0; ci < c; ci++ {
-			g := grad.data[ni*c+ci] * inv
-			base := (ni*c + ci) * plane
-			for i := 0; i < plane; i++ {
-				out.data[base+i] = g
-			}
+	for pc := 0; pc < n*c; pc++ {
+		g := grad.data[pc] * inv
+		base := pc * plane
+		for i := 0; i < plane; i++ {
+			out.data[base+i] = g
 		}
 	}
-	return out
 }

@@ -2,9 +2,25 @@ package tensor
 
 import "fmt"
 
+// Matrix kernels. All three product shapes (a·b, aᵀ·b, a·bᵀ) come in
+// allocating, into, and (where the nn backward passes accumulate)
+// into-accumulate forms, plus a fused matmul+bias epilogue for the
+// dense/conv forward path. The into forms are cache-blocked over the
+// inner dimension and shard independent output rows across the package
+// worker pool (see parallel.go); per-element accumulation always runs
+// in ascending inner-index order, so every variant is bit-deterministic
+// at every parallelism level.
+//
+// Each kernel's sharded body is a named function — not a closure — and
+// the serial path calls it directly, so kernels allocate nothing when
+// Parallelism() is 1 or the matrix is below the sharding threshold.
+// Only the parallel dispatch spends a few words on coordination.
+
+// blockK is the inner-dimension tile: one tile of b (blockK rows)
+// stays resident in cache while a chunk of output rows streams over it.
+const blockK = 256
+
 // MatMul returns the matrix product a·b for 2-D tensors a (m×k) and b (k×n).
-// The inner loops are ordered i-k-j so the innermost traversal is contiguous
-// in both b and the result, which matters for the conv-heavy training loops.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v and %v", a.shape, b.shape))
@@ -27,27 +43,49 @@ func MatMulInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
 	ad, bd, dd := a.data, b.data, dst.data
-	for i := range dd {
-		dd[i] = 0
+	if runSerial(m * n * k) {
+		matMulRows(dd, ad, bd, 0, m, k, n)
+		return
 	}
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		drow := dd[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	parallelFor(m, rowGrain(m, 2*n*k), func(i0, i1 int) {
+		matMulRows(dd, ad, bd, i0, i1, k, n)
+	})
+}
+
+// matMulRows computes output rows [i0, i1) of dst = a·b, k-blocked so a
+// tile of b stays cache-resident across the row chunk. Per element the
+// accumulation over p is strictly ascending — identical to the naive
+// i-k-j loop.
+func matMulRows(dd, ad, bd []float64, i0, i1, k, n int) {
+	for p0 := 0; p0 < k; p0 += blockK {
+		p1 := p0 + blockK
+		if p1 > k {
+			p1 = k
+		}
+		for i := i0; i < i1; i++ {
+			arow := ad[i*k : (i+1)*k]
+			drow := dd[i*n : (i+1)*n]
+			if p0 == 0 {
+				for j := range drow {
+					drow[j] = 0
+				}
 			}
-			brow := bd[p*n : (p+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			for p := p0; p < p1; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
 	}
 }
 
-// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n), producing m×n, without
-// materializing the transpose.
+// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n), producing m×n,
+// without materializing the transpose.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA needs 2-D operands, got %v and %v", a.shape, b.shape))
@@ -56,51 +94,130 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	if b.shape[0] != k {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimensions differ: %vᵀ · %v", a.shape, b.shape))
 	}
-	n := b.shape[1]
-	out := New(m, n)
-	ad, bd, od := a.data, b.data, out.data
-	for p := 0; p < k; p++ {
-		arow := ad[p*m : (p+1)*m]
-		brow := bd[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := od[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	out := New(m, b.shape[1])
+	matMulTransAInto(out, a, b, false)
 	return out
 }
 
-// MatMulTransB returns a·bᵀ for a (m×k) and b (n×k), producing m×n, without
-// materializing the transpose.
+// MatMulTransAInto computes dst = aᵀ·b for a (k×m), b (k×n), dst (m×n).
+func MatMulTransAInto(dst, a, b *Tensor) { matMulTransAInto(dst, a, b, false) }
+
+// MatMulTransAAccInto computes dst += aᵀ·b, the dense/conv weight-
+// gradient accumulation (dW += gradᵀ·x) without a temporary.
+func MatMulTransAAccInto(dst, a, b *Tensor) { matMulTransAInto(dst, a, b, true) }
+
+func matMulTransAInto(dst, a, b *Tensor, acc bool) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto inner dimensions differ: %vᵀ · %v", a.shape, b.shape))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	if runSerial(m * n * k) {
+		matMulTransARows(dd, ad, bd, 0, m, k, m, n, acc)
+		return
+	}
+	parallelFor(m, rowGrain(m, 2*n*k), func(i0, i1 int) {
+		matMulTransARows(dd, ad, bd, i0, i1, k, m, n, acc)
+	})
+}
+
+// matMulTransARows computes output rows [i0, i1) of dst = aᵀ·b (or +=
+// with acc), k-blocked; per element the accumulation over p ascends.
+func matMulTransARows(dd, ad, bd []float64, i0, i1, k, m, n int, acc bool) {
+	for p0 := 0; p0 < k; p0 += blockK {
+		p1 := p0 + blockK
+		if p1 > k {
+			p1 = k
+		}
+		for i := i0; i < i1; i++ {
+			drow := dd[i*n : (i+1)*n]
+			if p0 == 0 && !acc {
+				for j := range drow {
+					drow[j] = 0
+				}
+			}
+			for p := p0; p < p1; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a·bᵀ for a (m×k) and b (n×k), producing m×n,
+// without materializing the transpose.
 func MatMulTransB(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB needs 2-D operands, got %v and %v", a.shape, b.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
-	if b.shape[1] != k {
+	m := a.shape[0]
+	if b.shape[1] != a.shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions differ: %v · %vᵀ", a.shape, b.shape))
 	}
+	out := New(m, b.shape[0])
+	matMulTransBInto(out, a, b, nil)
+	return out
+}
+
+// MatMulTransBInto computes dst = a·bᵀ for a (m×k), b (n×k), dst (m×n).
+func MatMulTransBInto(dst, a, b *Tensor) { matMulTransBInto(dst, a, b, nil) }
+
+// MatMulTransBBiasInto computes dst = a·bᵀ + bias broadcast over rows —
+// the fused dense/conv forward epilogue (bias has n elements).
+func MatMulTransBBiasInto(dst, a, b, bias *Tensor) {
+	if bias.Dims() != 1 || bias.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransBBiasInto bias %v, want [%d]", bias.shape, b.shape[0]))
+	}
+	matMulTransBInto(dst, a, b, bias.data)
+}
+
+func matMulTransBInto(dst, a, b *Tensor, bias []float64) {
+	m, k := a.shape[0], a.shape[1]
 	n := b.shape[0]
-	out := New(m, n)
-	ad, bd, od := a.data, b.data, out.data
-	for i := 0; i < m; i++ {
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto inner dimensions differ: %v · %vᵀ", a.shape, b.shape))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	if runSerial(m * n * k) {
+		matMulTransBRows(dd, ad, bd, bias, 0, m, k, n)
+		return
+	}
+	parallelFor(m, rowGrain(m, 2*n*k), func(i0, i1 int) {
+		matMulTransBRows(dd, ad, bd, bias, i0, i1, k, n)
+	})
+}
+
+// matMulTransBRows computes output rows [i0, i1) of dst = a·bᵀ (+bias):
+// contiguous dot products, each summed in ascending p order.
+func matMulTransBRows(dd, ad, bd, bias []float64, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
 		arow := ad[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
+		drow := dd[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			brow := bd[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range arow {
 				s += av * brow[p]
 			}
-			orow[j] = s
+			if bias != nil {
+				s += bias[j]
+			}
+			drow[j] = s
 		}
 	}
-	return out
 }
 
 // Transpose returns the transpose of a 2-D tensor.
@@ -137,16 +254,43 @@ func AddRowVector(a, v *Tensor) *Tensor {
 // SumRows returns the length-n column-sum of the m×n matrix a. Used to
 // reduce bias gradients over a batch.
 func SumRows(a *Tensor) *Tensor {
+	out := New(a.shape[1])
+	SumRowsAccInto(out, a)
+	return out
+}
+
+// SumRowsInto computes dst = column sums of a (dst has a.Dim(1) elems).
+func SumRowsInto(dst, a *Tensor) {
+	dst.Zero()
+	SumRowsAccInto(dst, a)
+}
+
+// SumRowsAccInto computes dst += column sums of the m×n matrix a, the
+// bias-gradient reduction (dB += Σ_batch grad). Rows accumulate in
+// ascending order per column regardless of parallelism.
+func SumRowsAccInto(dst, a *Tensor) {
 	if a.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: SumRows needs a 2-D tensor, got %v", a.shape))
+		panic(fmt.Sprintf("tensor: SumRowsAccInto needs a 2-D tensor, got %v", a.shape))
 	}
 	m, n := a.shape[0], a.shape[1]
-	out := New(n)
+	mustShape("SumRowsAccInto dst", dst, n)
+	ad, dd := a.data, dst.data
+	if runSerial(m * n * 8) {
+		sumRowsCols(dd, ad, 0, n, m, n)
+		return
+	}
+	parallelFor(n, rowGrain(n, 2*m), func(j0, j1 int) {
+		sumRowsCols(dd, ad, j0, j1, m, n)
+	})
+}
+
+// sumRowsCols accumulates columns [j0, j1) of the column-sum reduction,
+// traversing rows in ascending order.
+func sumRowsCols(dd, ad []float64, j0, j1, m, n int) {
 	for i := 0; i < m; i++ {
-		row := a.data[i*n : (i+1)*n]
-		for j, v := range row {
-			out.data[j] += v
+		row := ad[i*n : (i+1)*n]
+		for j := j0; j < j1; j++ {
+			dd[j] += row[j]
 		}
 	}
-	return out
 }

@@ -11,6 +11,7 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"strconv"
 )
 
 // Tensor is a dense, row-major n-dimensional array of float64.
@@ -47,11 +48,29 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			panic("tensor: non-positive dimension in shape " + shapeStr(shape))
 		}
 		n *= d
 	}
 	return n
+}
+
+// shapeStr formats a shape like fmt's %v for []int, but reads only the
+// element values, so passing a shape to it does not force the slice to
+// escape. The hot-path shape checks (checkShape, mustShape, Ensure,
+// AsShape) use it instead of fmt so their variadic arguments stay on
+// the stack and steady-state training steps allocate nothing.
+func shapeStr(shape []int) string {
+	b := make([]byte, 0, 24)
+	b = append(b, '[')
+	for i, d := range shape {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(d), 10)
+	}
+	b = append(b, ']')
+	return string(b)
 }
 
 // Shape returns the tensor's dimensions. The returned slice must not be
@@ -112,11 +131,26 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
 }
 
+// AsShape returns a view of t with the given shape, sharing t's
+// backing data. When view (from a previous call) already aliases t, it
+// is reshaped in place and returned, so steady-state callers — e.g. a
+// layer viewing its weight tensor as a matrix every step — allocate
+// nothing. The element counts must match.
+func AsShape(view, t *Tensor, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic("tensor: AsShape " + shapeStr(t.shape) + " to incompatible " + shapeStr(shape))
+	}
+	if view != nil && len(view.data) > 0 && &view.data[0] == &t.data[0] && len(view.data) == len(t.data) {
+		view.shape = append(view.shape[:0], shape...)
+		return view
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
 // Fill sets every element to v.
 func (t *Tensor) Fill(v float64) {
-	for i := range t.data {
-		t.data[i] = v
-	}
+	VecFill(t.data, v)
 }
 
 // Zero sets every element to 0.
@@ -154,9 +188,7 @@ func (t *Tensor) Add(o *Tensor) *Tensor {
 // AddInPlace sets t = t + o element-wise and returns t.
 func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
 	t.mustSameShape(o, "AddInPlace")
-	for i, v := range o.data {
-		t.data[i] += v
-	}
+	VecAccumulate(t.data, o.data)
 	return t
 }
 
@@ -173,9 +205,7 @@ func (t *Tensor) Sub(o *Tensor) *Tensor {
 // SubInPlace sets t = t - o element-wise and returns t.
 func (t *Tensor) SubInPlace(o *Tensor) *Tensor {
 	t.mustSameShape(o, "SubInPlace")
-	for i, v := range o.data {
-		t.data[i] -= v
-	}
+	VecSub(t.data, o.data)
 	return t
 }
 
@@ -192,9 +222,7 @@ func (t *Tensor) Mul(o *Tensor) *Tensor {
 // MulInPlace sets t = t ⊙ o and returns t.
 func (t *Tensor) MulInPlace(o *Tensor) *Tensor {
 	t.mustSameShape(o, "MulInPlace")
-	for i, v := range o.data {
-		t.data[i] *= v
-	}
+	VecMul(t.data, o.data)
 	return t
 }
 
@@ -209,18 +237,14 @@ func (t *Tensor) Scale(s float64) *Tensor {
 
 // ScaleInPlace sets t = s·t and returns t.
 func (t *Tensor) ScaleInPlace(s float64) *Tensor {
-	for i := range t.data {
-		t.data[i] *= s
-	}
+	VecScale(t.data, s)
 	return t
 }
 
 // AxpyInPlace sets t = t + a·o (BLAS axpy) and returns t.
 func (t *Tensor) AxpyInPlace(a float64, o *Tensor) *Tensor {
 	t.mustSameShape(o, "AxpyInPlace")
-	for i, v := range o.data {
-		t.data[i] += a * v
-	}
+	VecAxpy(t.data, a, o.data)
 	return t
 }
 
@@ -266,21 +290,13 @@ func (t *Tensor) Max() (float64, int) {
 
 // Norm2 returns the Euclidean (L2) norm of the flattened tensor.
 func (t *Tensor) Norm2() float64 {
-	s := 0.0
-	for _, v := range t.data {
-		s += v * v
-	}
-	return math.Sqrt(s)
+	return VecNorm2(t.data)
 }
 
 // Dot returns the inner product of the flattened tensors.
 func (t *Tensor) Dot(o *Tensor) float64 {
 	t.mustSameShape(o, "Dot")
-	s := 0.0
-	for i, v := range t.data {
-		s += v * o.data[i]
-	}
-	return s
+	return VecDot(t.data, o.data)
 }
 
 // Equal reports whether t and o have the same shape and all elements are

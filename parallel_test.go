@@ -1,0 +1,71 @@
+package hadfl
+
+import (
+	"math"
+	"testing"
+
+	"hadfl/internal/tensor"
+)
+
+// The determinism contract behind Canonical/Fingerprint excluding
+// Parallelism: for a fixed seed, the concurrent runner (devices
+// training concurrently inside a round) and the parallel tensor
+// kernels must produce byte-identical final parameters and training
+// curves at every parallelism level, across HADFL and both baselines.
+// make test-race runs this under the race detector, which also
+// exercises the concurrent phase for data races.
+func TestParallelDeterminism(t *testing.T) {
+	prevKernel := tensor.Parallelism()
+	defer tensor.SetParallelism(prevKernel)
+
+	base := Options{Powers: []float64{4, 2, 2, 1}, TargetEpochs: 3, Seed: 7}
+	for _, scheme := range Schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			seqOpts := base
+			seqOpts.Parallelism = 1
+			tensor.SetParallelism(1)
+			seq, err := RunScheme(scheme, seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			parOpts := base
+			parOpts.Parallelism = 4
+			tensor.SetParallelism(4)
+			par, err := RunScheme(scheme, parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tensor.SetParallelism(1)
+
+			if len(seq.FinalParams) != len(par.FinalParams) {
+				t.Fatalf("FinalParams lengths differ: %d vs %d", len(seq.FinalParams), len(par.FinalParams))
+			}
+			for i, v := range seq.FinalParams {
+				if math.Float64bits(v) != math.Float64bits(par.FinalParams[i]) {
+					t.Fatalf("FinalParams[%d] differs: seq %v vs par %v", i, v, par.FinalParams[i])
+				}
+			}
+			if seq.Rounds != par.Rounds {
+				t.Fatalf("Rounds differ: %d vs %d", seq.Rounds, par.Rounds)
+			}
+			sp, pp := seq.Series.Points, par.Series.Points
+			if len(sp) != len(pp) {
+				t.Fatalf("curve lengths differ: %d vs %d", len(sp), len(pp))
+			}
+			for i := range sp {
+				if math.Float64bits(sp[i].Epoch) != math.Float64bits(pp[i].Epoch) ||
+					math.Float64bits(sp[i].Time) != math.Float64bits(pp[i].Time) ||
+					math.Float64bits(sp[i].Loss) != math.Float64bits(pp[i].Loss) ||
+					math.Float64bits(sp[i].Accuracy) != math.Float64bits(pp[i].Accuracy) {
+					t.Fatalf("curve point %d differs:\nseq %+v\npar %+v", i, sp[i], pp[i])
+				}
+			}
+			if math.Float64bits(seq.Accuracy) != math.Float64bits(par.Accuracy) ||
+				math.Float64bits(seq.Time) != math.Float64bits(par.Time) {
+				t.Fatalf("summary differs: seq acc=%v t=%v, par acc=%v t=%v",
+					seq.Accuracy, seq.Time, par.Accuracy, par.Time)
+			}
+		})
+	}
+}
