@@ -1,10 +1,16 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short test-race bench bench-json serve
+.PHONY: check ci fmt fmt-check vet build test test-short test-race test-race-short bench bench-json serve
 
-check: fmt vet build test-short
+check: fmt-check vet build test-short
 
-fmt:
+# ci is the full pre-merge gate: formatting, vet, the short suite, and
+# the short suite under the race detector.
+ci: fmt-check vet test-short test-race-short
+
+fmt: fmt-check
+
+fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
@@ -28,6 +34,13 @@ bench:
 test-race:
 	$(GO) test -race -run 'TestParallelDeterminism' .
 	$(GO) test -race ./internal/tensor ./internal/core ./internal/baselines
+
+# test-race-short is the race-detector slice of make ci: the
+# determinism contract plus the concurrency-heavy packages, with slow
+# tests skipped.
+test-race-short:
+	$(GO) test -race -short -run 'TestParallelDeterminism|TestRunContext|TestCompareContext' .
+	$(GO) test -race -short ./internal/tensor ./internal/core ./internal/baselines ./internal/serve
 
 # bench-json snapshots the compute-core benchmarks (tensor kernels, nn
 # training steps, the end-to-end HADFL round) into BENCH_compute.json

@@ -19,21 +19,6 @@ import (
 	"strings"
 )
 
-// Schemes returns the scheme names accepted by RunScheme, in a fixed
-// order.
-func Schemes() []string {
-	return []string{SchemeHADFL, SchemeFedAvg, SchemeDistributed}
-}
-
-// ValidScheme reports whether name is accepted by RunScheme.
-func ValidScheme(name string) bool {
-	switch name {
-	case SchemeHADFL, SchemeFedAvg, SchemeDistributed:
-		return true
-	}
-	return false
-}
-
 // Validate checks that the options describe a runnable configuration
 // after defaults are applied: positive finite powers, a known model,
 // non-negative epoch budget and Dirichlet alpha, and a failure
@@ -119,10 +104,10 @@ func (o Options) Canonical() string {
 // canonical option form. Identical fingerprints mean identical runs
 // (same curve, same final model), so results may be cached and
 // concurrent duplicate requests coalesced. Returns an error if the
-// scheme is unknown or the options do not validate.
+// scheme is not registered or the options do not validate.
 func Fingerprint(scheme string, opts Options) (string, error) {
 	if !ValidScheme(scheme) {
-		return "", fmt.Errorf("hadfl: unknown scheme %q", scheme)
+		return "", unknownSchemeError(scheme)
 	}
 	if err := opts.Validate(); err != nil {
 		return "", err

@@ -92,15 +92,48 @@ func TestFingerprintRejectsInvalid(t *testing.T) {
 
 func TestSchemesAndValidScheme(t *testing.T) {
 	all := Schemes()
-	if len(all) != 3 {
+	want := []string{SchemeHADFL, SchemeFedAvg, SchemeDistributed, SchemeAsyncFL}
+	if len(all) != len(want) {
 		t.Fatalf("Schemes() = %v", all)
 	}
-	for _, s := range all {
+	for i, s := range want {
+		if all[i] != s {
+			t.Errorf("Schemes()[%d] = %q, want %q", i, all[i], s)
+		}
 		if !ValidScheme(s) {
 			t.Errorf("ValidScheme(%q) = false", s)
 		}
 	}
 	if ValidScheme("centralized") {
 		t.Error("ValidScheme accepted unknown name")
+	}
+}
+
+func TestAsyncFLFingerprintRoundTrip(t *testing.T) {
+	// asyncfl is a first-class registered scheme: it fingerprints like
+	// the others and the fingerprint distinguishes it from them.
+	opts := fastOpts(1)
+	fp, err := Fingerprint(SchemeAsyncFL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q not a sha256 hex", fp)
+	}
+	for _, other := range []string{SchemeHADFL, SchemeFedAvg, SchemeDistributed} {
+		ofp, err := Fingerprint(other, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ofp == fp {
+			t.Fatalf("asyncfl fingerprint collides with %s", other)
+		}
+	}
+	fp2, err := Fingerprint(SchemeAsyncFL, fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 != fp {
+		t.Fatal("identical asyncfl options produced different fingerprints")
 	}
 }

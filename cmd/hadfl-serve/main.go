@@ -62,6 +62,7 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		cacheMax   = fs.Int("cache-max", 1024, "max cached results before LRU eviction (0 = unbounded)")
 		runPar     = fs.Int("run-parallelism", 0, "per-run device concurrency when a request leaves it unset (0 = sequential)")
 		tpar       = fs.Int("tensor-workers", 0, "tensor kernel worker pool size (0 = GOMAXPROCS)")
+		storeDir   = fs.String("store-dir", "", "persist completed results here and rehydrate them on boot (empty = in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,7 +72,7 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 	}
 
 	hadfl.SetComputeParallelism(*tpar)
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		JobTimeout:      *jobTimeout,
@@ -79,7 +80,11 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		Burst:           *burst,
 		CacheMaxEntries: *cacheMax,
 		RunParallelism:  *runPar,
+		StoreDir:        *storeDir,
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -42,7 +42,8 @@ func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("hadfl-sim", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		scheme  = fs.String("scheme", hadfl.SchemeHADFL, "hadfl | decentralized-fedavg | distributed")
+		scheme = fs.String("scheme", hadfl.SchemeHADFL,
+			"training scheme: "+strings.Join(hadfl.Schemes(), " | ")+" (or 'list' to print them)")
 		model   = fs.String("model", "resnet", "resnet (residual) | vgg (plain)")
 		powers  = fs.String("powers", "4,2,2,1", "comma-separated computing-power ratios")
 		epochs  = fs.Float64("epochs", 30, "target dataset epochs")
@@ -64,6 +65,14 @@ func run(args []string, out, errOut io.Writer) error {
 		return errBadFlags
 	}
 
+	if *scheme == "list" {
+		// The registry drives this listing: a newly registered scheme
+		// appears here with no CLI change.
+		for _, name := range hadfl.Schemes() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
 	pw, err := parsePowers(*powers)
 	if err != nil {
 		return err

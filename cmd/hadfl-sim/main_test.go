@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hadfl"
 )
 
 func TestParsePowers(t *testing.T) {
@@ -93,5 +95,22 @@ func TestRunTinyTrainingEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "test accuracy") {
 		t.Fatalf("load output:\n%s", sb.String())
+	}
+}
+
+func TestSchemeListPrintsRegistry(t *testing.T) {
+	var sb, eb strings.Builder
+	if err := run([]string{"-scheme", "list"}, &sb, &eb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(sb.String())
+	want := hadfl.Schemes()
+	if len(lines) != len(want) {
+		t.Fatalf("-scheme list printed %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
 	}
 }

@@ -22,7 +22,7 @@ func ExampleRun() {
 	// Output: scheme=hadfl rounds=4 server-bytes=0
 }
 
-// Comparing all three schemes on one cluster.
+// Comparing every registered scheme on one cluster.
 func ExampleCompare() {
 	results, err := hadfl.Compare(hadfl.Options{
 		Powers:       []float64{4, 2, 2, 1},
@@ -33,5 +33,5 @@ func ExampleCompare() {
 		panic(err)
 	}
 	fmt.Println(len(results), "schemes compared")
-	// Output: 3 schemes compared
+	// Output: 4 schemes compared
 }

@@ -1,5 +1,6 @@
-// Heterogeneous-cluster comparison: HADFL versus Decentralized-FedAvg
-// and PyTorch-style distributed training on the paper's two
+// Heterogeneous-cluster comparison: HADFL versus every other
+// registered scheme (Decentralized-FedAvg, PyTorch-style distributed
+// training, staleness-weighted async-FL) on the paper's two
 // heterogeneity distributions — a miniature of the paper's Table I.
 //
 // Run with:
@@ -28,9 +29,9 @@ func main() {
 		}
 		h := results[hadfl.SchemeHADFL]
 		label := fmt.Sprintf("%v", powers)
-		for _, scheme := range []string{
-			hadfl.SchemeDistributed, hadfl.SchemeFedAvg, hadfl.SchemeHADFL,
-		} {
+		// Every registered scheme — a newly registered one shows up in
+		// this table without an edit here.
+		for _, scheme := range hadfl.Schemes() {
 			r := results[scheme]
 			speedup := r.Time / h.Time
 			table.AddRow(label, scheme,

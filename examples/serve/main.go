@@ -31,7 +31,10 @@ const runBody = `{"scheme":"hadfl","options":{"powers":[4,2,2,1],"targetEpochs":
 
 func main() {
 	log.SetFlags(0)
-	svc := serve.New(serve.Config{Workers: 2, JobTimeout: 2 * time.Minute})
+	svc, err := serve.New(serve.Config{Workers: 2, JobTimeout: 2 * time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	defer svc.Close(context.Background())

@@ -72,13 +72,16 @@ func TestSnapshotPersistenceRoundTrip(t *testing.T) {
 }
 
 func TestOnRoundCallbackForBaselineSchemes(t *testing.T) {
-	for _, scheme := range []string{SchemeFedAvg, SchemeDistributed} {
+	for _, scheme := range []string{SchemeFedAvg, SchemeDistributed, SchemeAsyncFL} {
 		opts := fastOpts(25)
 		calls := 0
 		opts.OnRound = func(u RoundUpdate) {
 			calls++
 			if u.Round <= 0 || u.Time <= 0 {
 				t.Errorf("%s: bad update %+v", scheme, u)
+			}
+			if u.Scheme != scheme {
+				t.Errorf("update attributed to %q, want %q", u.Scheme, scheme)
 			}
 			if len(u.Selected) != 0 || u.Bypassed != 0 {
 				t.Errorf("%s: baseline update carries ring fields: %+v", scheme, u)

@@ -1,7 +1,7 @@
 // Package hadfl is the public façade of the HADFL reproduction: a
 // heterogeneity-aware decentralized federated-learning framework (Cao et
 // al., DAC 2021). It wraps the internal packages into a small API for
-// running HADFL and its two baselines on simulated heterogeneous
+// running pluggable training schemes on simulated heterogeneous
 // clusters.
 //
 // Quick start:
@@ -10,7 +10,8 @@
 //	fmt.Printf("accuracy %.1f%% in %.0f virtual seconds\n",
 //		100*res.Accuracy, res.Time)
 //
-// The three schemes:
+// Schemes live in a process-level registry (see Scheme and
+// RegisterScheme); the built-ins are:
 //
 //   - SchemeHADFL: the paper's contribution — asynchronous local steps
 //     proportional to device power, probability-based partial
@@ -19,27 +20,28 @@
 //     synchronous gossip average.
 //   - SchemeDistributed: PyTorch-DDP-style synchronous data parallelism
 //     with per-iteration ring all-reduce.
+//   - SchemeAsyncFL: centralized asynchronous FL with
+//     staleness-weighted aggregation (the related-work family the paper
+//     argues against).
+//
+// RunContext threads a context.Context through every scheme: cancel it
+// and the run stops within about one device step, returning ctx.Err().
 //
 // Times are virtual seconds from the discrete simulation (the paper's
 // sleep()-emulated heterogeneity); compare ratios, not absolutes.
 package hadfl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
-	"hadfl/internal/baselines"
 	"hadfl/internal/core"
 	"hadfl/internal/experiments"
 	"hadfl/internal/metrics"
 	"hadfl/internal/tensor"
-)
-
-// Scheme names accepted by RunScheme.
-const (
-	SchemeHADFL       = "hadfl"
-	SchemeFedAvg      = "decentralized-fedavg"
-	SchemeDistributed = "distributed"
 )
 
 // Options configures a training run.
@@ -93,6 +95,10 @@ func SetComputeParallelism(n int) {
 
 // RoundUpdate is per-round progress delivered to Options.OnRound.
 type RoundUpdate struct {
+	// Scheme names the run that produced this update — the attribution
+	// handle when one callback observes several schemes at once
+	// (Compare runs them concurrently).
+	Scheme   string
 	Round    int
 	Time     float64 // virtual seconds at round end
 	Loss     float64
@@ -195,11 +201,26 @@ func EvaluateParams(opts Options, params []float64) (loss, acc float64, err erro
 
 // Run trains with the HADFL scheme.
 func Run(opts Options) (*Result, error) {
-	return RunScheme(SchemeHADFL, opts)
+	return RunContext(context.Background(), SchemeHADFL, opts)
 }
 
-// RunScheme trains with the named scheme.
+// RunScheme trains with the named registered scheme.
 func RunScheme(scheme string, opts Options) (*Result, error) {
+	return RunContext(context.Background(), scheme, opts)
+}
+
+// RunContext trains with the named registered scheme under ctx:
+// cancellation (or deadline expiry) stops the run within about one
+// device step and returns ctx.Err(). The scheme dispatch, defaults and
+// result shape are otherwise identical to RunScheme.
+func RunContext(ctx context.Context, scheme string, opts Options) (*Result, error) {
+	s, ok := lookupScheme(scheme)
+	if !ok {
+		return nil, unknownSchemeError(scheme)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // fail fast before paying cluster construction
+	}
 	opts.fill()
 	w, err := opts.workload()
 	if err != nil {
@@ -222,75 +243,96 @@ func RunScheme(scheme string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch scheme {
-	case SchemeHADFL:
-		cfg := core.DefaultConfig()
-		cfg.TargetEpochs = w.TargetEpochs
-		cfg.Seed = opts.Seed
-		cfg.Parallelism = opts.Parallelism
-		if opts.OnRound != nil {
-			cb := opts.OnRound
-			cfg.OnRound = func(ri core.RoundInfo) {
-				cb(RoundUpdate{
-					Round: ri.Round, Time: ri.Time, Loss: ri.Loss,
-					Accuracy: ri.Accuracy, Selected: ri.Selected, Bypassed: ri.Bypassed,
-				})
-			}
-		}
-		res, err := core.RunHADFL(cluster, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return summarize(scheme, res), nil
-	case SchemeFedAvg:
-		cfg := baselines.DefaultFedAvgConfig()
-		cfg.TargetEpochs = w.TargetEpochs
-		cfg.LocalSteps = w.FedAvgLocalSteps
-		cfg.Seed = opts.Seed
-		cfg.Parallelism = opts.Parallelism
-		cfg.OnRound = baselineCallback(opts.OnRound)
-		res, err := baselines.RunFedAvg(cluster, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return summarize(scheme, res), nil
-	case SchemeDistributed:
-		cfg := baselines.DefaultDistributedConfig()
-		cfg.TargetEpochs = w.TargetEpochs
-		cfg.Seed = opts.Seed
-		cfg.Parallelism = opts.Parallelism
-		cfg.OnRound = baselineCallback(opts.OnRound)
-		res, err := baselines.RunDistributed(cluster, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return summarize(scheme, res), nil
-	default:
-		return nil, fmt.Errorf("hadfl: unknown scheme %q", scheme)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	rc := core.RunConfig{
+		TargetEpochs: w.TargetEpochs,
+		Seed:         opts.Seed,
+		Parallelism:  opts.Parallelism,
+		LocalSteps:   w.FedAvgLocalSteps,
+	}
+	if opts.OnRound != nil {
+		cb := opts.OnRound
+		rc.OnRound = func(ri core.RoundInfo) {
+			cb(RoundUpdate{
+				Scheme: scheme,
+				Round:  ri.Round, Time: ri.Time, Loss: ri.Loss,
+				Accuracy: ri.Accuracy, Selected: ri.Selected, Bypassed: ri.Bypassed,
+			})
+		}
+	}
+	res, err := s.Run(ctx, cluster, rc)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(scheme, res), nil
 }
 
-// baselineCallback adapts Options.OnRound to the baselines' progress
-// hook; Selected/Bypassed stay zero (no partial aggregation there).
-func baselineCallback(cb func(RoundUpdate)) func(int, metrics.Point) {
-	if cb == nil {
-		return nil
-	}
-	return func(round int, p metrics.Point) {
-		cb(RoundUpdate{Round: round, Time: p.Time, Loss: p.Loss, Accuracy: p.Accuracy})
-	}
-}
-
-// Compare runs all three schemes on identical clusters and returns
-// results keyed by scheme name.
+// Compare runs every registered scheme on identical clusters and
+// returns results keyed by scheme name. See CompareContext.
 func Compare(opts Options) (map[string]*Result, error) {
-	out := make(map[string]*Result, 3)
-	for _, scheme := range Schemes() {
-		res, err := RunScheme(scheme, opts)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", scheme, err)
+	return CompareContext(context.Background(), opts)
+}
+
+// CompareContext runs every registered scheme concurrently (each on its
+// own identically seeded cluster, so results match sequential runs
+// byte-for-byte) and returns results keyed by scheme name. The schemes
+// share an errgroup-style join: the first failure cancels the
+// remaining runs, and canceling ctx aborts them all; the error
+// reported is the root cause, not a secondary cancellation. A shared
+// Options.OnRound is serialized across the runs (updates from
+// different schemes never overlap; RoundUpdate.Scheme attributes
+// them), so callers need no locking of their own.
+func CompareContext(ctx context.Context, opts Options) (map[string]*Result, error) {
+	schemes := Schemes()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if cb := opts.OnRound; cb != nil {
+		var mu sync.Mutex
+		opts.OnRound = func(u RoundUpdate) {
+			mu.Lock()
+			defer mu.Unlock()
+			cb(u)
 		}
-		out[scheme] = res
+	}
+	results := make([]*Result, len(schemes))
+	errs := make([]error, len(schemes))
+	var wg sync.WaitGroup
+	for i, scheme := range schemes {
+		wg.Add(1)
+		go func(i int, scheme string) {
+			defer wg.Done()
+			res, err := RunContext(ctx, scheme, opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", scheme, err)
+				cancel()
+				return
+			}
+			results[i] = res
+		}(i, scheme)
+	}
+	wg.Wait()
+	// Prefer a root-cause error over the context.Canceled noise the
+	// shared cancel induced in sibling runs.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make(map[string]*Result, len(schemes))
+	for i, scheme := range schemes {
+		out[scheme] = results[i]
 	}
 	return out, nil
 }

@@ -41,8 +41,11 @@ func TestCompareAllSchemes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("%d results", len(results))
+	if len(results) != len(Schemes()) {
+		t.Fatalf("%d results for %d schemes", len(results), len(Schemes()))
+	}
+	if _, ok := results[SchemeAsyncFL]; !ok {
+		t.Fatal("asyncfl missing from Compare results")
 	}
 	for scheme, r := range results {
 		if r.Accuracy < 0.4 {

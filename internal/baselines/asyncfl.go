@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,28 +24,29 @@ import (
 // device last pulled. This scheme removes the synchronous barrier but
 // keeps the central server in the data path — exactly the combination
 // HADFL argues against (server pressure + wasted stale work).
+//
+// The shared run knobs live in the embedded core.RunConfig; LocalSteps
+// there is the E steps each device trains before pushing (default 12).
+// The run is a single discrete-event simulation, so Parallelism is
+// ignored.
 type AsyncFLConfig struct {
-	LocalSteps     int     // E local steps per push
+	core.RunConfig
 	BaseMix        float64 // β base in (0,1]
 	StalenessPower float64 // exponent a ≥ 0 (0 = ignore staleness)
 	Link           p2p.Link
-	TargetEpochs   float64
 	MaxUpdates     int
 	EvalEvery      int // evaluate the global model every this many server updates
-	Seed           int64
 }
 
 // DefaultAsyncFLConfig mirrors [6]'s polynomial staleness weighting.
 func DefaultAsyncFLConfig() AsyncFLConfig {
 	return AsyncFLConfig{
-		LocalSteps:     12,
+		RunConfig:      core.RunConfig{TargetEpochs: 60, Seed: 1, LocalSteps: 12},
 		BaseMix:        0.6,
 		StalenessPower: 0.5,
 		Link:           p2p.Link{Latency: 0.005, Bandwidth: 1e9},
-		TargetEpochs:   60,
 		MaxUpdates:     1 << 20,
 		EvalEvery:      4,
-		Seed:           1,
 	}
 }
 
@@ -52,8 +54,10 @@ func DefaultAsyncFLConfig() AsyncFLConfig {
 // by the discrete-event engine: each device trains E steps, pushes its
 // model to the server (paying upload time), receives the merged global
 // (download time), and immediately starts the next cycle — no barriers,
-// so fast devices update the server more often.
-func RunAsyncFL(c *core.Cluster, cfg AsyncFLConfig) (*core.Result, error) {
+// so fast devices update the server more often. A canceled ctx stops
+// scheduling new work within one device step; the engine then drains
+// and the run returns ctx.Err().
+func RunAsyncFL(ctx context.Context, c *core.Cluster, cfg AsyncFLConfig) (*core.Result, error) {
 	if cfg.LocalSteps <= 0 {
 		return nil, fmt.Errorf("baselines: LocalSteps %d", cfg.LocalSteps)
 	}
@@ -87,16 +91,24 @@ func RunAsyncFL(c *core.Cluster, cfg AsyncFLConfig) (*core.Result, error) {
 	pulledAt := make([]int, len(c.Devices))
 
 	done := func() bool {
-		return c.EpochsProcessed(totalSteps) >= cfg.TargetEpochs || serverUpdates >= cfg.MaxUpdates
+		return ctx.Err() != nil ||
+			c.EpochsProcessed(totalSteps) >= cfg.TargetEpochs ||
+			serverUpdates >= cfg.MaxUpdates
 	}
 
 	var cycle func(devIdx int)
 	cycle = func(devIdx int) {
 		d := c.Devices[devIdx]
-		meanLoss, elapsed := d.TrainSteps(cfg.LocalSteps)
+		meanLoss, elapsed := trainStepsCtx(ctx, d, cfg.LocalSteps)
+		if ctx.Err() != nil {
+			return // canceled mid-training: abandon the push
+		}
 		totalSteps += cfg.LocalSteps
 		// Train, then upload: the merge lands after compute + transfer.
 		engine.Schedule(simclock.Time(elapsed+transfer), func() {
+			if ctx.Err() != nil {
+				return
+			}
 			staleness := globalVersion - pulledAt[devIdx]
 			if staleness < 0 {
 				staleness = 0
@@ -115,30 +127,43 @@ func RunAsyncFL(c *core.Cluster, cfg AsyncFLConfig) (*core.Result, error) {
 
 			if serverUpdates%cfg.EvalEvery == 0 {
 				_, acc := c.Evaluate(global)
-				series.Add(metrics.Point{
+				p := metrics.Point{
 					Epoch:    c.EpochsProcessed(totalSteps),
 					Time:     float64(engine.Now()),
 					Loss:     meanLoss,
 					Accuracy: acc,
-				})
+				}
+				series.Add(p)
+				if cfg.OnRound != nil {
+					cfg.OnRound(core.RoundInfo{
+						Round: serverUpdates, Time: p.Time, Loss: p.Loss, Accuracy: p.Accuracy,
+					})
+				}
 			}
 			if done() {
 				return
 			}
 			// Download the merged model and start the next cycle.
 			engine.Schedule(simclock.Time(transfer), func() {
+				if done() {
+					return
+				}
 				d.SetParameters(global)
 				pulledAt[devIdx] = globalVersion
-				if !done() {
-					cycle(devIdx)
-				}
+				cycle(devIdx)
 			})
 		})
 	}
 	for i := range c.Devices {
+		if ctx.Err() != nil {
+			break
+		}
 		cycle(i)
 	}
 	engine.Run(0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	_, acc := c.Evaluate(global)
 	lastLossV := loss0

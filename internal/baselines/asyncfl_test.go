@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 )
 
@@ -8,7 +9,7 @@ func TestAsyncFLConverges(t *testing.T) {
 	c := testCluster(t, 11)
 	cfg := DefaultAsyncFLConfig()
 	cfg.TargetEpochs = 12
-	res, err := RunAsyncFL(c, cfg)
+	res, err := RunAsyncFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestAsyncFLUsesCentralServer(t *testing.T) {
 	c := testCluster(t, 12)
 	cfg := DefaultAsyncFLConfig()
 	cfg.TargetEpochs = 4
-	res, err := RunAsyncFL(c, cfg)
+	res, err := RunAsyncFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestAsyncFLFastDeviceUpdatesMore(t *testing.T) {
 	c := testCluster(t, 13) // powers [4,2,2,1]
 	cfg := DefaultAsyncFLConfig()
 	cfg.TargetEpochs = 6
-	res, err := RunAsyncFL(c, cfg)
+	res, err := RunAsyncFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestAsyncFLTimeAdvancesMonotonically(t *testing.T) {
 	c := testCluster(t, 14)
 	cfg := DefaultAsyncFLConfig()
 	cfg.TargetEpochs = 4
-	res, err := RunAsyncFL(c, cfg)
+	res, err := RunAsyncFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestAsyncFLValidation(t *testing.T) {
 	} {
 		cfg := DefaultAsyncFLConfig()
 		mut(&cfg)
-		if _, err := RunAsyncFL(c, cfg); err == nil {
+		if _, err := RunAsyncFL(context.Background(), c, cfg); err == nil {
 			t.Errorf("invalid config accepted: %+v", cfg)
 		}
 	}
@@ -101,7 +102,7 @@ func TestAsyncFLStalenessWeighting(t *testing.T) {
 		cfg := DefaultAsyncFLConfig()
 		cfg.TargetEpochs = 8
 		cfg.StalenessPower = power
-		res, err := RunAsyncFL(c, cfg)
+		res, err := RunAsyncFL(context.Background(), c, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,5 +1,5 @@
-// Package baselines implements the two comparison schemes of the
-// paper's evaluation:
+// Package baselines implements the comparison schemes of the paper's
+// evaluation:
 //
 //   - Distributed training [12]: PyTorch-DDP/Horovod-style synchronous
 //     data parallelism — every iteration all K devices compute one
@@ -8,54 +8,56 @@
 //   - Decentralized-FedAvg [11]: every device runs E local steps, then
 //     all devices synchronously gossip-average their models (a full ring
 //     all-reduce over K). Slow devices gate every round.
+//   - Async-FL [6][7] (asyncfl.go): centralized asynchronous FL with
+//     staleness-weighted aggregation — no barrier, but the server stays
+//     in the data path.
 //
-// Both run on the same Cluster, cost model and metrics as HADFL, so
-// curves are directly comparable.
+// All run on the same Cluster, cost model and metrics as HADFL, so
+// curves are directly comparable. Every runner takes a context and
+// checks it at round and device-step boundaries: cancellation stops the
+// run within one device step and returns ctx.Err(). The checks never
+// change the computation of an uncancelled run.
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"hadfl/internal/aggregate"
 	"hadfl/internal/core"
+	"hadfl/internal/device"
 	"hadfl/internal/metrics"
 	"hadfl/internal/nn"
 	"hadfl/internal/p2p"
 )
 
 // DistributedConfig tunes the synchronous distributed-training baseline.
+// The shared run knobs (TargetEpochs, Seed, Parallelism, OnRound) live
+// in the embedded core.RunConfig; LocalSteps is ignored (every
+// iteration is exactly one step per device).
 type DistributedConfig struct {
-	Link         p2p.Link
-	TargetEpochs float64
-	MaxIters     int
-	// EvalEvery evaluates the model every this many iterations.
+	core.RunConfig
+	Link     p2p.Link
+	MaxIters int
+	// EvalEvery evaluates the model every this many iterations;
+	// OnRound receives each evaluation point (Round = iterations so
+	// far).
 	EvalEvery int
-	Seed      int64
-	// Parallelism bounds concurrent per-device gradient computation
-	// within an iteration (0 = GOMAXPROCS, 1 = sequential). Results
-	// are byte-identical at every setting.
-	Parallelism int
-	// OnRound, when non-nil, receives each evaluation point as it is
-	// recorded (round = the iteration count so far). Long runs can be
-	// observed — and aborted, by panicking across the callback — at
-	// every EvalEvery iterations.
-	OnRound func(round int, p metrics.Point)
 }
 
 // DefaultDistributedConfig mirrors core.DefaultConfig's budget.
 func DefaultDistributedConfig() DistributedConfig {
 	return DistributedConfig{
-		Link:         p2p.Link{Latency: 0.005, Bandwidth: 1e9},
-		TargetEpochs: 60,
-		MaxIters:     1 << 20,
-		EvalEvery:    20,
-		Seed:         1,
+		RunConfig: core.RunConfig{TargetEpochs: 60, Seed: 1},
+		Link:      p2p.Link{Latency: 0.005, Bandwidth: 1e9},
+		MaxIters:  1 << 20,
+		EvalEvery: 20,
 	}
 }
 
 // RunDistributed executes synchronous data-parallel SGD on the cluster.
-func RunDistributed(c *core.Cluster, cfg DistributedConfig) (*core.Result, error) {
+func RunDistributed(ctx context.Context, c *core.Cluster, cfg DistributedConfig) (*core.Result, error) {
 	if cfg.EvalEvery <= 0 {
 		return nil, fmt.Errorf("baselines: EvalEvery %d", cfg.EvalEvery)
 	}
@@ -81,12 +83,18 @@ func RunDistributed(c *core.Cluster, cfg DistributedConfig) (*core.Result, error
 	stepTimes := make([]float64, k)
 	iter := 0
 	for ; iter < cfg.MaxIters && c.EpochsProcessed(totalSteps) < cfg.TargetEpochs; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Each device computes one gradient on its local batch,
 		// concurrently up to par (devices touch only their own model,
 		// loader and RNG). The barrier makes the iteration as slow as
 		// the slowest device; partials join in device order so curves
 		// are byte-identical at every parallelism.
 		gradOne := func(i int) {
+			if ctx.Err() != nil {
+				return // canceled: the partials are abandoned below
+			}
 			d := c.Devices[i]
 			x, y := d.Loader.Next()
 			d.Model.ZeroGrads()
@@ -103,6 +111,9 @@ func RunDistributed(c *core.Cluster, cfg DistributedConfig) (*core.Result, error
 			for i := range c.Devices {
 				gradOne(i)
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		slowest := 0.0
 		lossSum := 0.0
@@ -140,7 +151,9 @@ func RunDistributed(c *core.Cluster, cfg DistributedConfig) (*core.Result, error
 			}
 			series.Add(p)
 			if cfg.OnRound != nil {
-				cfg.OnRound(iter+1, p)
+				cfg.OnRound(core.RoundInfo{
+					Round: iter + 1, Time: p.Time, Loss: p.Loss, Accuracy: p.Accuracy,
+				})
 			}
 		}
 	}
@@ -150,39 +163,28 @@ func RunDistributed(c *core.Cluster, cfg DistributedConfig) (*core.Result, error
 	return &core.Result{Series: series, Comm: comm, Rounds: iter, FinalParams: global}, nil
 }
 
-// FedAvgConfig tunes the Decentralized-FedAvg baseline.
+// FedAvgConfig tunes the Decentralized-FedAvg baseline. The shared run
+// knobs live in the embedded core.RunConfig; LocalSteps there is the
+// per-round E, identical on every device (the homogeneity assumption
+// HADFL removes), defaulting to 20.
 type FedAvgConfig struct {
-	// LocalSteps E is identical on every device (the homogeneity
-	// assumption HADFL removes).
-	LocalSteps   int
-	Link         p2p.Link
-	TargetEpochs float64
-	MaxRounds    int
-	Seed         int64
-	// Parallelism bounds concurrent per-device local training within a
-	// round (0 = GOMAXPROCS, 1 = sequential). Results are
-	// byte-identical at every setting.
-	Parallelism int
-	// OnRound, when non-nil, receives each round's evaluation point as
-	// it is recorded. Long runs can be observed — and aborted, by
-	// panicking across the callback — at every synchronization round.
-	OnRound func(round int, p metrics.Point)
+	core.RunConfig
+	Link      p2p.Link
+	MaxRounds int
 }
 
 // DefaultFedAvgConfig uses E=20 local steps per round.
 func DefaultFedAvgConfig() FedAvgConfig {
 	return FedAvgConfig{
-		LocalSteps:   20,
-		Link:         p2p.Link{Latency: 0.005, Bandwidth: 1e9},
-		TargetEpochs: 60,
-		MaxRounds:    1 << 20,
-		Seed:         1,
+		RunConfig: core.RunConfig{TargetEpochs: 60, Seed: 1, LocalSteps: 20},
+		Link:      p2p.Link{Latency: 0.005, Bandwidth: 1e9},
+		MaxRounds: 1 << 20,
 	}
 }
 
 // RunFedAvg executes Decentralized-FedAvg: E local steps everywhere,
 // then a synchronous full-population gossip average.
-func RunFedAvg(c *core.Cluster, cfg FedAvgConfig) (*core.Result, error) {
+func RunFedAvg(ctx context.Context, c *core.Cluster, cfg FedAvgConfig) (*core.Result, error) {
 	if cfg.LocalSteps <= 0 {
 		return nil, fmt.Errorf("baselines: LocalSteps %d", cfg.LocalSteps)
 	}
@@ -207,12 +209,15 @@ func RunFedAvg(c *core.Cluster, cfg FedAvgConfig) (*core.Result, error) {
 	elapsedTimes := make([]float64, k)
 	round := 0
 	for ; round < cfg.MaxRounds && c.EpochsProcessed(totalSteps) < cfg.TargetEpochs; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// E local steps on every device, concurrently up to par; the
 		// synchronous barrier waits for the slowest. Partials join in
 		// device order, keeping curves byte-identical at every
 		// parallelism.
 		trainOne := func(i int) {
-			losses[i], elapsedTimes[i] = c.Devices[i].TrainSteps(cfg.LocalSteps)
+			losses[i], elapsedTimes[i] = trainStepsCtx(ctx, c.Devices[i], cfg.LocalSteps)
 		}
 		if par > 1 && k > 1 {
 			core.RunConcurrent(k, par, trainOne)
@@ -220,6 +225,9 @@ func RunFedAvg(c *core.Cluster, cfg FedAvgConfig) (*core.Result, error) {
 			for i := range c.Devices {
 				trainOne(i)
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		slowest := 0.0
 		lossSum := 0.0
@@ -255,10 +263,33 @@ func RunFedAvg(c *core.Cluster, cfg FedAvgConfig) (*core.Result, error) {
 		}
 		series.Add(p)
 		if cfg.OnRound != nil {
-			cfg.OnRound(round+1, p)
+			cfg.OnRound(core.RoundInfo{
+				Round: round + 1, Time: p.Time, Loss: p.Loss, Accuracy: p.Accuracy,
+			})
 		}
 	}
 	return &core.Result{Series: series, Comm: comm, Rounds: round, FinalParams: global}, nil
+}
+
+// trainStepsCtx runs up to n local steps on d, stopping early when ctx
+// is canceled (the caller abandons the partials and returns ctx.Err(),
+// so the truncated mean never reaches a result).
+func trainStepsCtx(ctx context.Context, d *device.Device, n int) (meanLoss, elapsed float64) {
+	sum := 0.0
+	done := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		l, e := d.TrainStep()
+		sum += l
+		elapsed += e
+		done++
+	}
+	if done == 0 {
+		return 0, 0
+	}
+	return sum / float64(done), elapsed
 }
 
 func lastLoss(s *metrics.Series) float64 {

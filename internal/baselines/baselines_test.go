@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestDistributedConverges(t *testing.T) {
 	c := testCluster(t, 1)
 	cfg := DefaultDistributedConfig()
 	cfg.TargetEpochs = 12
-	res, err := RunDistributed(c, cfg)
+	res, err := RunDistributed(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestDistributedReplicasStayIdentical(t *testing.T) {
 	c := testCluster(t, 2)
 	cfg := DefaultDistributedConfig()
 	cfg.TargetEpochs = 2
-	if _, err := RunDistributed(c, cfg); err != nil {
+	if _, err := RunDistributed(context.Background(), c, cfg); err != nil {
 		t.Fatal(err)
 	}
 	p0 := c.Devices[0].Parameters()
@@ -82,7 +83,7 @@ func TestDistributedTimeGatedBySlowest(t *testing.T) {
 		}
 		cfg := DefaultDistributedConfig()
 		cfg.TargetEpochs = 2
-		res, err := RunDistributed(c, cfg)
+		res, err := RunDistributed(context.Background(), c, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func TestFedAvgConverges(t *testing.T) {
 	cfg := DefaultFedAvgConfig()
 	cfg.TargetEpochs = 12
 	cfg.LocalSteps = 10
-	res, err := RunFedAvg(c, cfg)
+	res, err := RunFedAvg(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,12 +124,12 @@ func TestFedAvgValidation(t *testing.T) {
 	c := testCluster(t, 4)
 	cfg := DefaultFedAvgConfig()
 	cfg.LocalSteps = 0
-	if _, err := RunFedAvg(c, cfg); err == nil {
+	if _, err := RunFedAvg(context.Background(), c, cfg); err == nil {
 		t.Fatal("LocalSteps=0 accepted")
 	}
 	dcfg := DefaultDistributedConfig()
 	dcfg.EvalEvery = 0
-	if _, err := RunDistributed(c, dcfg); err == nil {
+	if _, err := RunDistributed(context.Background(), c, dcfg); err == nil {
 		t.Fatal("EvalEvery=0 accepted")
 	}
 }
@@ -137,7 +138,7 @@ func TestBothBaselinesAccountCommunication(t *testing.T) {
 	c := testCluster(t, 5)
 	cfg := DefaultFedAvgConfig()
 	cfg.TargetEpochs = 3
-	res, err := RunFedAvg(c, cfg)
+	res, err := RunFedAvg(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestBothBaselinesAccountCommunication(t *testing.T) {
 	c2 := testCluster(t, 5)
 	dcfg := DefaultDistributedConfig()
 	dcfg.TargetEpochs = 1
-	res2, err := RunDistributed(c2, dcfg)
+	res2, err := RunDistributed(context.Background(), c2, dcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

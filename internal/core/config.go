@@ -1,0 +1,54 @@
+package core
+
+// RunConfig is the scheme-independent slice of a training run's
+// configuration — the fields every scheme (HADFL, the synchronous
+// baselines, asyncfl) interprets the same way. Scheme configs embed it,
+// so the façade assembles one RunConfig per run and overlays it onto
+// each scheme's defaults with Apply.
+type RunConfig struct {
+	// TargetEpochs stops the run once this many dataset epochs have
+	// been processed across devices.
+	TargetEpochs float64
+	// Seed drives every random choice in the run (selection, rings,
+	// data order); runs are deterministic given their seed.
+	Seed int64
+	// Parallelism bounds how many simulated devices train concurrently
+	// inside each synchronization phase (0 = GOMAXPROCS, 1 =
+	// sequential). It is a throughput knob only: per-device partials
+	// join in a deterministic device order, so results are
+	// byte-identical at every setting.
+	Parallelism int
+	// LocalSteps is the fixed per-round local-step budget E for the
+	// schemes that use one (decentralized-fedavg pushes after E steps,
+	// asyncfl pushes to the server after E steps). 0 means the scheme's
+	// default; hadfl and distributed ignore it (HADFL derives local
+	// steps from device power, distributed always runs one step per
+	// iteration).
+	LocalSteps int
+	// OnRound, when non-nil, receives telemetry after every
+	// synchronization round (HADFL), gossip round (fedavg), evaluation
+	// interval (distributed) or EvalEvery server updates (asyncfl). It
+	// observes the run but never changes its outcome.
+	OnRound func(RoundInfo)
+}
+
+// Apply overlays the set fields of o onto c: zero values in o keep c's
+// (usually default) value. This is how scheme implementations merge the
+// façade's shared RunConfig into their Default*Config.
+func (c *RunConfig) Apply(o RunConfig) {
+	if o.TargetEpochs > 0 {
+		c.TargetEpochs = o.TargetEpochs
+	}
+	if o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	if o.Parallelism != 0 {
+		c.Parallelism = o.Parallelism
+	}
+	if o.LocalSteps > 0 {
+		c.LocalSteps = o.LocalSteps
+	}
+	if o.OnRound != nil {
+		c.OnRound = o.OnRound
+	}
+}

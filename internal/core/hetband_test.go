@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"hadfl/internal/p2p"
@@ -15,7 +16,7 @@ func TestHeterogeneousBandwidthSlowsRounds(t *testing.T) {
 		cfg := smallConfig()
 		cfg.TargetEpochs = 6
 		cfg.DeviceLinks = links
-		res, err := RunHADFL(c, cfg)
+		res, err := RunHADFL(context.Background(), c, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func TestDeviceLinksDoNotChangeLearning(t *testing.T) {
 		cfg := smallConfig()
 		cfg.TargetEpochs = 4
 		cfg.DeviceLinks = links
-		res, err := RunHADFL(c, cfg)
+		res, err := RunHADFL(context.Background(), c, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestOnRoundHookFires(t *testing.T) {
 	c, err := BuildCluster(testSpec(t, 71))
@@ -11,7 +14,7 @@ func TestOnRoundHookFires(t *testing.T) {
 	cfg.TargetEpochs = 6
 	var infos []RoundInfo
 	cfg.OnRound = func(ri RoundInfo) { infos = append(infos, ri) }
-	res, err := RunHADFL(c, cfg)
+	res, err := RunHADFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +57,7 @@ func TestOnRoundReportsBypass(t *testing.T) {
 			sawBypass = true
 		}
 	}
-	if _, err := RunHADFL(c, cfg); err != nil {
+	if _, err := RunHADFL(context.Background(), c, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !sawBypass {

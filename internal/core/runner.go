@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -14,8 +15,11 @@ import (
 	"hadfl/internal/strategy"
 )
 
-// Config tunes a HADFL training run.
+// Config tunes a HADFL training run. The scheme-independent knobs
+// (TargetEpochs, Seed, Parallelism, OnRound) live in the embedded
+// RunConfig shared with the baseline schemes.
 type Config struct {
+	RunConfig
 	// Strategy holds Tsync, Np and the Eq. 8 selection parameters.
 	Strategy strategy.Config
 	// Alpha is the Eq. 7 smoothing factor (0 < α < 1).
@@ -34,9 +38,6 @@ type Config struct {
 	// all-reduce is gated by its slowest member's link, and a broadcast
 	// by the sender's.
 	DeviceLinks map[int]p2p.Link
-	// TargetEpochs stops the run once this many dataset epochs have been
-	// processed across devices.
-	TargetEpochs float64
 	// MaxRounds is a hard cap on synchronization rounds.
 	MaxRounds int
 	// FaultPenalty is the virtual seconds added to a sync round for each
@@ -49,19 +50,6 @@ type Config struct {
 	// LivenessTimeout is how stale a heartbeat may be before a device is
 	// excluded from planning (virtual seconds).
 	LivenessTimeout float64
-	// OnRound, when non-nil, receives telemetry after every
-	// synchronization round — the simulation counterpart of the runtime
-	// supervisor's monitoring feed.
-	OnRound func(RoundInfo)
-	// Seed drives selection and ring randomness.
-	Seed int64
-	// Parallelism bounds how many devices run their local-training
-	// phase concurrently within a round (devices are independent
-	// between synchronizations; each owns its model, optimizer, loader
-	// and RNG). 0 means GOMAXPROCS, 1 is fully sequential. Results are
-	// byte-identical at every setting: per-device partials are combined
-	// in a deterministic device order after the concurrent phase joins.
-	Parallelism int
 }
 
 // RoundInfo is per-round telemetry delivered to Config.OnRound.
@@ -80,17 +68,16 @@ type RoundInfo struct {
 // broadcast.
 func DefaultConfig() Config {
 	return Config{
+		RunConfig:       RunConfig{TargetEpochs: 60, Seed: 1},
 		Strategy:        strategy.Config{Tsync: 1, Np: 2},
 		Alpha:           0.5,
 		WarmupEpochs:    1,
 		WarmupLRScale:   0.1,
 		MergeBeta:       1,
 		Link:            p2p.Link{Latency: 0.005, Bandwidth: 1e9},
-		TargetEpochs:    60,
 		MaxRounds:       10000,
 		FaultPenalty:    0.3,
 		LivenessTimeout: 1e18,
-		Seed:            1,
 	}
 }
 
@@ -104,8 +91,12 @@ type Result struct {
 }
 
 // RunHADFL executes Algorithm 1 on the cluster and returns the training
-// curve (one point per synchronization round).
-func RunHADFL(c *Cluster, cfg Config) (*Result, error) {
+// curve (one point per synchronization round). ctx cancels the run
+// cooperatively: it is checked at every round boundary and inside every
+// device's local-step loop, so cancellation takes effect within one
+// device step and returns ctx.Err(). The checks never alter the
+// computation of an uncancelled run, preserving byte-determinism.
+func RunHADFL(ctx context.Context, c *Cluster, cfg Config) (*Result, error) {
 	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
 		return nil, fmt.Errorf("core: alpha %v outside (0,1)", cfg.Alpha)
 	}
@@ -148,7 +139,10 @@ func RunHADFL(c *Cluster, cfg Config) (*Result, error) {
 	warmupEnd := 0.0
 	totalSteps := 0
 	for _, d := range c.Devices {
-		calc := d.Warmup(cfg.WarmupEpochs, cfg.WarmupLRScale)
+		calc := d.WarmupCtx(ctx, cfg.WarmupEpochs, cfg.WarmupLRScale)
+		if err := ctx.Err(); err != nil {
+			return nil, err // partial warmup: abandon calc, surface the abort
+		}
 		totalSteps += cfg.WarmupEpochs * d.Loader.BatchesPerEpoch()
 		if calc > warmupEnd {
 			warmupEnd = calc
@@ -184,6 +178,9 @@ func RunHADFL(c *Cluster, cfg Config) (*Result, error) {
 	// --- Round loop (workflow steps 4–8).
 	round := 0
 	for ; round < cfg.MaxRounds && c.EpochsProcessed(totalSteps) < cfg.TargetEpochs; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Heartbeats from devices alive now.
 		for _, d := range c.Devices {
 			if d.AliveAt(now) {
@@ -206,7 +203,10 @@ func RunHADFL(c *Cluster, cfg Config) (*Result, error) {
 		// the curve is byte-identical to the sequential schedule.
 		roundLoss := 0.0
 		lossCount := 0
-		results := trainDevices(c, avail, plan, ResolveParallelism(cfg.Parallelism))
+		results := trainDevices(ctx, c, avail, plan, ResolveParallelism(cfg.Parallelism))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, r := range results {
 			roundLoss += r.lossSum
 			lossCount += r.steps
@@ -381,14 +381,19 @@ func RunConcurrent(n, par int, fn func(i int)) {
 // trainOneDevice runs device id's local steps for this sync period
 // (Alg. 1 lines 13–19) and returns its partials. It touches only
 // device-owned state (model, optimizer, loader, RNG), so distinct
-// devices may run concurrently.
-func trainOneDevice(c *Cluster, id int, plan strategy.Plan) devResult {
+// devices may run concurrently. A canceled ctx stops the step loop
+// early; the caller then abandons the partials and returns ctx.Err(),
+// so the early exit never reaches a result.
+func trainOneDevice(ctx context.Context, c *Cluster, id int, plan strategy.Plan) devResult {
 	d := c.Device(id)
 	elapsed := 0.0
 	steps := 0
 	lossSum := 0.0
 	target := plan.LocalSteps[id]
 	for steps == 0 || (elapsed < plan.SyncPeriod && steps < 4*target+4) {
+		if ctx.Err() != nil {
+			break
+		}
 		l, e := d.TrainStep()
 		elapsed += e
 		steps++
@@ -403,16 +408,16 @@ func trainOneDevice(c *Cluster, id int, plan strategy.Plan) devResult {
 // trainDevices runs the local-training phase for every available
 // device, at most par concurrently, and returns per-device partials
 // indexed like avail.
-func trainDevices(c *Cluster, avail []int, plan strategy.Plan, par int) []devResult {
+func trainDevices(ctx context.Context, c *Cluster, avail []int, plan strategy.Plan, par int) []devResult {
 	results := make([]devResult, len(avail))
 	if par <= 1 || len(avail) <= 1 {
 		for i, id := range avail {
-			results[i] = trainOneDevice(c, id, plan)
+			results[i] = trainOneDevice(ctx, c, id, plan)
 		}
 		return results
 	}
 	RunConcurrent(len(avail), par, func(i int) {
-		results[i] = trainOneDevice(c, avail[i], plan)
+		results[i] = trainOneDevice(ctx, c, avail[i], plan)
 	})
 	return results
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -92,7 +93,7 @@ func TestRunHADFLConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunHADFL(c, smallConfig())
+	res, err := RunHADFL(context.Background(), c, smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestRunHADFLDeterministic(t *testing.T) {
 		}
 		cfg := smallConfig()
 		cfg.TargetEpochs = 4
-		res, err := RunHADFL(c, cfg)
+		res, err := RunHADFL(context.Background(), c, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func TestRunHADFLCommVolume(t *testing.T) {
 	}
 	cfg := smallConfig()
 	cfg.TargetEpochs = 6
-	res, err := RunHADFL(c, cfg)
+	res, err := RunHADFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestRunHADFLWithDeviceFailure(t *testing.T) {
 	}
 	cfg := smallConfig()
 	cfg.TargetEpochs = 10
-	res, err := RunHADFL(c, cfg)
+	res, err := RunHADFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestRunHADFLAllDevicesFailStopsGracefully(t *testing.T) {
 	}
 	cfg := smallConfig()
 	cfg.TargetEpochs = 100
-	res, err := RunHADFL(c, cfg)
+	res, err := RunHADFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestRunHADFLSelectOverride(t *testing.T) {
 		// Worst-case ablation shape: pick the two lowest-version devices.
 		return lowestVersions(alive, versions, np)
 	}
-	res, err := RunHADFL(c, cfg)
+	res, err := RunHADFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestRunHADFLConfigValidation(t *testing.T) {
 	} {
 		cfg := smallConfig()
 		mut(&cfg)
-		if _, err := RunHADFL(c, cfg); err == nil {
+		if _, err := RunHADFL(context.Background(), c, cfg); err == nil {
 			t.Errorf("invalid config accepted: %+v", cfg)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"hadfl/internal/nn"
@@ -19,7 +20,7 @@ func TestClusterWithLRSchedule(t *testing.T) {
 	}
 	cfg := smallConfig()
 	cfg.TargetEpochs = 10
-	res, err := RunHADFL(c, cfg)
+	res, err := RunHADFL(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package device
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -150,6 +151,14 @@ func (d *Device) EpochTime() float64 {
 // calculation time T_i. The learning-rate reduction stabilizes the model
 // before full training.
 func (d *Device) Warmup(epochs int, lrScale float64) (calcTime float64) {
+	return d.WarmupCtx(context.Background(), epochs, lrScale)
+}
+
+// WarmupCtx is Warmup with cooperative cancellation: a canceled ctx
+// stops the step loop within one device step. The caller must then
+// discard the partial calcTime and surface ctx.Err() — the checks
+// never change an uncancelled warmup.
+func (d *Device) WarmupCtx(ctx context.Context, epochs int, lrScale float64) (calcTime float64) {
 	if epochs <= 0 {
 		panic(fmt.Sprintf("device: Warmup(%d)", epochs))
 	}
@@ -161,7 +170,13 @@ func (d *Device) Warmup(epochs int, lrScale float64) (calcTime float64) {
 	if steps < 1 {
 		steps = epochs
 	}
-	_, calcTime = d.TrainSteps(steps)
+	for i := 0; i < steps; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		_, e := d.TrainStep()
+		calcTime += e
+	}
 	d.Opt.LR = origLR
 	d.Schedule = origSchedule
 	return calcTime

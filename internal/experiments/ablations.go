@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -79,7 +80,7 @@ func SelectionAblation(fast bool, seed int64) ([]*metrics.Series, error) {
 		}
 		cfg := hadflConfig(w, seed)
 		cfg.SelectOverride = override
-		res, err := core.RunHADFL(c, cfg)
+		res, err := core.RunHADFL(context.Background(), c, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hadfl/internal/baselines"
@@ -31,7 +32,7 @@ func AsyncComparison(fast bool, seed int64) ([]AsyncRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	hadfl, err := core.RunHADFL(ch, hadflConfig(w, seed))
+	hadfl, err := core.RunHADFL(context.Background(), ch, hadflConfig(w, seed))
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +44,7 @@ func AsyncComparison(fast bool, seed int64) ([]AsyncRow, error) {
 	acfg.TargetEpochs = w.TargetEpochs
 	acfg.LocalSteps = w.FedAvgLocalSteps
 	acfg.Seed = seed
-	async, err := baselines.RunAsyncFL(ca, acfg)
+	async, err := baselines.RunAsyncFL(context.Background(), ca, acfg)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +99,7 @@ func HetBandwidth(fast bool, seed int64) ([]BandwidthRow, error) {
 		}
 		cfg := hadflConfig(w, seed)
 		cfg.DeviceLinks = p.links
-		res, err := core.RunHADFL(c, cfg)
+		res, err := core.RunHADFL(context.Background(), c, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p.name, err)
 		}
@@ -126,7 +127,7 @@ func GroupedComparison(fast bool, seed int64) (flat, grouped *metrics.Series, er
 	}
 	cfg := hadflConfig(w, seed)
 	cfg.Strategy.Np = 4
-	flatRes, err := core.RunHADFL(cf, cfg)
+	flatRes, err := core.RunHADFL(context.Background(), cf, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

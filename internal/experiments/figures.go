@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -28,7 +29,7 @@ func RunComparison(w Workload, powers []float64, seed int64) (*Comparison, error
 	if err != nil {
 		return nil, err
 	}
-	hadfl, err := core.RunHADFL(ch, hadflConfig(w, seed))
+	hadfl, err := core.RunHADFL(context.Background(), ch, hadflConfig(w, seed))
 	if err != nil {
 		return nil, fmt.Errorf("hadfl: %w", err)
 	}
@@ -41,7 +42,7 @@ func RunComparison(w Workload, powers []float64, seed int64) (*Comparison, error
 	fcfg.TargetEpochs = w.TargetEpochs
 	fcfg.LocalSteps = w.FedAvgLocalSteps
 	fcfg.Seed = seed
-	fedavg, err := baselines.RunFedAvg(cf, fcfg)
+	fedavg, err := baselines.RunFedAvg(context.Background(), cf, fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("fedavg: %w", err)
 	}
@@ -53,7 +54,7 @@ func RunComparison(w Workload, powers []float64, seed int64) (*Comparison, error
 	dcfg := baselines.DefaultDistributedConfig()
 	dcfg.TargetEpochs = w.TargetEpochs
 	dcfg.Seed = seed
-	dist, err := baselines.RunDistributed(cd, dcfg)
+	dist, err := baselines.RunDistributed(context.Background(), cd, dcfg)
 	if err != nil {
 		return nil, fmt.Errorf("distributed: %w", err)
 	}
@@ -166,7 +167,7 @@ func WorstCase(fast bool, seed int64) (normal, worst *core.Result, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	normal, err = core.RunHADFL(cn, hadflConfig(w, seed))
+	normal, err = core.RunHADFL(context.Background(), cn, hadflConfig(w, seed))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -187,7 +188,7 @@ func WorstCase(fast bool, seed int64) (normal, worst *core.Result, err error) {
 		sort.Ints(out)
 		return out
 	}
-	worst, err = core.RunHADFL(cw, cfg)
+	worst, err = core.RunHADFL(context.Background(), cw, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"hadfl/internal/core"
 )
 
@@ -51,7 +52,7 @@ func Scale(fast bool, seed int64, sizes []int) ([]ScaleRow, error) {
 		if cfg.Strategy.Np < 1 {
 			cfg.Strategy.Np = 1
 		}
-		flat, err := core.RunHADFL(cf, cfg)
+		flat, err := core.RunHADFL(context.Background(), cf, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -48,5 +48,12 @@ func (s *SGD) Step(m *Model) {
 }
 
 // Reset clears momentum state, e.g. after parameters are replaced by a
-// freshly aggregated global model.
-func (s *SGD) Reset() { s.velocity = nil }
+// freshly aggregated global model. The velocity buffers are zeroed in
+// place, not dropped: SetParameters resets the optimizer every sync
+// round, and reallocating the full parameter-sized storage each time
+// dominated steady-state allocations.
+func (s *SGD) Reset() {
+	for _, v := range s.velocity {
+		tensor.VecFill(v.Data(), 0)
+	}
+}

@@ -136,3 +136,39 @@ func TestBatchNormRunningStatsNotMovedBySGD(t *testing.T) {
 		t.Fatal("optimizer must not move batch-norm running statistics")
 	}
 }
+
+func TestSGDResetKeepsVelocityStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, 4, []int{8}, 2)
+	opt := NewSGD(0.1, 0.9, 0)
+	x := tensor.RandNormal(rng, 0, 1, 4, 4)
+	step := func() {
+		m.ZeroGrads()
+		loss, g := SoftmaxCrossEntropy(m.Forward(x, true), []int{0, 1, 0, 1})
+		_ = loss
+		m.Backward(g)
+		opt.Step(m)
+	}
+	step()
+	before := make([]*tensor.Tensor, len(opt.velocity))
+	copy(before, opt.velocity)
+	// SetParameters resets the optimizer every sync round; the velocity
+	// buffers must be zeroed in place, not reallocated per round.
+	opt.Reset()
+	for i, v := range opt.velocity {
+		if v != before[i] {
+			t.Fatalf("velocity[%d] reallocated by Reset", i)
+		}
+		for j, x := range v.Data() {
+			if x != 0 {
+				t.Fatalf("velocity[%d][%d] = %v after Reset, want 0", i, j, x)
+			}
+		}
+	}
+	step()
+	for i, v := range opt.velocity {
+		if v != before[i] {
+			t.Fatalf("velocity[%d] reallocated by Step after Reset", i)
+		}
+	}
+}

@@ -16,6 +16,8 @@
 //	                        progress report (fed from
 //	                        hadfl.Options.OnRound); past events are
 //	                        replayed so late subscribers miss nothing
+//	GET  /schemes           the registered training schemes, straight
+//	                        from the hadfl scheme registry
 //	GET  /healthz           liveness: {"status":"ok", uptime, jobs}
 //	GET  /stats             metrics.Registry snapshot (queue depth, cache
 //	                        hit/miss, per-scheme run counts, ...) plus
@@ -30,9 +32,10 @@
 // running, or done: concurrent duplicates coalesce onto one in-flight
 // run and completed results are served from memory without retraining.
 // Failed, canceled and timed-out jobs are evicted on the next
-// identical submission, which therefore retries the run; successful
-// results are kept until the server exits (persistence via
-// coordinator.ModelStore is a tracked follow-on in ROADMAP.md).
+// identical submission, which therefore retries the run. With
+// Config.StoreDir set, completed results additionally persist to disk
+// (ResultStore: final model via coordinator.ModelStore plus a summary
+// sidecar) and rehydrate into the cache on boot, surviving restarts.
 //
 // Coalescing happens before admission: a duplicate arriving between a
 // creator's cache insert and its enqueue shares that job's fate, so
@@ -44,11 +47,12 @@
 //
 // Submissions beyond the queue bound are rejected with 503 rather than
 // accepted unboundedly, and a token bucket rate-limits POST /runs with
-// 429. Each job runs under a per-job timeout; all built-in schemes are
-// cooperatively canceled at their next progress report (HADFL and
-// FedAvg per round, distributed per evaluation interval), and a
-// custom Runner that ignores its context is abandoned instead (the
-// worker moves on, the run's late result is discarded). Close
-// drains nothing: queued jobs are marked canceled immediately and
-// running jobs get a grace period before their contexts are cut.
+// 429. Each job runs under a per-job context (timeout + cancel); every
+// registered scheme threads that context through its training loops
+// via hadfl.RunContext and aborts within about one device step. A
+// custom Runner that ignores its context is abandoned instead after a
+// short grace (the worker moves on, the run's late result is
+// discarded). Close drains nothing: queued jobs are marked canceled
+// immediately and running jobs get a grace period before their
+// contexts are cut.
 package serve

@@ -18,40 +18,14 @@ import (
 // failing runs.
 type Runner func(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (*hadfl.Result, error)
 
-// runAbort carries ctx.Err() out of the simulation through the round
-// callback; RunScheme offers no context plumbing, so cooperative
-// cancellation unwinds via panic/recover the way encoding/json aborts
-// marshaling.
-type runAbort struct{ err error }
-
-// DefaultRunner runs hadfl.RunScheme. Every built-in scheme reports
-// progress through OnRound (HADFL per synchronization round, FedAvg
-// per round, distributed per evaluation interval), so runs observe
-// ctx at that cadence and abort cooperatively; the pool's
-// goroutine-abandonment path remains only as a backstop for custom
-// runners that ignore ctx.
-func DefaultRunner(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (res *hadfl.Result, err error) {
-	opts.OnRound = func(u hadfl.RoundUpdate) {
-		if onRound != nil {
-			onRound(u)
-		}
-		if err := ctx.Err(); err != nil {
-			panic(runAbort{err})
-		}
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			a, ok := r.(runAbort)
-			if !ok {
-				panic(r)
-			}
-			res, err = nil, a.err
-		}
-	}()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return hadfl.RunScheme(scheme, opts)
+// DefaultRunner runs hadfl.RunContext: every registered scheme checks
+// ctx at its round and device-step boundaries, so a canceled or
+// timed-out job aborts within about one device step and returns
+// ctx.Err(). The pool's goroutine-abandonment path remains only as a
+// backstop for custom runners that ignore ctx.
+func DefaultRunner(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+	opts.OnRound = onRound
+	return hadfl.RunContext(ctx, scheme, opts)
 }
 
 // PoolConfig sizes a Pool.
@@ -74,13 +48,15 @@ type PoolConfig struct {
 // state exactly once; Close stops intake, cancels queued work, grants
 // running jobs a grace period, then cuts their contexts.
 type Pool struct {
-	cfg   PoolConfig
-	reg   *metrics.Registry
-	queue chan *Job
-	stop  chan struct{} // closed once: workers stop picking up work
-	base  context.Context
-	cut   context.CancelFunc // cancels every job context
-	wg    sync.WaitGroup
+	cfg     PoolConfig
+	reg     *metrics.Registry
+	queue   chan *Job
+	stop    chan struct{} // closed once: workers stop picking up work
+	base    context.Context
+	cut     context.CancelFunc // cancels every job context
+	cutDone chan struct{}      // closed alongside cut: shutdown hard deadline
+	cutOnce sync.Once
+	wg      sync.WaitGroup
 
 	mu      sync.Mutex
 	closing bool
@@ -102,12 +78,13 @@ func NewPool(cfg PoolConfig) *Pool {
 	}
 	base, cut := context.WithCancel(context.Background())
 	p := &Pool{
-		cfg:   cfg,
-		reg:   cfg.Metrics,
-		queue: make(chan *Job, cfg.QueueDepth),
-		stop:  make(chan struct{}),
-		base:  base,
-		cut:   cut,
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		base:    base,
+		cut:     cut,
+		cutDone: make(chan struct{}),
 	}
 	p.reg.SetGauge("pool_workers", float64(cfg.Workers))
 	for i := 0; i < cfg.Workers; i++ {
@@ -141,9 +118,10 @@ func (p *Pool) QueueDepth() int { return len(p.queue) }
 
 // Close shuts the pool down: intake stops, queued jobs are canceled
 // immediately, and running jobs may finish until ctx expires, after
-// which their contexts are cut (HADFL runs abort at the next round;
-// callback-free schemes are abandoned). Returns ctx.Err() when the
-// grace period was exhausted, nil on a clean drain.
+// which their contexts are cut (every registered scheme aborts within
+// about one device step; custom runners that ignore ctx are
+// abandoned). Returns ctx.Err() when the grace period was exhausted,
+// nil on a clean drain.
 func (p *Pool) Close(ctx context.Context) error {
 	p.mu.Lock()
 	already := p.closing
@@ -172,10 +150,20 @@ func (p *Pool) Close(ctx context.Context) error {
 	case <-idle:
 		return nil
 	case <-ctx.Done():
-		p.cut()
+		p.cutAll()
 		<-idle
 		return ctx.Err()
 	}
+}
+
+// cutAll cancels every job context and marks the shutdown hard
+// deadline, so workers abandon uncooperative runners immediately
+// instead of granting the per-job abandonGrace.
+func (p *Pool) cutAll() {
+	p.cutOnce.Do(func() {
+		close(p.cutDone)
+		p.cut()
+	})
 }
 
 func (p *Pool) worker(i int) {
@@ -259,6 +247,30 @@ func (p *Pool) runJob(worker string, j *Job) {
 		j.finish(o.res, nil)
 		p.reg.Inc("runs_completed_total")
 	case <-ctx.Done():
-		finishErr(ctx.Err(), "run", "abandoned")
+		// Registered schemes honor ctx within one device step, so the
+		// runner's own ctx.Err() arrives almost immediately — wait
+		// briefly for it and record a clean cooperative abort. Only a
+		// custom runner that ignores ctx is abandoned — immediately
+		// when the pool is past its shutdown grace (cutDone), so Close
+		// never overruns its caller's deadline by the abandon wait.
+		select {
+		case o := <-ch:
+			if o.err == nil {
+				// Finished despite the cut — a photo-finish; keep it.
+				j.finish(o.res, nil)
+				p.reg.Inc("runs_completed_total")
+				return
+			}
+			finishErr(o.err, "run")
+		case <-time.After(abandonGrace):
+			finishErr(ctx.Err(), "run", "abandoned")
+		case <-p.cutDone:
+			finishErr(ctx.Err(), "run", "abandoned")
+		}
 	}
 }
+
+// abandonGrace is how long a worker waits, after a job's context dies,
+// for the runner to return cooperatively before abandoning its
+// goroutine. One device step is milliseconds; a second is generous.
+const abandonGrace = time.Second

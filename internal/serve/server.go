@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"hadfl"
@@ -32,6 +33,11 @@ type Config struct {
 	// CacheMaxEntries bounds the result cache (LRU eviction of
 	// terminal jobs past the cap; <= 0 means unbounded).
 	CacheMaxEntries int
+	// StoreDir, when non-empty, persists completed results there (final
+	// model + summary keyed by fingerprint, via ResultStore) and
+	// rehydrates them into the cache on boot, so identical submissions
+	// are served without retraining across restarts.
+	StoreDir string
 	// Runner overrides the run executor (tests). Default DefaultRunner.
 	Runner Runner
 	// Metrics receives service telemetry. Default: private registry.
@@ -46,12 +52,17 @@ type Server struct {
 	cache   *Cache
 	pool    *Pool
 	limiter *TokenBucket
+	store   *ResultStore // nil unless cfg.StoreDir is set
+	savers  sync.WaitGroup
 	start   time.Time
 	mux     *http.ServeMux
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. When cfg.StoreDir is
+// set, previously persisted results are rehydrated into the cache
+// before the server accepts requests; an unusable store directory is
+// the only error path.
+func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
@@ -63,6 +74,16 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 	}
+	if cfg.StoreDir != "" {
+		store, err := NewResultStore(cfg.StoreDir, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		for _, j := range store.Load() {
+			s.cache.GetOrCreate(j.ID, func() *Job { return j })
+		}
+	}
 	s.pool = NewPool(PoolConfig{
 		Workers:    cfg.Workers,
 		QueueDepth: cfg.QueueDepth,
@@ -73,16 +94,24 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP entry point.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close shuts the pool down (see Pool.Close).
-func (s *Server) Close(ctx context.Context) error { return s.pool.Close(ctx) }
+// Close shuts the pool down (see Pool.Close), then waits for any
+// in-flight result persistence: once every job is terminal the pending
+// saves are short file writes, so a completed run is never lost to a
+// shutdown race.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.pool.Close(ctx)
+	s.savers.Wait()
+	return err
+}
 
 // Submit is the programmatic submission path behind POST /runs:
 // fingerprint, coalesce through the cache, enqueue on a miss. cached
@@ -117,7 +146,23 @@ func (s *Server) Submit(scheme string, opts hadfl.Options) (job *Job, cached boo
 		})
 		return nil, false, err
 	}
+	if s.store != nil {
+		s.savers.Add(1)
+		go func() {
+			defer s.savers.Done()
+			<-job.Done()
+			if res, jerr := job.Result(); jerr == nil && res != nil {
+				_ = s.store.Save(job, res)
+			}
+		}()
+	}
 	return job, false, nil
+}
+
+// handleSchemes lists the registered training schemes; new schemes
+// appear here (and become submittable) without any serve-layer change.
+func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"schemes": hadfl.Schemes()})
 }
 
 // RunRequest is the POST /runs body.

@@ -19,6 +19,15 @@ import (
 	"hadfl/internal/metrics"
 )
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func postRun(t *testing.T, url string, body string) (int, JobStatus) {
 	t.Helper()
 	resp, err := http.Post(url+"/runs", "application/json", strings.NewReader(body))
@@ -75,7 +84,7 @@ func TestConcurrentIdenticalSubmissionsRunOnce(t *testing.T) {
 	var runs atomic.Int64
 	gate := make(chan struct{})
 	openGate := sync.OnceFunc(func() { close(gate) })
-	srv := New(Config{Workers: 4, Runner: func(ctx context.Context, scheme string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+	srv := mustNew(t, Config{Workers: 4, Runner: func(ctx context.Context, scheme string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
 		runs.Add(1)
 		<-gate // hold the run so every duplicate arrives while in flight
 		return &hadfl.Result{Scheme: scheme, Accuracy: 0.9, Rounds: 3}, nil
@@ -143,7 +152,7 @@ func TestSSEStreamsRoundsDuringLiveRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real training run in -short mode")
 	}
-	srv := New(Config{Workers: 1})
+	srv := mustNew(t, Config{Workers: 1})
 	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -200,7 +209,7 @@ func TestSSEStreamsRoundsDuringLiveRun(t *testing.T) {
 }
 
 func TestStatusCurveParameter(t *testing.T) {
-	srv := New(Config{Workers: 1, Runner: func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+	srv := mustNew(t, Config{Workers: 1, Runner: func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
 		s := &metrics.Series{Name: "stub"}
 		s.Add(metrics.Point{Epoch: 1, Time: 2, Loss: 0.5, Accuracy: 0.7})
 		return &hadfl.Result{Scheme: "stub", Accuracy: 0.7, Series: s}, nil
@@ -223,7 +232,7 @@ func TestStatusCurveParameter(t *testing.T) {
 }
 
 func TestBadRequestsAndUnknownJobs(t *testing.T) {
-	srv := New(Config{Workers: 1})
+	srv := mustNew(t, Config{Workers: 1})
 	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -255,7 +264,7 @@ func TestBadRequestsAndUnknownJobs(t *testing.T) {
 
 func TestRateLimiterRejectsBursts(t *testing.T) {
 	gate := make(chan struct{})
-	srv := New(Config{Workers: 1, RatePerSec: 0.001, Burst: 2,
+	srv := mustNew(t, Config{Workers: 1, RatePerSec: 0.001, Burst: 2,
 		Runner: func(ctx context.Context, s string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
 			<-gate
 			return &hadfl.Result{Scheme: s}, nil
@@ -292,7 +301,7 @@ func TestRateLimiterRejectsBursts(t *testing.T) {
 
 func TestQueueFullReturns503(t *testing.T) {
 	gate := make(chan struct{})
-	srv := New(Config{Workers: 1, QueueDepth: 1,
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 1,
 		Runner: func(ctx context.Context, s string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
 			select {
 			case <-gate:
@@ -334,7 +343,7 @@ func TestQueueFullReturns503(t *testing.T) {
 }
 
 func TestHealthzAndStats(t *testing.T) {
-	srv := New(Config{Workers: 1, Runner: stubRunner(nil, nil, nil)})
+	srv := mustNew(t, Config{Workers: 1, Runner: stubRunner(nil, nil, nil)})
 	defer srv.Close(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -374,5 +383,72 @@ func TestHealthzAndStats(t *testing.T) {
 	if stats.Metrics.Counters["runs_completed_total"] != 1 ||
 		stats.Metrics.Counters["runs_scheme_"+hadfl.SchemeHADFL] != 1 {
 		t.Fatalf("metrics %+v", stats.Metrics.Counters)
+	}
+}
+
+// TestSchemesEndpointListsRegistry checks that GET /schemes mirrors the
+// façade registry — including asyncfl, which PR 3 made public.
+func TestSchemesEndpointListsRegistry(t *testing.T) {
+	srv := mustNew(t, Config{Workers: 1, Runner: stubRunner(nil, nil, nil)})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/schemes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Schemes []string `json:"schemes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := hadfl.Schemes()
+	if len(got.Schemes) != len(want) {
+		t.Fatalf("GET /schemes = %v, want %v", got.Schemes, want)
+	}
+	for i := range want {
+		if got.Schemes[i] != want[i] {
+			t.Fatalf("GET /schemes[%d] = %q, want %q", i, got.Schemes[i], want[i])
+		}
+	}
+}
+
+// TestAsyncFLThroughHTTPAPI round-trips the asyncfl scheme through the
+// real runner: fingerprinted, trained, cached like any other scheme.
+func TestAsyncFLThroughHTTPAPI(t *testing.T) {
+	srv := mustNew(t, Config{Workers: 1})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"scheme":"asyncfl","options":{"powers":[2,1],"targetEpochs":2,"seed":7}}`
+	code, st := postRun(t, ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	wantFP, err := hadfl.Fingerprint(hadfl.SchemeAsyncFL, hadfl.Options{
+		Powers: []float64{2, 1}, TargetEpochs: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != wantFP {
+		t.Fatalf("job id %s, want fingerprint %s", st.ID, wantFP)
+	}
+	final := waitDone(t, ts.URL, st.ID)
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("final %+v", final)
+	}
+	if final.Result.Scheme != hadfl.SchemeAsyncFL || final.Result.Accuracy <= 0 ||
+		final.Result.ServerBytes == 0 {
+		t.Fatalf("asyncfl summary %+v (async-centralized FL must load the server)", final.Result)
+	}
+	// Identical resubmission: pure cache hit.
+	code2, st2 := postRun(t, ts.URL, body)
+	if code2 != http.StatusOK || !st2.Cached || st2.ID != st.ID {
+		t.Fatalf("resubmit = %d cached=%v", code2, st2.Cached)
 	}
 }

@@ -1,0 +1,154 @@
+package hadfl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hadfl/internal/core"
+	"hadfl/internal/metrics"
+)
+
+func TestRegisterSchemeRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	if err := RegisterScheme(NewScheme("", nil)); err == nil {
+		t.Fatal("empty scheme name registered")
+	}
+	for _, builtin := range Schemes() {
+		if err := RegisterScheme(NewScheme(builtin, nil)); err == nil {
+			t.Fatalf("duplicate registration of %q accepted", builtin)
+		}
+	}
+}
+
+func TestRegisteredSchemeIsListedAndRunnable(t *testing.T) {
+	const name = "test-constant"
+	// A degenerate scheme: no training, returns the initial model.
+	MustRegisterScheme(NewScheme(name, func(_ context.Context, c *core.Cluster, _ core.RunConfig) (*core.Result, error) {
+		return newConstantResult(c), nil
+	}))
+	defer unregisterScheme(name)
+
+	if !ValidScheme(name) {
+		t.Fatalf("ValidScheme(%q) = false after registration", name)
+	}
+	found := false
+	for _, s := range Schemes() {
+		if s == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Schemes() = %v, missing %q", Schemes(), name)
+	}
+	// Fingerprinting and running both dispatch through the registry.
+	if _, err := Fingerprint(name, fastOpts(1)); err != nil {
+		t.Fatalf("Fingerprint for registered scheme: %v", err)
+	}
+	res, err := RunContext(context.Background(), name, fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != name || len(res.FinalParams) == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+
+	unregisterScheme(name)
+	if ValidScheme(name) {
+		t.Fatalf("ValidScheme(%q) = true after unregister", name)
+	}
+}
+
+// TestRunContextCancelMidRun is the cancellation acceptance check: for
+// every registered scheme, canceling the context after the first
+// progress callback stops the run within one device step/round and
+// surfaces ctx.Err().
+func TestRunContextCancelMidRun(t *testing.T) {
+	for _, scheme := range Schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			opts := fastOpts(9)
+			// A budget far beyond the test's patience: only prompt
+			// cancellation lets the run return in time.
+			opts.TargetEpochs = 1e6
+			opts.OnRound = func(RoundUpdate) { cancel() }
+
+			done := make(chan error, 1)
+			go func() {
+				_, err := RunContext(ctx, scheme, opts)
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("%s did not stop after cancellation", scheme)
+			}
+		})
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, scheme := range Schemes() {
+		if _, err := RunContext(ctx, scheme, fastOpts(1)); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", scheme, err)
+		}
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	// A 50ms deadline expires during the mutual-negotiation warmup, so
+	// this also covers the pre-round cancellation path (WarmupCtx).
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	opts := fastOpts(10)
+	opts.TargetEpochs = 1e6
+	start := time.Now()
+	_, err := RunContext(ctx, SchemeHADFL, opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline honored only after %v", elapsed)
+	}
+}
+
+func TestCompareContextPropagatesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := fastOpts(11)
+	opts.TargetEpochs = 1e6
+	opts.OnRound = func(RoundUpdate) { cancel() }
+	done := make(chan error, 1)
+	go func() {
+		_, err := CompareContext(ctx, opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("CompareContext did not stop after cancellation")
+	}
+}
+
+// newConstantResult fabricates a minimal valid result from the
+// cluster's initial parameters (test-scheme helper).
+func newConstantResult(c *core.Cluster) *core.Result {
+	loss, acc := c.Evaluate(c.InitParams)
+	series := &metrics.Series{Name: "test-constant"}
+	series.Add(metrics.Point{Epoch: 0, Time: 1, Loss: loss, Accuracy: acc})
+	return &core.Result{
+		Series:      series,
+		Comm:        core.NewCommStats(),
+		Rounds:      1,
+		FinalParams: append([]float64(nil), c.InitParams...),
+	}
+}
