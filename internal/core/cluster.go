@@ -123,12 +123,15 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 }
 
 // Evaluate loads params into the scratch model and computes test loss
-// and accuracy.
+// and accuracy from a single forward pass over the test set (the
+// previous implementation ran the forward twice — once for the loss
+// and once again inside Model.Accuracy — doubling evaluation cost for
+// byte-identical results).
 func (c *Cluster) Evaluate(params []float64) (loss, acc float64) {
 	c.EvalModel.SetParameters(params)
 	logits := c.EvalModel.Forward(c.Test.X, false)
 	loss, _ = nn.SoftmaxCrossEntropy(logits, c.Test.Y)
-	acc = c.EvalModel.Accuracy(c.Test.X, c.Test.Y)
+	acc = nn.AccuracyFromLogits(logits, c.Test.Y)
 	return loss, acc
 }
 

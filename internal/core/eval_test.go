@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hadfl/internal/nn"
+	"hadfl/internal/tensor"
+)
+
+// countingLayer is a pass-through layer that counts how many input rows
+// flow through Forward, so tests can pin how much forward work an
+// evaluation performs.
+type countingLayer struct {
+	rows *int
+}
+
+func (l countingLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	*l.rows += x.Dim(0)
+	return x
+}
+func (l countingLayer) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+func (l countingLayer) Params() []*tensor.Tensor                    { return nil }
+func (l countingLayer) Grads() []*tensor.Tensor                     { return nil }
+
+// TestEvaluateSingleForward pins the fix for the double-forward bug:
+// Cluster.Evaluate must push every test sample through the network
+// exactly once per call — the loss and the accuracy both come from the
+// same logits. (The pre-fix implementation ran the whole forward a
+// second time inside Model.Accuracy, doubling evaluation cost.)
+func TestEvaluateSingleForward(t *testing.T) {
+	prev := tensor.Parallelism()
+	tensor.SetParallelism(1) // serialize scoring so the row counter needs no lock
+	defer tensor.SetParallelism(prev)
+
+	spec := testSpec(t, 97)
+	rows := 0
+	baseArch := spec.Arch
+	spec.Arch = func(rng *rand.Rand) *nn.Model {
+		m := baseArch(rng)
+		return nn.NewModel(m.Name, append([]nn.Layer{countingLayer{rows: &rows}}, m.Layers...)...)
+	}
+	c, err := BuildCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	testN := spec.Test.Len()
+	rows = 0 // discard rows counted during cluster construction/warm-up
+	loss, acc := c.Evaluate(c.InitParams)
+	if rows != testN {
+		t.Fatalf("Evaluate forwarded %d rows for a %d-sample test set, want exactly one pass", rows, testN)
+	}
+
+	// The single-pass result must match the naive two-pass reference.
+	ref := baseArch(rand.New(rand.NewSource(99)))
+	ref.SetParameters(c.InitParams)
+	logits := ref.Forward(spec.Test.X, false)
+	refLoss, _ := nn.SoftmaxCrossEntropy(logits, spec.Test.Y)
+	refAcc := ref.Accuracy(spec.Test.X, spec.Test.Y)
+	if math.Float64bits(acc) != math.Float64bits(refAcc) {
+		t.Fatalf("accuracy %v differs from two-pass reference %v", acc, refAcc)
+	}
+	if math.Abs(loss-refLoss) > 1e-12*math.Max(1, math.Abs(refLoss)) {
+		t.Fatalf("loss %v differs from two-pass reference %v", loss, refLoss)
+	}
+}
+
+// TestEvaluateDeterministic pins that repeated evaluations of the same
+// parameter vector return byte-identical results (the engine reuses
+// buffers; reuse must never leak state between calls).
+func TestEvaluateDeterministic(t *testing.T) {
+	c, err := BuildCluster(testSpec(t, 98))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, a1 := c.Evaluate(c.InitParams)
+	l2, a2 := c.Evaluate(c.InitParams)
+	if math.Float64bits(l1) != math.Float64bits(l2) || math.Float64bits(a1) != math.Float64bits(a2) {
+		t.Fatalf("repeated Evaluate differs: (%v,%v) vs (%v,%v)", l1, a1, l2, a2)
+	}
+}

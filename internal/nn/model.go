@@ -151,13 +151,32 @@ func (m *Model) Predict(x *tensor.Tensor) []int {
 
 // Accuracy returns the fraction of rows of x classified as labels.
 func (m *Model) Accuracy(x *tensor.Tensor, labels []int) float64 {
-	pred := m.Predict(x)
-	if len(pred) != len(labels) {
-		panic(fmt.Sprintf("nn: Accuracy: %d predictions vs %d labels", len(pred), len(labels)))
+	return AccuracyFromLogits(m.Forward(x, false), labels)
+}
+
+// AccuracyFromLogits returns the fraction of logits rows whose argmax
+// matches labels, letting callers that already ran a forward pass score
+// accuracy without a second one. Ties resolve to the lowest class
+// index, matching Predict.
+func AccuracyFromLogits(logits *tensor.Tensor, labels []int) float64 {
+	if logits.Dims() != 2 {
+		panic(fmt.Sprintf("nn: AccuracyFromLogits logits %v, want 2-D", logits.Shape()))
 	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: AccuracyFromLogits: %d rows vs %d labels", n, len(labels)))
+	}
+	ld := logits.Data()
 	correct := 0
-	for i, p := range pred {
-		if p == labels[i] {
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		best, arg := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, arg = v, j+1
+			}
+		}
+		if arg == labels[i] {
 			correct++
 		}
 	}
