@@ -1,0 +1,68 @@
+package hadfl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hadfl/internal/core"
+	"hadfl/internal/dataset"
+	"hadfl/internal/nn"
+	"hadfl/internal/tensor"
+)
+
+// The evaluation-engine determinism contract, the inference-side
+// companion of TestParallelDeterminism: cluster evaluation must return
+// the same loss and accuracy bits at every tensor parallelism level
+// (batches shard across the kernel worker pool) and at every scoring
+// batch size (per-sample losses land by dataset position and reduce in
+// fixed chunks). Parallelism and EvalBatchSize are throughput knobs,
+// never numerics knobs.
+func TestEvalDeterminismAcrossParallelismAndBatchSizes(t *testing.T) {
+	prev := tensor.Parallelism()
+	defer tensor.SetParallelism(prev)
+
+	full := dataset.Synthetic(dataset.SyntheticConfig{
+		Samples: 1300, Features: 16, Classes: 5, ModesPerClass: 2, NoiseStd: 0.4, Seed: 42,
+	})
+	train, test := full.Split(1000)
+	build := func(evalBatch int) *core.Cluster {
+		c, err := core.BuildCluster(core.ClusterSpec{
+			Powers:       []float64{4, 2, 2, 1},
+			BaseStepTime: 1,
+			Arch: func(rng *rand.Rand) *nn.Model {
+				return nn.NewResMLP(rng, 16, 24, 1, 5)
+			},
+			Train: train, Test: test,
+			BatchSize: 20, LR: 0.1, Momentum: 0.9,
+			Seed:          42,
+			EvalBatchSize: evalBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// All clusters share the seed, hence the initial parameter vector;
+	// scoring it must give one answer everywhere.
+	var wantLoss, wantAcc uint64
+	first := true
+	for _, batch := range []int{16, 64, 0 /* default */, 300 /* whole set */} {
+		for _, par := range []int{1, 2, 8} {
+			tensor.SetParallelism(par)
+			c := build(batch)
+			loss, acc := c.Evaluate(c.InitParams)
+			tensor.SetParallelism(1)
+			if first {
+				wantLoss, wantAcc = math.Float64bits(loss), math.Float64bits(acc)
+				first = false
+				continue
+			}
+			if math.Float64bits(loss) != wantLoss || math.Float64bits(acc) != wantAcc {
+				t.Fatalf("batch %d, parallelism %d: (%v, %v) differs from reference bits",
+					batch, par, loss, acc)
+			}
+		}
+	}
+}

@@ -23,6 +23,9 @@
 //   - SchemeAsyncFL: centralized asynchronous FL with
 //     staleness-weighted aggregation (the related-work family the paper
 //     argues against).
+//   - SchemeHADFLGrouped: the paper's Fig. 2(a) hierarchy — intra-group
+//     partial aggregation every round, periodic inter-group syncs over
+//     per-group representatives.
 //
 // RunContext threads a context.Context through every scheme: cancel it
 // and the run stops within about one device step, returning ctx.Err().
@@ -155,6 +158,13 @@ type Result struct {
 	// loadable with EvaluateParams or persistable via
 	// coordinator.ModelStore.
 	FinalParams []float64
+	// EvalBatches / EvalSeconds report the evaluation engine's work for
+	// this run (scoring batches forwarded, wall-clock seconds) — the
+	// source of the serve layer's eval_batches_total /
+	// eval_seconds_total metrics. Telemetry only: excluded from
+	// Canonical/Fingerprint like every other observability field.
+	EvalBatches int64
+	EvalSeconds float64
 }
 
 func summarize(scheme string, res *core.Result) *Result {
@@ -266,7 +276,11 @@ func RunContext(ctx context.Context, scheme string, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return summarize(scheme, res), nil
+	out := summarize(scheme, res)
+	st := cluster.EvalStats()
+	out.EvalBatches = st.Batches
+	out.EvalSeconds = st.Seconds
+	return out, nil
 }
 
 // Compare runs every registered scheme on identical clusters and

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"hadfl/internal/aggregate"
 	"hadfl/internal/core"
 	"hadfl/internal/metrics"
 	"hadfl/internal/p2p"
@@ -89,6 +90,10 @@ func RunAsyncFL(ctx context.Context, c *core.Cluster, cfg AsyncFLConfig) (*core.
 
 	// pulledAt tracks the global version each device last saw.
 	pulledAt := make([]int, len(c.Devices))
+	// devBuf is the reused per-device parameter gather buffer for the
+	// server merge (events are serialized by the discrete-event engine,
+	// so one buffer suffices).
+	devBuf := make([]float64, len(global))
 
 	done := func() bool {
 		return ctx.Err() != nil ||
@@ -114,10 +119,10 @@ func RunAsyncFL(ctx context.Context, c *core.Cluster, cfg AsyncFLConfig) (*core.
 				staleness = 0
 			}
 			beta := cfg.BaseMix * math.Pow(float64(staleness+1), -cfg.StalenessPower)
-			dev := d.Parameters()
-			for i := range global {
-				global[i] = (1-beta)*global[i] + beta*dev[i]
-			}
+			dev := d.ParametersInto(devBuf)
+			// MergeInto computes beta·dev + (1−beta)·global — the same
+			// bits as the previous inline loop (addition commutes).
+			aggregate.MergeInto(global, global, dev, beta)
 			globalVersion++
 			serverUpdates++
 			// Up + down through the server.

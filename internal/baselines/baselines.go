@@ -30,6 +30,7 @@ import (
 	"hadfl/internal/metrics"
 	"hadfl/internal/nn"
 	"hadfl/internal/p2p"
+	"hadfl/internal/tensor"
 )
 
 // DistributedConfig tunes the synchronous distributed-training baseline.
@@ -78,7 +79,14 @@ func RunDistributed(ctx context.Context, c *core.Cluster, cfg DistributedConfig)
 	series.Add(metrics.Point{Epoch: 0, Time: 0, Loss: loss0, Accuracy: acc0})
 
 	par := core.ResolveParallelism(cfg.Parallelism)
+	// Per-device gradient gather buffers and the averaged-update buffer
+	// are allocated once and reused every iteration.
 	grads := make([][]float64, k)
+	for i := range grads {
+		grads[i] = make([]float64, len(c.InitParams))
+	}
+	avg := make([]float64, len(c.InitParams))
+	lossGrads := make([]*tensor.Tensor, k) // reused ∂L/∂logits buffers
 	losses := make([]float64, k)
 	stepTimes := make([]float64, k)
 	iter := 0
@@ -99,10 +107,10 @@ func RunDistributed(ctx context.Context, c *core.Cluster, cfg DistributedConfig)
 			x, y := d.Loader.Next()
 			d.Model.ZeroGrads()
 			logits := d.Model.Forward(x, true)
-			l, g := nn.SoftmaxCrossEntropy(logits, y)
-			d.Model.Backward(g)
-			grads[i] = d.Model.GradientVector()
-			losses[i] = l
+			lossGrads[i] = tensor.Ensure(lossGrads[i], logits.Dim(0), logits.Dim(1))
+			losses[i] = nn.SoftmaxCrossEntropyInto(lossGrads[i], logits, y)
+			d.Model.Backward(lossGrads[i])
+			d.Model.GradientVectorInto(grads[i])
 			stepTimes[i] = d.StepTime()
 		}
 		if par > 1 && k > 1 {
@@ -125,7 +133,7 @@ func RunDistributed(ctx context.Context, c *core.Cluster, cfg DistributedConfig)
 			totalSteps++
 		}
 		// Ring all-reduce of gradients across all K devices.
-		avg := aggregate.Mean(grads)
+		aggregate.MeanInto(avg, grads)
 		now += slowest + commModel.RingAllReduceTime(k, paramBytes)
 		if k > 1 {
 			per := int64(2 * paramBytes * (k - 1) / k)
@@ -143,7 +151,7 @@ func RunDistributed(ctx context.Context, c *core.Cluster, cfg DistributedConfig)
 		comm.Rounds++
 
 		if (iter+1)%cfg.EvalEvery == 0 {
-			global = c.Devices[0].Parameters()
+			c.Devices[0].ParametersInto(global)
 			_, acc := c.Evaluate(global)
 			p := metrics.Point{
 				Epoch: c.EpochsProcessed(totalSteps), Time: now,
@@ -157,7 +165,7 @@ func RunDistributed(ctx context.Context, c *core.Cluster, cfg DistributedConfig)
 			}
 		}
 	}
-	global = c.Devices[0].Parameters()
+	c.Devices[0].ParametersInto(global)
 	_, acc := c.Evaluate(global)
 	series.Add(metrics.Point{Epoch: c.EpochsProcessed(totalSteps), Time: now, Loss: lastLoss(series), Accuracy: acc})
 	return &core.Result{Series: series, Comm: comm, Rounds: iter, FinalParams: global}, nil
@@ -207,6 +215,12 @@ func RunFedAvg(ctx context.Context, c *core.Cluster, cfg FedAvgConfig) (*core.Re
 	par := core.ResolveParallelism(cfg.Parallelism)
 	losses := make([]float64, k)
 	elapsedTimes := make([]float64, k)
+	// Per-device gather buffers for the round-end gossip average,
+	// allocated once and refilled in place every round.
+	vecs := make([][]float64, k)
+	for i := range vecs {
+		vecs[i] = make([]float64, len(c.InitParams))
+	}
 	round := 0
 	for ; round < cfg.MaxRounds && c.EpochsProcessed(totalSteps) < cfg.TargetEpochs; round++ {
 		if err := ctx.Err(); err != nil {
@@ -239,11 +253,10 @@ func RunFedAvg(ctx context.Context, c *core.Cluster, cfg FedAvgConfig) (*core.Re
 			totalSteps += cfg.LocalSteps
 		}
 		// Full-population gossip average (ring all-reduce over K).
-		vecs := make([][]float64, k)
 		for i, d := range c.Devices {
-			vecs[i] = d.Parameters()
+			d.ParametersInto(vecs[i])
 		}
-		global = aggregate.Mean(vecs)
+		aggregate.MeanInto(global, vecs)
 		now += slowest + commModel.RingAllReduceTime(k, paramBytes)
 		if k > 1 {
 			per := int64(2 * paramBytes * (k - 1) / k)

@@ -18,6 +18,7 @@ import (
 
 	"hadfl/internal/dataset"
 	"hadfl/internal/device"
+	"hadfl/internal/eval"
 	"hadfl/internal/nn"
 )
 
@@ -49,19 +50,26 @@ type ClusterSpec struct {
 	FailAt map[int]float64
 	// Seed drives all randomness (init, partition, jitter).
 	Seed int64
+	// EvalBatchSize is the evaluation engine's fixed scoring batch
+	// size (0 = eval.DefaultBatchSize). A throughput/memory knob only:
+	// the engine's results are bit-identical at every batch size.
+	EvalBatchSize int
 }
 
 // Cluster is a ready-to-train federation.
 type Cluster struct {
 	Devices   []*device.Device
 	Test      *dataset.Dataset
-	EvalModel *nn.Model // scratch replica for evaluating aggregates
 	BatchSize int
 	// TrainSamples is the total training-set size across devices, used
 	// to convert processed samples into epochs.
 	TrainSamples int
 	// InitParams is the shared initial parameter vector.
 	InitParams []float64
+
+	// evaluator is the cluster-owned batched evaluation engine every
+	// runner scores aggregates through.
+	evaluator *eval.Evaluator
 }
 
 // BuildCluster constructs the federation: one model replica, optimizer
@@ -93,12 +101,26 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 		parts = dataset.PartitionIID(spec.Train, k, rng)
 	}
 
+	ev, err := eval.New(eval.Config{
+		Data:  spec.Test,
+		Model: ref,
+		NewReplica: func() *nn.Model {
+			// Replica weights are overwritten by SetParameters before
+			// every use, so the init seed is irrelevant.
+			return spec.Arch(rand.New(rand.NewSource(spec.Seed + 1000)))
+		},
+		BatchSize: spec.EvalBatchSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	c := &Cluster{
 		Test:         spec.Test,
-		EvalModel:    ref,
 		BatchSize:    spec.BatchSize,
 		TrainSamples: spec.Train.Len(),
 		InitParams:   append([]float64(nil), init...),
+		evaluator:    ev,
 	}
 	for i, p := range spec.Powers {
 		if p <= 0 {
@@ -122,18 +144,23 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 	return c, nil
 }
 
-// Evaluate loads params into the scratch model and computes test loss
-// and accuracy from a single forward pass over the test set (the
-// previous implementation ran the forward twice — once for the loss
-// and once again inside Model.Accuracy — doubling evaluation cost for
-// byte-identical results).
+// Evaluate scores params against the test set through the
+// cluster-owned evaluation engine: fixed-size batches, a single
+// forward pass per batch producing loss and accuracy together, and
+// bit-identical results at every parallelism level and batch size.
 func (c *Cluster) Evaluate(params []float64) (loss, acc float64) {
-	c.EvalModel.SetParameters(params)
-	logits := c.EvalModel.Forward(c.Test.X, false)
-	loss, _ = nn.SoftmaxCrossEntropy(logits, c.Test.Y)
-	acc = nn.AccuracyFromLogits(logits, c.Test.Y)
-	return loss, acc
+	return c.evaluator.Evaluate(params)
 }
+
+// Evaluator exposes the cluster-owned evaluation engine (for direct
+// EvaluateInto use or engine-level tests). Evaluations must be
+// serialized; the runners evaluate between rounds, which does.
+func (c *Cluster) Evaluator() *eval.Evaluator { return c.evaluator }
+
+// EvalStats returns the engine's cumulative telemetry for this
+// cluster's runs (batches scored, wall-clock seconds), which the serve
+// layer exports as eval_batches_total / eval_seconds_total.
+func (c *Cluster) EvalStats() eval.Stats { return c.evaluator.Stats() }
 
 // EpochsProcessed converts a total step count (across devices) into
 // dataset epochs: steps × batch / train-set size.

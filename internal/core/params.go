@@ -1,0 +1,48 @@
+package core
+
+import "hadfl/internal/device"
+
+// ParamGather owns one reusable flat gather buffer per device, so the
+// round loops (ring aggregation, warm-up alignment, full-population
+// averages) stop allocating fresh Parameters() vectors every round.
+// The returned slices are owned by the gatherer and valid until its
+// next Collect/CollectAll call; aggregation consumes them immediately
+// (aggregate.MeanInto), which every runner does.
+type ParamGather struct {
+	n   int
+	buf map[int][]float64
+	sel [][]float64
+}
+
+// NewParamGather returns a gatherer for n-parameter models.
+func NewParamGather(n int) *ParamGather {
+	return &ParamGather{n: n, buf: make(map[int][]float64)}
+}
+
+// Collect fills one buffer per id with that device's current
+// parameters, in id order, and returns them.
+func (g *ParamGather) Collect(c *Cluster, ids []int) [][]float64 {
+	g.sel = g.sel[:0]
+	for _, id := range ids {
+		g.sel = append(g.sel, g.gather(c.Device(id)))
+	}
+	return g.sel
+}
+
+// CollectAll gathers every device in cluster order.
+func (g *ParamGather) CollectAll(c *Cluster) [][]float64 {
+	g.sel = g.sel[:0]
+	for _, d := range c.Devices {
+		g.sel = append(g.sel, g.gather(d))
+	}
+	return g.sel
+}
+
+func (g *ParamGather) gather(d *device.Device) []float64 {
+	b := g.buf[d.Cfg.ID]
+	if b == nil {
+		b = make([]float64, g.n)
+		g.buf[d.Cfg.ID] = b
+	}
+	return d.ParametersInto(b)
+}

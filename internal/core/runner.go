@@ -161,15 +161,17 @@ func RunHADFL(ctx context.Context, c *Cluster, cfg Config) (*Result, error) {
 	now = warmupEnd
 
 	// Devices synchronize the initial model after warm-up (Alg. 1 line 1):
-	// average the warm-up models so everyone starts aligned.
-	vecs := make([][]float64, len(c.Devices))
-	for i, d := range c.Devices {
-		vecs[i] = d.Parameters()
-	}
-	global := aggregate.Mean(vecs)
+	// average the warm-up models so everyone starts aligned. The
+	// gatherer and the aggregation/merge buffers are reused every
+	// round, so the round loop allocates no fresh parameter vectors.
+	pg := NewParamGather(len(c.InitParams))
+	global := make([]float64, len(c.InitParams))
+	aggregate.MeanInto(global, pg.CollectAll(c))
 	for _, d := range c.Devices {
 		d.SetParameters(global)
 	}
+	aggBuf := make([]float64, len(global))
+	mergeBuf := make([]float64, len(global))
 	paramBytes := 8 * len(global)
 
 	loss0, acc0 := c.Evaluate(global)
@@ -259,11 +261,8 @@ func RunHADFL(ctx context.Context, c *Cluster, cfg Config) (*Result, error) {
 		// scatter-gather. Charge ring all-reduce time plus fault
 		// penalties, and account 2·M·(np−1)/np bytes per ring member
 		// (scatter-reduce + all-gather), the standard ring volume.
-		sel := make([][]float64, len(ringAlive))
-		for i, id := range ringAlive {
-			sel[i] = c.Device(id).Parameters()
-		}
-		agg := aggregate.Mean(sel)
+		agg := aggBuf
+		aggregate.MeanInto(agg, pg.Collect(c, ringAlive))
 		np := len(ringAlive)
 		now += worstModel(ringAlive).RingAllReduceTime(np, paramBytes)
 		now += cfg.FaultPenalty * float64(bypassed)
@@ -296,8 +295,9 @@ func RunHADFL(ctx context.Context, c *Cluster, cfg Config) (*Result, error) {
 			now += (p2p.CommModel{Link: linkFor(sender)}).BroadcastTime(len(unsel), paramBytes)
 			for _, id := range unsel {
 				d := c.Device(id)
-				merged := aggregate.Merge(d.Parameters(), agg, cfg.MergeBeta)
-				d.SetParameters(merged)
+				d.ParametersInto(mergeBuf)
+				aggregate.MergeInto(mergeBuf, mergeBuf, agg, cfg.MergeBeta)
+				d.SetParameters(mergeBuf)
 			}
 		}
 		comm.Rounds++
@@ -318,7 +318,7 @@ func RunHADFL(ctx context.Context, c *Cluster, cfg Config) (*Result, error) {
 		series.Add(metrics.Point{
 			Epoch: c.EpochsProcessed(totalSteps), Time: now, Loss: loss, Accuracy: acc,
 		})
-		global = agg
+		copy(global, agg) // keep FinalParams off the reused aggBuf scratch
 		if cfg.OnRound != nil {
 			cfg.OnRound(RoundInfo{
 				Round:      round,

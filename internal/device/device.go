@@ -185,6 +185,11 @@ func (d *Device) WarmupCtx(ctx context.Context, epochs int, lrScale float64) (ca
 // Parameters exposes the local model's flat parameter vector.
 func (d *Device) Parameters() []float64 { return d.Model.Parameters() }
 
+// ParametersInto writes the local model's flat parameter vector into
+// dst (length NumParams) and returns it — the allocation-free gather
+// path the round loops use.
+func (d *Device) ParametersInto(dst []float64) []float64 { return d.Model.ParametersInto(dst) }
+
 // SetParameters installs a new parameter vector (after aggregation or
 // broadcast) and resets optimizer momentum, which belongs to the old
 // iterate.

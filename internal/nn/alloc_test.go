@@ -36,6 +36,30 @@ func testZeroAllocStep(t *testing.T, m *Model, x *tensor.Tensor, labels []int) {
 	}
 }
 
+// The evaluation-side guarantee: a steady-state scoring step — forward
+// in inference mode plus the fused per-sample loss + accuracy kernel
+// at a fixed batch shape — performs no heap allocations. Same
+// serial-kernel scope as the training guard above.
+func testZeroAllocEval(t *testing.T, m *Model, x *tensor.Tensor, labels []int) {
+	t.Helper()
+	prev := tensor.Parallelism()
+	tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+
+	perSample := make([]float64, x.Dim(0))
+	evalStep := func() {
+		logits := m.Forward(x, false)
+		correct := SoftmaxCrossEntropyEvalInto(perSample, logits, labels)
+		_ = correct
+	}
+	for i := 0; i < 3; i++ { // warm up layer buffers
+		evalStep()
+	}
+	if allocs := testing.AllocsPerRun(10, evalStep); allocs != 0 {
+		t.Fatalf("steady-state eval step allocates %.1f times per step, want 0", allocs)
+	}
+}
+
 func TestTrainStepZeroAllocResMLP(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	m := NewResMLP(rng, 32, 32, 2, 10)
@@ -73,4 +97,29 @@ func TestTrainStepZeroAllocResNetTiny(t *testing.T) {
 		labels[i] = i % 10
 	}
 	testZeroAllocStep(t, m, x, labels)
+}
+
+func TestEvalStepZeroAllocResMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewResMLP(rng, 32, 32, 2, 10)
+	x := tensor.RandNormal(rng, 0, 1, 64, 32)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	testZeroAllocEval(t, m, x, labels)
+}
+
+func TestEvalStepZeroAllocResNetTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convolutional zero-alloc check skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(5))
+	m := NewResNetTiny(rng, 3, 8, 10)
+	x := tensor.RandNormal(rng, 0, 1, 16, 3, 8, 8)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	testZeroAllocEval(t, m, x, labels)
 }

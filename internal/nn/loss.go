@@ -61,6 +61,52 @@ func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss fl
 	return loss
 }
 
+// SoftmaxCrossEntropyEvalInto is the fused evaluation kernel: one pass
+// over logits [N, C] writes each row's cross-entropy loss into
+// perSample (caller-owned, length N — *not* divided by N, so callers
+// can reduce across batches with any fixed chunking) and returns how
+// many rows' argmax matches labels. It computes no gradients and
+// allocates nothing, which is what makes a steady-state evaluation
+// step heap-free; argmax tie-breaking matches Predict (lowest class
+// index wins).
+func SoftmaxCrossEntropyEvalInto(perSample []float64, logits *tensor.Tensor, labels []int) (correct int) {
+	if logits.Dims() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyEvalInto logits %v, want 2-D", logits.Shape()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyEvalInto: %d rows vs %d labels", n, len(labels)))
+	}
+	if len(perSample) != n {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyEvalInto: perSample length %d, want %d", len(perSample), n))
+	}
+	ld := logits.Data()
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		// One sweep finds the max and its argmax; the stable
+		// log-sum-exp then reuses the max.
+		maxV, arg := row[0], 0
+		for j, v := range row[1:] {
+			if v > maxV {
+				maxV, arg = v, j+1
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxV)
+		}
+		perSample[i] = maxV + math.Log(sum) - row[y]
+		if arg == y {
+			correct++
+		}
+	}
+	return correct
+}
+
 // Softmax returns row-wise softmax probabilities for logits [N, C].
 func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 	n, c := logits.Dim(0), logits.Dim(1)

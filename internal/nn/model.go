@@ -79,11 +79,23 @@ func (m *Model) NumParams() int {
 // Parameters flattens all parameters into a single vector, the wire and
 // aggregation format used throughout HADFL.
 func (m *Model) Parameters() []float64 {
-	out := make([]float64, 0, m.NumParams())
-	for _, p := range m.ParamTensors() {
-		out = append(out, p.Data()...)
+	return m.ParametersInto(make([]float64, m.NumParams()))
+}
+
+// ParametersInto flattens all parameters into dst (length NumParams)
+// and returns it — the allocation-free round-trip partner of
+// SetParameters for callers that gather device models every round.
+func (m *Model) ParametersInto(dst []float64) []float64 {
+	want := m.NumParams()
+	if len(dst) != want {
+		panic(fmt.Sprintf("nn: ParametersInto length %d, model has %d", len(dst), want))
 	}
-	return out
+	off := 0
+	for _, p := range m.ParamTensors() {
+		copy(dst[off:off+p.Len()], p.Data())
+		off += p.Len()
+	}
+	return dst
 }
 
 // SetParameters loads a flat vector produced by Parameters into the model.
@@ -110,11 +122,23 @@ func (m *Model) ZeroGrads() {
 // GradientVector flattens all gradients into one vector (for ring
 // all-reduce in the distributed-training baseline).
 func (m *Model) GradientVector() []float64 {
-	out := make([]float64, 0, m.NumParams())
-	for _, g := range m.GradTensors() {
-		out = append(out, g.Data()...)
+	return m.GradientVectorInto(make([]float64, m.NumParams()))
+}
+
+// GradientVectorInto flattens all gradients into dst (length
+// NumParams) and returns it, so the per-iteration all-reduce path can
+// reuse one gather buffer per device.
+func (m *Model) GradientVectorInto(dst []float64) []float64 {
+	want := m.NumParams()
+	if len(dst) != want {
+		panic(fmt.Sprintf("nn: GradientVectorInto length %d, model has %d", len(dst), want))
 	}
-	return out
+	off := 0
+	for _, g := range m.GradTensors() {
+		copy(dst[off:off+g.Len()], g.Data())
+		off += g.Len()
+	}
+	return dst
 }
 
 // SetGradientVector loads a flat gradient vector back into the model's
@@ -134,14 +158,27 @@ func (m *Model) SetGradientVector(flat []float64) {
 // Predict returns the argmax class for each row of the logits produced on
 // input x (inference mode).
 func (m *Model) Predict(x *tensor.Tensor) []int {
+	return m.PredictInto(nil, x)
+}
+
+// PredictInto is Predict writing into a caller-owned buffer: out is
+// reused when its capacity suffices (nil allocates), so steady-state
+// prediction loops stay heap-free. It returns the slice holding the
+// argmax class per row.
+func (m *Model) PredictInto(out []int, x *tensor.Tensor) []int {
 	logits := m.Forward(x, false)
 	n, c := logits.Dim(0), logits.Dim(1)
-	out := make([]int, n)
+	if cap(out) < n {
+		out = make([]int, n)
+	}
+	out = out[:n]
+	ld := logits.Data()
 	for i := 0; i < n; i++ {
-		best, arg := logits.At(i, 0), 0
-		for j := 1; j < c; j++ {
-			if v := logits.At(i, j); v > best {
-				best, arg = v, j
+		row := ld[i*c : (i+1)*c]
+		best, arg := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, arg = v, j+1
 			}
 		}
 		out[i] = arg

@@ -246,6 +246,7 @@ func (p *Pool) runJob(worker string, j *Job) {
 		}
 		j.finish(o.res, nil)
 		p.reg.Inc("runs_completed_total")
+		p.recordEval(o.res)
 	case <-ctx.Done():
 		// Registered schemes honor ctx within one device step, so the
 		// runner's own ctx.Err() arrives almost immediately — wait
@@ -259,6 +260,7 @@ func (p *Pool) runJob(worker string, j *Job) {
 				// Finished despite the cut — a photo-finish; keep it.
 				j.finish(o.res, nil)
 				p.reg.Inc("runs_completed_total")
+				p.recordEval(o.res)
 				return
 			}
 			finishErr(o.err, "run")
@@ -268,6 +270,17 @@ func (p *Pool) runJob(worker string, j *Job) {
 			finishErr(ctx.Err(), "run", "abandoned")
 		}
 	}
+}
+
+// recordEval accumulates a completed run's evaluation-engine telemetry:
+// how many scoring batches its evaluations forwarded and the wall-clock
+// seconds they took. Cache hits re-run nothing, so they add nothing.
+func (p *Pool) recordEval(res *hadfl.Result) {
+	if res == nil {
+		return
+	}
+	p.reg.Add("eval_batches_total", res.EvalBatches)
+	p.reg.AddGauge("eval_seconds_total", res.EvalSeconds)
 }
 
 // abandonGrace is how long a worker waits, after a job's context dies,

@@ -146,6 +146,14 @@ func parallelFor(n, grain int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// The pool invariant: every task submitted to the kernel pool is a
+// leaf — it never itself submits to the pool and waits. parallelFor
+// relies on this: a worker blocked inside a task could otherwise hold
+// up inner kernels whose completion that same task is waiting on.
+// Engine-level sharding that runs whole forward passes per shard (e.g.
+// internal/eval) therefore uses its own bounded goroutines and leaves
+// the pool to the kernels.
+
 // rowGrain sizes a row chunk so each task carries roughly targetFlops
 // of work, bounding scheduling overhead on small matrices.
 func rowGrain(rows, flopsPerRow int) int {

@@ -148,6 +148,26 @@ func AsShape(view, t *Tensor, shape ...int) *Tensor {
 	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
 }
 
+// SliceRows returns a view of rows [lo, hi) of t — a slice along the
+// first dimension — sharing t's backing data. When view (from a
+// previous call) is non-nil it is re-pointed in place and returned, so
+// steady-state callers iterating a dataset in batches allocate
+// nothing. The bounds must satisfy 0 <= lo < hi <= t.Dim(0).
+func SliceRows(view, t *Tensor, lo, hi int) *Tensor {
+	n := t.shape[0]
+	if lo < 0 || hi > n || lo >= hi {
+		panic("tensor: SliceRows [" + strconv.Itoa(lo) + "," + strconv.Itoa(hi) + ") of " + shapeStr(t.shape))
+	}
+	stride := len(t.data) / n
+	if view == nil {
+		view = &Tensor{}
+	}
+	view.shape = append(view.shape[:0], t.shape...)
+	view.shape[0] = hi - lo
+	view.data = t.data[lo*stride : hi*stride]
+	return view
+}
+
 // Fill sets every element to v.
 func (t *Tensor) Fill(v float64) {
 	VecFill(t.data, v)

@@ -263,6 +263,37 @@ func VecSquaredDistance(a, b []float64) float64 {
 	})
 }
 
+// VecSum returns Σ v[i], computed over fixed vecGrain chunks whose
+// partials combine in chunk order — so the bits depend only on len(v),
+// not on the parallelism level or on how callers batched the writes
+// that filled v (the evaluation engine's per-sample loss reduction).
+// The serial path runs closure-free so steady-state evaluation stays
+// allocation-free.
+func VecSum(v []float64) float64 {
+	if vecSerial(len(v)) {
+		s := 0.0
+		for lo := 0; lo < len(v); lo += vecGrain {
+			hi := lo + vecGrain
+			if hi > len(v) {
+				hi = len(v)
+			}
+			cs := 0.0
+			for _, x := range v[lo:hi] {
+				cs += x
+			}
+			s += cs
+		}
+		return s
+	}
+	return vecReduce(len(v), func(lo, hi int) float64 {
+		s := 0.0
+		for _, x := range v[lo:hi] {
+			s += x
+		}
+		return s
+	})
+}
+
 // VecNorm2 returns the Euclidean norm of v.
 func VecNorm2(v []float64) float64 {
 	return math.Sqrt(VecDot(v, v))

@@ -1,0 +1,50 @@
+package hadfl
+
+import (
+	"runtime"
+	"testing"
+
+	"hadfl/internal/tensor"
+)
+
+// runAllocBudget pins the whole-run allocation ceiling on the serial
+// kernel path. A complete run — cluster construction, warm-up,
+// training rounds, per-round evaluation — must stay under this many
+// heap allocations for every registered scheme. Before the evaluation
+// engine and the parameter-gather plumbing, the evaluation path alone
+// cost ~50k allocations per run; the measured steady state is now
+// ~1.4k (dominated by cluster construction), so this bound holds
+// roughly 3× headroom without tolerating a regression back to
+// per-round vector churn.
+const runAllocBudget = 5000
+
+// TestRunAllocationBudget runs every registered scheme twice (the
+// first run warms package-level state) and asserts the second stays
+// under the budget. Parallelism is pinned to 1: the concurrent paths
+// spend a few coordination allocations per round by design, and the
+// guarantee — like the per-step guards in internal/nn — covers the
+// serial path.
+func TestRunAllocationBudget(t *testing.T) {
+	prev := tensor.Parallelism()
+	tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+
+	opts := Options{Powers: []float64{4, 2, 2, 1}, TargetEpochs: 3, Seed: 7, Parallelism: 1}
+	for _, scheme := range Schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			if _, err := RunScheme(scheme, opts); err != nil {
+				t.Fatal(err)
+			}
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			if _, err := RunScheme(scheme, opts); err != nil {
+				t.Fatal(err)
+			}
+			runtime.ReadMemStats(&m1)
+			if allocs := m1.Mallocs - m0.Mallocs; allocs > runAllocBudget {
+				t.Fatalf("%s run allocated %d times, budget %d", scheme, allocs, runAllocBudget)
+			}
+		})
+	}
+}
