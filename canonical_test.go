@@ -92,7 +92,7 @@ func TestFingerprintRejectsInvalid(t *testing.T) {
 
 func TestSchemesAndValidScheme(t *testing.T) {
 	all := Schemes()
-	want := []string{SchemeHADFL, SchemeFedAvg, SchemeDistributed, SchemeAsyncFL}
+	want := []string{SchemeHADFL, SchemeFedAvg, SchemeDistributed, SchemeAsyncFL, SchemeHADFLGrouped}
 	if len(all) != len(want) {
 		t.Fatalf("Schemes() = %v", all)
 	}

@@ -33,5 +33,5 @@ func ExampleCompare() {
 		panic(err)
 	}
 	fmt.Println(len(results), "schemes compared")
-	// Output: 4 schemes compared
+	// Output: 5 schemes compared
 }

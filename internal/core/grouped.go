@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"hadfl/internal/aggregate"
+	"hadfl/internal/device"
 	"hadfl/internal/metrics"
 	"hadfl/internal/p2p"
 	"hadfl/internal/predict"
@@ -19,6 +21,11 @@ import (
 // synchronization aggregates representatives across groups. The
 // inter-group period is thus an integer multiple of the intra-group
 // period, as §III-C specifies.
+//
+// The scheme-independent knobs (TargetEpochs, Seed, Parallelism,
+// OnRound) live in Base's embedded RunConfig, so the registered
+// "hadfl-grouped" scheme overlays the façade's shared RunConfig onto
+// these defaults like every other scheme.
 type GroupedConfig struct {
 	Base Config
 	// GroupSize is the maximum devices per group.
@@ -40,8 +47,14 @@ func DefaultGroupedConfig() GroupedConfig {
 	}
 }
 
-// RunHADFLGrouped executes hierarchical HADFL on the cluster.
-func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
+// RunHADFLGrouped executes hierarchical HADFL on the cluster. ctx
+// cancels the run cooperatively — checked at every round boundary and
+// inside every device's step loop, so cancellation takes effect within
+// one device step and returns ctx.Err(); the checks never alter an
+// uncancelled run. Devices train concurrently up to
+// Base.Parallelism (0 = GOMAXPROCS), with per-device partials joined
+// in device order so curves are byte-identical at every setting.
+func RunHADFLGrouped(ctx context.Context, c *Cluster, cfg GroupedConfig) (*Result, error) {
 	if cfg.GroupSize < 1 {
 		return nil, fmt.Errorf("core: GroupSize %d", cfg.GroupSize)
 	}
@@ -66,7 +79,10 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 	totalSteps := 0
 	warmupEnd := 0.0
 	for _, d := range c.Devices {
-		calc := d.Warmup(base.WarmupEpochs, base.WarmupLRScale)
+		calc := d.WarmupCtx(ctx, base.WarmupEpochs, base.WarmupLRScale)
+		if err := ctx.Err(); err != nil {
+			return nil, err // partial warmup: abandon calc, surface the abort
+		}
 		totalSteps += base.WarmupEpochs * d.Loader.BatchesPerEpoch()
 		if calc > warmupEnd {
 			warmupEnd = calc
@@ -75,14 +91,16 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 			float64(base.Strategy.Tsync)*d.EpochTime(), calc, base.WarmupEpochs))
 	}
 	now = warmupEnd
-	vecs := make([][]float64, len(c.Devices))
-	for i, d := range c.Devices {
-		vecs[i] = d.Parameters()
-	}
-	global := aggregate.Mean(vecs)
+	// Reused parameter plumbing: one gather buffer per device, one
+	// aggregation target and one merge scratch for the whole run.
+	pg := NewParamGather(len(c.InitParams))
+	global := make([]float64, len(c.InitParams))
+	aggregate.MeanInto(global, pg.CollectAll(c))
 	for _, d := range c.Devices {
 		d.SetParameters(global)
 	}
+	aggBuf := make([]float64, len(global))
+	mergeBuf := make([]float64, len(global))
 	paramBytes := 8 * len(global)
 	loss0, acc0 := c.Evaluate(global)
 	series.Add(metrics.Point{Epoch: c.EpochsProcessed(totalSteps), Time: now, Loss: loss0, Accuracy: acc0})
@@ -121,8 +139,13 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 		return strategy.Generate(rng, sc, ests)
 	}
 
+	par := ResolveParallelism(base.Parallelism)
+	partials := make([]groupedDevResult, len(c.Devices))
 	round := 0
 	for ; round < base.MaxRounds && c.EpochsProcessed(totalSteps) < base.TargetEpochs; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		plans := make([]strategy.Plan, len(groups))
 		roundPeriod := 0.0
 		for gi, g := range groups {
@@ -136,30 +159,39 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 			}
 		}
 
-		// Local training fills the global round period on every device.
-		roundLoss, lossCount := 0.0, 0
-		for _, d := range c.Devices {
-			elapsed, steps := 0.0, 0
-			for steps == 0 || elapsed+d.StepTime() <= roundPeriod {
-				l, e := d.TrainStep()
-				elapsed += e
-				steps++
-				roundLoss += l
-				lossCount++
-				if steps > 100000 {
-					return nil, fmt.Errorf("core: runaway local loop on device %d", d.Cfg.ID)
-				}
+		// Local training fills the global round period on every device,
+		// concurrently up to par; partials join in device order so the
+		// loss curve is byte-identical to the sequential schedule.
+		trainOne := func(i int) {
+			partials[i] = trainGroupedDevice(ctx, c.Devices[i], roundPeriod)
+		}
+		if par > 1 && len(c.Devices) > 1 {
+			RunConcurrent(len(c.Devices), par, trainOne)
+		} else {
+			for i := range c.Devices {
+				trainOne(i)
 			}
-			totalSteps += steps
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		roundLoss, lossCount := 0.0, 0
+		for i, d := range c.Devices {
+			if partials[i].runaway {
+				return nil, fmt.Errorf("core: runaway local loop on device %d", d.Cfg.ID)
+			}
+			roundLoss += partials[i].lossSum
+			lossCount += partials[i].steps
+			totalSteps += partials[i].steps
 		}
 		now += roundPeriod
 
 		inter := strategy.GroupSchedule(round+1, cfg.InterEvery)
+		var reps []int
 		if inter {
 			// Inter-group sync (Fig. 2b): the freshest member of each
 			// group forms a cross-group ring; the aggregate is broadcast
 			// to every device.
-			var reps []int
 			for _, g := range groups {
 				best, bestV := g[0], -1.0
 				for _, id := range g {
@@ -170,11 +202,8 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 				reps = append(reps, best)
 			}
 			sort.Ints(reps)
-			repVecs := make([][]float64, len(reps))
-			for i, id := range reps {
-				repVecs[i] = c.Device(id).Parameters()
-			}
-			agg := aggregate.Mean(repVecs)
+			agg := aggBuf
+			aggregate.MeanInto(agg, pg.Collect(c, reps))
 			now += commModel.RingAllReduceTime(len(reps), paramBytes)
 			if len(reps) > 1 {
 				per := int64(2 * paramBytes * (len(reps) - 1) / len(reps))
@@ -183,10 +212,12 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 				}
 			}
 			for _, d := range c.Devices {
-				if containsInt(reps, d.Cfg.ID) {
+				if contains(reps, d.Cfg.ID) {
 					d.SetParameters(agg)
 				} else {
-					d.SetParameters(aggregate.Merge(d.Parameters(), agg, base.MergeBeta))
+					d.ParametersInto(mergeBuf)
+					aggregate.MergeInto(mergeBuf, mergeBuf, agg, base.MergeBeta)
+					d.SetParameters(mergeBuf)
 				}
 			}
 			if len(c.Devices) > len(reps) {
@@ -194,7 +225,7 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 				comm.DeviceBytes[sender] += int64((len(c.Devices) - len(reps)) * paramBytes)
 				now += commModel.BroadcastTime(len(c.Devices)-len(reps), paramBytes)
 			}
-			global = agg
+			copy(global, agg)
 		} else {
 			// Intra-group partial sync in every group independently; the
 			// slowest group's communication gates the round clock.
@@ -205,11 +236,8 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 				if len(sel) == 0 {
 					continue
 				}
-				selVecs := make([][]float64, len(sel))
-				for i, id := range sel {
-					selVecs[i] = c.Device(id).Parameters()
-				}
-				agg := aggregate.Mean(selVecs)
+				agg := aggBuf
+				aggregate.MeanInto(agg, pg.Collect(c, sel))
 				ct := commModel.RingAllReduceTime(len(sel), paramBytes)
 				if len(sel) > 1 {
 					per := int64(2 * paramBytes * (len(sel) - 1) / len(sel))
@@ -222,7 +250,7 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 				}
 				var unsel []int
 				for _, id := range g {
-					if !containsInt(sel, id) {
+					if !contains(sel, id) {
 						unsel = append(unsel, id)
 					}
 				}
@@ -232,13 +260,15 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 					ct += commModel.BroadcastTime(len(unsel), paramBytes)
 					for _, id := range unsel {
 						d := c.Device(id)
-						d.SetParameters(aggregate.Merge(d.Parameters(), agg, base.MergeBeta))
+						d.ParametersInto(mergeBuf)
+						aggregate.MergeInto(mergeBuf, mergeBuf, agg, base.MergeBeta)
+						d.SetParameters(mergeBuf)
 					}
 				}
 				if ct > worstComm {
 					worstComm = ct
 				}
-				global = agg // last group's aggregate stands in for eval between inter syncs
+				copy(global, agg) // last group's aggregate stands in for eval between inter syncs
 			}
 			now += worstComm
 		}
@@ -253,15 +283,47 @@ func RunHADFLGrouped(c *Cluster, cfg GroupedConfig) (*Result, error) {
 		}
 		_, acc := c.Evaluate(global)
 		series.Add(metrics.Point{Epoch: c.EpochsProcessed(totalSteps), Time: now, Loss: loss, Accuracy: acc})
+		if base.OnRound != nil {
+			base.OnRound(RoundInfo{
+				Round:    round,
+				Time:     now,
+				Selected: reps, // inter-group ring members; nil on intra rounds
+				Loss:     loss,
+				Accuracy: acc,
+			})
+		}
 	}
 	return &Result{Series: series, Comm: comm, Rounds: round, FinalParams: global}, nil
 }
 
-func containsInt(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
+// groupedDevResult carries one device's local-training partials out of
+// the (possibly concurrent) grouped training phase; joining them in
+// device order keeps the reduction independent of scheduling.
+type groupedDevResult struct {
+	steps   int
+	lossSum float64
+	runaway bool
+}
+
+// trainGroupedDevice fills the round period with local steps on d. It
+// touches only device-owned state, so distinct devices may run
+// concurrently. A canceled ctx stops the loop early; the caller then
+// abandons the partials and returns ctx.Err().
+func trainGroupedDevice(ctx context.Context, d *device.Device, roundPeriod float64) groupedDevResult {
+	var r groupedDevResult
+	elapsed := 0.0
+	for r.steps == 0 || elapsed+d.StepTime() <= roundPeriod {
+		if ctx.Err() != nil {
+			return r
+		}
+		l, e := d.TrainStep()
+		elapsed += e
+		r.steps++
+		r.lossSum += l
+		if r.steps > 100000 {
+			r.runaway = true
+			return r
 		}
 	}
-	return false
+	return r
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -12,7 +13,7 @@ func TestGroupedHADFLConverges(t *testing.T) {
 	cfg := DefaultGroupedConfig()
 	cfg.Base.TargetEpochs = 12
 	cfg.Base.MaxRounds = 300
-	res, err := RunHADFLGrouped(c, cfg)
+	res, err := RunHADFLGrouped(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestGroupedHADFLEightDevices(t *testing.T) {
 	cfg.GroupSize = 3
 	cfg.InterEvery = 3
 	cfg.Base.TargetEpochs = 10
-	res, err := RunHADFLGrouped(c, cfg)
+	res, err := RunHADFLGrouped(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestGroupedHADFLInterGroupMixesKnowledge(t *testing.T) {
 	cfg.Base.TargetEpochs = 6
 	cfg.Base.MergeBeta = 1 // unselected devices adopt the aggregate outright
 	cfg.InterEvery = 1     // every round is inter-group
-	res, err := RunHADFLGrouped(c, cfg)
+	res, err := RunHADFLGrouped(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestGroupedHADFLValidation(t *testing.T) {
 	} {
 		cfg := DefaultGroupedConfig()
 		mut(&cfg)
-		if _, err := RunHADFLGrouped(c, cfg); err == nil {
+		if _, err := RunHADFLGrouped(context.Background(), c, cfg); err == nil {
 			t.Errorf("invalid grouped config accepted")
 		}
 	}

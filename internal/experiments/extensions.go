@@ -141,7 +141,7 @@ func GroupedComparison(fast bool, seed int64) (flat, grouped *metrics.Series, er
 	gcfg.GroupSize = 4
 	gcfg.IntraNp = 2
 	gcfg.InterEvery = 2
-	groupedRes, err := core.RunHADFLGrouped(cg, gcfg)
+	groupedRes, err := core.RunHADFLGrouped(context.Background(), cg, gcfg)
 	if err != nil {
 		return nil, nil, err
 	}

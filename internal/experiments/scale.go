@@ -68,7 +68,7 @@ func Scale(fast bool, seed int64, sizes []int) ([]ScaleRow, error) {
 			gcfg.GroupSize = 4
 			gcfg.IntraNp = 2
 			gcfg.InterEvery = 2
-			grouped, err := core.RunHADFLGrouped(cg, gcfg)
+			grouped, err := core.RunHADFLGrouped(context.Background(), cg, gcfg)
 			if err != nil {
 				return nil, err
 			}

@@ -2,13 +2,13 @@ package hadfl
 
 // The scheme registry: training schemes are pluggable data, not
 // compiled-in switch arms. Each scheme is a named strategy for driving
-// a core.Cluster to a core.Result; the built-ins (HADFL, the paper's
-// two synchronous baselines, and the async-FL related-work scheme)
-// register themselves at init, and everything scheme-shaped in the
-// public API — RunScheme, Schemes, ValidScheme, Fingerprint, Compare,
-// the serve layer's listing, the CLIs — derives from the registry, so
-// a newly registered scheme is immediately runnable, cacheable and
-// listable everywhere.
+// a core.Cluster to a core.Result; the built-ins (HADFL, its
+// hierarchical grouped variant, the paper's two synchronous baselines,
+// and the async-FL related-work scheme) register themselves at init,
+// and everything scheme-shaped in the public API — RunScheme, Schemes,
+// ValidScheme, Fingerprint, Compare, the serve layer's listing, the
+// CLIs — derives from the registry, so a newly registered scheme is
+// immediately runnable, cacheable and listable everywhere.
 
 import (
 	"context"
@@ -22,10 +22,11 @@ import (
 
 // Scheme names registered by this package.
 const (
-	SchemeHADFL       = "hadfl"
-	SchemeFedAvg      = "decentralized-fedavg"
-	SchemeDistributed = "distributed"
-	SchemeAsyncFL     = "asyncfl"
+	SchemeHADFL        = "hadfl"
+	SchemeFedAvg       = "decentralized-fedavg"
+	SchemeDistributed  = "distributed"
+	SchemeAsyncFL      = "asyncfl"
+	SchemeHADFLGrouped = "hadfl-grouped"
 )
 
 // Scheme is one pluggable training scheme. Run must honor ctx
@@ -116,8 +117,8 @@ func lookupScheme(name string) (Scheme, bool) {
 }
 
 // Schemes returns the registered scheme names in registration order:
-// the built-ins (hadfl, decentralized-fedavg, distributed, asyncfl)
-// followed by any custom registrations.
+// the built-ins (hadfl, decentralized-fedavg, distributed, asyncfl,
+// hadfl-grouped) followed by any custom registrations.
 func Schemes() []string {
 	registry.RLock()
 	defer registry.RUnlock()
@@ -147,6 +148,7 @@ func init() {
 	MustRegisterScheme(NewScheme(SchemeFedAvg, runSchemeFedAvg))
 	MustRegisterScheme(NewScheme(SchemeDistributed, runSchemeDistributed))
 	MustRegisterScheme(NewScheme(SchemeAsyncFL, runSchemeAsyncFL))
+	MustRegisterScheme(NewScheme(SchemeHADFLGrouped, runSchemeHADFLGrouped))
 }
 
 func runSchemeHADFL(ctx context.Context, c *core.Cluster, rc core.RunConfig) (*core.Result, error) {
@@ -171,4 +173,10 @@ func runSchemeAsyncFL(ctx context.Context, c *core.Cluster, rc core.RunConfig) (
 	cfg := baselines.DefaultAsyncFLConfig()
 	cfg.Apply(rc)
 	return baselines.RunAsyncFL(ctx, c, cfg)
+}
+
+func runSchemeHADFLGrouped(ctx context.Context, c *core.Cluster, rc core.RunConfig) (*core.Result, error) {
+	cfg := core.DefaultGroupedConfig()
+	cfg.Base.Apply(rc)
+	return core.RunHADFLGrouped(ctx, c, cfg)
 }
