@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: check ci fmt fmt-check vet build test test-short test-race test-race-short bench bench-json serve
+.PHONY: check ci fmt fmt-check vet build test test-short test-race test-race-short alloc-guard bench bench-json bench-eval serve
 
 check: fmt-check vet build test-short
 
-# ci is the full pre-merge gate: formatting, vet, the short suite, and
-# the short suite under the race detector.
-ci: fmt-check vet test-short test-race-short
+# ci is the full pre-merge gate: formatting, vet, the short suite, the
+# short suite under the race detector, and the allocation guards (the
+# zero-alloc train/eval steps plus the whole-run allocation budget).
+ci: fmt-check vet test-short test-race-short alloc-guard
+
+# alloc-guard pins the hot-path allocation contracts explicitly (they
+# also run inside test-short; this target is the named gate so a perf
+# regression fails loudly on its own line).
+alloc-guard:
+	$(GO) test -run 'ZeroAlloc' ./internal/nn ./internal/eval
+	$(GO) test -run 'TestRunAllocationBudget' .
 
 fmt: fmt-check
 
@@ -54,6 +62,16 @@ bench-json:
 	rm BENCH_compute.txt.tmp
 	mv BENCH_compute.json.tmp BENCH_compute.json
 	@echo wrote BENCH_compute.json
+
+# bench-eval snapshots the evaluation-engine trajectory (engine vs the
+# legacy double-forward path: evals/sec and allocs per evaluation) into
+# BENCH_eval.json; diff it across PRs like BENCH_compute.json.
+bench-eval:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate' -benchmem ./internal/eval > BENCH_eval.txt.tmp
+	$(GO) run ./cmd/hadfl-benchjson -note 'evaluation-engine benchmark snapshot; regenerate with `make bench-eval`' < BENCH_eval.txt.tmp > BENCH_eval.json.tmp
+	rm BENCH_eval.txt.tmp
+	mv BENCH_eval.json.tmp BENCH_eval.json
+	@echo wrote BENCH_eval.json
 
 serve:
 	$(GO) run ./cmd/hadfl-serve -addr :8080

@@ -9,9 +9,11 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -28,25 +30,80 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Snapshot is the emitted document.
+// Ratio compares a parallel benchmark against its serial twin (Name
+// and NameParallel): Speedup > 1 means the parallel kernel won. On a
+// single-core host the ratios hover around 1 and mostly measure
+// dispatch overhead — check HostCPUs before reading anything into
+// them.
+type Ratio struct {
+	Name       string  `json:"name"`
+	SerialNs   float64 `json:"serial_ns_op"`
+	ParallelNs float64 `json:"parallel_ns_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Snapshot is the emitted document. HostCPUs records how many logical
+// cores the snapshotting host had, so later diffs know whether the
+// parallel numbers had real hardware underneath them.
 type Snapshot struct {
-	Note       string      `json:"note"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Note             string      `json:"note"`
+	CPU              string      `json:"cpu,omitempty"`
+	HostCPUs         int         `json:"host_cpus"`
+	ParallelVsSerial []Ratio     `json:"parallel_vs_serial,omitempty"`
+	Benchmarks       []Benchmark `json:"benchmarks"`
 }
 
 func main() {
+	note := flag.String("note", "compute-core benchmark snapshot; regenerate with `make bench-json`",
+		"note field recorded in the snapshot")
+	flag.Parse()
 	snap, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hadfl-benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	snap.Note = *note
+	snap.HostCPUs = runtime.NumCPU()
+	snap.ParallelVsSerial = ratios(snap.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
 		fmt.Fprintf(os.Stderr, "hadfl-benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// ratios pairs every "<Name>Parallel" benchmark with its serial twin
+// "<Name>" and records the serial/parallel speedup.
+func ratios(benches []Benchmark) []Ratio {
+	serial := make(map[string]float64, len(benches))
+	for _, b := range benches {
+		if !strings.HasSuffix(b.Name, "Parallel") {
+			serial[b.Name] = b.Metrics["ns/op"]
+		}
+	}
+	var out []Ratio
+	for _, b := range benches {
+		base, ok := strings.CutSuffix(b.Name, "Parallel")
+		if !ok {
+			continue
+		}
+		sNs, ok := serial[base]
+		if !ok || sNs <= 0 {
+			continue
+		}
+		pNs := b.Metrics["ns/op"]
+		if pNs <= 0 {
+			continue
+		}
+		out = append(out, Ratio{
+			Name:       base,
+			SerialNs:   sNs,
+			ParallelNs: pNs,
+			Speedup:    sNs / pNs,
+		})
+	}
+	return out
 }
 
 // parse scans benchmark output. Result lines have the shape
