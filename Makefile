@@ -1,13 +1,31 @@
 GO ?= go
 
-.PHONY: check ci fmt fmt-check vet build test test-short test-race test-race-short alloc-guard bench bench-json bench-eval serve
+.PHONY: check ci fmt fmt-check vet build test test-short test-race test-race-short alloc-guard fuzz-short e2e-dispatch bench bench-json bench-eval bench-dispatch serve
 
 check: fmt-check vet build test-short
 
 # ci is the full pre-merge gate: formatting, vet, the short suite, the
-# short suite under the race detector, and the allocation guards (the
-# zero-alloc train/eval steps plus the whole-run allocation budget).
-ci: fmt-check vet test-short test-race-short alloc-guard
+# short suite under the race detector, the allocation guards (the
+# zero-alloc train/eval steps plus the whole-run allocation budget),
+# the wire-codec fuzz smoke and the dispatch e2e suite under -race.
+ci: fmt-check vet test-short test-race-short alloc-guard fuzz-short e2e-dispatch
+
+# fuzz-short runs each p2p wire-codec fuzz target for a few seconds —
+# not a soak, a smoke: decoder panics and round-trip breaks on easy
+# inputs fail the gate. (go's -fuzz takes one target per invocation.)
+FUZZTIME ?= 5s
+fuzz-short:
+	$(GO) test ./internal/p2p -run '^$$' -fuzz 'FuzzUnmarshal$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/p2p -run '^$$' -fuzz 'FuzzDispatchBody$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/p2p -run '^$$' -fuzz 'FuzzUnpackBytes$$' -fuzztime $(FUZZTIME)
+
+# e2e-dispatch is the remote-execution acceptance gate: the simnet
+# end-to-end suite (byte-identical dispatched results, cancel and
+# worker-crash fault injection, heartbeat loss, local fallback) under
+# the race detector. -short trims the saturation and full-registry
+# sweeps; `go test ./internal/serve/dispatch` runs everything.
+e2e-dispatch:
+	$(GO) test -race -short ./internal/serve/dispatch
 
 # alloc-guard pins the hot-path allocation contracts explicitly (they
 # also run inside test-short; this target is the named gate so a perf
@@ -62,6 +80,17 @@ bench-json:
 	rm BENCH_compute.txt.tmp
 	mv BENCH_compute.json.tmp BENCH_compute.json
 	@echo wrote BENCH_compute.json
+
+# bench-dispatch snapshots the remote-execution overhead (the same
+# tiny run through the local registry vs the full simnet dispatch
+# round trip) into BENCH_dispatch.json; the gap between the two
+# benchmarks is the protocol's per-job cost.
+bench-dispatch:
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch' -benchtime 5x -benchmem ./internal/serve/dispatch > BENCH_dispatch.txt.tmp
+	$(GO) run ./cmd/hadfl-benchjson -note 'dispatch-overhead benchmark snapshot (local registry vs simnet dispatch of one tiny run); regenerate with `make bench-dispatch`' < BENCH_dispatch.txt.tmp > BENCH_dispatch.json.tmp
+	rm BENCH_dispatch.txt.tmp
+	mv BENCH_dispatch.json.tmp BENCH_dispatch.json
+	@echo wrote BENCH_dispatch.json
 
 # bench-eval snapshots the evaluation-engine trajectory (engine vs the
 # legacy double-forward path: evals/sec and allocs per evaluation) into

@@ -49,6 +49,12 @@ func (o Options) Validate() error {
 			return fmt.Errorf("hadfl: FailAt[%d] = %v, want a finite non-negative virtual time", id, at)
 		}
 	}
+	if o.GroupSize < 0 {
+		return fmt.Errorf("hadfl: GroupSize = %d, want >= 0 (0 = scheme default)", o.GroupSize)
+	}
+	if o.InterEvery < 0 {
+		return fmt.Errorf("hadfl: InterEvery = %d, want >= 0 (0 = scheme default)", o.InterEvery)
+	}
 	return nil
 }
 
@@ -95,7 +101,15 @@ func (o Options) Canonical() string {
 		b.WriteByte('=')
 		b.WriteString(formatFloat(o.FailAt[id]))
 	}
-	b.WriteString("}")
+	// The hierarchy knobs render even at their zero values so the form
+	// stays self-describing; 0 means "scheme default", which the grouped
+	// scheme resolves to 2/2, so 0 and an explicit 2 are distinct
+	// canonical forms by design (the default may evolve with the paper
+	// profile without silently aliasing old fingerprints).
+	b.WriteString("};group=")
+	b.WriteString(strconv.Itoa(o.GroupSize))
+	b.WriteString(";inter=")
+	b.WriteString(strconv.Itoa(o.InterEvery))
 	return b.String()
 }
 

@@ -23,6 +23,8 @@ func TestValidateRejectsBadOptions(t *testing.T) {
 		"neg alpha":      {NonIIDAlpha: -0.5},
 		"fail id range":  {FailAt: map[int]float64{9: 10}},
 		"neg fail time":  {FailAt: map[int]float64{1: -1}},
+		"neg group size": {GroupSize: -2},
+		"neg inter":      {InterEvery: -1},
 	}
 	for name, opts := range cases {
 		if err := opts.Validate(); err == nil {
@@ -69,6 +71,8 @@ func TestFingerprintDistinguishesRuns(t *testing.T) {
 		"epochs": func() (string, Options) { o := base; o.TargetEpochs = 9; return SchemeHADFL, o },
 		"powers": func() (string, Options) { o := base; o.Powers = []float64{4, 2, 2, 2}; return SchemeHADFL, o },
 		"model":  func() (string, Options) { o := base; o.Model = "vgg"; return SchemeHADFL, o },
+		"group":  func() (string, Options) { o := base; o.GroupSize = 3; return SchemeHADFL, o },
+		"inter":  func() (string, Options) { o := base; o.InterEvery = 4; return SchemeHADFL, o },
 	} {
 		scheme, opts := alt()
 		fp, err := Fingerprint(scheme, opts)
@@ -78,6 +82,59 @@ func TestFingerprintDistinguishesRuns(t *testing.T) {
 		if fp == fp1 {
 			t.Errorf("%s: fingerprint collision", name)
 		}
+	}
+}
+
+// TestGroupedKnobsFingerprintAndResults pins the ROADMAP contract for
+// the exposed hierarchy knobs: distinct GroupSize/InterEvery values
+// produce distinct canonical forms and fingerprints (so the serve cache
+// keeps one entry per setting), and the hadfl-grouped scheme actually
+// consumes them — a different grouping trains a different trajectory.
+func TestGroupedKnobsFingerprintAndResults(t *testing.T) {
+	base := fastOpts(1)
+	seen := map[string]string{}
+	for _, knobs := range []struct{ group, inter int }{
+		{0, 0}, {2, 2}, {3, 2}, {2, 4}, {4, 1},
+	} {
+		o := base
+		o.GroupSize, o.InterEvery = knobs.group, knobs.inter
+		canon := o.Canonical()
+		fp, err := Fingerprint(SchemeHADFLGrouped, o)
+		if err != nil {
+			t.Fatalf("group=%d inter=%d: %v", knobs.group, knobs.inter, err)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision between %q and %q", prev, canon)
+		}
+		seen[fp] = canon
+	}
+
+	if testing.Short() {
+		t.Skip("skipping grouped-knob training runs in -short mode")
+	}
+	// One big group that never inter-syncs vs the default pairs-of-2:
+	// the trajectories must differ (the knob reaches the scheme), while
+	// re-running identical knobs reproduces byte-identical results.
+	def, err := RunScheme(SchemeHADFLGrouped, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := base
+	wide.GroupSize = len(base.Powers)
+	wide.InterEvery = 1
+	alt, err := RunScheme(SchemeHADFLGrouped, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.Accuracy == def.Accuracy && alt.Time == def.Time && alt.Rounds == def.Rounds {
+		t.Error("GroupSize/InterEvery did not change the grouped trajectory")
+	}
+	again, err := RunScheme(SchemeHADFLGrouped, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Accuracy != alt.Accuracy || again.Time != alt.Time {
+		t.Error("identical grouped knobs did not reproduce the run")
 	}
 }
 

@@ -5,9 +5,15 @@
 // and per-round progress streaming over SSE. See internal/serve for
 // the API.
 //
+// With -dispatch, jobs execute on remote hadfl-worker nodes over the
+// internal/p2p dispatch protocol (load-balanced, retried on worker
+// loss, falling back to local execution when no worker is live); a
+// bare hadfl-serve behaves exactly as before.
+//
 // Examples:
 //
 //	hadfl-serve -addr :8080 -workers 4 -job-timeout 5m
+//	hadfl-serve -addr :8080 -dispatch 127.0.0.1:7071,127.0.0.1:7072
 //	curl -s localhost:8080/runs -d '{"scheme":"hadfl","options":{"powers":[4,2,2,1],"targetEpochs":8,"seed":1}}'
 //	curl -N localhost:8080/runs/<id>/events
 package main
@@ -23,11 +29,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hadfl"
+	"hadfl/internal/metrics"
+	"hadfl/internal/p2p"
 	"hadfl/internal/serve"
+	"hadfl/internal/serve/dispatch"
 )
 
 // errBadFlags signals that the FlagSet already printed the problem and
@@ -63,6 +73,9 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		runPar     = fs.Int("run-parallelism", 0, "per-run device concurrency when a request leaves it unset (0 = sequential)")
 		tpar       = fs.Int("tensor-workers", 0, "tensor kernel worker pool size (0 = GOMAXPROCS)")
 		storeDir   = fs.String("store-dir", "", "persist completed results here and rehydrate them on boot (empty = in-memory only)")
+		dispatchTo = fs.String("dispatch", "", "comma-separated hadfl-worker addresses to execute runs on (empty = run locally); the i-th address must be the worker started with -id i")
+		dispAddr   = fs.String("dispatch-listen", "127.0.0.1:0", "p2p listen address for worker replies (with -dispatch)")
+		dispWait   = fs.Duration("dispatch-wait", 3*time.Second, "how long to wait at boot for workers to register (with -dispatch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -72,6 +85,39 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 	}
 
 	hadfl.SetComputeParallelism(*tpar)
+	reg := metrics.NewRegistry()
+	var runner serve.Runner
+	var disp *dispatch.Dispatcher
+	if *dispatchTo != "" {
+		node, err := p2p.ListenTCP(0, *dispAddr)
+		if err != nil {
+			return err
+		}
+		var ids []int
+		for i, addr := range strings.Split(*dispatchTo, ",") {
+			id := i + 1 // a worker's -id is its 1-based position in this list
+			node.AddPeer(id, strings.TrimSpace(addr))
+			ids = append(ids, id)
+		}
+		disp, err = dispatch.New(dispatch.Config{
+			Transport: node,
+			Workers:   ids,
+			ReplyAddr: node.Addr(),
+			Metrics:   reg,
+		})
+		if err != nil {
+			node.Close()
+			return err
+		}
+		runner = disp.Run
+		waitCtx, cancelWait := context.WithTimeout(context.Background(), *dispWait)
+		if err := disp.WaitReady(waitCtx, len(ids)); err != nil {
+			fmt.Fprintf(out, "hadfl-serve: %d of %d workers registered within %s; missing ones join via heartbeat\n",
+				disp.LiveWorkers(), len(ids), *dispWait)
+		}
+		cancelWait()
+		fmt.Fprintf(out, "hadfl-serve dispatching to %d workers (p2p %s)\n", len(ids), node.Addr())
+	}
 	srv, err := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -81,12 +127,27 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		CacheMaxEntries: *cacheMax,
 		RunParallelism:  *runPar,
 		StoreDir:        *storeDir,
+		Runner:          runner,
+		Metrics:         reg,
 	})
 	if err != nil {
+		if disp != nil {
+			disp.Close()
+		}
 		return err
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		// Nothing is running yet, so the close is immediate — but it
+		// must happen: a caller that keeps the process alive (tests
+		// drive run() directly) would otherwise leak the pool and the
+		// dispatcher's listener, goroutines and worker hellos.
+		closeCtx, cancelClose := context.WithTimeout(context.Background(), time.Second)
+		_ = srv.Close(closeCtx)
+		cancelClose()
+		if disp != nil {
+			_ = disp.Close()
+		}
 		return err
 	}
 	fmt.Fprintf(out, "hadfl-serve listening on %s (workers=%d queue=%d job-timeout=%s)\n",
@@ -116,6 +177,12 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 	defer cancel()
 	if err := srv.Close(shutdownCtx); err != nil {
 		fmt.Fprintf(out, "hadfl-serve: running jobs canceled after grace: %v\n", err)
+	}
+	if disp != nil {
+		// The pool has drained, so no dispatched run is in flight.
+		if err := disp.Close(); err != nil {
+			fmt.Fprintf(out, "hadfl-serve: dispatcher close: %v\n", err)
+		}
 	}
 	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer httpCancel()

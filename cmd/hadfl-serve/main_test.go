@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hadfl/internal/p2p"
+	"hadfl/internal/serve/dispatch"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -113,5 +117,143 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if out := sb.String(); !strings.Contains(out, "listening on") || !strings.Contains(out, "shutting down") {
 		t.Fatalf("output:\n%s", out)
+	}
+}
+
+// TestServeDispatchSmoke boots a worker node (the same transport and
+// serve loop cmd/hadfl-worker wraps — that binary has its own smoke
+// test) and a hadfl-serve pointed at it with -dispatch, submits a run
+// over HTTP and verifies it executed remotely (dispatch_remote_total
+// on /stats) and returned a real result — the dispatch integration
+// path over real sockets.
+func TestServeDispatchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training run over TCP in -short mode")
+	}
+	workerNode, err := p2p.ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer workerNode.Close()
+	worker, err := dispatch.NewWorker(dispatch.WorkerConfig{
+		Transport: workerNode,
+		AddPeer:   workerNode.AddPeer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		_ = worker.Serve(workerCtx)
+	}()
+	workerAddr := workerNode.Addr()
+
+	var sb strings.Builder
+	ready := make(chan net.Addr, 1)
+	quit := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-grace", "5s",
+			"-dispatch", workerAddr}, &sb, io.Discard, ready, quit)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("server died early: %v (output %q)", err, sb.String())
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Post(base+"/runs", "application/json",
+		strings.NewReader(`{"scheme":"hadfl","options":{"powers":[2,1],"targetEpochs":2,"seed":11}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if submitted.ID == "" {
+		t.Fatalf("POST /runs: no job id (status %d)", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(base + "/runs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State  string `json:"state"`
+			Error  string `json:"error"`
+			Result *struct {
+				Accuracy    float64 `json:"accuracy"`
+				CurvePoints int     `json:"curvePoints"`
+			} `json:"result"`
+		}
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			if st.Result == nil || st.Result.Accuracy <= 0 || st.Result.CurvePoints == 0 {
+				t.Fatalf("dispatched result %+v", st.Result)
+			}
+			break
+		}
+		if st.State == "failed" {
+			t.Fatalf("dispatched job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run stuck in state %q", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	sr, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	err = json.NewDecoder(sr.Body).Decode(&stats)
+	sr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Metrics.Counters["dispatch_remote_total"] != 1 {
+		t.Fatalf("dispatch_remote_total = %d, want 1 (counters %v)",
+			stats.Metrics.Counters["dispatch_remote_total"], stats.Metrics.Counters)
+	}
+
+	close(quit)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+	stopWorker()
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never shut down")
+	}
+	if !strings.Contains(sb.String(), "dispatching to 1 workers") {
+		t.Fatalf("serve output:\n%s", sb.String())
 	}
 }

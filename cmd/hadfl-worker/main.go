@@ -1,0 +1,112 @@
+// hadfl-worker is one remote-execution node for hadfl-serve's
+// dispatcher: it listens on a p2p TCP transport, registers with any
+// dispatcher that hellos it, acks liveness heartbeats, executes
+// dispatched runs through the scheme registry (streaming per-round
+// telemetry back), and aborts runs cooperatively on cancel frames or
+// propagated deadlines. See internal/serve/dispatch for the protocol.
+//
+// A worker's -id must match its position in the dispatcher's worker
+// list: `hadfl-serve -dispatch addr1,addr2` addresses the worker at
+// addr1 as id 1 and addr2 as id 2.
+//
+// Example (one serve node, two workers):
+//
+//	hadfl-worker -id 1 -listen 127.0.0.1:7071 &
+//	hadfl-worker -id 2 -listen 127.0.0.1:7072 &
+//	hadfl-serve -dispatch 127.0.0.1:7071,127.0.0.1:7072
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hadfl"
+	"hadfl/internal/p2p"
+	"hadfl/internal/serve/dispatch"
+)
+
+// errBadFlags signals that the FlagSet already printed the problem and
+// usage; main exits without re-printing.
+var errBadFlags = errors.New("invalid command line")
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil); err != nil {
+		if errors.Is(err, errBadFlags) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run parses flags (errors and usage go to errOut), binds the p2p
+// listener and serves dispatch frames until the process is signaled or
+// quit is closed. When ready is non-nil the bound address is sent on
+// it once the listener is up (the smoke test's hook).
+func run(args []string, out, errOut io.Writer, ready chan<- string, quit <-chan struct{}) error {
+	fs := flag.NewFlagSet("hadfl-worker", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7071", "p2p listen address for dispatch frames")
+		id       = fs.Int("id", 1, "worker node id (position in the dispatcher's -dispatch list, 1-based)")
+		capacity = fs.Int("capacity", 1, "concurrent dispatched runs before busy-rejecting")
+		tpar     = fs.Int("tensor-workers", 0, "tensor kernel worker pool size (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errBadFlags
+	}
+	if *id <= 0 {
+		fmt.Fprintln(errOut, "hadfl-worker: -id must be positive (dispatchers reserve id 0)")
+		return errBadFlags
+	}
+
+	hadfl.SetComputeParallelism(*tpar)
+	node, err := p2p.ListenTCP(*id, *listen)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	w, err := dispatch.NewWorker(dispatch.WorkerConfig{
+		Transport: node,
+		Capacity:  *capacity,
+		AddPeer:   node.AddPeer,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hadfl-worker %d listening on %s (capacity=%d)\n", *id, node.Addr(), *capacity)
+	if ready != nil {
+		ready <- node.Addr()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if quit != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		go func() {
+			select {
+			case <-quit:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+	}
+	err = w.Serve(ctx)
+	fmt.Fprintln(out, "hadfl-worker shutting down")
+	if errors.Is(err, context.Canceled) {
+		return nil // signaled: in-flight runs were canceled cooperatively
+	}
+	return err
+}

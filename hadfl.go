@@ -67,6 +67,16 @@ type Options struct {
 	FailAt map[int]float64
 	// Seed makes runs reproducible. Default 1.
 	Seed int64
+	// GroupSize and InterEvery shape the hierarchical hadfl-grouped
+	// scheme: the maximum devices per group and the inter-group sync
+	// period in intra-group rounds (§III-C: the inter-group period is an
+	// integer multiple of the intra-group period). 0 keeps the scheme's
+	// defaults (2 and 2); the non-hierarchical schemes ignore both.
+	// Unlike Parallelism these change the training trajectory, so they
+	// participate in Canonical/Fingerprint — sweeping them from the
+	// serve API yields distinct cached results per setting.
+	GroupSize  int
+	InterEvery int
 	// OnRound, when non-nil, receives progress after every HADFL
 	// synchronization round. The baseline schemes report through it
 	// too — FedAvg per round, distributed per evaluation interval —
@@ -261,6 +271,8 @@ func RunContext(ctx context.Context, scheme string, opts Options) (*Result, erro
 		Seed:         opts.Seed,
 		Parallelism:  opts.Parallelism,
 		LocalSteps:   w.FedAvgLocalSteps,
+		GroupSize:    opts.GroupSize,
+		InterEvery:   opts.InterEvery,
 	}
 	if opts.OnRound != nil {
 		cb := opts.OnRound

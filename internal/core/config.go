@@ -25,6 +25,14 @@ type RunConfig struct {
 	// steps from device power, distributed always runs one step per
 	// iteration).
 	LocalSteps int
+	// GroupSize and InterEvery shape the hierarchical grouped scheme
+	// (hadfl-grouped): the maximum devices per group and the inter-group
+	// sync period in intra-group rounds. 0 means the scheme's default
+	// (2 and 2); the non-hierarchical schemes ignore both. Unlike
+	// Parallelism these change the result, so the façade includes them
+	// in Canonical/Fingerprint.
+	GroupSize  int
+	InterEvery int
 	// OnRound, when non-nil, receives telemetry after every
 	// synchronization round (HADFL), gossip round (fedavg), evaluation
 	// interval (distributed) or EvalEvery server updates (asyncfl). It
@@ -47,6 +55,12 @@ func (c *RunConfig) Apply(o RunConfig) {
 	}
 	if o.LocalSteps > 0 {
 		c.LocalSteps = o.LocalSteps
+	}
+	if o.GroupSize > 0 {
+		c.GroupSize = o.GroupSize
+	}
+	if o.InterEvery > 0 {
+		c.InterEvery = o.InterEvery
 	}
 	if o.OnRound != nil {
 		c.OnRound = o.OnRound

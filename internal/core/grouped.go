@@ -55,6 +55,18 @@ func DefaultGroupedConfig() GroupedConfig {
 // Base.Parallelism (0 = GOMAXPROCS), with per-device partials joined
 // in device order so curves are byte-identical at every setting.
 func RunHADFLGrouped(ctx context.Context, c *Cluster, cfg GroupedConfig) (*Result, error) {
+	// The embedded RunConfig carries the façade's hierarchy knobs (it
+	// is the scheme-independent transport; Apply copied them into
+	// Base). Resolve them onto this config's own fields here, next to
+	// their only reader, so direct GroupedConfig users and the façade
+	// path share one overlay rule: a set RunConfig knob wins, zero
+	// keeps the explicit (or default) field.
+	if cfg.Base.RunConfig.GroupSize > 0 {
+		cfg.GroupSize = cfg.Base.RunConfig.GroupSize
+	}
+	if cfg.Base.RunConfig.InterEvery > 0 {
+		cfg.InterEvery = cfg.Base.RunConfig.InterEvery
+	}
 	if cfg.GroupSize < 1 {
 		return nil, fmt.Errorf("core: GroupSize %d", cfg.GroupSize)
 	}

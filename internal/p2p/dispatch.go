@@ -1,0 +1,120 @@
+package p2p
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Dispatch frames: the serve layer's remote-execution plane rides on
+// the same Transport and Message codec as the training data plane, so
+// every existing transport (ChanHub for in-process simulated networks,
+// TCPNode for real deployments) carries dispatch traffic unchanged.
+//
+// A dispatch frame is a Message whose Kind is one of the KindDispatch*
+// values and whose opaque body (JSON at the protocol layer above) is
+// byte-packed into the float64 Payload:
+//
+//	Version — DispatchVersion (protocol major version; receivers
+//	          reject mismatches rather than guessing at layouts)
+//	Round   — the dispatcher-assigned sequence number identifying the
+//	          in-flight run the frame belongs to
+//	Meta    — exact body length in bytes (the payload rounds up to
+//	          whole float64 words)
+//	Payload — ceil(Meta/8) words holding the body little-endian
+//
+// DispatchBody is the single validating decoder: malformed, truncated
+// or oversized frames return errors, never panic — the fuzz targets in
+// fuzz_test.go pin that contract.
+
+// DispatchVersion is the dispatch protocol version stamped on every
+// frame. Bump it on any incompatible body or layout change; receivers
+// reject other versions with ErrDispatchVersion.
+const DispatchVersion = 1
+
+// MaxDispatchBody bounds a dispatch frame body (16 MiB). Result frames
+// carry a full parameter vector as JSON, which for the profiles in this
+// repo is well under a megabyte; the bound exists so a corrupt length
+// field cannot demand an absurd allocation.
+const MaxDispatchBody = 16 << 20
+
+// ErrDispatchVersion reports a frame from an incompatible protocol
+// version.
+var ErrDispatchVersion = fmt.Errorf("p2p: dispatch protocol version mismatch (want %d)", DispatchVersion)
+
+// IsDispatchKind reports whether k belongs to the dispatch plane.
+func IsDispatchKind(k Kind) bool {
+	switch k {
+	case KindDispatchHello, KindDispatchRequest, KindDispatchRound,
+		KindDispatchResult, KindDispatchError, KindDispatchCancel:
+		return true
+	}
+	return false
+}
+
+// PackBytes encodes an opaque byte body into float64 words (8 bytes per
+// word, little-endian, zero-padded tail). The exact byte length must
+// travel separately (dispatch frames use Meta).
+func PackBytes(b []byte) []float64 {
+	words := make([]float64, (len(b)+7)/8)
+	for i := range words {
+		var chunk [8]byte
+		copy(chunk[:], b[i*8:])
+		words[i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
+	}
+	return words
+}
+
+// UnpackBytes reverses PackBytes: it extracts n bytes from the word
+// payload, rejecting lengths that do not fit the payload exactly
+// (padding beyond the final word would mean a torn or forged frame).
+func UnpackBytes(payload []float64, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("p2p: negative dispatch body length %d", n)
+	}
+	if n > MaxDispatchBody {
+		return nil, fmt.Errorf("p2p: dispatch body %d bytes exceeds cap %d", n, MaxDispatchBody)
+	}
+	if want := (n + 7) / 8; want != len(payload) {
+		return nil, fmt.Errorf("p2p: dispatch body %d bytes needs %d payload words, frame has %d", n, want, len(payload))
+	}
+	out := make([]byte, len(payload)*8)
+	for i, w := range payload {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(w))
+	}
+	return out[:n], nil
+}
+
+// NewDispatchFrame builds a dispatch-plane message: kind must be a
+// KindDispatch* value, seq identifies the in-flight run, and body is
+// the opaque protocol payload (the sender's transport fills From).
+func NewDispatchFrame(kind Kind, to, seq int, body []byte) (Message, error) {
+	if !IsDispatchKind(kind) {
+		return Message{}, fmt.Errorf("p2p: %v is not a dispatch kind", kind)
+	}
+	if len(body) > MaxDispatchBody {
+		return Message{}, fmt.Errorf("p2p: dispatch body %d bytes exceeds cap %d", len(body), MaxDispatchBody)
+	}
+	return Message{
+		Kind:    kind,
+		To:      to,
+		Round:   seq,
+		Meta:    len(body),
+		Version: DispatchVersion,
+		Payload: PackBytes(body),
+	}, nil
+}
+
+// DispatchBody validates a dispatch frame and returns its body bytes.
+// It errors on non-dispatch kinds, protocol version mismatches and any
+// Meta/Payload inconsistency; it never panics, whatever the frame
+// contents (fuzzed in fuzz_test.go).
+func DispatchBody(m Message) ([]byte, error) {
+	if !IsDispatchKind(m.Kind) {
+		return nil, fmt.Errorf("p2p: %v is not a dispatch kind", m.Kind)
+	}
+	if m.Version != DispatchVersion {
+		return nil, fmt.Errorf("%w, frame has %v", ErrDispatchVersion, m.Version)
+	}
+	return UnpackBytes(m.Payload, m.Meta)
+}

@@ -2,8 +2,73 @@ package p2p
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"testing"
 )
+
+// FuzzDispatchBody feeds arbitrary wire bytes through the message
+// decoder into the dispatch-frame validator: malformed, truncated and
+// oversized frames must be rejected with an error, never a panic, and
+// an accepted body must survive a re-encode round trip.
+func FuzzDispatchBody(f *testing.F) {
+	seed, _ := NewDispatchFrame(KindDispatchRequest, 2, 9, []byte(`{"scheme":"hadfl"}`))
+	f.Add(seed.Marshal())
+	empty, _ := NewDispatchFrame(KindDispatchCancel, 1, 3, nil)
+	f.Add(empty.Marshal())
+	// A dispatch kind whose Meta disagrees with its payload.
+	torn := seed
+	torn.Meta = 4096
+	f.Add(torn.Marshal())
+	f.Add([]byte{byte(KindDispatchResult), 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		body, err := DispatchBody(m)
+		if err != nil {
+			return // rejected frames are fine; panics are not
+		}
+		if len(body) > MaxDispatchBody {
+			t.Fatalf("accepted body of %d bytes past the %d cap", len(body), MaxDispatchBody)
+		}
+		re, err := NewDispatchFrame(m.Kind, m.To, m.Round, body)
+		if err != nil {
+			t.Fatalf("accepted body does not re-encode: %v", err)
+		}
+		back, err := DispatchBody(re)
+		if err != nil || !bytes.Equal(back, body) {
+			t.Fatalf("body round trip broke: %v", err)
+		}
+	})
+}
+
+// FuzzUnpackBytes exercises the byte-packing layer directly with
+// arbitrary payload words and claimed lengths.
+func FuzzUnpackBytes(f *testing.F) {
+	f.Add([]byte("hello world"), 11)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1, 2, 3}, -5)
+	f.Add([]byte{1, 2, 3}, 1<<30)
+	f.Fuzz(func(t *testing.T, words []byte, n int) {
+		payload := make([]float64, len(words)/8)
+		for i := range payload {
+			payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(words[i*8:]))
+		}
+		b, err := UnpackBytes(payload, n)
+		if err != nil {
+			return
+		}
+		if len(b) != n {
+			t.Fatalf("UnpackBytes returned %d bytes for claimed length %d", len(b), n)
+		}
+		repacked := PackBytes(b)
+		if len(repacked) != len(payload) {
+			t.Fatalf("repack length %d != %d", len(repacked), len(payload))
+		}
+	})
+}
 
 // FuzzUnmarshal ensures the wire decoder never panics and that every
 // successfully decoded message re-encodes to the same bytes (canonical

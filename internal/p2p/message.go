@@ -27,6 +27,15 @@ const (
 	KindReform                    // ring reformation announcement after a bypass
 	KindReport                    // device → coordinator runtime report (version, timing)
 	KindConfig                    // coordinator → device training configuration
+
+	// Dispatch-plane kinds (serve → worker job shipping; see dispatch.go
+	// for the frame layout and internal/serve/dispatch for the protocol).
+	KindDispatchHello   // dispatcher ⇄ worker registration (body: helloBody)
+	KindDispatchRequest // dispatcher → worker: execute a run (body: requestBody)
+	KindDispatchRound   // worker → dispatcher: per-round telemetry
+	KindDispatchResult  // worker → dispatcher: terminal success + result
+	KindDispatchError   // worker → dispatcher: terminal failure
+	KindDispatchCancel  // dispatcher → worker: abort the run for a sequence
 )
 
 func (k Kind) String() string {
@@ -51,6 +60,18 @@ func (k Kind) String() string {
 		return "report"
 	case KindConfig:
 		return "config"
+	case KindDispatchHello:
+		return "dispatch-hello"
+	case KindDispatchRequest:
+		return "dispatch-request"
+	case KindDispatchRound:
+		return "dispatch-round"
+	case KindDispatchResult:
+		return "dispatch-result"
+	case KindDispatchError:
+		return "dispatch-error"
+	case KindDispatchCancel:
+		return "dispatch-cancel"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -30,6 +30,24 @@ type TCPNode struct {
 // prefixes.
 const maxFrame = 64 << 20
 
+// sendBaseTimeout and sendFloorBytesPerSec bound each outbound frame
+// write: a flat 2s floor (matching the dial timeout) plus time for the
+// frame's size at a deliberately low assumed throughput, so a 16 MiB
+// model frame on a slow WAN is not spuriously cut off while a peer
+// that blackholes after connect — kernel send buffer full, no RST —
+// cannot park Send in conn.Write forever holding the node mutex and
+// wedging every other sender on this node. A hung write errors out,
+// the connection is dropped and the next send re-dials.
+const (
+	sendBaseTimeout      = 2 * time.Second
+	sendFloorBytesPerSec = 1 << 20 // 1 MiB/s ≈ 8 Mbps
+)
+
+// sendDeadline returns the write budget for a frame of n bytes.
+func sendDeadline(n int) time.Duration {
+	return sendBaseTimeout + time.Duration(n)*time.Second/sendFloorBytesPerSec
+}
+
 // ListenTCP starts a node listening on addr (e.g. "127.0.0.1:0").
 func ListenTCP(id int, addr string) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -129,6 +147,7 @@ func (n *TCPNode) Send(m Message) error {
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	_ = conn.SetWriteDeadline(time.Now().Add(sendDeadline(len(frame))))
 	if _, err := conn.Write(lenBuf[:]); err != nil {
 		n.dropConn(m.To, conn)
 		return fmt.Errorf("p2p: send to %d: %w", m.To, err)
@@ -137,6 +156,7 @@ func (n *TCPNode) Send(m Message) error {
 		n.dropConn(m.To, conn)
 		return fmt.Errorf("p2p: send to %d: %w", m.To, err)
 	}
+	_ = conn.SetWriteDeadline(time.Time{})
 	return nil
 }
 

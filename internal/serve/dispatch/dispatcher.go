@@ -1,0 +1,606 @@
+package dispatch
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+	"hadfl/internal/p2p"
+)
+
+// Config assembles a Dispatcher.
+type Config struct {
+	// Transport is the dispatcher's endpoint on the dispatch network.
+	Transport p2p.Transport
+	// Workers lists the worker node ids reachable over the transport.
+	Workers []int
+	// ReplyAddr, when non-empty, is this dispatcher's dial-back address,
+	// advertised to workers in hello frames (TCP transports); id-routed
+	// transports leave it empty.
+	ReplyAddr string
+	// Local executes runs when no live worker can (the fallback path).
+	// Default: the scheme registry in-process, so a dispatcher with no
+	// reachable workers behaves exactly like the plain local pool.
+	Local Runner
+	// HeartbeatEvery is the liveness probe period. Default 500ms.
+	HeartbeatEvery time.Duration
+	// LivenessGrace is how long a worker may stay silent before it is
+	// marked down (in-flight runs on it are retried elsewhere).
+	// Default 4×HeartbeatEvery.
+	LivenessGrace time.Duration
+	// CancelGrace is how long, after sending a cancel frame, the
+	// dispatcher waits for the worker's cooperative abort before
+	// returning ctx.Err() without it. Default 2s.
+	CancelGrace time.Duration
+	// RecvTimeout is the receive loop's poll granularity. Default 100ms.
+	RecvTimeout time.Duration
+	// Metrics receives dispatch telemetry (dispatch_* series). Pass the
+	// serve registry to surface them on /stats. Default: private.
+	Metrics *metrics.Registry
+}
+
+// workerState is the dispatcher's view of one worker.
+type workerState struct {
+	id       int
+	alive    bool
+	seen     time.Time // last frame proving a compatible worker
+	capacity int       // from its hello ack; 0 = unknown (treated as 1)
+	inflight int
+	probing  bool // a heartbeat/hello send is in flight to it
+}
+
+// outcome is a terminal frame routed to a waiting call. corrupt marks
+// a frame that failed to decode: it proves nothing about the run, so
+// the attempt is retried like a lost worker rather than failing the
+// job.
+type outcome struct {
+	res     *resultBody
+	errb    *errorBody
+	corrupt bool
+}
+
+// call is one in-flight remote run awaiting frames.
+type call struct {
+	worker   int
+	rounds   chan roundBody // telemetry; drop-on-full, never blocks routing
+	done     chan outcome   // exactly one terminal delivery
+	down     chan struct{}  // closed when the worker is marked down
+	downOnce sync.Once
+}
+
+// Dispatcher load-balances serve jobs across remote workers: it
+// registers and heartbeats them, ships requests, streams round
+// telemetry to the job's callback, propagates cancellation, retries
+// transient failures on another worker (safe — runs are deterministic)
+// and falls back to local execution when no worker is live. Its Run
+// method matches the serve pool's Runner seam.
+type Dispatcher struct {
+	cfg   Config
+	reg   *metrics.Registry
+	local Runner
+	// token is this instance's random identity, stamped on every
+	// request and cancel so workers can tell apart dispatchers whose
+	// node ids and sequence numbers coincide (every hadfl-serve
+	// restarts at id 0, seq 1).
+	token string
+
+	mu      sync.Mutex
+	workers map[int]*workerState
+	pending map[int]*call
+	nextSeq int
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New starts a dispatcher over cfg.Transport: hellos go out to every
+// configured worker immediately, heartbeats keep their liveness fresh,
+// and Run can be called as soon as it returns (runs beat workers'
+// registration to the local fallback; WaitReady avoids that on boot).
+func New(cfg Config) (*Dispatcher, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("dispatch: dispatcher needs a transport")
+	}
+	if cfg.Local == nil {
+		cfg.Local = localRunner
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.LivenessGrace <= 0 {
+		cfg.LivenessGrace = 4 * cfg.HeartbeatEvery
+	}
+	if cfg.CancelGrace <= 0 {
+		cfg.CancelGrace = 2 * time.Second
+	}
+	if cfg.RecvTimeout <= 0 {
+		cfg.RecvTimeout = 100 * time.Millisecond
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	var tok [8]byte
+	if _, err := rand.Read(tok[:]); err != nil {
+		return nil, fmt.Errorf("dispatch: instance token: %w", err)
+	}
+	d := &Dispatcher{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		local:   cfg.Local,
+		token:   hex.EncodeToString(tok[:]),
+		workers: make(map[int]*workerState, len(cfg.Workers)),
+		pending: make(map[int]*call),
+		closed:  make(chan struct{}),
+	}
+	for _, id := range cfg.Workers {
+		d.workers[id] = &workerState{id: id}
+	}
+	d.reg.SetGauge("dispatch_workers_configured", float64(len(d.workers)))
+	d.reg.SetGauge("dispatch_workers_live", 0)
+	d.wg.Add(2)
+	go d.recvLoop()
+	go d.heartbeatLoop()
+	return d, nil
+}
+
+// Close stops the loops, waits them out and closes the transport. Call
+// it only after the serve pool has drained: a Run still in flight when
+// Close lands returns a dispatcher-closed error.
+func (d *Dispatcher) Close() error {
+	d.closeOnce.Do(func() { close(d.closed) })
+	d.wg.Wait()
+	return d.cfg.Transport.Close()
+}
+
+// LiveWorkers reports how many workers are currently considered alive.
+func (d *Dispatcher) LiveWorkers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, ws := range d.workers {
+		if ws.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitReady blocks until at least n workers are live or ctx expires —
+// the boot-time barrier that keeps the first submissions from falling
+// back to local execution while workers are still registering.
+func (d *Dispatcher) WaitReady(ctx context.Context, n int) error {
+	for {
+		if d.LiveWorkers() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("dispatch: %d of %d workers live: %w", d.LiveWorkers(), n, ctx.Err())
+		case <-d.closed:
+			return fmt.Errorf("dispatch: dispatcher closed while waiting for workers")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// recvLoop routes every inbound frame. Liveness refreshes only on
+// frames that prove a protocol-compatible worker — heartbeat acks,
+// hello acks whose version matches, and frames for a pending call —
+// so a version-skewed worker rejecting our hellos is never marked
+// live (its jobs would all fail non-transiently; leaving it down
+// routes them to healthy workers or the local fallback instead).
+// Bodies are JSON-decoded before taking d.mu: a multi-megabyte result
+// must not stall claimWorker or the liveness probe. Stale frames — a
+// late result from a worker the run was already retried away from —
+// find no pending entry and are dropped.
+func (d *Dispatcher) recvLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.closed:
+			return
+		default:
+		}
+		m, ok := d.cfg.Transport.Recv(d.cfg.RecvTimeout)
+		if !ok {
+			continue
+		}
+		switch m.Kind {
+		case p2p.KindAck:
+			d.mu.Lock()
+			d.refreshLocked(m.From)
+			d.mu.Unlock()
+		case p2p.KindDispatchHello:
+			var h helloBody
+			if err := decodeBody(m, &h); err != nil || h.Proto != proto {
+				d.reg.Inc("dispatch_bad_hellos_total")
+				continue
+			}
+			d.mu.Lock()
+			d.refreshLocked(m.From)
+			if ws := d.workers[m.From]; ws != nil && h.Capacity > 0 {
+				ws.capacity = h.Capacity
+			}
+			d.mu.Unlock()
+		case p2p.KindDispatchRound:
+			var r roundBody
+			if err := decodeBody(m, &r); err != nil || r.Token != d.token {
+				// Not ours: a predecessor instance's orphaned run can
+				// share our (worker, sequence) pair, but never our token.
+				continue
+			}
+			d.mu.Lock()
+			c := d.pending[m.Round]
+			if c != nil && c.worker == m.From {
+				d.refreshLocked(m.From)
+			} else {
+				c = nil
+			}
+			d.mu.Unlock()
+			if c != nil {
+				select {
+				case c.rounds <- r:
+				default: // slow consumer: telemetry drops, routing never blocks
+				}
+			}
+		case p2p.KindDispatchResult, p2p.KindDispatchError:
+			var o outcome
+			var err error
+			if m.Kind == p2p.KindDispatchResult {
+				o.res = &resultBody{}
+				err = decodeBody(m, o.res)
+			} else {
+				o.errb = &errorBody{}
+				err = decodeBody(m, o.errb)
+			}
+			if err != nil {
+				o = outcome{errb: &errorBody{Message: err.Error()}, corrupt: true}
+			}
+			// Token gate: a result must carry our instance token, or it
+			// belongs to another dispatcher's run that shares our
+			// (worker, sequence) pair — adopting it would cache a wrong
+			// job's model. Error frames get one concession: an empty
+			// token means the worker could not even decode the request
+			// (token unknowable), which for a pending sequence is a
+			// corrupt-exchange signal, safe to treat as transient.
+			switch {
+			case o.res != nil && o.res.Token != d.token:
+				d.reg.Inc("dispatch_stray_results_total")
+				continue
+			case o.errb != nil && o.errb.Token != d.token:
+				if o.errb.Token != "" {
+					d.reg.Inc("dispatch_stray_errors_total")
+					continue
+				}
+				o.corrupt = true
+			}
+			d.mu.Lock()
+			c := d.pending[m.Round]
+			if c != nil && c.worker == m.From {
+				d.refreshLocked(m.From)
+				delete(d.pending, m.Round)
+			} else {
+				// Retired sequence, or a frame that never had a call
+				// (e.g. a request rejection from before registration):
+				// drop it, but make rejections visible on /stats.
+				if o.errb != nil {
+					d.reg.Inc("dispatch_stray_errors_total")
+				}
+				c = nil
+			}
+			d.mu.Unlock()
+			if c != nil {
+				c.done <- o // buffered 1; at most one terminal per sequence
+			}
+		}
+	}
+}
+
+// refreshLocked marks a configured worker as seen (and alive). Callers
+// hold d.mu and must only call it for frames that prove a compatible,
+// responsive worker.
+func (d *Dispatcher) refreshLocked(id int) {
+	ws := d.workers[id]
+	if ws == nil {
+		return
+	}
+	ws.seen = time.Now()
+	if !ws.alive {
+		ws.alive = true
+		d.updateLiveGaugeLocked()
+	}
+}
+
+// heartbeatLoop probes workers every HeartbeatEvery: live workers get
+// heartbeats, silent ones past LivenessGrace are marked down (waking
+// any calls parked on them), and down workers get fresh hellos so a
+// restarted or healed worker re-registers on its own.
+func (d *Dispatcher) heartbeatLoop() {
+	defer d.wg.Done()
+	d.probe() // immediate hello burst at boot
+	t := time.NewTicker(d.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.closed:
+			return
+		case <-t.C:
+			d.probe()
+		}
+	}
+}
+
+func (d *Dispatcher) probe() {
+	now := time.Now()
+	var beat, hello []int
+	d.mu.Lock()
+	for id, ws := range d.workers {
+		if ws.alive && now.Sub(ws.seen) > d.cfg.LivenessGrace {
+			ws.alive = false
+			d.updateLiveGaugeLocked()
+			d.reg.Inc("dispatch_workers_lost_total")
+			for _, c := range d.pending {
+				if c.worker == id {
+					c.downOnce.Do(func() { close(c.down) })
+				}
+			}
+		}
+		if ws.probing {
+			continue // previous probe still blocked on this peer; skip
+		}
+		ws.probing = true
+		if ws.alive {
+			beat = append(beat, id)
+		} else {
+			hello = append(hello, id)
+		}
+	}
+	d.mu.Unlock()
+	// Sends go out on one goroutine per worker: a TCP transport can
+	// block for seconds dialing (or writing to) a blackholed peer, and
+	// probing serially would delay heartbeats to healthy workers past
+	// LivenessGrace and flap them down. The probing flag caps it at one
+	// outstanding send per worker, so a wedged peer costs one parked
+	// goroutine, not a pile-up.
+	send := func(id int, f func()) {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			f()
+			d.mu.Lock()
+			if ws := d.workers[id]; ws != nil {
+				ws.probing = false
+			}
+			d.mu.Unlock()
+		}()
+	}
+	for _, id := range beat {
+		id := id
+		send(id, func() {
+			_ = d.cfg.Transport.Send(p2p.Message{Kind: p2p.KindHeartbeat, To: id})
+		})
+	}
+	for _, id := range hello {
+		id := id
+		send(id, func() {
+			_ = sendFrame(d.cfg.Transport, p2p.KindDispatchHello, id, 0, helloBody{
+				Proto: proto, ReplyAddr: d.cfg.ReplyAddr,
+			})
+		})
+	}
+}
+
+func (d *Dispatcher) updateLiveGaugeLocked() {
+	n := 0
+	for _, ws := range d.workers {
+		if ws.alive {
+			n++
+		}
+	}
+	d.reg.SetGauge("dispatch_workers_live", float64(n))
+}
+
+// Run executes one run remotely if it can: pick the least-loaded live
+// worker, ship the request, stream rounds to onRound, and return the
+// rebuilt result. Transient failures (send error, busy rejection,
+// worker lost or shut down mid-run) move the run to the next live
+// worker — each is tried at most once — and when none remain the run
+// executes locally. It matches the serve pool's Runner seam.
+func (d *Dispatcher) Run(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+	fp, err := hadfl.Fingerprint(scheme, opts)
+	if err != nil {
+		return nil, err
+	}
+	tried := make(map[int]bool)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ws := d.claimWorker(tried)
+		if ws == nil {
+			break
+		}
+		res, err, transient := d.runOn(ctx, ws, fp, scheme, opts, onRound)
+		if !transient {
+			return res, err
+		}
+		tried[ws.id] = true
+		d.reg.Inc("dispatch_retries_total")
+	}
+	d.reg.Inc("dispatch_local_fallback_total")
+	return d.local(ctx, scheme, opts, onRound)
+}
+
+// claimWorker picks the live, untried worker with the most free
+// capacity (ties to the lowest id, so placement is deterministic) and
+// reserves a slot on it; nil means the local fallback is next.
+func (d *Dispatcher) claimWorker(tried map[int]bool) *workerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var best *workerState
+	bestFree := 0
+	for _, ws := range d.workers {
+		if !ws.alive || tried[ws.id] {
+			continue
+		}
+		cap := ws.capacity
+		if cap <= 0 {
+			cap = 1
+		}
+		free := cap - ws.inflight
+		if free <= 0 {
+			continue
+		}
+		if free > bestFree || (free == bestFree && ws.id < best.id) {
+			best, bestFree = ws, free
+		}
+	}
+	if best != nil {
+		best.inflight++
+	}
+	return best
+}
+
+// runOn executes one attempt on one worker. The third return reports
+// whether the failure is transient (retry on another worker) — results
+// and genuine run errors are not.
+func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (_ *hadfl.Result, _ error, transient bool) {
+	d.mu.Lock()
+	d.nextSeq++
+	seq := d.nextSeq
+	c := &call{
+		worker: ws.id,
+		rounds: make(chan roundBody, 64),
+		done:   make(chan outcome, 1),
+		down:   make(chan struct{}),
+	}
+	d.pending[seq] = c
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.pending, seq)
+		ws.inflight--
+		d.mu.Unlock()
+	}()
+
+	req := requestBody{Proto: proto, Token: d.token, JobID: fp, Scheme: scheme, Options: toWire(opts)}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			// The deadline has passed but ctx's timer may not have
+			// fired yet (ctx.Err() can still be nil) — report the
+			// expiry explicitly so the caller never sees (nil, nil).
+			return nil, context.DeadlineExceeded, false
+		}
+		req.DeadlineSec = rem.Seconds()
+	}
+	if err := sendFrame(d.cfg.Transport, p2p.KindDispatchRequest, ws.id, seq, req); err != nil {
+		return nil, err, true
+	}
+	d.reg.Inc("dispatch_requests_total")
+
+	ctxDone := ctx.Done()
+	var cancelExpired <-chan time.Time
+	canceled := false
+	forward := func(r roundBody) {
+		if onRound != nil && !canceled {
+			onRound(hadfl.RoundUpdate{
+				Scheme: scheme, Round: r.Round, Time: r.Time, Loss: r.Loss,
+				Accuracy: r.Accuracy, Selected: r.Selected, Bypassed: r.Bypassed,
+			})
+		}
+	}
+	// drainRounds flushes telemetry still queued behind a terminal
+	// frame: recvLoop delivers rounds before the outcome, but select
+	// picks ready cases at random, so without the drain the run's last
+	// round(s) could be dropped on the floor.
+	drainRounds := func() {
+		for {
+			select {
+			case r := <-c.rounds:
+				forward(r)
+			default:
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case <-ctxDone:
+			// Propagate the abort and give the worker CancelGrace to
+			// confirm cooperatively; disarm this case so the closed
+			// channel cannot spin the loop.
+			ctxDone = nil
+			canceled = true
+			d.reg.Inc("dispatch_cancels_total")
+			_ = sendFrame(d.cfg.Transport, p2p.KindDispatchCancel, ws.id, seq, cancelBody{Token: d.token})
+			t := time.NewTimer(d.cfg.CancelGrace)
+			defer t.Stop()
+			cancelExpired = t.C
+		case <-cancelExpired:
+			return nil, ctx.Err(), false
+		case <-d.closed:
+			return nil, errors.New("dispatch: dispatcher closed mid-run"), false
+		case r := <-c.rounds:
+			forward(r)
+		case <-c.down:
+			// Prefer a terminal frame that raced the down mark.
+			select {
+			case o := <-c.done:
+				drainRounds()
+				return d.finish(ctx, ws, o, canceled)
+			default:
+			}
+			// Best-effort cancel to the lost worker: if it was merely
+			// slow (not dead) the orphaned run frees its capacity slot
+			// within one device step instead of training to completion
+			// and busy-bouncing jobs after the worker heals.
+			_ = sendFrame(d.cfg.Transport, p2p.KindDispatchCancel, ws.id, seq, cancelBody{Token: d.token})
+			if canceled {
+				return nil, ctx.Err(), false
+			}
+			return nil, fmt.Errorf("dispatch: worker %d lost mid-run", ws.id), true
+		case o := <-c.done:
+			drainRounds()
+			return d.finish(ctx, ws, o, canceled)
+		}
+	}
+}
+
+// finish maps a terminal frame to the Runner contract's (result, error)
+// and classifies retryability.
+func (d *Dispatcher) finish(ctx context.Context, ws *workerState, o outcome, canceled bool) (*hadfl.Result, error, bool) {
+	if o.errb != nil {
+		eb := o.errb
+		switch {
+		case eb.Busy:
+			d.reg.Inc("dispatch_busy_rejections_total")
+			return nil, errors.New(eb.Message), true
+		case o.corrupt && !canceled:
+			// The frame failed, not the run: reruns are deterministic
+			// and safe, so treat it like a lost worker.
+			return nil, fmt.Errorf("dispatch: worker %d sent an undecodable terminal frame: %s", ws.id, eb.Message), true
+		case canceled:
+			// Our abort, confirmed cooperatively: surface ctx's error so
+			// the pool records a clean cancel/timeout.
+			return nil, ctx.Err(), false
+		case eb.Canceled:
+			// The worker aborted on its own (its shutdown, not our
+			// cancel): the run is healthy, the worker is not — retry.
+			return nil, errors.New(eb.Message), true
+		case eb.Timeout:
+			return nil, context.DeadlineExceeded, false
+		default:
+			return nil, fmt.Errorf("dispatch: worker %d: %s", ws.id, eb.Message), false
+		}
+	}
+	d.reg.Inc("dispatch_remote_total")
+	return o.res.toResult(), nil, false
+}

@@ -1,0 +1,268 @@
+// Package dispatch is the serve layer's remote-execution backend: it
+// ships canonicalized run requests from a dispatcher (embedded in
+// hadfl-serve) to worker nodes (cmd/hadfl-worker) over any
+// p2p.Transport, streams per-round telemetry back, and propagates
+// context cancellation and deadlines across the wire.
+//
+// # Wire protocol
+//
+// Every exchange is a p2p dispatch frame (p2p.NewDispatchFrame): a
+// versioned Message whose JSON body is byte-packed into the payload and
+// whose Round field carries the dispatcher-assigned sequence number
+// identifying the in-flight run. The frames:
+//
+//	hello    dispatcher → worker   registration probe; body carries the
+//	                               protocol version and (on TCP) the
+//	                               dispatcher's dial-back address
+//	hello    worker → dispatcher   registration ack; body carries the
+//	                               worker's capacity
+//	request  dispatcher → worker   a run: job fingerprint, scheme,
+//	                               options, remaining deadline, and the
+//	                               dispatcher's random instance token
+//	                               (workers key runs by sender + token +
+//	                               sequence, so serve restarts cannot
+//	                               collide with their predecessor's runs)
+//	round    worker → dispatcher   per-round telemetry (RoundUpdate)
+//	result   worker → dispatcher   terminal success: summary, curve and
+//	                               final parameter vector
+//	error    worker → dispatcher   terminal failure: message + flags
+//	                               (canceled / timeout / busy)
+//	cancel   dispatcher → worker   abort the sequence's run; the worker
+//	                               cancels its RunContext, which aborts
+//	                               cooperatively within about one device
+//	                               step and reports back an error frame
+//
+// Plain p2p heartbeat/ack messages (KindHeartbeat/KindAck) probe worker
+// liveness between runs; any frame from a worker refreshes it.
+//
+// # Determinism contract
+//
+// Runs are deterministic given scheme + canonical options (see
+// hadfl.Fingerprint), so executing remotely must not change results.
+// The worker re-derives the fingerprint from the request and rejects
+// mismatches, and every float64 crosses the wire through Go's JSON
+// shortest-round-trip encoding, which is exact — a dispatched run's
+// summary, curve and final parameter vector are byte-identical to a
+// local run of the same request (pinned by the simnet e2e suite).
+//
+// # Failure and fallback semantics
+//
+// Transient failures — a send that errors, a worker that dies or goes
+// silent mid-run, a busy rejection — move the run to another live
+// worker (each worker is tried at most once per run; reruns are safe
+// because runs are deterministic). When no live worker remains, the
+// dispatcher falls back to executing locally, so `hadfl-serve` with no
+// reachable workers degrades to exactly the single-process behavior.
+// Run errors reported by the worker (bad options, cancellation) are
+// not transient: they surface to the caller unchanged.
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+	"hadfl/internal/p2p"
+)
+
+// proto is the dispatch protocol version carried inside hello and
+// request bodies (the frame layer has its own p2p.DispatchVersion).
+// Workers reject requests from other protocol versions.
+const proto = 1
+
+// helloBody rides registration probes (dispatcher → worker) and acks
+// (worker → dispatcher).
+type helloBody struct {
+	Proto int `json:"proto"`
+	// ReplyAddr is the dispatcher's transport address for dial-back
+	// replies; empty on transports with id-based routing (ChanHub).
+	ReplyAddr string `json:"replyAddr,omitempty"`
+	// Capacity is the worker's concurrent-run budget (ack direction).
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// reqOptions is hadfl.Options on the wire, minus the callback field
+// (round telemetry flows back as round frames). It mirrors the serve
+// layer's RunOptions JSON shape but cannot reuse it: serve's in-package
+// tests import this package, so dispatch importing serve would be a
+// test import cycle. TestWireOptionsCoverEveryOptionsField pins the
+// mirror field-for-field (as serve's own guard pins RunOptions), so a
+// new Options field missing here fails at unit-test time.
+type reqOptions struct {
+	Powers       []float64       `json:"powers,omitempty"`
+	Model        string          `json:"model,omitempty"`
+	Full         bool            `json:"full,omitempty"`
+	TargetEpochs float64         `json:"targetEpochs,omitempty"`
+	NonIIDAlpha  float64         `json:"nonIIDAlpha,omitempty"`
+	Seed         int64           `json:"seed,omitempty"`
+	FailAt       map[int]float64 `json:"failAt,omitempty"`
+	GroupSize    int             `json:"groupSize,omitempty"`
+	InterEvery   int             `json:"interEvery,omitempty"`
+	Parallelism  int             `json:"parallelism,omitempty"`
+}
+
+func toWire(o hadfl.Options) reqOptions {
+	return reqOptions{
+		Powers:       o.Powers,
+		Model:        o.Model,
+		Full:         o.Full,
+		TargetEpochs: o.TargetEpochs,
+		NonIIDAlpha:  o.NonIIDAlpha,
+		Seed:         o.Seed,
+		FailAt:       o.FailAt,
+		GroupSize:    o.GroupSize,
+		InterEvery:   o.InterEvery,
+		Parallelism:  o.Parallelism,
+	}
+}
+
+func (o reqOptions) toOptions() hadfl.Options {
+	return hadfl.Options{
+		Powers:       o.Powers,
+		Model:        o.Model,
+		Full:         o.Full,
+		TargetEpochs: o.TargetEpochs,
+		NonIIDAlpha:  o.NonIIDAlpha,
+		Seed:         o.Seed,
+		FailAt:       o.FailAt,
+		GroupSize:    o.GroupSize,
+		InterEvery:   o.InterEvery,
+		Parallelism:  o.Parallelism,
+	}
+}
+
+// requestBody asks a worker to execute one run.
+type requestBody struct {
+	Proto int `json:"proto"`
+	// Token is the dispatcher instance's random identity. Workers key
+	// in-flight runs by (sender, token, sequence), so a restarted or
+	// second serve process — whose sequence numbers restart at 1 and
+	// whose transport may reuse node id 0 — can neither collide with
+	// nor cancel another instance's runs.
+	Token  string `json:"token"`
+	JobID  string `json:"jobID"` // hadfl.Fingerprint(scheme, options); the worker re-derives and verifies it
+	Scheme string `json:"scheme"`
+	// DeadlineSec, when > 0, is the remaining wall budget at send time.
+	// The worker applies it as its own context deadline, so a run whose
+	// dispatcher vanishes still stops on schedule (a relative duration
+	// survives clock skew; the cancel frame remains the primary path).
+	DeadlineSec float64    `json:"deadlineSec,omitempty"`
+	Options     reqOptions `json:"options"`
+}
+
+// cancelBody aborts one in-flight run; Token must match the request
+// that started it (see requestBody.Token).
+type cancelBody struct {
+	Token string `json:"token"`
+}
+
+// roundBody is per-round telemetry streamed back while a run executes.
+// Token echoes the originating request's instance token (as on every
+// worker → dispatcher frame about a run): the dispatcher drops frames
+// whose token is not its own, so it can never adopt a round — or a
+// result — belonging to a predecessor instance's orphaned run whose
+// (worker, sequence) pair collides with one of its own.
+type roundBody struct {
+	Token    string  `json:"token,omitempty"`
+	Round    int     `json:"round"`
+	Time     float64 `json:"time"`
+	Loss     float64 `json:"loss"`
+	Accuracy float64 `json:"accuracy"`
+	Selected []int   `json:"selected,omitempty"`
+	Bypassed int     `json:"bypassed,omitempty"`
+}
+
+// resultBody is a terminal success: everything needed to rebuild the
+// hadfl.Result the run would have produced locally.
+type resultBody struct {
+	Token       string          `json:"token,omitempty"` // echoes requestBody.Token, see roundBody
+	Scheme      string          `json:"scheme"`
+	Accuracy    float64         `json:"accuracy"`
+	Time        float64         `json:"time"`
+	Rounds      int             `json:"rounds"`
+	DeviceBytes int64           `json:"deviceBytes"`
+	ServerBytes int64           `json:"serverBytes"`
+	EvalBatches int64           `json:"evalBatches,omitempty"`
+	EvalSeconds float64         `json:"evalSeconds,omitempty"`
+	CurveName   string          `json:"curveName,omitempty"`
+	Curve       []metrics.Point `json:"curve,omitempty"`
+	FinalParams []float64       `json:"finalParams,omitempty"`
+}
+
+func toResultBody(res *hadfl.Result) resultBody {
+	b := resultBody{
+		Scheme:      res.Scheme,
+		Accuracy:    res.Accuracy,
+		Time:        res.Time,
+		Rounds:      res.Rounds,
+		DeviceBytes: res.DeviceBytes,
+		ServerBytes: res.ServerBytes,
+		EvalBatches: res.EvalBatches,
+		EvalSeconds: res.EvalSeconds,
+		FinalParams: res.FinalParams,
+	}
+	if res.Series != nil {
+		b.CurveName = res.Series.Name
+		b.Curve = res.Series.Points
+	}
+	return b
+}
+
+func (b resultBody) toResult() *hadfl.Result {
+	return &hadfl.Result{
+		Scheme:      b.Scheme,
+		Accuracy:    b.Accuracy,
+		Time:        b.Time,
+		Rounds:      b.Rounds,
+		DeviceBytes: b.DeviceBytes,
+		ServerBytes: b.ServerBytes,
+		EvalBatches: b.EvalBatches,
+		EvalSeconds: b.EvalSeconds,
+		Series:      &metrics.Series{Name: b.CurveName, Points: b.Curve},
+		FinalParams: b.FinalParams,
+	}
+}
+
+// errorBody is a terminal failure. Busy marks a capacity rejection
+// (retryable elsewhere); Canceled/Timeout mirror the context error the
+// worker's run returned, so the dispatcher can rebuild an errors.Is-
+// compatible error on its side of the wire. Token echoes the request's
+// instance token; it is empty only when the worker could not decode
+// the request at all (the dispatcher treats such unattributable
+// rejections of a pending sequence as transient).
+type errorBody struct {
+	Token    string `json:"token,omitempty"`
+	Message  string `json:"message"`
+	Canceled bool   `json:"canceled,omitempty"`
+	Timeout  bool   `json:"timeout,omitempty"`
+	Busy     bool   `json:"busy,omitempty"`
+}
+
+// sendFrame JSON-encodes body into a dispatch frame and sends it. A
+// frame that cannot be built (oversized body) or sent surfaces as an
+// error; transports treat unreachable peers as timeouts, not errors,
+// so an error here means a local/structural problem.
+func sendFrame(t p2p.Transport, kind p2p.Kind, to, seq int, body any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("dispatch: encode %v: %w", kind, err)
+	}
+	m, err := p2p.NewDispatchFrame(kind, to, seq, data)
+	if err != nil {
+		return fmt.Errorf("dispatch: frame %v: %w", kind, err)
+	}
+	return t.Send(m)
+}
+
+// decodeBody validates a dispatch frame and unmarshals its JSON body.
+func decodeBody(m p2p.Message, into any) error {
+	data, err := p2p.DispatchBody(m)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		return fmt.Errorf("dispatch: decode %v body: %w", m.Kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package dispatch
+
+import (
+	"reflect"
+	"testing"
+
+	"hadfl"
+)
+
+// TestWireOptionsCoverEveryOptionsField is the drift guard for the
+// wire copy of hadfl.Options: it populates every Options field with a
+// non-zero value via reflection and requires toWire → toOptions to
+// round-trip it exactly. The day a new Options field lands without a
+// matching reqOptions field, this fails — at unit-test time, not as a
+// fingerprint mismatch rejecting every remote run in production.
+func TestWireOptionsCoverEveryOptionsField(t *testing.T) {
+	var o hadfl.Options
+	v := reflect.ValueOf(&o).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := v.Type().Field(i).Name
+		if name == "OnRound" {
+			continue // the callback observes a run, it is not wire data
+		}
+		switch f.Kind() {
+		case reflect.Slice:
+			s := reflect.MakeSlice(f.Type(), 1, 1)
+			fillScalar(t, name, s.Index(0), i)
+			f.Set(s)
+		case reflect.Map:
+			m := reflect.MakeMap(f.Type())
+			k := reflect.New(f.Type().Key()).Elem()
+			fillScalar(t, name, k, i)
+			val := reflect.New(f.Type().Elem()).Elem()
+			fillScalar(t, name, val, i+1)
+			m.SetMapIndex(k, val)
+			f.Set(m)
+		default:
+			fillScalar(t, name, f, i)
+		}
+	}
+	got := toWire(o).toOptions()
+	if !reflect.DeepEqual(got, o) {
+		t.Fatalf("wire round trip dropped data:\n got %+v\nwant %+v\n(extend reqOptions/toWire/toOptions — and serve.RunOptions — for the new field)", got, o)
+	}
+}
+
+func fillScalar(t *testing.T, name string, f reflect.Value, i int) {
+	t.Helper()
+	switch f.Kind() {
+	case reflect.Bool:
+		f.SetBool(true)
+	case reflect.Int, reflect.Int64:
+		f.SetInt(int64(i + 3))
+	case reflect.Float64:
+		f.SetFloat(float64(i) + 1.5)
+	case reflect.String:
+		f.SetString(name + "-v")
+	default:
+		t.Fatalf("Options field %s has kind %v this guard cannot populate — extend fillScalar and the wire structs", name, f.Kind())
+	}
+}

@@ -1,0 +1,267 @@
+package serve
+
+// Edge-case coverage for the serve pool and cache that the happy-path
+// suites skip: submissions racing Server.Close, cache hits racing LRU
+// eviction, and rehydration of a result that was executed remotely by
+// the dispatch backend.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/p2p"
+	"hadfl/internal/serve/dispatch"
+)
+
+// TestSubmitDuringServerClose races submissions against an in-flight
+// Close: once shutdown has begun every new submission must fail with
+// ErrShuttingDown and leave behind a terminal canceled job (so nothing
+// dangles un-finished), while the running job still drains cleanly.
+func TestSubmitDuringServerClose(t *testing.T) {
+	release := make(chan struct{})
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 4, Runner: stubRunner(nil, nil, release)})
+
+	blocker, cached, err := srv.Submit("hadfl", hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 1, Seed: 1})
+	if err != nil || cached {
+		t.Fatalf("Submit blocker: cached=%v err=%v", cached, err)
+	}
+	// Wait until it is actually running so Close has to wait on it.
+	deadline := time.Now().Add(5 * time.Second)
+	for blocker.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker stuck in %v", blocker.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closeErr := make(chan error, 1)
+	closeCtx, cancelClose := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelClose()
+	go func() { closeErr <- srv.Close(closeCtx) }()
+
+	// Submissions succeed until the pool flips to closing, then must
+	// fail fast with ErrShuttingDown.
+	var rejected *Job
+	for seed := int64(2); ; seed++ {
+		if time.Now().After(deadline) {
+			t.Fatal("Close never started rejecting submissions")
+		}
+		_, _, err := srv.Submit("hadfl", hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 1, Seed: seed})
+		if err == nil || errors.Is(err, ErrQueueFull) {
+			// Not closing yet (a full queue just means the blocker is
+			// still holding the only worker); keep probing.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if !errors.Is(err, ErrShuttingDown) {
+			t.Fatalf("Submit during Close: %v, want ErrShuttingDown", err)
+		}
+		// The job the failed submission created must be terminal, not a
+		// zombie: canceled, with the shutdown as its cause.
+		id, ferr := hadfl.Fingerprint("hadfl", hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 1, Seed: seed})
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		cj, ok := srv.cache.Get(id)
+		if !ok {
+			t.Fatal("rejected submission left no job in the cache")
+		}
+		rejected = cj
+		break
+	}
+	waitTerminal(t, rejected)
+	if st := rejected.State(); st != StateCanceled {
+		t.Fatalf("rejected job state %v, want %v", st, StateCanceled)
+	}
+	if _, jerr := rejected.Result(); jerr == nil || !errors.Is(jerr, ErrShuttingDown) {
+		t.Fatalf("rejected job error %v, want ErrShuttingDown cause", jerr)
+	}
+
+	close(release) // let the running job finish inside the grace period
+	if err := <-closeErr; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	waitTerminal(t, blocker)
+	if blocker.State() != StateDone {
+		t.Fatalf("blocker state %v, want done (it finished within grace)", blocker.State())
+	}
+}
+
+// TestCacheHitRacingEviction hammers a bounded cache from concurrent
+// hitters and evictors (run it under -race): a live job must never be
+// evicted — every concurrent lookup of it yields the same *Job — and
+// terminal jobs may come and go but each GetOrCreate must return a
+// usable entry that is either the existing one or the one just made.
+func TestCacheHitRacingEviction(t *testing.T) {
+	cache := NewBoundedCache(nil, 4)
+	live := newJob("live", "hadfl", hadfl.Options{})
+	if j, existing := cache.GetOrCreate("live", func() *Job { return live }); existing || j != live {
+		t.Fatalf("seeding live job: existing=%v", existing)
+	}
+
+	const hammers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	var mismatches atomic.Int64
+	for g := 0; g < hammers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Churn terminal jobs through the bound to force LRU
+				// evictions while hitting the live entry.
+				id := fmt.Sprintf("done-%d-%d", g, i)
+				j, _ := cache.GetOrCreate(id, func() *Job {
+					nj := newJob(id, "hadfl", hadfl.Options{})
+					nj.finish(&hadfl.Result{Scheme: "hadfl"}, nil)
+					return nj
+				})
+				if j == nil {
+					mismatches.Add(1)
+					continue
+				}
+				if got, ok := cache.Get("live"); !ok || got != live {
+					mismatches.Add(1)
+				}
+				if j, existing := cache.GetOrCreate("live", func() *Job {
+					return newJob("live", "hadfl", hadfl.Options{})
+				}); !existing || j != live {
+					mismatches.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := mismatches.Load(); n != 0 {
+		t.Fatalf("%d racing lookups lost or replaced the live job", n)
+	}
+	if cache.Len() > 4+1 {
+		t.Fatalf("cache settled at %d entries, want <= bound+live", cache.Len())
+	}
+}
+
+// TestGroupedKnobsDistinctCacheKeys covers the serve half of the
+// grouped-knob satellite: submissions differing only in groupSize or
+// interEvery must land on distinct jobs (distinct fingerprints), while
+// resubmitting identical knobs coalesces onto the cached one.
+func TestGroupedKnobsDistinctCacheKeys(t *testing.T) {
+	srv := mustNew(t, Config{Workers: 1, Runner: stubRunner(nil, nil, nil)})
+	defer srv.Close(context.Background())
+	base := hadfl.Options{Powers: []float64{4, 2, 2, 1}, TargetEpochs: 2, Seed: 1}
+
+	ids := make(map[string]string)
+	for name, opts := range map[string]hadfl.Options{
+		"default": base,
+		"group3":  {Powers: base.Powers, TargetEpochs: 2, Seed: 1, GroupSize: 3},
+		"inter4":  {Powers: base.Powers, TargetEpochs: 2, Seed: 1, InterEvery: 4},
+		"both":    {Powers: base.Powers, TargetEpochs: 2, Seed: 1, GroupSize: 3, InterEvery: 4},
+	} {
+		j, _, err := srv.Submit("hadfl-grouped", opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for prev, id := range ids {
+			if id == j.ID {
+				t.Errorf("%s and %s share a cache key", name, prev)
+			}
+		}
+		ids[name] = j.ID
+	}
+	again, cached, err := srv.Submit("hadfl-grouped", hadfl.Options{Powers: base.Powers, TargetEpochs: 2, Seed: 1, GroupSize: 3})
+	if err != nil || !cached || again.ID != ids["group3"] {
+		t.Fatalf("identical knobs did not coalesce: cached=%v err=%v", cached, err)
+	}
+}
+
+// TestResultStoreRehydratesDispatchedResult proves the persistence
+// path is executor-agnostic: a run executed remotely (simnet dispatch
+// backend as the pool's Runner) persists to the store like a local
+// one, and a restarted server serves the identical submission from
+// the rehydrated cache — byte-identical final parameters included —
+// without touching any runner.
+func TestResultStoreRehydratesDispatchedResult(t *testing.T) {
+	hub := p2p.NewChanHub()
+	worker, err := dispatch.NewWorker(dispatch.WorkerConfig{
+		Transport:   hub.Node(1),
+		RecvTimeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		_ = worker.Serve(workerCtx)
+	}()
+	disp, err := dispatch.New(dispatch.Config{
+		Transport:      hub.Node(0),
+		Workers:        []int{1},
+		HeartbeatEvery: 20 * time.Millisecond,
+		RecvTimeout:    10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disp.Close()
+	readyCtx, cancelReady := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelReady()
+	if err := disp.WaitReady(readyCtx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	opts := hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 2, Seed: 21}
+	srv := mustNew(t, Config{Workers: 1, StoreDir: dir, Runner: disp.Run})
+	job, cached, err := srv.Submit("hadfl", opts)
+	if err != nil || cached {
+		t.Fatalf("Submit: cached=%v err=%v", cached, err)
+	}
+	waitTerminal(t, job)
+	res, jerr := job.Result()
+	if jerr != nil {
+		t.Fatalf("dispatched job failed: %v", jerr)
+	}
+	waitStored(t, dir, job.ID)
+	closeCtx, cancelClose := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelClose()
+	if err := srv.Close(closeCtx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot on the same store with a runner that must never fire.
+	srv2 := mustNew(t, Config{Workers: 1, StoreDir: dir, Runner: func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+		t.Error("rehydrated submission re-ran")
+		return nil, errors.New("must not run")
+	}})
+	defer srv2.Close(context.Background())
+	job2, cached2, err := srv2.Submit("hadfl", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached2 || job2.State() != StateDone {
+		t.Fatalf("rehydrated submission: cached=%v state=%v", cached2, job2.State())
+	}
+	res2, jerr2 := job2.Result()
+	if jerr2 != nil {
+		t.Fatal(jerr2)
+	}
+	if res2.Accuracy != res.Accuracy || res2.Rounds != res.Rounds || res2.Time != res.Time {
+		t.Fatalf("rehydrated summary drifted: %+v vs %+v", res2, res)
+	}
+	if len(res2.FinalParams) != len(res.FinalParams) {
+		t.Fatalf("FinalParams length %d vs %d", len(res2.FinalParams), len(res.FinalParams))
+	}
+	for i := range res.FinalParams {
+		if res2.FinalParams[i] != res.FinalParams[i] {
+			t.Fatalf("FinalParams[%d] drifted through dispatch+store: %v vs %v", i, res2.FinalParams[i], res.FinalParams[i])
+		}
+	}
+}

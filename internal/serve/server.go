@@ -183,7 +183,12 @@ type RunOptions struct {
 	NonIIDAlpha  float64         `json:"nonIIDAlpha,omitempty"`
 	Seed         int64           `json:"seed,omitempty"`
 	FailAt       map[int]float64 `json:"failAt,omitempty"`
-	Parallelism  int             `json:"parallelism,omitempty"`
+	// GroupSize / InterEvery sweep the hadfl-grouped hierarchy (0 =
+	// scheme default). They change results, so unlike Parallelism they
+	// are part of the fingerprint: distinct knobs, distinct cache keys.
+	GroupSize   int `json:"groupSize,omitempty"`
+	InterEvery  int `json:"interEvery,omitempty"`
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (o RunOptions) toOptions() hadfl.Options {
@@ -195,6 +200,29 @@ func (o RunOptions) toOptions() hadfl.Options {
 		NonIIDAlpha:  o.NonIIDAlpha,
 		Seed:         o.Seed,
 		FailAt:       o.FailAt,
+		GroupSize:    o.GroupSize,
+		InterEvery:   o.InterEvery,
+		Parallelism:  o.Parallelism,
+	}
+}
+
+// runOptionsFrom is toOptions' inverse, shared by everything that
+// writes options back out (the result store's sidecar files). The
+// round trip through both is pinned field-for-field by a reflection
+// guard test, so a new hadfl.Options field that is not threaded
+// through here fails at unit-test time instead of silently dropping
+// data on persistence.
+func runOptionsFrom(o hadfl.Options) RunOptions {
+	return RunOptions{
+		Powers:       o.Powers,
+		Model:        o.Model,
+		Full:         o.Full,
+		TargetEpochs: o.TargetEpochs,
+		NonIIDAlpha:  o.NonIIDAlpha,
+		Seed:         o.Seed,
+		FailAt:       o.FailAt,
+		GroupSize:    o.GroupSize,
+		InterEvery:   o.InterEvery,
 		Parallelism:  o.Parallelism,
 	}
 }

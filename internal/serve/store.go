@@ -85,17 +85,9 @@ func (st *ResultStore) Save(j *Job, res *hadfl.Result) error {
 	}
 	_, finished := j.Times()
 	sr := storedRun{
-		ID:     j.ID,
-		Scheme: j.Scheme,
-		Options: RunOptions{
-			Powers:       j.Options.Powers,
-			Model:        j.Options.Model,
-			Full:         j.Options.Full,
-			TargetEpochs: j.Options.TargetEpochs,
-			NonIIDAlpha:  j.Options.NonIIDAlpha,
-			Seed:         j.Options.Seed,
-			FailAt:       j.Options.FailAt,
-		},
+		ID:          j.ID,
+		Scheme:      j.Scheme,
+		Options:     runOptionsFrom(j.Options),
 		Accuracy:    res.Accuracy,
 		Time:        res.Time,
 		Rounds:      res.Rounds,

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"hadfl"
+)
+
+// TestRunOptionsCoverEveryOptionsField is the serve-layer drift guard
+// (mirroring dispatch's): every hadfl.Options field, populated with a
+// non-zero value via reflection, must survive runOptionsFrom →
+// toOptions exactly. A future Options field that is not threaded
+// through RunOptions fails here at unit-test time instead of silently
+// dropping data in the HTTP API or the persisted store sidecars.
+func TestRunOptionsCoverEveryOptionsField(t *testing.T) {
+	var o hadfl.Options
+	v := reflect.ValueOf(&o).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := v.Type().Field(i).Name
+		if name == "OnRound" {
+			continue // progress callback: not wire data by design
+		}
+		switch f.Kind() {
+		case reflect.Slice:
+			s := reflect.MakeSlice(f.Type(), 1, 1)
+			fillWireScalar(t, name, s.Index(0), i)
+			f.Set(s)
+		case reflect.Map:
+			m := reflect.MakeMap(f.Type())
+			k := reflect.New(f.Type().Key()).Elem()
+			fillWireScalar(t, name, k, i)
+			val := reflect.New(f.Type().Elem()).Elem()
+			fillWireScalar(t, name, val, i+1)
+			m.SetMapIndex(k, val)
+			f.Set(m)
+		default:
+			fillWireScalar(t, name, f, i)
+		}
+	}
+	got := runOptionsFrom(o).toOptions()
+	if !reflect.DeepEqual(got, o) {
+		t.Fatalf("RunOptions round trip dropped data:\n got %+v\nwant %+v\n(extend RunOptions/toOptions/runOptionsFrom for the new field)", got, o)
+	}
+}
+
+func fillWireScalar(t *testing.T, name string, f reflect.Value, i int) {
+	t.Helper()
+	switch f.Kind() {
+	case reflect.Bool:
+		f.SetBool(true)
+	case reflect.Int, reflect.Int64:
+		f.SetInt(int64(i + 3))
+	case reflect.Float64:
+		f.SetFloat(float64(i) + 1.5)
+	case reflect.String:
+		f.SetString(name + "-v")
+	default:
+		t.Fatalf("Options field %s has kind %v this guard cannot populate — extend fillWireScalar and RunOptions", name, f.Kind())
+	}
+}
