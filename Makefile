@@ -1,14 +1,22 @@
 GO ?= go
 
-.PHONY: check ci fmt fmt-check vet build test test-short test-race test-race-short alloc-guard fuzz-short e2e-dispatch bench bench-json bench-eval bench-dispatch serve
+.PHONY: check ci cover fmt fmt-check vet build test test-short test-race test-race-short alloc-guard fuzz-short e2e-dispatch bench bench-json bench-eval bench-dispatch serve
 
 check: fmt-check vet build test-short
 
 # ci is the full pre-merge gate: formatting, vet, the short suite, the
 # short suite under the race detector, the allocation guards (the
 # zero-alloc train/eval steps plus the whole-run allocation budget),
-# the wire-codec fuzz smoke and the dispatch e2e suite under -race.
-ci: fmt-check vet test-short test-race-short alloc-guard fuzz-short e2e-dispatch
+# the wire-codec fuzz smoke, the dispatch e2e suite under -race, and
+# the coverage report.
+ci: fmt-check vet test-short test-race-short alloc-guard fuzz-short e2e-dispatch cover
+
+# cover runs the short suite with coverage and prints the per-package
+# and total figures; coverage.out is left behind for
+# `go tool cover -html=coverage.out`.
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
 
 # fuzz-short runs each p2p wire-codec fuzz target for a few seconds —
 # not a soak, a smoke: decoder panics and round-trip breaks on easy

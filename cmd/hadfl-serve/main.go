@@ -27,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +39,7 @@ import (
 	"hadfl/internal/p2p"
 	"hadfl/internal/serve"
 	"hadfl/internal/serve/dispatch"
+	"hadfl/internal/trace"
 )
 
 // errBadFlags signals that the FlagSet already printed the problem and
@@ -76,6 +78,8 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		dispatchTo = fs.String("dispatch", "", "comma-separated hadfl-worker addresses to execute runs on (empty = run locally); the i-th address must be the worker started with -id i")
 		dispAddr   = fs.String("dispatch-listen", "127.0.0.1:0", "p2p listen address for worker replies (with -dispatch)")
 		dispWait   = fs.Duration("dispatch-wait", 3*time.Second, "how long to wait at boot for workers to register (with -dispatch)")
+		logLevel   = fs.String("log-level", "warn", "structured log threshold: debug, info, warn, error, or off")
+		withPprof  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -85,7 +89,15 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 	}
 
 	hadfl.SetComputeParallelism(*tpar)
+	logger, err := trace.NewLogger(errOut, *logLevel)
+	if err != nil {
+		fmt.Fprintf(errOut, "hadfl-serve: %v\n", err)
+		return errBadFlags
+	}
 	reg := metrics.NewRegistry()
+	// One tracer ring for the whole process: the serve pool's job spans
+	// and the dispatcher's remote spans land in the same /debug/traces.
+	tracer := trace.NewTracer(0)
 	var runner serve.Runner
 	var disp *dispatch.Dispatcher
 	if *dispatchTo != "" {
@@ -104,6 +116,8 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 			Workers:   ids,
 			ReplyAddr: node.Addr(),
 			Metrics:   reg,
+			Tracer:    tracer,
+			Logger:    logger,
 		})
 		if err != nil {
 			node.Close()
@@ -129,6 +143,8 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		StoreDir:        *storeDir,
 		Runner:          runner,
 		Metrics:         reg,
+		Tracer:          tracer,
+		Logger:          logger,
 	})
 	if err != nil {
 		if disp != nil {
@@ -153,7 +169,21 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 	fmt.Fprintf(out, "hadfl-serve listening on %s (workers=%d queue=%d job-timeout=%s)\n",
 		ln.Addr(), *workers, *queueDepth, *jobTimeout)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	var handler http.Handler = srv.Handler()
+	if *withPprof {
+		// Compose rather than registering on the service mux: pprof is
+		// opt-in diagnostics, kept out of serve.New so embedding callers
+		// never expose it by accident.
+		root := http.NewServeMux()
+		root.Handle("/", srv.Handler())
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = root
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	if ready != nil {

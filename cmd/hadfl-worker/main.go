@@ -23,13 +23,19 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"hadfl"
+	"hadfl/internal/metrics"
 	"hadfl/internal/p2p"
 	"hadfl/internal/serve/dispatch"
+	"hadfl/internal/trace"
 )
 
 // errBadFlags signals that the FlagSet already printed the problem and
@@ -54,10 +60,13 @@ func run(args []string, out, errOut io.Writer, ready chan<- string, quit <-chan 
 	fs := flag.NewFlagSet("hadfl-worker", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		listen   = fs.String("listen", "127.0.0.1:7071", "p2p listen address for dispatch frames")
-		id       = fs.Int("id", 1, "worker node id (position in the dispatcher's -dispatch list, 1-based)")
-		capacity = fs.Int("capacity", 1, "concurrent dispatched runs before busy-rejecting")
-		tpar     = fs.Int("tensor-workers", 0, "tensor kernel worker pool size (0 = GOMAXPROCS)")
+		listen    = fs.String("listen", "127.0.0.1:7071", "p2p listen address for dispatch frames")
+		id        = fs.Int("id", 1, "worker node id (position in the dispatcher's -dispatch list, 1-based)")
+		capacity  = fs.Int("capacity", 1, "concurrent dispatched runs before busy-rejecting")
+		tpar      = fs.Int("tensor-workers", 0, "tensor kernel worker pool size (0 = GOMAXPROCS)")
+		httpAddr  = fs.String("http", "", "observability HTTP listen address serving /metrics, /debug/traces and /healthz (empty = disabled)")
+		logLevel  = fs.String("log-level", "warn", "structured log threshold: debug, info, warn, error, or off")
+		withPprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (with -http)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,6 +80,14 @@ func run(args []string, out, errOut io.Writer, ready chan<- string, quit <-chan 
 	}
 
 	hadfl.SetComputeParallelism(*tpar)
+	logger, err := trace.NewLogger(errOut, *logLevel)
+	if err != nil {
+		fmt.Fprintf(errOut, "hadfl-worker: %v\n", err)
+		return errBadFlags
+	}
+	reg := metrics.NewRegistry()
+	tracer := trace.NewTracer(0)
+	start := time.Now()
 	node, err := p2p.ListenTCP(*id, *listen)
 	if err != nil {
 		return err
@@ -80,9 +97,40 @@ func run(args []string, out, errOut io.Writer, ready chan<- string, quit <-chan 
 		Transport: node,
 		Capacity:  *capacity,
 		AddPeer:   node.AddPeer,
+		Metrics:   reg,
+		Tracer:    tracer,
+		Logger:    logger,
 	})
 	if err != nil {
 		return err
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", metrics.Handler(reg, start))
+		mux.Handle("GET /debug/traces", tracer.Handler())
+		mux.HandleFunc("GET /healthz", func(hw http.ResponseWriter, _ *http.Request) {
+			hw.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(hw, "{\"status\":\"ok\",\"running\":%d}\n", w.ActiveRuns())
+		})
+		if *withPprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		obsSrv := &http.Server{Handler: mux}
+		go func() { _ = obsSrv.Serve(ln) }()
+		defer func() {
+			closeCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_ = obsSrv.Shutdown(closeCtx)
+			cancel()
+		}()
+		fmt.Fprintf(out, "hadfl-worker %d observability HTTP on %s\n", *id, ln.Addr())
 	}
 	fmt.Fprintf(out, "hadfl-worker %d listening on %s (capacity=%d)\n", *id, node.Addr(), *capacity)
 	if ready != nil {

@@ -1,0 +1,118 @@
+package metrics
+
+import "sort"
+
+// Fixed-bucket histograms. Buckets are log-scale (1–2.5–5 decades for
+// latencies, powers of four for byte sizes) because the quantities the
+// serve stack measures span orders of magnitude: a cache lookup is
+// microseconds, a dispatched training run is seconds to minutes, and a
+// result frame is kilobytes to megabytes. Observations are O(buckets)
+// and allocation-free after the first touch, so the hot seams (queue
+// wait, run duration, dispatch round-trips) can observe on every event.
+
+// LatencyBuckets are the default upper bounds, in seconds, for
+// duration histograms: log-scale from 10µs to 5 minutes.
+var LatencyBuckets = []float64{
+	0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10, 25, 50,
+	100, 300,
+}
+
+// ByteBuckets are the default upper bounds for size histograms:
+// powers of four from 256 B to the 16 MiB dispatch frame cap.
+var ByteBuckets = []float64{
+	256, 1024, 4096, 16384, 65536,
+	262144, 1048576, 4194304, 16777216,
+}
+
+// histogram is the internal fixed-bucket accumulator. counts has one
+// slot per finite bound plus the +Inf overflow slot; Registry's mutex
+// serializes access, matching the counter/gauge maps.
+type histogram struct {
+	bounds []float64 // strictly increasing finite upper bounds
+	counts []int64   // len(bounds)+1; last is the +Inf bucket
+	count  int64
+	sum    float64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// HistogramSnapshot is a histogram's point-in-time copy as exposed on
+// /stats: per-bucket counts (not cumulative) against the finite upper
+// bounds, plus count/sum and interpolated p50/p95/p99.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"` // finite upper bounds; Counts has one extra +Inf slot
+	Counts []int64   `json:"counts"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation within the bucket containing the target rank —
+// Prometheus's histogram_quantile estimator. The first bucket
+// interpolates from zero; ranks landing in the +Inf bucket report the
+// largest finite bound (the histogram cannot see past it). An empty
+// histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

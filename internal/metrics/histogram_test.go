@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObservePlacement(t *testing.T) {
+	r := NewRegistry()
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	r.Observe("lat", 0.001)
+	r.Observe("lat", 0.0009)
+	r.Observe("lat", 1e9) // past the last bound: +Inf bucket
+	h, ok := r.Histogram("lat")
+	if !ok {
+		t.Fatal("histogram not registered")
+	}
+	if h.Count != 3 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if got := h.Sum; math.Abs(got-(0.001+0.0009+1e9)) > 1e-6 {
+		t.Fatalf("sum = %v", got)
+	}
+	if len(h.Counts) != len(h.Bounds)+1 {
+		t.Fatalf("counts %d vs bounds %d", len(h.Counts), len(h.Bounds))
+	}
+	var idx001 int
+	for i, b := range h.Bounds {
+		if b == 0.001 {
+			idx001 = i
+		}
+	}
+	if h.Counts[idx001] != 2 {
+		t.Fatalf("0.001 bucket = %d (both 0.001 and 0.0009 belong there)", h.Counts[idx001])
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("+Inf bucket = %d", h.Counts[len(h.Counts)-1])
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	// 100 observations spread evenly through (0.1, 0.25]: the p50
+	// estimate interpolates to roughly the middle of that bucket.
+	for i := 0; i < 100; i++ {
+		r.Observe("lat", 0.1+0.15*float64(i+1)/100)
+	}
+	h, _ := r.Histogram("lat")
+	if h.P50 <= 0.1 || h.P50 > 0.25 {
+		t.Fatalf("p50 = %v, want within (0.1, 0.25]", h.P50)
+	}
+	if h.P95 < h.P50 || h.P99 < h.P95 {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", h.P50, h.P95, h.P99)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	r := NewRegistry()
+	r.Observe("lat", 1e9) // only the +Inf bucket is populated
+	h, _ := r.Histogram("lat")
+	last := h.Bounds[len(h.Bounds)-1]
+	if got := h.Quantile(0.99); got != last {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to %v", got, last)
+	}
+	if got := h.Quantile(-1); got < 0 {
+		t.Fatalf("q<0 = %v", got)
+	}
+	if got := h.Quantile(2); got != last {
+		t.Fatalf("q>1 = %v", got)
+	}
+}
+
+func TestHistogramByteBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveBytes("frame", 512)
+	h, _ := r.Histogram("frame")
+	if len(h.Bounds) != len(ByteBuckets) {
+		t.Fatalf("bounds = %v, want byte layout", h.Bounds)
+	}
+	if h.Counts[1] != 1 { // 512 ≤ 1024
+		t.Fatalf("1KiB bucket = %d", h.Counts[1])
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveSince("lat", time.Now().Add(-10*time.Millisecond))
+	h, ok := r.Histogram("lat")
+	if !ok || h.Count != 1 {
+		t.Fatalf("histogram = %+v ok=%v", h, ok)
+	}
+	if h.Sum < 0.005 || h.Sum > 5 {
+		t.Fatalf("elapsed = %v s, want around 10ms", h.Sum)
+	}
+}
+
+func TestHistogramSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("lat", 0.5)
+	s := r.Snapshot()
+	s.Histograms["lat"].Counts[0] = 99
+	h, _ := r.Histogram("lat")
+	for _, c := range h.Counts[:1] {
+		if c == 99 {
+			t.Fatal("snapshot aliased histogram state")
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Observe("lat", float64(j)*0.0001)
+				r.ObserveBytes("bytes", float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if h, _ := r.Histogram("lat"); h.Count != 8000 {
+		t.Fatalf("count = %d", h.Count)
+	}
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"regexp"
+	"testing"
+)
+
+// snakeCase is the shape every documented metric name must have:
+// lowercase snake_case starting with a letter.
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func TestCanonicalCatalogIsSnakeCase(t *testing.T) {
+	for name, help := range CanonicalNames() {
+		if !snakeCase.MatchString(name) {
+			t.Errorf("catalog name %q is not snake_case", name)
+		}
+		if help == "" {
+			t.Errorf("catalog name %q has no help text", name)
+		}
+	}
+	for prefix, help := range CanonicalPrefixes() {
+		if !snakeCase.MatchString(prefix[:len(prefix)-1]) || prefix[len(prefix)-1] != '_' {
+			t.Errorf("catalog prefix %q must be snake_case ending in _", prefix)
+		}
+		if help == "" {
+			t.Errorf("catalog prefix %q has no help text", prefix)
+		}
+	}
+}
+
+func TestHelpResolvesPrefixes(t *testing.T) {
+	if _, ok := Help("runs_completed_total"); !ok {
+		t.Fatal("static name undocumented")
+	}
+	if _, ok := Help("runs_scheme_hadfl"); !ok {
+		t.Fatal("prefixed name undocumented")
+	}
+	if _, ok := Help("runs_scheme_"); ok {
+		t.Fatal("bare prefix must not resolve (empty suffix)")
+	}
+	if _, ok := Help("made_up_metric"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if IsCanonical("made_up_metric") {
+		t.Fatal("unknown name canonical")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"decentralized-fedavg": "decentralized_fedavg",
+		"Already_fine":         "already_fine",
+		"with.dots and spaces": "with_dots_and_spaces",
+		"hadfl":                "hadfl",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

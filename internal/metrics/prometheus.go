@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text-format exposition (version 0.0.4) for a Snapshot:
+// counters and gauges as single samples, histograms as the standard
+// _bucket{le=…}/_sum/_count triplet with cumulative bucket counts.
+// Names pass through SanitizeName defensively so the output is always
+// scrapeable even if a non-conforming name slips into a registry (the
+// hygiene test exists to keep that from happening at all).
+
+// WritePrometheus renders s in Prometheus text format. Families are
+// emitted in sorted name order so output is stable and diffable.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	writeHeader := func(name, kind string) error {
+		if help, ok := Help(name); ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		v := s.Counters[name]
+		name = SanitizeName(name)
+		if err := writeHeader(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		v := s.Gauges[name]
+		name = SanitizeName(name)
+		if err := writeHeader(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(v)); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		name = SanitizeName(name)
+		if err := writeHeader(name, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SetRuntimeGauges stamps the process runtime gauges (uptime,
+// goroutines, heap bytes) onto r. /stats and /metrics handlers call it
+// per request so the values are scrape-fresh.
+func SetRuntimeGauges(r *Registry, start time.Time) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.SetGauge("process_uptime_seconds", time.Since(start).Seconds())
+	r.SetGauge("process_goroutines", float64(runtime.NumGoroutine()))
+	r.SetGauge("process_heap_bytes", float64(ms.HeapAlloc))
+}
+
+// Handler serves r in Prometheus text format, refreshing the runtime
+// gauges first; mount it at GET /metrics. start anchors the uptime
+// gauge.
+func Handler(r *Registry, start time.Time) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		SetRuntimeGauges(r, start)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var sb strings.Builder
+		if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = io.WriteString(w, sb.String())
+	})
+}

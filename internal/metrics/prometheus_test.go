@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parsePrometheus is a minimal exposition-format checker: every
+// non-comment line must be `name{labels} value` or `name value` with a
+// parseable float, and every # TYPE must precede its family's samples.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]bool)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[3])
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value: %q", ln+1, line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, val, err)
+		}
+		family := key
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		family = strings.TrimSuffix(family, "_bucket")
+		family = strings.TrimSuffix(family, "_sum")
+		family = strings.TrimSuffix(family, "_count")
+		if !typed[family] {
+			t.Fatalf("line %d: sample %q precedes its # TYPE", ln+1, key)
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Add("runs_completed_total", 3)
+	r.SetGauge("queue_depth", 2)
+	r.Observe("run_duration_seconds", 0.2)
+	r.Observe("run_duration_seconds", 0.4)
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples := parsePrometheus(t, text)
+	if samples["runs_completed_total"] != 3 {
+		t.Fatalf("counter sample = %v", samples["runs_completed_total"])
+	}
+	if samples["queue_depth"] != 2 {
+		t.Fatalf("gauge sample = %v", samples["queue_depth"])
+	}
+	if samples[`run_duration_seconds_bucket{le="+Inf"}`] != 2 {
+		t.Fatalf("+Inf bucket = %v", samples[`run_duration_seconds_bucket{le="+Inf"}`])
+	}
+	if samples["run_duration_seconds_count"] != 2 {
+		t.Fatalf("_count = %v", samples["run_duration_seconds_count"])
+	}
+	if got := samples["run_duration_seconds_sum"]; got < 0.59 || got > 0.61 {
+		t.Fatalf("_sum = %v", got)
+	}
+	// Buckets must be cumulative: each le bucket >= the previous.
+	prev := -1.0
+	for _, b := range LatencyBuckets {
+		key := fmt.Sprintf("run_duration_seconds_bucket{le=%q}", strconv.FormatFloat(b, 'g', -1, 64))
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket %s = %v not cumulative (prev %v)", key, v, prev)
+		}
+		prev = v
+	}
+	// Documented names carry HELP lines.
+	if !strings.Contains(text, "# HELP runs_completed_total ") {
+		t.Fatal("no HELP line for a documented metric")
+	}
+}
+
+func TestWritePrometheusSanitizesNames(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("runs_scheme_decentralized-fedavg") // hyphen would be invalid on the wire
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "fedavg-") || strings.Contains(out, "-fedavg") {
+		t.Fatalf("unsanitized name leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "runs_scheme_decentralized_fedavg 1") {
+		t.Fatalf("sanitized sample missing:\n%s", out)
+	}
+}
+
+func TestSetRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	SetRuntimeGauges(r, time.Now().Add(-time.Second))
+	if up := r.Gauge("process_uptime_seconds"); up < 0.9 {
+		t.Fatalf("uptime = %v", up)
+	}
+	if g := r.Gauge("process_goroutines"); g < 1 {
+		t.Fatalf("goroutines = %v", g)
+	}
+	if hb := r.Gauge("process_heap_bytes"); hb <= 0 {
+		t.Fatalf("heap bytes = %v", hb)
+	}
+}

@@ -1,16 +1,21 @@
 package metrics
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
-// Registry is a concurrency-safe set of named monotonic counters and
-// free-floating gauges. The serve layer uses one to track queue depth,
-// cache hit rate and per-scheme run counts, and exposes a Snapshot at
-// GET /stats; any long-lived component can hang its operational
-// telemetry here.
+// Registry is a concurrency-safe set of named monotonic counters,
+// free-floating gauges and fixed-bucket histograms. The serve layer
+// uses one to track queue depth, cache hit rate, per-scheme run counts
+// and latency distributions, and exposes a Snapshot at GET /stats (and
+// Prometheus text at GET /metrics); any long-lived component can hang
+// its operational telemetry here.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	gauges   map[string]float64
+	hists    map[string]*histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -18,6 +23,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
 	}
 }
 
@@ -60,10 +66,54 @@ func (r *Registry) Gauge(name string) float64 {
 	return r.gauges[name]
 }
 
+// Observe records v into the named duration histogram (log-scale
+// LatencyBuckets, seconds), creating it on first touch. A name's
+// bucket layout is fixed by whichever Observe* call touches it first.
+func (r *Registry) Observe(name string, v float64) {
+	r.observe(name, LatencyBuckets, v)
+}
+
+// ObserveSince records the seconds elapsed since t0 into the named
+// duration histogram — the one-liner for the common "time this
+// section" pattern.
+func (r *Registry) ObserveSince(name string, t0 time.Time) {
+	r.Observe(name, time.Since(t0).Seconds())
+}
+
+// ObserveBytes records a size observation into the named histogram
+// using ByteBuckets (256 B … 16 MiB, log-scale).
+func (r *Registry) ObserveBytes(name string, v float64) {
+	r.observe(name, ByteBuckets, v)
+}
+
+func (r *Registry) observe(name string, bounds []float64, v float64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram's snapshot; ok is false if it
+// was never observed.
+func (r *Registry) Histogram(name string) (HistogramSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		return HistogramSnapshot{}, false
+	}
+	return h.snapshot(), true
+}
+
 // Snapshot is a point-in-time copy of a registry's contents.
 type Snapshot struct {
-	Counters map[string]int64   `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the registry. The maps in the result are owned by
@@ -72,14 +122,18 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		Counters: make(map[string]int64, len(r.counters)),
-		Gauges:   make(map[string]float64, len(r.gauges)),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
 	}
 	for k, v := range r.counters {
 		s.Counters[k] = v
 	}
 	for k, v := range r.gauges {
 		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.snapshot()
 	}
 	return s
 }

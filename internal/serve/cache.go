@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"hadfl/internal/metrics"
 )
@@ -57,6 +58,7 @@ func NewBoundedCache(reg *metrics.Registry, maxEntries int) *Cache {
 // caller must then NOT enqueue it again. A terminal-but-unsuccessful
 // job is replaced (the retry path), counted as a miss.
 func (c *Cache) GetOrCreate(id string, mk func() *Job) (j *Job, existing bool) {
+	defer c.observeLookup(time.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.jobs[id]; ok {
@@ -77,8 +79,17 @@ func (c *Cache) GetOrCreate(id string, mk func() *Job) (j *Job, existing bool) {
 	return j, false
 }
 
+// observeLookup records a lookup's latency (deferred with the entry
+// time, so it fires after the lock is released). Lookups are the
+// coalescing hot path: a latency spike here means submissions are
+// contending on the cache mutex.
+func (c *Cache) observeLookup(t0 time.Time) {
+	c.reg.ObserveSince("cache_lookup_seconds", t0)
+}
+
 // Get looks up a job without creating one, refreshing its recency.
 func (c *Cache) Get(id string) (*Job, bool) {
+	defer c.observeLookup(time.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.jobs[id]

@@ -6,12 +6,14 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"hadfl"
 	"hadfl/internal/metrics"
 	"hadfl/internal/p2p"
+	"hadfl/internal/trace"
 )
 
 // Config assembles a Dispatcher.
@@ -43,6 +45,13 @@ type Config struct {
 	// Metrics receives dispatch telemetry (dispatch_* series). Pass the
 	// serve registry to surface them on /stats. Default: private.
 	Metrics *metrics.Registry
+	// Tracer receives dispatch spans — including the worker-side spans
+	// that terminal frames ship home. Pass the serve tracer so a
+	// dispatched job's remote spans appear on GET /debug/traces under the
+	// job's own trace. Default: none.
+	Tracer *trace.Tracer
+	// Logger receives worker liveness and retry events. Default: discard.
+	Logger *slog.Logger
 }
 
 // workerState is the dispatcher's view of one worker.
@@ -81,9 +90,11 @@ type call struct {
 // and falls back to local execution when no worker is live. Its Run
 // method matches the serve pool's Runner seam.
 type Dispatcher struct {
-	cfg   Config
-	reg   *metrics.Registry
-	local Runner
+	cfg    Config
+	reg    *metrics.Registry
+	tracer *trace.Tracer
+	log    *slog.Logger
+	local  Runner
 	// token is this instance's random identity, stamped on every
 	// request and cancel so workers can tell apart dispatchers whose
 	// node ids and sequence numbers coincide (every hadfl-serve
@@ -126,6 +137,9 @@ func New(cfg Config) (*Dispatcher, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = trace.NopLogger()
+	}
 	var tok [8]byte
 	if _, err := rand.Read(tok[:]); err != nil {
 		return nil, fmt.Errorf("dispatch: instance token: %w", err)
@@ -133,6 +147,8 @@ func New(cfg Config) (*Dispatcher, error) {
 	d := &Dispatcher{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
+		tracer:  cfg.Tracer,
+		log:     cfg.Logger,
 		local:   cfg.Local,
 		token:   hex.EncodeToString(tok[:]),
 		workers: make(map[int]*workerState, len(cfg.Workers)),
@@ -254,6 +270,9 @@ func (d *Dispatcher) recvLoop() {
 			var o outcome
 			var err error
 			if m.Kind == p2p.KindDispatchResult {
+				// Meta is the frame's exact body length in bytes — the
+				// wire cost of shipping this result home.
+				d.reg.ObserveBytes("dispatch_result_frame_bytes", float64(m.Meta))
 				o.res = &resultBody{}
 				err = decodeBody(m, o.res)
 			} else {
@@ -315,6 +334,7 @@ func (d *Dispatcher) refreshLocked(id int) {
 	if !ws.alive {
 		ws.alive = true
 		d.updateLiveGaugeLocked()
+		d.log.Info("dispatch worker live", "worker", id)
 	}
 }
 
@@ -346,6 +366,7 @@ func (d *Dispatcher) probe() {
 			ws.alive = false
 			d.updateLiveGaugeLocked()
 			d.reg.Inc("dispatch_workers_lost_total")
+			d.log.Warn("dispatch worker lost", "worker", id, "silentSec", now.Sub(ws.seen).Seconds())
 			for _, c := range d.pending {
 				if c.worker == id {
 					c.downOnce.Do(func() { close(c.down) })
@@ -413,11 +434,20 @@ func (d *Dispatcher) updateLiveGaugeLocked() {
 // worker lost or shut down mid-run) move the run to the next live
 // worker — each is tried at most once — and when none remain the run
 // executes locally. It matches the serve pool's Runner seam.
-func (d *Dispatcher) Run(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+func (d *Dispatcher) Run(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (res *hadfl.Result, err error) {
 	fp, err := hadfl.Fingerprint(scheme, opts)
 	if err != nil {
 		return nil, err
 	}
+	// Child of the pool's serve.job span when the pool threaded one
+	// through ctx; otherwise the root of a fresh trace.
+	ctx, span := trace.Start(ctx, d.tracer, "dispatch.run")
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
+	span.SetAttr("jobID", fp)
+	span.SetAttr("scheme", scheme)
 	tried := make(map[int]bool)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -433,8 +463,11 @@ func (d *Dispatcher) Run(ctx context.Context, scheme string, opts hadfl.Options,
 		}
 		tried[ws.id] = true
 		d.reg.Inc("dispatch_retries_total")
+		d.log.Warn("dispatch retry", "jobID", fp, "worker", ws.id, "err", err)
 	}
 	d.reg.Inc("dispatch_local_fallback_total")
+	d.log.Info("dispatch local fallback", "jobID", fp, "tried", len(tried))
+	span.SetAttr("fallback", "local")
 	return d.local(ctx, scheme, opts, onRound)
 }
 
@@ -471,7 +504,14 @@ func (d *Dispatcher) claimWorker(tried map[int]bool) *workerState {
 // runOn executes one attempt on one worker. The third return reports
 // whether the failure is transient (retry on another worker) — results
 // and genuine run errors are not.
-func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (_ *hadfl.Result, _ error, transient bool) {
+func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (_ *hadfl.Result, retErr error, transient bool) {
+	ctx, span := trace.Start(ctx, d.tracer, "dispatch.request")
+	defer func() {
+		span.SetError(retErr)
+		span.End()
+	}()
+	span.SetAttr("worker", fmt.Sprint(ws.id))
+	sent := time.Now()
 	d.mu.Lock()
 	d.nextSeq++
 	seq := d.nextSeq
@@ -491,6 +531,9 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 	}()
 
 	req := requestBody{Proto: proto, Token: d.token, JobID: fp, Scheme: scheme, Options: toWire(opts)}
+	if sc := span.Context(); sc.Valid() {
+		req.Trace = &wireTrace{TraceID: sc.TraceID, SpanID: sc.SpanID}
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		rem := time.Until(dl)
 		if rem <= 0 {
@@ -555,7 +598,7 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 			select {
 			case o := <-c.done:
 				drainRounds()
-				return d.finish(ctx, ws, o, canceled)
+				return d.finish(ctx, ws, o, canceled, sent)
 			default:
 			}
 			// Best-effort cancel to the lost worker: if it was merely
@@ -569,14 +612,18 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 			return nil, fmt.Errorf("dispatch: worker %d lost mid-run", ws.id), true
 		case o := <-c.done:
 			drainRounds()
-			return d.finish(ctx, ws, o, canceled)
+			return d.finish(ctx, ws, o, canceled, sent)
 		}
 	}
 }
 
 // finish maps a terminal frame to the Runner contract's (result, error)
-// and classifies retryability.
-func (d *Dispatcher) finish(ctx context.Context, ws *workerState, o outcome, canceled bool) (*hadfl.Result, error, bool) {
+// and classifies retryability. sent anchors the attempt's round-trip
+// histogram; the frame's shipped-home worker spans land in the tracer
+// here, stitching the remote half of the trace into the local ring.
+func (d *Dispatcher) finish(ctx context.Context, ws *workerState, o outcome, canceled bool, sent time.Time) (*hadfl.Result, error, bool) {
+	d.reg.ObserveSince("dispatch_rtt_seconds", sent)
+	d.recordRemoteSpans(o)
 	if o.errb != nil {
 		eb := o.errb
 		switch {
@@ -603,4 +650,25 @@ func (d *Dispatcher) finish(ctx context.Context, ws *workerState, o outcome, can
 	}
 	d.reg.Inc("dispatch_remote_total")
 	return o.res.toResult(), nil, false
+}
+
+// recordRemoteSpans lands the worker-side spans a terminal frame
+// carried into the dispatcher's tracer ring.
+func (d *Dispatcher) recordRemoteSpans(o outcome) {
+	if d.tracer == nil {
+		return
+	}
+	var wt *wireTrace
+	switch {
+	case o.res != nil:
+		wt = o.res.Trace
+	case o.errb != nil:
+		wt = o.errb.Trace
+	}
+	if wt == nil {
+		return
+	}
+	for _, sd := range wt.Spans {
+		d.tracer.Record(sd)
+	}
 }

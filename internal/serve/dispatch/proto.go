@@ -64,6 +64,7 @@ import (
 	"hadfl"
 	"hadfl/internal/metrics"
 	"hadfl/internal/p2p"
+	"hadfl/internal/trace"
 )
 
 // proto is the dispatch protocol version carried inside hello and
@@ -149,6 +150,31 @@ type requestBody struct {
 	// survives clock skew; the cancel frame remains the primary path).
 	DeadlineSec float64    `json:"deadlineSec,omitempty"`
 	Options     reqOptions `json:"options"`
+	// Trace carries the dispatcher's span context so the worker's spans
+	// join the same trace (see wireTrace). Tracing is passive: this field
+	// never influences execution, and the byte-determinism oracle ignores
+	// it.
+	Trace *wireTrace `json:"trace,omitempty"`
+}
+
+// wireTrace propagates trace context across the dispatch protocol. On a
+// request it carries the dispatcher-side parent span (TraceID + SpanID);
+// on a terminal result/error frame it carries the spans the worker
+// recorded for the run, so the dispatcher can stitch them into its own
+// ring and GET /debug/traces shows one trace spanning both processes.
+type wireTrace struct {
+	TraceID string           `json:"traceID,omitempty"`
+	SpanID  string           `json:"spanID,omitempty"`
+	Spans   []trace.SpanData `json:"spans,omitempty"`
+}
+
+// spanContext rebuilds the propagated parent span context (zero when t
+// is nil or carries no IDs — trace.Start then mints a fresh root).
+func (t *wireTrace) spanContext() trace.SpanContext {
+	if t == nil {
+		return trace.SpanContext{}
+	}
+	return trace.SpanContext{TraceID: t.TraceID, SpanID: t.SpanID}
 }
 
 // cancelBody aborts one in-flight run; Token must match the request
@@ -188,6 +214,10 @@ type resultBody struct {
 	CurveName   string          `json:"curveName,omitempty"`
 	Curve       []metrics.Point `json:"curve,omitempty"`
 	FinalParams []float64       `json:"finalParams,omitempty"`
+	// Trace ships the worker-side spans home (see wireTrace). Excluded
+	// from the byte-determinism oracle, which compares rebuilt
+	// hadfl.Result values, never raw frames.
+	Trace *wireTrace `json:"trace,omitempty"`
 }
 
 func toResultBody(res *hadfl.Result) resultBody {
@@ -237,6 +267,9 @@ type errorBody struct {
 	Canceled bool   `json:"canceled,omitempty"`
 	Timeout  bool   `json:"timeout,omitempty"`
 	Busy     bool   `json:"busy,omitempty"`
+	// Trace ships the worker-side spans home even on failure, so an
+	// errored run's trace still shows where the time went.
+	Trace *wireTrace `json:"trace,omitempty"`
 }
 
 // sendFrame JSON-encodes body into a dispatch frame and sends it. A

@@ -25,6 +25,7 @@ import (
 	"hadfl"
 	"hadfl/internal/metrics"
 	"hadfl/internal/p2p"
+	"hadfl/internal/trace"
 )
 
 const (
@@ -46,13 +47,16 @@ type harness struct {
 	disp    *Dispatcher
 	workers map[int]*Worker
 	reg     *metrics.Registry
+	tracer  *trace.Tracer
 	stop    context.CancelFunc
 	done    sync.WaitGroup
 }
 
 // startHarness boots a dispatcher plus one worker per entry of
 // workerIDs (each capacity 1 unless overridden) and waits for every
-// worker to register.
+// worker to register. Tracing is always on — the whole suite,
+// byte-identity tests included, runs instrumented, pinning the
+// passivity contract (spans never change results).
 func startHarness(t *testing.T, workerIDs []int, capacity int, runner Runner) *harness {
 	t.Helper()
 	h := &harness{
@@ -60,6 +64,7 @@ func startHarness(t *testing.T, workerIDs []int, capacity int, runner Runner) *h
 		hub:     p2p.NewChanHub(),
 		workers: make(map[int]*Worker),
 		reg:     metrics.NewRegistry(),
+		tracer:  trace.NewTracer(0),
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	h.stop = cancel
@@ -69,6 +74,8 @@ func startHarness(t *testing.T, workerIDs []int, capacity int, runner Runner) *h
 			Capacity:    capacity,
 			Runner:      runner,
 			RecvTimeout: 10 * time.Millisecond,
+			Metrics:     h.reg,
+			Tracer:      trace.NewTracer(0), // the worker's own ring; spans also ship home
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -87,6 +94,7 @@ func startHarness(t *testing.T, workerIDs []int, capacity int, runner Runner) *h
 		LivenessGrace:  100 * time.Millisecond,
 		RecvTimeout:    10 * time.Millisecond,
 		Metrics:        h.reg,
+		Tracer:         h.tracer,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -633,5 +641,87 @@ func TestWorkerRejectsBadRequests(t *testing.T) {
 	}
 	if rep, ok := probe.Recv(2 * time.Second); !ok || rep.Kind != p2p.KindDispatchError {
 		t.Fatalf("malformed request: reply (%v, %v), want an error frame", rep.Kind, ok)
+	}
+}
+
+// TestSimnetDispatchTraceStitching pins the cross-node tracing
+// contract: one dispatched run yields ONE trace in the dispatcher's
+// ring whose spans cover both sides of the wire — dispatch.run and
+// dispatch.request from the dispatcher, worker.run and worker.result
+// shipped home on the result frame — all under a single TraceID, with
+// the worker.run span parented under the propagated dispatch.request.
+func TestSimnetDispatchTraceStitching(t *testing.T) {
+	h := startHarness(t, []int{worker1ID}, 1, nil)
+	if _, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, fastOpts(21), nil); err != nil {
+		t.Fatal(err)
+	}
+	traces := h.tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("one dispatched run produced %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	byName := make(map[string]trace.SpanData)
+	for _, sd := range tr.Spans {
+		if sd.TraceID != tr.TraceID {
+			t.Fatalf("span %q carries trace %s, filed under %s", sd.Name, sd.TraceID, tr.TraceID)
+		}
+		byName[sd.Name] = sd
+	}
+	for _, name := range []string{"dispatch.run", "dispatch.request", "worker.run", "worker.result"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("trace is missing span %q (have %d spans)", name, len(tr.Spans))
+		}
+	}
+	if byName["dispatch.request"].Parent != byName["dispatch.run"].SpanID {
+		t.Fatal("dispatch.request is not a child of dispatch.run")
+	}
+	if byName["worker.run"].Parent != byName["dispatch.request"].SpanID {
+		t.Fatal("worker.run did not stitch under the propagated dispatch.request span")
+	}
+	if byName["worker.result"].Parent != byName["worker.run"].SpanID {
+		t.Fatal("worker.result is not a child of worker.run")
+	}
+	if byName["worker.run"].Attrs["scheme"] != hadfl.SchemeHADFL {
+		t.Fatalf("worker.run attrs %+v", byName["worker.run"].Attrs)
+	}
+	// The run's histograms observed on the shared registry.
+	if hs, ok := h.reg.Histogram("dispatch_rtt_seconds"); !ok || hs.Count == 0 {
+		t.Fatal("dispatch_rtt_seconds never observed")
+	}
+	if hs, ok := h.reg.Histogram("dispatch_result_frame_bytes"); !ok || hs.Count == 0 {
+		t.Fatal("dispatch_result_frame_bytes never observed")
+	}
+	if hs, ok := h.reg.Histogram("worker_run_seconds"); !ok || hs.Count == 0 {
+		t.Fatal("worker_run_seconds never observed")
+	}
+}
+
+// TestSimnetDispatchTraceOnFailure: a canceled run's trace still ships
+// the worker-side spans home on the error frame, so failed runs are as
+// legible as successful ones.
+func TestSimnetDispatchTraceOnFailure(t *testing.T) {
+	h := startHarness(t, []int{worker1ID}, 1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 5000, Seed: 1}
+	var once sync.Once
+	_, err := h.disp.Run(ctx, hadfl.SchemeHADFL, opts, func(hadfl.RoundUpdate) {
+		once.Do(cancel)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	var workerSpan *trace.SpanData
+	for _, sd := range h.tracer.Spans() {
+		if sd.Name == "worker.run" {
+			sd := sd
+			workerSpan = &sd
+		}
+	}
+	if workerSpan == nil {
+		t.Fatal("canceled run shipped no worker.run span home")
+	}
+	if workerSpan.Error == "" {
+		t.Fatal("canceled worker.run span carries no error")
 	}
 }

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hadfl"
 	"hadfl/internal/metrics"
 	"hadfl/internal/p2p"
+	"hadfl/internal/trace"
 )
 
 // Runner executes one training run; it matches the serve layer's
@@ -43,6 +46,12 @@ type WorkerConfig struct {
 	RecvTimeout time.Duration
 	// Metrics receives worker telemetry. Default: private registry.
 	Metrics *metrics.Registry
+	// Tracer receives this worker's run spans locally (the same spans
+	// also ship back to the dispatcher on terminal frames). Default:
+	// none.
+	Tracer *trace.Tracer
+	// Logger receives run lifecycle events. Default: discard.
+	Logger *slog.Logger
 }
 
 // Worker executes dispatched runs: it registers with dispatchers that
@@ -53,6 +62,7 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg WorkerConfig
 	reg *metrics.Registry
+	log *slog.Logger
 
 	mu      sync.Mutex
 	running map[runKey]context.CancelFunc
@@ -88,9 +98,13 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = trace.NopLogger()
+	}
 	w := &Worker{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
+		log:     cfg.Logger,
 		running: make(map[runKey]context.CancelFunc),
 	}
 	w.reg.SetGauge("worker_capacity", float64(cfg.Capacity))
@@ -230,6 +244,7 @@ func (w *Worker) handleRequest(ctx context.Context, m p2p.Message) {
 		w.mu.Unlock()
 		cancel()
 		w.reg.Inc("worker_busy_rejections_total")
+		w.log.Warn("dispatched run rejected at capacity", "jobID", req.JobID, "capacity", w.cfg.Capacity)
 		reject(errorBody{Token: req.Token, Message: fmt.Sprintf("dispatch: worker at capacity %d", w.cfg.Capacity), Busy: true})
 		return
 	}
@@ -242,7 +257,22 @@ func (w *Worker) handleRequest(ctx context.Context, m p2p.Message) {
 		defer w.wg.Done()
 		defer cancel()
 		w.reg.Inc("worker_runs_total")
-		res, err := w.cfg.Runner(runCtx, req.Scheme, opts, func(u hadfl.RoundUpdate) {
+		t0 := time.Now()
+		// The run's spans parent under the dispatcher's propagated span
+		// context, so both processes' spans share one TraceID. A Buffer
+		// tees everything recorded locally for shipment home on the
+		// terminal frame (whatever kind it turns out to be).
+		buf := &trace.Buffer{}
+		rec := trace.MultiRecorder(w.cfg.Tracer, buf)
+		spanCtx := trace.ContextWith(runCtx, req.Trace.spanContext())
+		spanCtx, span := trace.Start(spanCtx, rec, "worker.run")
+		span.SetAttr("jobID", req.JobID)
+		span.SetAttr("scheme", req.Scheme)
+		log := w.log.With("jobID", req.JobID, "scheme", req.Scheme, "traceID", span.Context().TraceID)
+		log.Info("dispatched run started", "from", m.From, "seq", m.Round)
+		var rounds atomic.Int64
+		res, err := w.cfg.Runner(spanCtx, req.Scheme, opts, func(u hadfl.RoundUpdate) {
+			rounds.Add(1)
 			_ = sendFrame(w.cfg.Transport, p2p.KindDispatchRound, m.From, m.Round, roundBody{
 				Token: req.Token, Round: u.Round, Time: u.Time, Loss: u.Loss,
 				Accuracy: u.Accuracy, Selected: u.Selected, Bypassed: u.Bypassed,
@@ -252,19 +282,42 @@ func (w *Worker) handleRequest(ctx context.Context, m p2p.Message) {
 		delete(w.running, key)
 		w.reg.SetGauge("worker_running", float64(len(w.running)))
 		w.mu.Unlock()
+		dur := time.Since(t0)
+		w.reg.Observe("worker_run_seconds", dur.Seconds())
+		span.SetAttr("rounds", fmt.Sprint(rounds.Load()))
+		// shipHome ends the run span, drains every span this run
+		// recorded and attaches them to the outbound terminal body.
+		shipHome := func() *wireTrace {
+			span.End()
+			return &wireTrace{TraceID: span.Context().TraceID, Spans: buf.Drain()}
+		}
 		if err != nil {
+			canceled := errors.Is(err, context.Canceled)
+			if canceled {
+				log.Info("dispatched run canceled", "durationSec", dur.Seconds())
+			} else {
+				log.Error("dispatched run failed", "err", err, "durationSec", dur.Seconds())
+			}
+			span.SetError(err)
 			w.reg.Inc("worker_runs_failed_total")
 			reject(errorBody{
 				Token:    req.Token,
 				Message:  err.Error(),
-				Canceled: errors.Is(err, context.Canceled),
+				Canceled: canceled,
 				Timeout:  errors.Is(err, context.DeadlineExceeded),
+				Trace:    shipHome(),
 			})
 			return
 		}
 		w.reg.Inc("worker_runs_completed_total")
+		log.Info("dispatched run completed", "durationSec", dur.Seconds(), "rounds", rounds.Load())
+		// The result span times the terminal frame's assembly — on big
+		// models the final parameter vector dominates the encode cost.
+		_, rspan := trace.Start(spanCtx, rec, "worker.result")
 		body := toResultBody(res)
 		body.Token = req.Token
+		rspan.End()
+		body.Trace = shipHome()
 		if err := sendFrame(w.cfg.Transport, p2p.KindDispatchResult, m.From, m.Round, body); err != nil {
 			// The run finished but its result frame cannot be built or
 			// sent (NaN in the parameters defeats JSON, or the body
@@ -273,6 +326,7 @@ func (w *Worker) handleRequest(ctx context.Context, m p2p.Message) {
 			// heartbeating worker — report the failure as the terminal
 			// error frame instead (tiny, always encodable).
 			w.reg.Inc("worker_result_send_errors_total")
+			log.Error("dispatched result undeliverable", "err", err)
 			reject(errorBody{
 				Token:   req.Token,
 				Message: fmt.Sprintf("dispatch: result undeliverable: %v", err),

@@ -1,0 +1,295 @@
+package serve
+
+// Observability-layer coverage: the Prometheus exposition endpoint,
+// process runtime gauges on /stats, the metric-name hygiene contract
+// (every name a serve deployment registers is documented in the
+// metrics catalog), and the full shared-registry dispatch path — one
+// serve server whose pool Runner is a simnet dispatcher, proving that
+// dispatch_* counters, cross-layer histograms and a single stitched
+// trace all surface on the server's own endpoints.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+	"hadfl/internal/p2p"
+	"hadfl/internal/serve/dispatch"
+	"hadfl/internal/trace"
+)
+
+func TestMetricsEndpointServesPrometheus(t *testing.T) {
+	srv := mustNew(t, Config{Workers: 1, Runner: stubRunner(nil, nil, nil)})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, st := postRun(t, ts.URL, `{"options":{"seed":31}}`)
+	waitDone(t, ts.URL, st.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE runs_completed_total counter",
+		"runs_completed_total 1",
+		"# TYPE run_duration_seconds histogram",
+		`run_duration_seconds_bucket{le="+Inf"} 1`,
+		"run_duration_seconds_count 1",
+		"# TYPE process_goroutines gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestStatsIncludesRuntimeGaugesAndHistograms(t *testing.T) {
+	srv := mustNew(t, Config{Workers: 1, Runner: stubRunner(nil, nil, nil)})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, st := postRun(t, ts.URL, `{"options":{"seed":32}}`)
+	waitDone(t, ts.URL, st.ID)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Metrics metrics.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	g := stats.Metrics.Gauges
+	if g["process_uptime_seconds"] <= 0 || g["process_goroutines"] < 1 || g["process_heap_bytes"] <= 0 {
+		t.Fatalf("runtime gauges %+v", g)
+	}
+	for _, name := range []string{"queue_wait_seconds", "run_duration_seconds"} {
+		h, ok := stats.Metrics.Histograms[name]
+		if !ok || h.Count < 1 {
+			t.Fatalf("histogram %s missing from /stats (%+v)", name, stats.Metrics.Histograms)
+		}
+	}
+}
+
+// assertCanonicalNames fails on any registered metric name missing
+// from the documented catalog — the CI tripwire against silent metric
+// surface drift.
+func assertCanonicalNames(t *testing.T, s metrics.Snapshot) {
+	t.Helper()
+	for name := range s.Counters {
+		if !metrics.IsCanonical(name) {
+			t.Errorf("undocumented counter %q (add it to internal/metrics/names.go)", name)
+		}
+	}
+	for name := range s.Gauges {
+		if !metrics.IsCanonical(name) {
+			t.Errorf("undocumented gauge %q (add it to internal/metrics/names.go)", name)
+		}
+	}
+	for name := range s.Histograms {
+		if !metrics.IsCanonical(name) {
+			t.Errorf("undocumented histogram %q (add it to internal/metrics/names.go)", name)
+		}
+	}
+}
+
+// TestServeDispatchSharedObservability is the issue's acceptance e2e:
+// a serve server whose pool Runner is a dispatch backend, all three
+// layers (pool, dispatcher, worker-side shipment) sharing ONE registry
+// and ONE tracer. A single POST /runs must surface dispatch_* counters
+// and cross-layer histograms on /stats, valid Prometheus text on
+// /metrics, and exactly one trace on /debug/traces whose spans cover
+// request → rounds → result on both sides of the wire under a single
+// TraceID.
+func TestServeDispatchSharedObservability(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tracer := trace.NewTracer(0)
+	hub := p2p.NewChanHub()
+	worker, err := dispatch.NewWorker(dispatch.WorkerConfig{
+		Transport:   hub.Node(1),
+		RecvTimeout: 10 * time.Millisecond,
+		Metrics:     reg,
+		Tracer:      tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		_ = worker.Serve(workerCtx)
+	}()
+	disp, err := dispatch.New(dispatch.Config{
+		Transport:      hub.Node(0),
+		Workers:        []int{1},
+		HeartbeatEvery: 20 * time.Millisecond,
+		RecvTimeout:    10 * time.Millisecond,
+		Metrics:        reg,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disp.Close()
+	readyCtx, cancelReady := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelReady()
+	if err := disp.WaitReady(readyCtx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := mustNew(t, Config{Workers: 1, Runner: disp.Run, Metrics: reg, Tracer: tracer})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, st := postRun(t, ts.URL, `{"options":{"powers":[2,1],"targetEpochs":2,"seed":33}}`)
+	final := waitDone(t, ts.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("dispatched job finished %v: %s", final.State, final.Error)
+	}
+
+	// /stats: dispatch counters and histograms from every layer, plus
+	// the live-workers gauge, all on the one shared registry.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Metrics metrics.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	c := stats.Metrics.Counters
+	if c["dispatch_requests_total"] < 1 || c["dispatch_remote_total"] != 1 || c["runs_completed_total"] != 1 {
+		t.Fatalf("dispatch counters %+v", c)
+	}
+	if stats.Metrics.Gauges["dispatch_workers_live"] != 1 {
+		t.Fatalf("dispatch_workers_live = %v", stats.Metrics.Gauges["dispatch_workers_live"])
+	}
+	for _, name := range []string{
+		"queue_wait_seconds", "run_duration_seconds",
+		"dispatch_rtt_seconds", "dispatch_result_frame_bytes", "worker_run_seconds",
+	} {
+		if h, ok := stats.Metrics.Histograms[name]; !ok || h.Count < 1 {
+			t.Fatalf("histogram %s missing after a dispatched run", name)
+		}
+	}
+	assertCanonicalNames(t, stats.Metrics)
+
+	// /metrics: the same registry as Prometheus text, with the dispatch
+	// histogram present.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mraw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mraw), "# TYPE dispatch_rtt_seconds histogram") {
+		t.Fatal("/metrics missing the dispatch RTT histogram")
+	}
+
+	// /debug/traces: one job → one trace, spans from the pool, the
+	// dispatcher and the worker stitched under a single TraceID, with
+	// the serve.job span as the root.
+	tresp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var body struct {
+		Traces []trace.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Traces) != 1 {
+		t.Fatalf("one dispatched job produced %d traces, want 1", len(body.Traces))
+	}
+	tr := body.Traces[0]
+	byName := make(map[string]trace.SpanData)
+	for _, sd := range tr.Spans {
+		if sd.TraceID != tr.TraceID {
+			t.Fatalf("span %q under trace %s carries TraceID %s", sd.Name, tr.TraceID, sd.TraceID)
+		}
+		byName[sd.Name] = sd
+	}
+	for _, name := range []string{"serve.job", "dispatch.run", "dispatch.request", "worker.run", "worker.result"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("trace missing span %q (have %v)", name, spanNames(tr.Spans))
+		}
+	}
+	if byName["serve.job"].Parent != "" {
+		t.Fatal("serve.job is not the trace root")
+	}
+	if byName["dispatch.run"].Parent != byName["serve.job"].SpanID {
+		t.Fatal("dispatch.run not parented under serve.job")
+	}
+	if byName["worker.run"].Parent != byName["dispatch.request"].SpanID {
+		t.Fatal("worker.run did not stitch under dispatch.request across the wire")
+	}
+	if byName["serve.job"].Attrs["jobID"] != st.ID {
+		t.Fatalf("serve.job jobID attr %q, want %q", byName["serve.job"].Attrs["jobID"], st.ID)
+	}
+}
+
+func spanNames(spans []trace.SpanData) []string {
+	out := make([]string, len(spans))
+	for i, sd := range spans {
+		out[i] = sd.Name
+	}
+	return out
+}
+
+// TestMetricNameHygieneLocalPath covers the plain local server: every
+// metric a no-dispatch deployment registers must be documented.
+func TestMetricNameHygieneLocalPath(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := mustNew(t, Config{Workers: 1, Metrics: reg, StoreDir: t.TempDir(), CacheMaxEntries: 8})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, st := postRun(t, ts.URL, `{"options":{"powers":[2,1],"targetEpochs":1,"seed":34}}`)
+	waitDone(t, ts.URL, st.ID)
+	// Touch the SSE and rate-limit counters too.
+	if resp, err := http.Get(ts.URL + "/runs/" + st.ID + "/events"); err == nil {
+		resp.Body.Close()
+	}
+	metrics.SetRuntimeGauges(reg, time.Now())
+	assertCanonicalNames(t, reg.Snapshot())
+	if !metrics.IsCanonical("runs_scheme_" + metrics.SanitizeName(hadfl.SchemeHADFL)) {
+		t.Fatal("per-scheme counter family undocumented")
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"hadfl"
 	"hadfl/internal/metrics"
+	"hadfl/internal/trace"
 )
 
 // Runner executes one training run, honoring ctx for timeout and
@@ -41,6 +43,12 @@ type PoolConfig struct {
 	Runner Runner
 	// Metrics receives queue/run telemetry. Default: private registry.
 	Metrics *metrics.Registry
+	// Tracer receives the per-job root spans ("serve.job"); the run
+	// context carries the span, so a dispatch-backed runner stitches
+	// its remote spans under the same trace. Default: none.
+	Tracer *trace.Tracer
+	// Logger receives job lifecycle events. Default: discard.
+	Logger *slog.Logger
 }
 
 // Pool is a bounded job queue drained by a fixed set of workers. Jobs
@@ -50,6 +58,8 @@ type PoolConfig struct {
 type Pool struct {
 	cfg     PoolConfig
 	reg     *metrics.Registry
+	tracer  *trace.Tracer
+	log     *slog.Logger
 	queue   chan *Job
 	stop    chan struct{} // closed once: workers stop picking up work
 	base    context.Context
@@ -76,10 +86,15 @@ func NewPool(cfg PoolConfig) *Pool {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = trace.NopLogger()
+	}
 	base, cut := context.WithCancel(context.Background())
 	p := &Pool{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
+		tracer:  cfg.Tracer,
+		log:     cfg.Logger,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		base:    base,
@@ -203,10 +218,22 @@ func (p *Pool) runJob(worker string, j *Job) {
 	if !j.start(cancel) {
 		return // canceled while queued
 	}
+	queueWait := time.Since(j.Created)
+	p.reg.Observe("queue_wait_seconds", queueWait.Seconds())
 	p.reg.AddGauge("jobs_running", 1)
 	defer p.reg.AddGauge("jobs_running", -1)
 	p.reg.Inc("runs_started_total")
-	p.reg.Inc("runs_scheme_" + j.Scheme)
+	p.reg.Inc("runs_scheme_" + metrics.SanitizeName(j.Scheme))
+
+	// The job's root span: every span the runner opens under ctx —
+	// including the dispatcher's remote attempts and the worker-side
+	// spans they ship back — stitches under this trace.
+	ctx, span := trace.Start(ctx, p.tracer, "serve.job")
+	defer span.End()
+	span.SetAttr("jobID", j.ID)
+	span.SetAttr("scheme", j.Scheme)
+	log := p.log.With("jobID", j.ID, "scheme", j.Scheme, "traceID", span.Context().TraceID)
+	log.Info("job started", "worker", worker, "queueWaitSec", queueWait.Seconds())
 
 	type outcome struct {
 		res *hadfl.Result
@@ -228,14 +255,31 @@ func (p *Pool) runJob(worker string, j *Job) {
 			Canceled: errors.Is(cause, context.Canceled),
 		}
 		j.finish(nil, jerr)
+		p.reg.Observe("run_duration_seconds", jerr.Duration.Seconds())
+		span.SetError(cause)
 		switch {
 		case jerr.Timeout:
 			p.reg.Inc("runs_timeout_total")
+			log.Warn("job timed out", "durationSec", jerr.Duration.Seconds(), "path", jerr.Path)
 		case jerr.Canceled:
 			p.reg.Inc("runs_canceled_total")
+			log.Info("job canceled", "durationSec", jerr.Duration.Seconds())
 		default:
 			p.reg.Inc("runs_failed_total")
+			log.Error("job failed", "err", cause, "durationSec", jerr.Duration.Seconds())
 		}
+	}
+	finishOK := func(res *hadfl.Result) {
+		j.finish(res, nil)
+		dur := j.RunningFor()
+		p.reg.Inc("runs_completed_total")
+		p.reg.Observe("run_duration_seconds", dur.Seconds())
+		p.recordEval(res)
+		rounds := 0
+		if res != nil {
+			rounds = res.Rounds
+		}
+		log.Info("job completed", "durationSec", dur.Seconds(), "rounds", rounds)
 	}
 
 	select {
@@ -244,9 +288,7 @@ func (p *Pool) runJob(worker string, j *Job) {
 			finishErr(o.err, "run")
 			return
 		}
-		j.finish(o.res, nil)
-		p.reg.Inc("runs_completed_total")
-		p.recordEval(o.res)
+		finishOK(o.res)
 	case <-ctx.Done():
 		// Registered schemes honor ctx within one device step, so the
 		// runner's own ctx.Err() arrives almost immediately — wait
@@ -258,9 +300,7 @@ func (p *Pool) runJob(worker string, j *Job) {
 		case o := <-ch:
 			if o.err == nil {
 				// Finished despite the cut — a photo-finish; keep it.
-				j.finish(o.res, nil)
-				p.reg.Inc("runs_completed_total")
-				p.recordEval(o.res)
+				finishOK(o.res)
 				return
 			}
 			finishErr(o.err, "run")
@@ -281,6 +321,7 @@ func (p *Pool) recordEval(res *hadfl.Result) {
 	}
 	p.reg.Add("eval_batches_total", res.EvalBatches)
 	p.reg.AddGauge("eval_seconds_total", res.EvalSeconds)
+	p.reg.Observe("run_eval_seconds", res.EvalSeconds)
 }
 
 // abandonGrace is how long a worker waits, after a job's context dies,

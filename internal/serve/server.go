@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"hadfl"
 	"hadfl/internal/metrics"
+	"hadfl/internal/trace"
 )
 
 // Config assembles a Server.
@@ -42,6 +44,14 @@ type Config struct {
 	Runner Runner
 	// Metrics receives service telemetry. Default: private registry.
 	Metrics *metrics.Registry
+	// Tracer collects per-job spans, served at GET /debug/traces. Pass
+	// the same tracer to a dispatch backend so remote spans stitch into
+	// the same ring. Default: a private trace.DefaultCapacity ring, so
+	// the endpoint always works.
+	Tracer *trace.Tracer
+	// Logger receives structured lifecycle events (job start/finish,
+	// failures). Default: discard.
+	Logger *slog.Logger
 }
 
 // Server wires cache, pool, limiter and metrics behind an
@@ -49,6 +59,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	reg     *metrics.Registry
+	tracer  *trace.Tracer
 	cache   *Cache
 	pool    *Pool
 	limiter *TokenBucket
@@ -58,6 +69,10 @@ type Server struct {
 	mux     *http.ServeMux
 }
 
+// Tracer returns the server's span ring (for sharing with a dispatch
+// backend or inspecting in tests).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
 // New builds a Server and starts its worker pool. When cfg.StoreDir is
 // set, previously persisted results are rehydrated into the cache
 // before the server accepts requests; an unusable store directory is
@@ -66,9 +81,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.NewTracer(0)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = trace.NopLogger()
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
+		tracer:  cfg.Tracer,
 		cache:   NewBoundedCache(cfg.Metrics, cfg.CacheMaxEntries),
 		limiter: NewTokenBucket(cfg.RatePerSec, cfg.Burst),
 		start:   time.Now(),
@@ -90,6 +112,8 @@ func New(cfg Config) (*Server, error) {
 		JobTimeout: cfg.JobTimeout,
 		Runner:     cfg.Runner,
 		Metrics:    cfg.Metrics,
+		Tracer:     cfg.Tracer,
+		Logger:     cfg.Logger,
 	})
 	s.mux.HandleFunc("POST /runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /runs/{id}", s.handleStatus)
@@ -97,6 +121,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", metrics.Handler(cfg.Metrics, s.start))
+	s.mux.Handle("GET /debug/traces", s.tracer.Handler())
 	return s, nil
 }
 
@@ -396,6 +422,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	metrics.SetRuntimeGauges(s.reg, s.start)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptimeSec":  time.Since(s.start).Seconds(),
 		"queueDepth": s.pool.QueueDepth(),

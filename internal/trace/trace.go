@@ -1,0 +1,235 @@
+// Package trace is the repo's lightweight distributed-tracing layer:
+// spans with TraceID/SpanID/parent lineage, context helpers to thread
+// them through call trees, and a bounded in-memory Tracer ring that
+// serves collected spans as JSON at GET /debug/traces.
+//
+// It is deliberately tiny — no sampling, no clock sync, no external
+// exporter — because its one job is making a dispatched run legible:
+// the serve pool opens a root span per job, the dispatcher opens child
+// spans per remote attempt, the request frame carries the span context
+// across the wire, and the worker's spans ship back on the terminal
+// frame, so one job yields one trace with both sides' timings stitched
+// under a single TraceID.
+//
+// Tracing is passive by contract: spans observe a run, they never
+// influence it (the dispatch byte-determinism suite runs with tracing
+// enabled to pin that).
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext is the propagated identity of a span: enough to parent
+// remote children under the same trace, nothing else.
+type SpanContext struct {
+	TraceID string `json:"traceID"`
+	SpanID  string `json:"spanID"`
+}
+
+// Valid reports whether sc carries both ids.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// SpanData is one finished span, ready for export. It is plain data
+// (JSON-serializable) so worker-side spans can ride a dispatch result
+// frame back to the dispatcher's exporter.
+type SpanData struct {
+	TraceID string            `json:"traceID"`
+	SpanID  string            `json:"spanID"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end"`
+	Error   string            `json:"error,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall-clock extent.
+func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// Recorder receives finished spans. *Tracer is the ring exporter;
+// Buffer collects spans for shipment over the wire; MultiRecorder
+// fans out to both.
+type Recorder interface {
+	Record(SpanData)
+}
+
+// Span is one in-flight timed operation. All methods are safe on a
+// nil receiver, so instrumentation never needs a nil check.
+type Span struct {
+	mu    sync.Mutex
+	data  SpanData
+	rec   Recorder
+	ended bool
+}
+
+// ctxKey carries a SpanContext through context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc, so spans started under it
+// become sc's children. Use it on the receiving side of the wire to
+// re-root a remote trace.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext returns the span context threaded through ctx, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// Start opens a span named name: a child of the span context in ctx
+// when one is present, otherwise the root of a fresh trace. The
+// returned context carries the new span's context so further Start
+// calls nest under it. rec may be nil (the span still exists and
+// propagates ids; End just has nowhere to deliver it).
+func Start(ctx context.Context, rec Recorder, name string) (context.Context, *Span) {
+	s := &Span{
+		rec: rec,
+		data: SpanData{
+			SpanID: NewSpanID(),
+			Name:   name,
+			Start:  time.Now(),
+		},
+	}
+	if parent, ok := FromContext(ctx); ok {
+		s.data.TraceID = parent.TraceID
+		s.data.Parent = parent.SpanID
+	} else {
+		s.data.TraceID = NewTraceID()
+	}
+	return ContextWith(ctx, s.Context()), s
+}
+
+// Context returns the span's propagatable identity.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpanContext{TraceID: s.data.TraceID, SpanID: s.data.SpanID}
+}
+
+// SetAttr attaches a key/value annotation (last write per key wins).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]string, 4)
+	}
+	s.data.Attrs[key] = value
+}
+
+// SetError records err on the span (nil clears nothing and is a
+// no-op, so `span.SetError(err)` needs no guard).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.data.Error = err.Error()
+	}
+}
+
+// End stamps the end time and delivers the span to its recorder.
+// Second and later calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.End = time.Now()
+	data, rec := s.data, s.rec
+	s.mu.Unlock()
+	if rec != nil {
+		rec.Record(data)
+	}
+}
+
+// idFallback seeds ids when crypto/rand is unavailable (never in
+// practice); a process-unique counter keeps them distinct.
+var idFallback atomic.Uint64
+
+func randomID(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		binary.BigEndian.PutUint64(b[:8], idFallback.Add(1))
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID returns a random 128-bit trace id (32 hex chars).
+func NewTraceID() string { return randomID(16) }
+
+// NewSpanID returns a random 64-bit span id (16 hex chars).
+func NewSpanID() string { return randomID(8) }
+
+// Buffer is a Recorder that accumulates spans in memory; the worker
+// uses one per run so finished spans can ship back to the dispatcher
+// on the terminal frame.
+type Buffer struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// Record appends the span.
+func (b *Buffer) Record(d SpanData) {
+	b.mu.Lock()
+	b.spans = append(b.spans, d)
+	b.mu.Unlock()
+}
+
+// Drain returns the collected spans and resets the buffer.
+func (b *Buffer) Drain() []SpanData {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.spans
+	b.spans = nil
+	return out
+}
+
+// multiRecorder fans one span out to several recorders.
+type multiRecorder []Recorder
+
+func (m multiRecorder) Record(d SpanData) {
+	for _, r := range m {
+		if r != nil {
+			r.Record(d)
+		}
+	}
+}
+
+// MultiRecorder returns a Recorder delivering to every non-nil rec.
+func MultiRecorder(recs ...Recorder) Recorder {
+	out := make(multiRecorder, 0, len(recs))
+	for _, r := range recs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

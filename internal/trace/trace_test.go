@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestStartRootAndChild(t *testing.T) {
+	tr := NewTracer(0)
+	ctx, root := Start(context.Background(), tr, "root")
+	rc := root.Context()
+	if !rc.Valid() || len(rc.TraceID) != 32 || len(rc.SpanID) != 16 {
+		t.Fatalf("root context %+v", rc)
+	}
+	_, child := Start(ctx, tr, "child")
+	cc := child.Context()
+	if cc.TraceID != rc.TraceID {
+		t.Fatalf("child trace %s != root trace %s", cc.TraceID, rc.TraceID)
+	}
+	child.SetAttr("k", "v")
+	child.SetError(errors.New("boom"))
+	child.End()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans", len(spans))
+	}
+	if spans[0].Name != "child" || spans[0].Parent != rc.SpanID {
+		t.Fatalf("child span %+v", spans[0])
+	}
+	if spans[0].Attrs["k"] != "v" || spans[0].Error != "boom" {
+		t.Fatalf("child span attrs/error %+v", spans[0])
+	}
+	if spans[1].Name != "root" || spans[1].Parent != "" {
+		t.Fatalf("root span %+v", spans[1])
+	}
+	if spans[0].Duration() < 0 {
+		t.Fatalf("negative duration %v", spans[0].Duration())
+	}
+}
+
+func TestSpanEndIsOnce(t *testing.T) {
+	tr := NewTracer(0)
+	_, s := Start(context.Background(), tr, "once")
+	s.End()
+	s.End()
+	if got := tr.Recorded(); got != 1 {
+		t.Fatalf("recorded %d times", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	s.SetError(errors.New("x"))
+	s.End()
+	if s.Context().Valid() {
+		t.Fatal("nil span has a context")
+	}
+	var tr *Tracer
+	tr.Record(SpanData{})
+	if tr.Recorded() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	// A span started with a nil recorder still propagates ids.
+	ctx, s2 := Start(context.Background(), nil, "free")
+	if !s2.Context().Valid() {
+		t.Fatal("recorderless span has no identity")
+	}
+	if _, child := Start(ctx, nil, "kid"); child.Context().TraceID != s2.Context().TraceID {
+		t.Fatal("recorderless span did not propagate")
+	}
+	s2.End()
+}
+
+func TestContextWithRemoteParent(t *testing.T) {
+	// The wire path: a remote SpanContext re-roots spans on this side.
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	ctx := ContextWith(context.Background(), sc)
+	got, ok := FromContext(ctx)
+	if !ok || got != sc {
+		t.Fatalf("FromContext = %+v, %v", got, ok)
+	}
+	_, s := Start(ctx, nil, "remote-child")
+	if c := s.Context(); c.TraceID != sc.TraceID {
+		t.Fatalf("remote child trace %s, want %s", c.TraceID, sc.TraceID)
+	}
+	// An invalid context must not be attached.
+	if _, ok := FromContext(ContextWith(context.Background(), SpanContext{})); ok {
+		t.Fatal("invalid span context attached")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(SpanData{TraceID: "t", SpanID: string(rune('a' + i))})
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans", len(spans))
+	}
+	if spans[0].SpanID != "c" || spans[2].SpanID != "e" {
+		t.Fatalf("eviction kept %v", spans)
+	}
+	if tr.Recorded() != 5 {
+		t.Fatalf("recorded = %d", tr.Recorded())
+	}
+}
+
+func TestTracesGroupsByTraceID(t *testing.T) {
+	tr := NewTracer(0)
+	ctxA, a := Start(context.Background(), tr, "a")
+	_, a2 := Start(ctxA, tr, "a2")
+	a2.End()
+	a.End()
+	_, b := Start(context.Background(), tr, "b")
+	b.End()
+	traces := tr.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	for _, trc := range traces {
+		for _, sd := range trc.Spans {
+			if sd.TraceID != trc.TraceID {
+				t.Fatalf("span %s filed under trace %s", sd.TraceID, trc.TraceID)
+			}
+		}
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	tr := NewTracer(0)
+	_, s := Start(context.Background(), tr, "handled")
+	s.End()
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Traces   []Trace `json:"traces"`
+		Recorded int64   `json:"recorded"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Traces) != 1 || body.Traces[0].Spans[0].Name != "handled" || body.Recorded != 1 {
+		t.Fatalf("body %+v", body)
+	}
+}
+
+func TestBufferAndMultiRecorder(t *testing.T) {
+	tr := NewTracer(0)
+	buf := &Buffer{}
+	rec := MultiRecorder(tr, nil, buf)
+	_, s := Start(context.Background(), rec, "teed")
+	s.End()
+	if tr.Recorded() != 1 {
+		t.Fatal("tracer missed the span")
+	}
+	drained := buf.Drain()
+	if len(drained) != 1 || drained[0].Name != "teed" {
+		t.Fatalf("buffer %v", drained)
+	}
+	if len(buf.Drain()) != 0 {
+		t.Fatal("drain did not reset")
+	}
+}
+
+func TestNopLoggerAndLoggerWith(t *testing.T) {
+	l := NopLogger()
+	l.Info("dropped", "k", "v") // must not panic or write anywhere
+	var sb strings.Builder
+	real, err := NewLogger(&sb, "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, s := Start(context.Background(), nil, "op")
+	LoggerWith(ctx, real).Info("hello")
+	if out := sb.String(); !strings.Contains(out, "traceID="+s.Context().TraceID) {
+		t.Fatalf("log line missing traceID: %q", out)
+	}
+	// No span in ctx: logger passes through unchanged.
+	if got := LoggerWith(context.Background(), real); got != real {
+		t.Fatal("spanless context rewrapped the logger")
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var sb strings.Builder
+	l, err := NewLogger(&sb, "error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Warn("below threshold")
+	if sb.Len() != 0 {
+		t.Fatalf("warn leaked through error level: %q", sb.String())
+	}
+	l.Error("at threshold")
+	if !strings.Contains(sb.String(), "at threshold") {
+		t.Fatal("error record dropped")
+	}
+	if off, err := NewLogger(&sb, "off"); err != nil || off == nil {
+		t.Fatalf("off level: %v", err)
+	}
+	if _, err := NewLogger(&sb, "loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultCapacity is the Tracer ring's span budget when the caller
+// passes no explicit capacity.
+const DefaultCapacity = 512
+
+// Tracer is the bounded in-memory span exporter: a fixed-capacity
+// ring holding the most recent finished spans, grouped into traces on
+// demand and served as JSON by Handler. All methods are safe on a nil
+// receiver, so components can be instrumented unconditionally and
+// wired to a tracer (or not) by their owner.
+type Tracer struct {
+	mu       sync.Mutex
+	capacity int
+	buf      []SpanData
+	next     int // ring write cursor once len(buf) == capacity
+	recorded int64
+}
+
+// NewTracer returns a ring holding up to capacity spans
+// (DefaultCapacity when capacity <= 0); the oldest spans are evicted
+// first once full.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// Record adds a finished span, evicting the oldest past capacity.
+func (t *Tracer) Record(d SpanData) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recorded++
+	if len(t.buf) < t.capacity {
+		t.buf = append(t.buf, d)
+		return
+	}
+	t.buf[t.next] = d
+	t.next = (t.next + 1) % t.capacity
+}
+
+// Recorded reports the total number of spans ever delivered (evicted
+// ones included), so "how much did the ring drop" is answerable.
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recorded
+}
+
+// Spans returns the retained spans, oldest first. The slice is the
+// caller's.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Trace is one trace's worth of retained spans, as served by Handler.
+type Trace struct {
+	TraceID string     `json:"traceID"`
+	Start   time.Time  `json:"start"`
+	Spans   []SpanData `json:"spans"`
+}
+
+// Traces groups the retained spans by TraceID. Traces are ordered
+// newest first (by earliest span start); spans within a trace are
+// ordered by start time, ties broken by SpanID so output is stable.
+func (t *Tracer) Traces() []Trace {
+	byID := make(map[string]*Trace)
+	var order []*Trace
+	for _, sd := range t.Spans() {
+		tr := byID[sd.TraceID]
+		if tr == nil {
+			tr = &Trace{TraceID: sd.TraceID, Start: sd.Start}
+			byID[sd.TraceID] = tr
+			order = append(order, tr)
+		}
+		if sd.Start.Before(tr.Start) {
+			tr.Start = sd.Start
+		}
+		tr.Spans = append(tr.Spans, sd)
+	}
+	for _, tr := range order {
+		sort.Slice(tr.Spans, func(i, j int) bool {
+			if !tr.Spans[i].Start.Equal(tr.Spans[j].Start) {
+				return tr.Spans[i].Start.Before(tr.Spans[j].Start)
+			}
+			return tr.Spans[i].SpanID < tr.Spans[j].SpanID
+		})
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Start.After(order[j].Start) })
+	out := make([]Trace, len(order))
+	for i, tr := range order {
+		out[i] = *tr
+	}
+	return out
+}
+
+// Handler serves the retained traces as JSON:
+//
+//	{"traces":[{"traceID":"…","start":"…","spans":[…]}, …]}
+//
+// Mount it at GET /debug/traces.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		traces := t.Traces()
+		if traces == nil {
+			traces = []Trace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"traces":   traces,
+			"recorded": t.Recorded(),
+		})
+	})
+}
+
+// discardHandler drops every record (slog.DiscardHandler exists only
+// from Go 1.25; this module targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// NopLogger returns a logger that discards everything — the default
+// for components whose owner wired no logger, so instrumentation
+// never needs nil checks.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// LoggerWith returns l annotated with ctx's trace identity (a traceID
+// attr), or l unchanged when ctx carries no span — the glue that makes
+// structured logs joinable against /debug/traces.
+func LoggerWith(ctx context.Context, l *slog.Logger) *slog.Logger {
+	if sc, ok := FromContext(ctx); ok {
+		return l.With("traceID", sc.TraceID)
+	}
+	return l
+}
+
+// NewLogger builds the binaries' structured logger: slog text records
+// to w at the named threshold ("debug", "info", "warn", "error"), or a
+// discard logger for "off". Unknown names are an error so a typo in
+// -log-level fails loudly instead of silencing logs.
+func NewLogger(w io.Writer, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off", "none":
+		return NopLogger(), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown log level %q (want debug, info, warn, error or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv})), nil
+}
