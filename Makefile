@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci cover fmt fmt-check vet build test test-short test-race test-race-short alloc-guard fuzz-short e2e-dispatch bench bench-json bench-eval bench-dispatch serve
+.PHONY: check ci cover fmt fmt-check vet build test test-short test-race test-race-short alloc-guard fuzz-short e2e-dispatch bench bench-json bench-eval bench-dispatch bench-wire serve
 
 check: fmt-check vet build test-short
 
@@ -26,6 +26,8 @@ fuzz-short:
 	$(GO) test ./internal/p2p -run '^$$' -fuzz 'FuzzUnmarshal$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/p2p -run '^$$' -fuzz 'FuzzDispatchBody$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/p2p -run '^$$' -fuzz 'FuzzUnpackBytes$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/p2p -run '^$$' -fuzz 'FuzzChunkReassembly$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/p2p -run '^$$' -fuzz 'FuzzCodecDecode$$' -fuzztime $(FUZZTIME)
 
 # e2e-dispatch is the remote-execution acceptance gate: the simnet
 # end-to-end suite (byte-identical dispatched results, cancel and
@@ -99,6 +101,17 @@ bench-dispatch:
 	rm BENCH_dispatch.txt.tmp
 	mv BENCH_dispatch.json.tmp BENCH_dispatch.json
 	@echo wrote BENCH_dispatch.json
+
+# bench-wire snapshots bytes-on-wire per parameter codec for one
+# reference job (the tiny benchmark run's trained vector, encoded
+# against its initial model) into BENCH_wire.json; the wire-B/raw-B
+# metrics per codec row are the compression trajectory.
+bench-wire:
+	$(GO) test -run '^$$' -bench 'BenchmarkWireCodec' -benchtime 5x -benchmem ./internal/serve/dispatch > BENCH_wire.txt.tmp
+	$(GO) run ./cmd/hadfl-benchjson -note 'wire-codec benchmark snapshot (bytes on the dispatch wire per parameter codec for one tiny reference job); regenerate with `make bench-wire`' < BENCH_wire.txt.tmp > BENCH_wire.json.tmp
+	rm BENCH_wire.txt.tmp
+	mv BENCH_wire.json.tmp BENCH_wire.json
+	@echo wrote BENCH_wire.json
 
 # bench-eval snapshots the evaluation-engine trajectory (engine vs the
 # legacy double-forward path: evals/sec and allocs per evaluation) into

@@ -78,6 +78,7 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		dispatchTo = fs.String("dispatch", "", "comma-separated hadfl-worker addresses to execute runs on (empty = run locally); the i-th address must be the worker started with -id i")
 		dispAddr   = fs.String("dispatch-listen", "127.0.0.1:0", "p2p listen address for worker replies (with -dispatch)")
 		dispWait   = fs.Duration("dispatch-wait", 3*time.Second, "how long to wait at boot for workers to register (with -dispatch)")
+		wireCodec  = fs.String("wire-codec", "", "preferred parameter wire codec for dispatched results: raw64 (default, bit-exact), f32, delta or topk; workers not advertising it fall back to raw64")
 		logLevel   = fs.String("log-level", "warn", "structured log threshold: debug, info, warn, error, or off")
 		withPprof  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
@@ -115,6 +116,7 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 			Transport: node,
 			Workers:   ids,
 			ReplyAddr: node.Addr(),
+			Codec:     *wireCodec,
 			Metrics:   reg,
 			Tracer:    tracer,
 			Logger:    logger,

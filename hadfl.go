@@ -219,6 +219,34 @@ func EvaluateParams(opts Options, params []float64) (loss, acc float64, err erro
 	return loss, acc, nil
 }
 
+// InitialParams returns the deterministic initial parameter vector a
+// run with these options starts from — a pure function of the workload
+// architecture and Seed. Both ends of a dispatched job can derive it
+// independently, which is what lets reference-based wire codecs (delta,
+// topk) encode a trained model against it without shipping the
+// reference itself.
+func InitialParams(opts Options) ([]float64, error) {
+	opts.fill()
+	w, err := opts.workload()
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := core.BuildCluster(core.ClusterSpec{
+		Powers:       opts.Powers,
+		BaseStepTime: w.BaseStepTime,
+		Arch:         w.Arch,
+		Train:        w.Train,
+		Test:         w.Test,
+		BatchSize:    w.BatchSize,
+		LR:           w.LR,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), cluster.InitParams...), nil
+}
+
 // Run trains with the HADFL scheme.
 func Run(opts Options) (*Result, error) {
 	return RunContext(context.Background(), SchemeHADFL, opts)

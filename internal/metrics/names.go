@@ -62,7 +62,14 @@ var canonicalNames = map[string]string{
 	"dispatch_stray_results_total":   "result frames dropped for a foreign instance token",
 	"dispatch_stray_errors_total":    "error frames dropped as stray or unattributable",
 	"dispatch_rtt_seconds":           "histogram: request-to-terminal-frame round trip per attempt",
-	"dispatch_result_frame_bytes":    "histogram: result frame body size on the wire",
+	"dispatch_result_frame_bytes":    "histogram: result body size on the wire (reassembled when chunk-streamed)",
+
+	// dispatch wire codecs + chunk streaming
+	"dispatch_wire_raw_bytes_total":       "parameter bytes results would have shipped as raw64",
+	"dispatch_wire_encoded_bytes_total":   "parameter bytes results actually shipped after codec encoding",
+	"dispatch_wire_chunks_total":          "chunk frames received on the dispatch wire",
+	"dispatch_wire_chunked_results_total": "terminal frames that arrived as chunk streams",
+	"dispatch_wire_lossy_results_total":   "dispatched results whose codec reported an inexact decode",
 
 	// worker
 	"worker_capacity":                 "configured concurrent-run budget",
@@ -76,6 +83,7 @@ var canonicalNames = map[string]string{
 	"worker_busy_rejections_total":    "requests rejected at capacity",
 	"worker_unknown_frames_total":     "frames of kinds the worker does not handle",
 	"worker_result_send_errors_total": "results that could not be framed or sent",
+	"worker_chunked_results_total":    "results shipped as chunk streams (body outgrew one frame)",
 	"worker_run_seconds":              "histogram: dispatched run execution time",
 }
 
@@ -83,7 +91,8 @@ var canonicalNames = map[string]string{
 // suffix must itself be snake_case (SanitizeName enforces that at the
 // registration site).
 var canonicalPrefixes = map[string]string{
-	"runs_scheme_": "jobs started per scheme (suffix: sanitized scheme name)",
+	"runs_scheme_":         "jobs started per scheme (suffix: sanitized scheme name)",
+	"dispatch_wire_codec_": "dispatched results decoded per wire codec (suffix: sanitized codec name)",
 }
 
 // Help returns the documented help text for a metric name, resolving

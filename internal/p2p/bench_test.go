@@ -33,6 +33,67 @@ func BenchmarkSimNetSend(b *testing.B) {
 	}
 }
 
+// BenchmarkPackBytes vs BenchmarkPackBytesInto pins the satellite
+// contract: the into-variant with a warm buffer must not allocate.
+func BenchmarkPackBytes(b *testing.B) {
+	body := make([]byte, 1<<20)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PackBytes(body)
+	}
+}
+
+func BenchmarkPackBytesInto(b *testing.B) {
+	body := make([]byte, 1<<20)
+	buf := make([]float64, len(body)/8)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = PackBytesInto(buf, body)
+	}
+}
+
+// BenchmarkSplitChunks pins the one-allocation-per-stream contract for
+// chunk encoding: a multi-chunk body packs once, however many frames it
+// spans.
+func BenchmarkSplitChunks(b *testing.B) {
+	body := make([]byte, 3*DispatchChunkBytes+12345)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SplitChunks(KindDispatchResult, 1, i, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChunkRoundTrip measures the full split → reassemble → verify
+// path a dispatched result body takes through the chunk layer.
+func BenchmarkChunkRoundTrip(b *testing.B) {
+	body := make([]byte, 2*DispatchChunkBytes+999)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frames, err := SplitChunks(KindDispatchResult, 1, i, body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s ChunkStream
+		for _, m := range frames[:len(frames)-1] {
+			if err := s.Add(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Finish(frames[len(frames)-1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkRingAllReduce4(b *testing.B) {
 	const n = 4
 	vec := make([]float64, 4096)

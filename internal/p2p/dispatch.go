@@ -32,10 +32,13 @@ import (
 // reject other versions with ErrDispatchVersion.
 const DispatchVersion = 1
 
-// MaxDispatchBody bounds a dispatch frame body (16 MiB). Result frames
-// carry a full parameter vector as JSON, which for the profiles in this
-// repo is well under a megabyte; the bound exists so a corrupt length
-// field cannot demand an absurd allocation.
+// MaxDispatchBody bounds the body of a single dispatch frame (16 MiB).
+// It is a per-frame (equivalently per-chunk) bound, not a ceiling on a
+// logical body: result bodies routinely run to several megabytes (the
+// reference tiny job in BENCH_dispatch.json ships ≈5.5 MB of JSON), and
+// bodies larger than one frame travel as a chunk stream (see chunk.go),
+// so model size is not capped here. The bound exists so a corrupt
+// length field in any one frame cannot demand an absurd allocation.
 const MaxDispatchBody = 16 << 20
 
 // ErrDispatchVersion reports a frame from an incompatible protocol
@@ -46,7 +49,8 @@ var ErrDispatchVersion = fmt.Errorf("p2p: dispatch protocol version mismatch (wa
 func IsDispatchKind(k Kind) bool {
 	switch k {
 	case KindDispatchHello, KindDispatchRequest, KindDispatchRound,
-		KindDispatchResult, KindDispatchError, KindDispatchCancel:
+		KindDispatchResult, KindDispatchError, KindDispatchCancel,
+		KindDispatchChunk:
 		return true
 	}
 	return false
@@ -56,13 +60,34 @@ func IsDispatchKind(k Kind) bool {
 // word, little-endian, zero-padded tail). The exact byte length must
 // travel separately (dispatch frames use Meta).
 func PackBytes(b []byte) []float64 {
-	words := make([]float64, (len(b)+7)/8)
-	for i := range words {
-		var chunk [8]byte
-		copy(chunk[:], b[i*8:])
-		words[i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
+	return PackBytesInto(nil, b)
+}
+
+// PackBytesInto is PackBytes with a caller-owned destination: dst is
+// resized (reallocating only when capacity is short) and filled, so a
+// sender encoding many bodies can reuse one word buffer instead of
+// allocating per frame. The returned slice aliases dst when it fits —
+// callers must not reuse the buffer until the frame built from it has
+// been fully handed off (transports share payload slices with
+// receivers; SplitChunks sidesteps this by packing a stream's whole
+// body once and sub-slicing per chunk).
+func PackBytesInto(dst []float64, b []byte) []float64 {
+	n := (len(b) + 7) / 8
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
 	}
-	return words
+	full := len(b) / 8
+	for i := 0; i < full; i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	if full < n {
+		var tail [8]byte
+		copy(tail[:], b[full*8:])
+		dst[full] = math.Float64frombits(binary.LittleEndian.Uint64(tail[:]))
+	}
+	return dst
 }
 
 // UnpackBytes reverses PackBytes: it extracts n bytes from the word

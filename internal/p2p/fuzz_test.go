@@ -70,6 +70,123 @@ func FuzzUnpackBytes(f *testing.F) {
 	})
 }
 
+// FuzzChunkReassembly drives the chunk-stream reassembler two ways:
+// arbitrary wire bytes decoded into frames must never panic it, and a
+// stream legitimately split from the fuzzed body must reassemble to
+// exactly that body — with any single-byte corruption of a chunk
+// payload caught by the trailer checksum.
+func FuzzChunkReassembly(f *testing.F) {
+	big := make([]byte, DispatchChunkBytes+99)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	f.Add(big[:300], uint16(0), byte(0))
+	f.Add(big[:0], uint16(1), byte(1))
+	f.Add([]byte("hello chunked world"), uint16(9), byte(3))
+	f.Fuzz(func(t *testing.T, body []byte, flip uint16, arbitrary byte) {
+		// Property 1: a legitimate split round-trips.
+		frames, err := SplitChunks(KindDispatchResult, 1, 2, body)
+		if err != nil {
+			t.Fatalf("SplitChunks on a legal body: %v", err)
+		}
+		var s ChunkStream
+		for _, m := range frames[:len(frames)-1] {
+			if err := s.Add(m); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+		term := frames[len(frames)-1]
+		var got []byte
+		if term.Chunk == 0 {
+			got, err = DispatchBody(term)
+		} else {
+			got, err = s.Finish(term)
+		}
+		if err != nil || !bytes.Equal(got, body) {
+			t.Fatalf("round trip broke: %v", err)
+		}
+		// Property 2: arbitrary frames never panic the reassembler.
+		// Mutate one frame at a fuzz-chosen position and replay.
+		if len(frames) > 1 {
+			i := int(flip) % (len(frames) - 1)
+			corrupt := frames[i]
+			words := append([]float64(nil), corrupt.Payload...)
+			if len(words) > 0 {
+				w := math.Float64bits(words[int(flip)%len(words)])
+				words[int(flip)%len(words)] = math.Float64frombits(w ^ (1 << (arbitrary % 64)))
+			}
+			corrupt.Payload = words
+			var cs ChunkStream
+			ok := true
+			for j, m := range frames[:len(frames)-1] {
+				if j == i {
+					m = corrupt
+				}
+				if err := cs.Add(m); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok && len(words) > 0 {
+				if _, err := cs.Finish(term); err == nil {
+					t.Fatal("flipped payload bit slipped past the checksum")
+				}
+			}
+		}
+		// Property 3: a hostile frame stream (raw fuzz bytes as frames)
+		// errors instead of panicking.
+		var hs ChunkStream
+		m := Message{Kind: KindDispatchChunk, Chunk: 0, Meta: int(flip), Version: DispatchVersion, Payload: PackBytes(body)}
+		_ = hs.Add(m)
+		_, _ = hs.Finish(Message{Kind: KindDispatchResult, Chunk: int(arbitrary), Meta: len(body), Version: DispatchVersion, Payload: PackBytes(body)})
+	})
+}
+
+// FuzzCodecDecode feeds every registered parameter codec arbitrary
+// section bytes, references and counts: malformed, truncated and
+// oversized input must error, never panic — and the exactness bit must
+// be honored: when Encode reports exact, Decode must reproduce the
+// input vector bit for bit.
+func FuzzCodecDecode(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{0, 0, 0, 0, 0, 0, 0, 64}, 1)
+	f.Add([]byte{}, []byte{}, 0)
+	f.Add(make([]byte, 64), make([]byte, 16), 8)
+	f.Fuzz(func(t *testing.T, data []byte, refBytes []byte, count int) {
+		ref := make([]float64, len(refBytes)/8)
+		for i := range ref {
+			ref[i] = math.Float64frombits(binary.LittleEndian.Uint64(refBytes[i*8:]))
+		}
+		for _, name := range ParamCodecNames() {
+			codec, _ := ParamCodecByName(name)
+			// Hostile decode: must not panic, must bound its output.
+			if out, err := codec.Decode(data, ref, count); err == nil {
+				if len(out) != count {
+					t.Fatalf("%s: decoded %d params for count %d", name, len(out), count)
+				}
+			}
+			// Encode → decode: the exactness contract. The fuzzed data
+			// doubles as the input vector.
+			params := make([]float64, len(data)/8)
+			for i := range params {
+				params[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+			}
+			section, exact := codec.Encode(params, ref)
+			out, err := codec.Decode(section, ref, len(params))
+			if err != nil {
+				t.Fatalf("%s: decode of own encoding failed: %v", name, err)
+			}
+			if exact {
+				for i := range out {
+					if math.Float64bits(out[i]) != math.Float64bits(params[i]) {
+						t.Fatalf("%s: exactness bit set but [%d] %x != %x",
+							name, i, math.Float64bits(out[i]), math.Float64bits(params[i]))
+					}
+				}
+			}
+		}
+	})
+}
+
 // FuzzUnmarshal ensures the wire decoder never panics and that every
 // successfully decoded message re-encodes to the same bytes (canonical
 // round trip).

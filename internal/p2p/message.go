@@ -36,6 +36,7 @@ const (
 	KindDispatchResult  // worker → dispatcher: terminal success + result
 	KindDispatchError   // worker → dispatcher: terminal failure
 	KindDispatchCancel  // dispatcher → worker: abort the run for a sequence
+	KindDispatchChunk   // one slice of a chunk-streamed dispatch body (see chunk.go)
 )
 
 func (k Kind) String() string {
@@ -72,6 +73,8 @@ func (k Kind) String() string {
 		return "dispatch-error"
 	case KindDispatchCancel:
 		return "dispatch-cancel"
+	case KindDispatchChunk:
+		return "dispatch-chunk"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

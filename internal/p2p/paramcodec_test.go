@@ -1,0 +1,194 @@
+package p2p
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestParamCodecRegistry(t *testing.T) {
+	names := ParamCodecNames()
+	if len(names) < 4 || names[0] != ParamCodecRaw64 {
+		t.Fatalf("builtin codecs missing or reordered: %v", names)
+	}
+	for _, name := range []string{ParamCodecRaw64, ParamCodecF32, ParamCodecDelta, ParamCodecTopK} {
+		if _, ok := ParamCodecByName(name); !ok {
+			t.Fatalf("codec %q not registered", name)
+		}
+	}
+	if _, ok := ParamCodecByName("nope"); ok {
+		t.Fatal("unknown codec resolved")
+	}
+	if err := RegisterParamCodec(raw64Codec{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+// TestParamCodecRoundTrips drives every registered codec over vectors
+// with and without a reference: exact codecs must reproduce the input
+// bit for bit, lossy ones must stay within their documented error.
+func TestParamCodecRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	params := testVec(1000, rng)
+	ref := make([]float64, len(params))
+	for i := range ref {
+		// A reference the params moved slightly away from, like a
+		// trained model vs its init.
+		ref[i] = params[i] + rng.NormFloat64()*1e-3
+	}
+	for _, name := range ParamCodecNames() {
+		codec, _ := ParamCodecByName(name)
+		for _, r := range [][]float64{nil, ref} {
+			data, exact := codec.Encode(params, r)
+			got, err := codec.Decode(data, r, len(params))
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if len(got) != len(params) {
+				t.Fatalf("%s: %d params decoded, want %d", name, len(got), len(params))
+			}
+			if exact {
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(params[i]) {
+						t.Fatalf("%s: claims exact but [%d] %v != %v", name, i, got[i], params[i])
+					}
+				}
+			}
+			switch name {
+			case ParamCodecRaw64, ParamCodecDelta:
+				if !exact {
+					t.Fatalf("%s: must always be exact", name)
+				}
+			case ParamCodecF32:
+				for i := range got {
+					if drift := math.Abs(got[i] - params[i]); drift > math.Abs(params[i])*1e-6+1e-30 {
+						t.Fatalf("f32: [%d] drifted %v", i, drift)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParamCodecDeltaCompresses pins the delta codec's reason to exist:
+// encoding a vector against a nearby reference must beat raw64.
+func TestParamCodecDeltaCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := testVec(4096, rng)
+	params := make([]float64, len(ref))
+	copy(params, ref)
+	// Perturb 5% of the values, as a lightly-trained model would be.
+	for i := 0; i < len(params)/20; i++ {
+		params[rng.Intn(len(params))] += rng.NormFloat64() * 1e-2
+	}
+	codec, _ := ParamCodecByName(ParamCodecDelta)
+	data, exact := codec.Encode(params, ref)
+	if !exact {
+		t.Fatal("delta must be exact")
+	}
+	if len(data) >= 8*len(params)/2 {
+		t.Fatalf("delta vs a near reference: %d bytes, want well under half of raw %d", len(data), 8*len(params))
+	}
+	got, err := codec.Decode(data, ref, len(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(params[i]) {
+			t.Fatalf("[%d] %v != %v", i, got[i], params[i])
+		}
+	}
+}
+
+// TestParamCodecTopKExactnessBit: a vector that only moved in a few
+// coordinates encodes exactly (bit set, decode bit-identical); a dense
+// move encodes lossily (bit clear) with untouched coordinates decoding
+// to the reference.
+func TestParamCodecTopKExactnessBit(t *testing.T) {
+	codec, _ := ParamCodecByName(ParamCodecTopK)
+	n := 100
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(i)
+	}
+	sparse := append([]float64(nil), ref...)
+	sparse[3] += 10
+	sparse[97] -= 4
+	data, exact := codec.Encode(sparse, ref)
+	if !exact {
+		t.Fatal("2 moved values within top-10% of 100 must be exact")
+	}
+	if data[0]&topkFlagExact == 0 {
+		t.Fatal("exactness bit not set in the section header")
+	}
+	got, err := codec.Decode(data, ref, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != sparse[i] {
+			t.Fatalf("[%d] %v != %v", i, got[i], sparse[i])
+		}
+	}
+
+	dense := make([]float64, n)
+	for i := range dense {
+		dense[i] = ref[i] + 0.5 + float64(i%7)
+	}
+	data, exact = codec.Encode(dense, ref)
+	if exact || data[0]&topkFlagExact != 0 {
+		t.Fatal("dense move claimed exactness")
+	}
+	got, err = codec.Decode(data, ref, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for i := range got {
+		if got[i] == dense[i] {
+			kept++
+		} else if got[i] != ref[i] {
+			t.Fatalf("[%d] decoded %v, want the kept value %v or the reference %v", i, got[i], dense[i], ref[i])
+		}
+	}
+	if want := n / 10; kept < want {
+		t.Fatalf("only %d values survived top-k, want at least %d", kept, want)
+	}
+}
+
+// TestParamCodecDecodeRejects: malformed sections and forged counts
+// come back as errors, never panics or absurd allocations.
+func TestParamCodecDecodeRejects(t *testing.T) {
+	for _, name := range ParamCodecNames() {
+		codec, _ := ParamCodecByName(name)
+		if _, err := codec.Decode([]byte{1, 2, 3}, nil, 1000); err == nil {
+			t.Errorf("%s: truncated section accepted", name)
+		}
+		if _, err := codec.Decode(nil, nil, -1); err == nil {
+			t.Errorf("%s: negative count accepted", name)
+		}
+		if _, err := codec.Decode(nil, nil, maxParamCount+1); err == nil {
+			t.Errorf("%s: forged count past the stream cap accepted", name)
+		}
+	}
+	topk, _ := ParamCodecByName(ParamCodecTopK)
+	// k claims more entries than the section carries.
+	bad := make([]byte, 5+12)
+	bad[1] = 200
+	if _, err := topk.Decode(bad, nil, 300); err == nil {
+		t.Error("topk: k/length mismatch accepted")
+	}
+	// An index outside the vector.
+	good, _ := topk.Encode([]float64{1, 2, 3}, nil)
+	if _, err := topk.Decode(good, nil, 1); err == nil {
+		t.Error("topk: k larger than count accepted")
+	}
+}

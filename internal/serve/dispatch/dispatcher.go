@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -30,6 +31,12 @@ type Config struct {
 	// Default: the scheme registry in-process, so a dispatcher with no
 	// reachable workers behaves exactly like the plain local pool.
 	Local Runner
+	// Codec is the preferred parameter wire codec for dispatched
+	// results (see p2p.ParamCodecNames). A worker that does not
+	// advertise it gets raw64; a worker advertising nothing (legacy)
+	// gets the inline-JSON exchange. Default raw64 — bit-exact, so the
+	// byte-determinism contract is untouched by default.
+	Codec string
 	// HeartbeatEvery is the liveness probe period. Default 500ms.
 	HeartbeatEvery time.Duration
 	// LivenessGrace is how long a worker may stay silent before it is
@@ -60,6 +67,7 @@ type workerState struct {
 	alive    bool
 	seen     time.Time // last frame proving a compatible worker
 	capacity int       // from its hello ack; 0 = unknown (treated as 1)
+	codecs   []string  // param codecs from its hello ack; empty = legacy
 	inflight int
 	probing  bool // a heartbeat/hello send is in flight to it
 }
@@ -67,11 +75,14 @@ type workerState struct {
 // outcome is a terminal frame routed to a waiting call. corrupt marks
 // a frame that failed to decode: it proves nothing about the run, so
 // the attempt is retried like a lost worker rather than failing the
-// job.
+// job. paramData is the split body's still-encoded parameter section;
+// the waiting call decodes it in finish() so a multi-megabyte (or
+// reference-deriving) decode never stalls recvLoop's frame routing.
 type outcome struct {
-	res     *resultBody
-	errb    *errorBody
-	corrupt bool
+	res       *resultBody
+	errb      *errorBody
+	corrupt   bool
+	paramData []byte
 }
 
 // call is one in-flight remote run awaiting frames.
@@ -105,6 +116,13 @@ type Dispatcher struct {
 	workers map[int]*workerState
 	pending map[int]*call
 	nextSeq int
+
+	// chunks holds partially reassembled terminal-body streams, keyed by
+	// sender and sequence. Only recvLoop touches the map, so it needs no
+	// lock (addChunk takes d.mu just to consult pending); entries retire
+	// with their terminal frame, and addChunk sweeps any left behind by
+	// calls that were retried away mid-stream.
+	chunks map[chunkKey]*p2p.ChunkStream
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -140,6 +158,11 @@ func New(cfg Config) (*Dispatcher, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = trace.NopLogger()
 	}
+	if cfg.Codec == "" {
+		cfg.Codec = p2p.ParamCodecRaw64
+	} else if _, ok := p2p.ParamCodecByName(cfg.Codec); !ok {
+		return nil, fmt.Errorf("dispatch: unknown param codec %q (have %v)", cfg.Codec, p2p.ParamCodecNames())
+	}
 	var tok [8]byte
 	if _, err := rand.Read(tok[:]); err != nil {
 		return nil, fmt.Errorf("dispatch: instance token: %w", err)
@@ -153,6 +176,7 @@ func New(cfg Config) (*Dispatcher, error) {
 		token:   hex.EncodeToString(tok[:]),
 		workers: make(map[int]*workerState, len(cfg.Workers)),
 		pending: make(map[int]*call),
+		chunks:  make(map[chunkKey]*p2p.ChunkStream),
 		closed:  make(chan struct{}),
 	}
 	for _, id := range cfg.Workers {
@@ -241,8 +265,11 @@ func (d *Dispatcher) recvLoop() {
 			}
 			d.mu.Lock()
 			d.refreshLocked(m.From)
-			if ws := d.workers[m.From]; ws != nil && h.Capacity > 0 {
-				ws.capacity = h.Capacity
+			if ws := d.workers[m.From]; ws != nil {
+				if h.Capacity > 0 {
+					ws.capacity = h.Capacity
+				}
+				ws.codecs = h.Codecs
 			}
 			d.mu.Unlock()
 		case p2p.KindDispatchRound:
@@ -266,18 +293,26 @@ func (d *Dispatcher) recvLoop() {
 				default: // slow consumer: telemetry drops, routing never blocks
 				}
 			}
+		case p2p.KindDispatchChunk:
+			d.addChunk(m)
 		case p2p.KindDispatchResult, p2p.KindDispatchError:
 			var o outcome
-			var err error
-			if m.Kind == p2p.KindDispatchResult {
-				// Meta is the frame's exact body length in bytes — the
-				// wire cost of shipping this result home.
-				d.reg.ObserveBytes("dispatch_result_frame_bytes", float64(m.Meta))
-				o.res = &resultBody{}
-				err = decodeBody(m, o.res)
-			} else {
-				o.errb = &errorBody{}
-				err = decodeBody(m, o.errb)
+			body, err := d.terminalBody(m)
+			if err == nil {
+				var jsonData []byte
+				jsonData, o.paramData, err = decodeSplitBody(body)
+				if err == nil {
+					if m.Kind == p2p.KindDispatchResult {
+						// The body's full size on the wire — reassembled
+						// when it arrived as a chunk stream.
+						d.reg.ObserveBytes("dispatch_result_frame_bytes", float64(len(body)))
+						o.res = &resultBody{}
+						err = json.Unmarshal(jsonData, o.res)
+					} else {
+						o.errb = &errorBody{}
+						err = json.Unmarshal(jsonData, o.errb)
+					}
+				}
 			}
 			if err != nil {
 				o = outcome{errb: &errorBody{Message: err.Error()}, corrupt: true}
@@ -320,6 +355,71 @@ func (d *Dispatcher) recvLoop() {
 			}
 		}
 	}
+}
+
+// chunkKey identifies one sequence's chunk stream.
+type chunkKey struct {
+	from int
+	seq  int
+}
+
+// addChunk buffers one chunk frame into its sequence's reassembly
+// stream. Chunks are accepted only for a pending call on the sending
+// worker — anything else (a retired sequence, a foreign instance's
+// stream) is dropped along with any partial stream, and a sweep retires
+// streams whose calls have moved on, so abandoned buffers cannot pile
+// up. A chunk that fails stream validation poisons the entry; the
+// terminal frame then fails its count/checksum check and the attempt
+// retries as transient.
+func (d *Dispatcher) addChunk(m p2p.Message) {
+	key := chunkKey{m.From, m.Round}
+	var stale []chunkKey
+	d.mu.Lock()
+	c := d.pending[m.Round]
+	ours := c != nil && c.worker == m.From
+	if ours {
+		d.refreshLocked(m.From)
+	}
+	for k := range d.chunks {
+		if pc := d.pending[k.seq]; pc == nil || pc.worker != k.from {
+			stale = append(stale, k)
+		}
+	}
+	d.mu.Unlock()
+	for _, k := range stale {
+		delete(d.chunks, k)
+	}
+	if !ours {
+		return
+	}
+	s := d.chunks[key]
+	if s == nil {
+		s = &p2p.ChunkStream{}
+		d.chunks[key] = s
+	}
+	if err := s.Add(m); err != nil {
+		delete(d.chunks, key)
+		return
+	}
+	d.reg.Inc("dispatch_wire_chunks_total")
+}
+
+// terminalBody yields a terminal frame's complete body: the frame's
+// own body when monolithic (Chunk=0, the legacy shape), otherwise the
+// reassembled stream the frame's trailer closes and checksums. Either
+// way the sequence's stream entry is retired.
+func (d *Dispatcher) terminalBody(m p2p.Message) ([]byte, error) {
+	key := chunkKey{m.From, m.Round}
+	s := d.chunks[key]
+	delete(d.chunks, key)
+	if m.Chunk == 0 {
+		return p2p.DispatchBody(m)
+	}
+	d.reg.Inc("dispatch_wire_chunked_results_total")
+	if s == nil {
+		s = &p2p.ChunkStream{} // no chunks arrived; Finish reports the mismatch
+	}
+	return s.Finish(m)
 }
 
 // refreshLocked marks a configured worker as seen (and alive). Callers
@@ -522,6 +622,7 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 		down:   make(chan struct{}),
 	}
 	d.pending[seq] = c
+	codec := chooseCodec(d.cfg.Codec, ws.codecs)
 	d.mu.Unlock()
 	defer func() {
 		d.mu.Lock()
@@ -530,7 +631,8 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 		d.mu.Unlock()
 	}()
 
-	req := requestBody{Proto: proto, Token: d.token, JobID: fp, Scheme: scheme, Options: toWire(opts)}
+	req := requestBody{Proto: proto, Token: d.token, JobID: fp, Scheme: scheme, Options: toWire(opts), Codec: codec}
+	span.SetAttr("codec", codec)
 	if sc := span.Context(); sc.Valid() {
 		req.Trace = &wireTrace{TraceID: sc.TraceID, SpanID: sc.SpanID}
 	}
@@ -598,7 +700,7 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 			select {
 			case o := <-c.done:
 				drainRounds()
-				return d.finish(ctx, ws, o, canceled, sent)
+				return d.finish(ctx, ws, o, canceled, sent, opts)
 			default:
 			}
 			// Best-effort cancel to the lost worker: if it was merely
@@ -612,7 +714,7 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 			return nil, fmt.Errorf("dispatch: worker %d lost mid-run", ws.id), true
 		case o := <-c.done:
 			drainRounds()
-			return d.finish(ctx, ws, o, canceled, sent)
+			return d.finish(ctx, ws, o, canceled, sent, opts)
 		}
 	}
 }
@@ -621,7 +723,7 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 // and classifies retryability. sent anchors the attempt's round-trip
 // histogram; the frame's shipped-home worker spans land in the tracer
 // here, stitching the remote half of the trace into the local ring.
-func (d *Dispatcher) finish(ctx context.Context, ws *workerState, o outcome, canceled bool, sent time.Time) (*hadfl.Result, error, bool) {
+func (d *Dispatcher) finish(ctx context.Context, ws *workerState, o outcome, canceled bool, sent time.Time, opts hadfl.Options) (*hadfl.Result, error, bool) {
 	d.reg.ObserveSince("dispatch_rtt_seconds", sent)
 	d.recordRemoteSpans(o)
 	if o.errb != nil {
@@ -648,8 +750,68 @@ func (d *Dispatcher) finish(ctx context.Context, ws *workerState, o outcome, can
 			return nil, fmt.Errorf("dispatch: worker %d: %s", ws.id, eb.Message), false
 		}
 	}
+	if err := d.decodeParams(o.res, o.paramData, opts); err != nil {
+		// The section failed, not the run: reruns are deterministic and
+		// safe, so a torn or undecodable parameter exchange retries like
+		// a lost worker.
+		return nil, fmt.Errorf("dispatch: worker %d result params: %w", ws.id, err), true
+	}
 	d.reg.Inc("dispatch_remote_total")
 	return o.res.toResult(), nil, false
+}
+
+// chooseCodec negotiates the parameter wire codec for one request:
+// the dispatcher's preference if the worker advertised it, otherwise
+// raw64 (which every codec-speaking worker advertises), otherwise ""
+// — the legacy inline-JSON exchange for workers that advertised
+// nothing.
+func chooseCodec(preferred string, advertised []string) string {
+	raw := false
+	for _, name := range advertised {
+		if name == preferred {
+			return preferred
+		}
+		raw = raw || name == p2p.ParamCodecRaw64
+	}
+	if raw {
+		return p2p.ParamCodecRaw64
+	}
+	return ""
+}
+
+// decodeParams rebuilds a codec-path result's final parameter vector
+// from its still-encoded binary section — in the waiting call's
+// goroutine, never recvLoop's, because reference-based codecs derive
+// the run's initial model here and that must not stall frame routing.
+// Legacy bodies (no codec) pass through: their FinalParams came inline.
+func (d *Dispatcher) decodeParams(res *resultBody, paramData []byte, opts hadfl.Options) error {
+	if res.ParamCodec == "" {
+		return nil
+	}
+	codec, ok := p2p.ParamCodecByName(res.ParamCodec)
+	if !ok {
+		return fmt.Errorf("unknown param codec %q", res.ParamCodec)
+	}
+	var ref []float64
+	if codec.UsesRef() && res.ParamRef == paramRefInit {
+		r, err := hadfl.InitialParams(opts)
+		if err != nil {
+			return fmt.Errorf("derive %q reference: %w", res.ParamRef, err)
+		}
+		ref = r
+	}
+	params, err := codec.Decode(paramData, ref, res.ParamCount)
+	if err != nil {
+		return err
+	}
+	res.FinalParams = params
+	d.reg.Add("dispatch_wire_raw_bytes_total", int64(8*res.ParamCount))
+	d.reg.Add("dispatch_wire_encoded_bytes_total", int64(len(paramData)))
+	d.reg.Inc("dispatch_wire_codec_" + metrics.SanitizeName(res.ParamCodec) + "_total")
+	if !res.ParamExact {
+		d.reg.Inc("dispatch_wire_lossy_results_total")
+	}
+	return nil
 }
 
 // recordRemoteSpans lands the worker-side spans a terminal frame

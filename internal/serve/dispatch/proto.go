@@ -23,6 +23,10 @@
 //	                               sequence, so serve restarts cannot
 //	                               collide with their predecessor's runs)
 //	round    worker → dispatcher   per-round telemetry (RoundUpdate)
+//	chunk    worker → dispatcher   one slice of a chunk-streamed terminal
+//	                               body (p2p.KindDispatchChunk); the
+//	                               closing result/error frame carries the
+//	                               stream's length + checksum trailer
 //	result   worker → dispatcher   terminal success: summary, curve and
 //	                               final parameter vector
 //	error    worker → dispatcher   terminal failure: message + flags
@@ -40,10 +44,14 @@
 // Runs are deterministic given scheme + canonical options (see
 // hadfl.Fingerprint), so executing remotely must not change results.
 // The worker re-derives the fingerprint from the request and rejects
-// mismatches, and every float64 crosses the wire through Go's JSON
-// shortest-round-trip encoding, which is exact — a dispatched run's
-// summary, curve and final parameter vector are byte-identical to a
-// local run of the same request (pinned by the simnet e2e suite).
+// mismatches, and every float64 crosses the wire exactly: summary and
+// curve values through Go's JSON shortest-round-trip encoding, the
+// final parameter vector through the negotiated p2p.ParamCodec — raw64
+// (the default) and delta are bit-exact, and every result body stamps
+// the codec's exactness bit so a deliberately lossy choice (f32, topk)
+// is visible, never silent. A dispatched run's summary, curve and
+// final parameter vector are byte-identical to a local run of the same
+// request under any exact codec (pinned by the simnet e2e suite).
 //
 // # Failure and fallback semantics
 //
@@ -58,6 +66,8 @@
 package dispatch
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 
@@ -81,6 +91,11 @@ type helloBody struct {
 	ReplyAddr string `json:"replyAddr,omitempty"`
 	// Capacity is the worker's concurrent-run budget (ack direction).
 	Capacity int `json:"capacity,omitempty"`
+	// Codecs advertises the parameter wire codecs the worker can encode
+	// (ack direction), in its order of preference. An empty list marks a
+	// legacy worker: the dispatcher then requests no codec and the result
+	// comes back as one monolithic JSON frame with FinalParams inline.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // reqOptions is hadfl.Options on the wire, minus the callback field
@@ -150,6 +165,14 @@ type requestBody struct {
 	// survives clock skew; the cancel frame remains the primary path).
 	DeadlineSec float64    `json:"deadlineSec,omitempty"`
 	Options     reqOptions `json:"options"`
+	// Codec names the parameter wire codec the worker should encode the
+	// final parameter vector with (chosen from the worker's advertised
+	// list). Empty means legacy: FinalParams inline in the JSON body, one
+	// monolithic frame. Non-empty doubles as the capability signal that
+	// this dispatcher reassembles split bodies and chunk streams; a
+	// worker that does not recognize the name falls back to raw64, never
+	// to legacy.
+	Codec string `json:"codec,omitempty"`
 	// Trace carries the dispatcher's span context so the worker's spans
 	// join the same trace (see wireTrace). Tracing is passive: this field
 	// never influences execution, and the byte-determinism oracle ignores
@@ -199,6 +222,11 @@ type roundBody struct {
 	Bypassed int     `json:"bypassed,omitempty"`
 }
 
+// paramRefInit is the ParamRef value naming the run's deterministic
+// initial parameter vector — both ends derive it independently with
+// hadfl.InitialParams, so reference-based codecs never ship it.
+const paramRefInit = "init"
+
 // resultBody is a terminal success: everything needed to rebuild the
 // hadfl.Result the run would have produced locally.
 type resultBody struct {
@@ -213,7 +241,24 @@ type resultBody struct {
 	EvalSeconds float64         `json:"evalSeconds,omitempty"`
 	CurveName   string          `json:"curveName,omitempty"`
 	Curve       []metrics.Point `json:"curve,omitempty"`
-	FinalParams []float64       `json:"finalParams,omitempty"`
+	// FinalParams carries the final parameter vector inline on the
+	// legacy path only (request had no Codec). On the codec path it is
+	// empty and the vector travels as the split body's binary parameter
+	// section, described by the Param* fields below.
+	FinalParams []float64 `json:"finalParams,omitempty"`
+	// ParamCodec names the codec that encoded the binary parameter
+	// section; empty means FinalParams is inline (legacy).
+	ParamCodec string `json:"paramCodec,omitempty"`
+	// ParamCount is the encoded vector's length; the receiver validates
+	// it before allocating.
+	ParamCount int `json:"paramCount,omitempty"`
+	// ParamExact reports the codec's exactness bit for this encode: true
+	// means the decoded vector is bit-identical to the worker's.
+	ParamExact bool `json:"paramExact,omitempty"`
+	// ParamRef names the reference vector the codec encoded against:
+	// paramRefInit for the run's deterministic initial model (the
+	// receiver re-derives it from the job options), empty for none.
+	ParamRef string `json:"paramRef,omitempty"`
 	// Trace ships the worker-side spans home (see wireTrace). Excluded
 	// from the byte-determinism oracle, which compares rebuilt
 	// hadfl.Result values, never raw frames.
@@ -298,4 +343,42 @@ func decodeBody(m p2p.Message, into any) error {
 		return fmt.Errorf("dispatch: decode %v body: %w", m.Kind, err)
 	}
 	return nil
+}
+
+// Split bodies: on the codec path a terminal result body is not plain
+// JSON but a two-section container —
+//
+//	"HDW1" | uint32 jsonLen (LE) | jsonLen bytes of JSON | param section
+//
+// so the multi-megabyte parameter vector ships as the codec's compact
+// binary section instead of base-10 JSON text. The magic cannot collide
+// with the legacy format (JSON bodies start with '{'), so receivers
+// sniff it and accept both generations.
+
+// splitMagic opens every split body.
+var splitMagic = []byte("HDW1")
+
+// encodeSplitBody frames a JSON section and a binary parameter section
+// into one split body.
+func encodeSplitBody(jsonData, paramData []byte) []byte {
+	out := make([]byte, 0, len(splitMagic)+4+len(jsonData)+len(paramData))
+	out = append(out, splitMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(jsonData)))
+	out = append(out, jsonData...)
+	return append(out, paramData...)
+}
+
+// decodeSplitBody separates a body into its JSON and parameter
+// sections. A body without the magic is legacy whole-JSON: it comes
+// back unchanged with a nil parameter section.
+func decodeSplitBody(body []byte) (jsonData, paramData []byte, err error) {
+	if len(body) < len(splitMagic)+4 || !bytes.Equal(body[:len(splitMagic)], splitMagic) {
+		return body, nil, nil
+	}
+	n := int(binary.LittleEndian.Uint32(body[len(splitMagic):]))
+	rest := body[len(splitMagic)+4:]
+	if n > len(rest) {
+		return nil, nil, fmt.Errorf("dispatch: split body claims %d JSON bytes, has %d", n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
 }
