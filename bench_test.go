@@ -19,6 +19,7 @@ package hadfl
 // reproduction target is the *shape* (who wins, by what factor).
 
 import (
+	"context"
 	"testing"
 
 	"hadfl/internal/experiments"
@@ -36,7 +37,7 @@ func benchComparison(b *testing.B, workload string, powers []float64, seed int64
 			w = experiments.VGGWorkload(true, seed)
 		}
 		w.TargetEpochs = 25
-		cmp, err := experiments.RunComparison(w, powers, seed)
+		cmp, err := experiments.RunComparison(context.Background(), w, powers, seed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkFigure3(b *testing.B) {
 
 func BenchmarkWorstCase(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		normal, worst, err := experiments.WorstCase(true, 1)
+		normal, worst, err := experiments.WorstCase(context.Background(), true, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func BenchmarkWorstCase(b *testing.B) {
 
 func BenchmarkCommVolume(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.CommVolume(true, 1)
+		rows, err := experiments.CommVolume(context.Background(), true, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func BenchmarkCommVolume(b *testing.B) {
 
 func BenchmarkSelectionAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		series, err := experiments.SelectionAblation(true, 1)
+		series, err := experiments.SelectionAblation(context.Background(), true, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkPredictorAblation(b *testing.B) {
 // versus staleness-weighted asynchronous centralized FL ([6][7]).
 func BenchmarkAsyncBaseline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AsyncComparison(true, 1)
+		rows, err := experiments.AsyncComparison(context.Background(), true, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func BenchmarkAsyncBaseline(b *testing.B) {
 // sweep (the paper's future-work axis).
 func BenchmarkHetBandwidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.HetBandwidth(true, 1)
+		rows, err := experiments.HetBandwidth(context.Background(), true, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +192,7 @@ func BenchmarkHetBandwidth(b *testing.B) {
 // comparison on 8 devices (Fig. 2a).
 func BenchmarkGroupedHADFL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		flat, grouped, err := experiments.GroupedComparison(true, 1)
+		flat, grouped, err := experiments.GroupedComparison(context.Background(), true, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

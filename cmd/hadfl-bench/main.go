@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"hadfl/internal/experiments"
 	"hadfl/internal/metrics"
@@ -37,22 +40,28 @@ func main() {
 	flag.Parse()
 	fast := !*full
 
+	// Ctrl-C aborts mid-run: the experiments thread ctx down to every
+	// device step (the ctxbg lint contract), so cancellation is prompt
+	// even in -full mode.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ran := false
 	if *all {
-		runAll(fast, *seed, *outdir)
+		runAll(ctx, fast, *seed, *outdir)
 		return
 	}
 	if *table == 1 {
 		ran = true
-		runTable1(fast, *seed)
+		runTable1(ctx, fast, *seed)
 	}
 	if *fig != "" {
 		ran = true
-		runFigure(*fig, fast, *seed, *out)
+		runFigure(ctx, *fig, fast, *seed, *out)
 	}
 	if *ablation != "" {
 		ran = true
-		runAblation(*ablation, fast, *seed)
+		runAblation(ctx, *ablation, fast, *seed)
 	}
 	if !ran {
 		flag.Usage()
@@ -60,11 +69,11 @@ func main() {
 	}
 }
 
-func runTable1(fast bool, seed int64) {
+func runTable1(ctx context.Context, fast bool, seed int64) {
 	fmt.Println("Table I — time required to reach the maximum test accuracy")
 	fmt.Println("(virtual seconds; hadfl-speedup = scheme time ÷ HADFL time)")
 	fmt.Println()
-	rows, err := experiments.Table1(fast, seed)
+	rows, err := experiments.Table1(ctx, fast, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,8 +82,8 @@ func runTable1(fast bool, seed int64) {
 	}
 }
 
-func runFigure(panel string, fast bool, seed int64, out string) {
-	series, err := experiments.Figure3(fast, seed)
+func runFigure(ctx context.Context, panel string, fast bool, seed int64, out string) {
+	series, err := experiments.Figure3(ctx, fast, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,10 +132,10 @@ func filterPanel(series []*metrics.Series, panel string) []*metrics.Series {
 	return out
 }
 
-func runAblation(name string, fast bool, seed int64) {
+func runAblation(ctx context.Context, name string, fast bool, seed int64) {
 	switch name {
 	case "worst":
-		normal, worst, err := experiments.WorstCase(fast, seed)
+		normal, worst, err := experiments.WorstCase(ctx, fast, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -136,7 +145,7 @@ func runAblation(name string, fast bool, seed int64) {
 		fmt.Printf("  normal Eq.8 selection : %.1f%% max accuracy\n", 100*nb.Accuracy)
 		fmt.Printf("  always-two-slowest    : %.1f%% max accuracy\n", 100*wb.Accuracy)
 	case "comm":
-		rows, err := experiments.CommVolume(fast, seed)
+		rows, err := experiments.CommVolume(ctx, fast, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -155,7 +164,7 @@ func runAblation(name string, fast bool, seed int64) {
 			log.Fatal(err)
 		}
 	case "selection":
-		series, err := experiments.SelectionAblation(fast, seed)
+		series, err := experiments.SelectionAblation(ctx, fast, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -180,7 +189,7 @@ func runAblation(name string, fast bool, seed int64) {
 		}
 		fmt.Printf("  schedule: %v\n", schedule)
 	case "async":
-		rows, err := experiments.AsyncComparison(fast, seed)
+		rows, err := experiments.AsyncComparison(ctx, fast, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -197,7 +206,7 @@ func runAblation(name string, fast bool, seed int64) {
 			log.Fatal(err)
 		}
 	case "bandwidth":
-		rows, err := experiments.HetBandwidth(fast, seed)
+		rows, err := experiments.HetBandwidth(ctx, fast, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -213,7 +222,7 @@ func runAblation(name string, fast bool, seed int64) {
 			log.Fatal(err)
 		}
 	case "grouped":
-		flat, grouped, err := experiments.GroupedComparison(fast, seed)
+		flat, grouped, err := experiments.GroupedComparison(ctx, fast, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -225,7 +234,7 @@ func runAblation(name string, fast bool, seed int64) {
 		fmt.Printf("  flat    : %.1f%% max accuracy at %.1f s\n", 100*fb.Accuracy, ft)
 		fmt.Printf("  grouped : %.1f%% max accuracy at %.1f s\n", 100*gb.Accuracy, gt)
 	case "scale":
-		rows, err := experiments.Scale(fast, seed, []int{4, 8, 16})
+		rows, err := experiments.Scale(ctx, fast, seed, []int{4, 8, 16})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -246,16 +255,16 @@ func runAblation(name string, fast bool, seed int64) {
 	}
 }
 
-func runAll(fast bool, seed int64, outdir string) {
+func runAll(ctx context.Context, fast bool, seed int64, outdir string) {
 	if outdir != "" {
 		if err := os.MkdirAll(outdir, 0o755); err != nil {
 			log.Fatal(err)
 		}
 	}
-	runTable1(fast, seed)
+	runTable1(ctx, fast, seed)
 	fmt.Println()
 	if outdir != "" {
-		series, err := experiments.Figure3(fast, seed)
+		series, err := experiments.Figure3(ctx, fast, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -271,7 +280,7 @@ func runAll(fast bool, seed int64, outdir string) {
 		fmt.Printf("figure 3 data → %s\n\n", path)
 	}
 	for _, ab := range []string{"worst", "comm", "selection", "predictor", "grouping", "async", "bandwidth", "grouped", "scale"} {
-		runAblation(ab, fast, seed)
+		runAblation(ctx, ab, fast, seed)
 		fmt.Println()
 	}
 }

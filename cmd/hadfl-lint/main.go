@@ -1,0 +1,126 @@
+// Command hadfl-lint runs the project-invariant analyzer suite
+// (internal/lint) over the module and prints one line per finding:
+//
+//	file:line:col: [analyzer] message
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error. Findings
+// are suppressed at the site with //lint:ignore <analyzer> <reason>.
+//
+// Usage:
+//
+//	hadfl-lint [-root dir] [-list] [pattern ...]
+//
+// Patterns are module-relative package dirs ("internal/core",
+// "./internal/serve/..."); the default "./..." analyzes the whole
+// module. The module root is located by walking up from the working
+// directory to the nearest go.mod unless -root is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hadfl/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hadfl-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *root == "" {
+		r, err := findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "hadfl-lint:", err)
+			return 2
+		}
+		*root = r
+	}
+	pkgs, err := lint.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, "hadfl-lint:", err)
+		return 2
+	}
+	if pkgs = filterPackages(pkgs, fs.Args()); pkgs == nil {
+		fmt.Fprintln(stderr, "hadfl-lint: no packages match", fs.Args())
+		return 2
+	}
+	diags := lint.Run(pkgs)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(*root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hadfl-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages keeps the packages selected by the argument patterns.
+// "./..." (or no patterns) selects everything; "dir/..." selects the
+// subtree; a plain dir selects that one package.
+func filterPackages(pkgs []*lint.Package, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	match := func(dir string) bool {
+		for _, p := range patterns {
+			p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+			if p == "..." || p == dir {
+				return true
+			}
+			if sub, ok := strings.CutSuffix(p, "/..."); ok {
+				if sub == "" || dir == sub || strings.HasPrefix(dir, sub+"/") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var out []*lint.Package
+	for _, pkg := range pkgs {
+		if match(pkg.Dir) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s (use -root)", dir)
+		}
+		dir = parent
+	}
+}

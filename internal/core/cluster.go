@@ -205,6 +205,7 @@ func NewCommStats() *CommStats {
 // TotalDeviceBytes sums all device traffic.
 func (s *CommStats) TotalDeviceBytes() int64 {
 	var t int64
+	//lint:ignore detmap integer sum is order-independent; no bytes derive from visit order
 	for _, b := range s.DeviceBytes {
 		t += b
 	}

@@ -47,7 +47,7 @@ func TestScheduleDoesNotBreakWarmup(t *testing.T) {
 	}
 	d := c.Devices[0]
 	lrBefore := d.Opt.LR
-	d.Warmup(1, 0.1)
+	d.WarmupCtx(context.Background(), 1, 0.1)
 	// After warm-up, the base LR is restored (the schedule takes over on
 	// the next TrainStep, not during warm-up).
 	if d.Opt.LR != lrBefore {

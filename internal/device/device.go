@@ -146,18 +146,13 @@ func (d *Device) EpochTime() float64 {
 	return float64(d.Loader.BatchesPerEpoch()) * d.Cfg.BaseStepTime / d.Cfg.Power
 }
 
-// Warmup runs the mutual-negotiation phase (paper §III-B): epochs of
-// training at a reduced learning rate, returning the measured total
-// calculation time T_i. The learning-rate reduction stabilizes the model
-// before full training.
-func (d *Device) Warmup(epochs int, lrScale float64) (calcTime float64) {
-	return d.WarmupCtx(context.Background(), epochs, lrScale)
-}
-
-// WarmupCtx is Warmup with cooperative cancellation: a canceled ctx
-// stops the step loop within one device step. The caller must then
-// discard the partial calcTime and surface ctx.Err() — the checks
-// never change an uncancelled warmup.
+// WarmupCtx runs the mutual-negotiation phase (paper §III-B): epochs
+// of training at a reduced learning rate, returning the measured total
+// calculation time T_i. The learning-rate reduction stabilizes the
+// model before full training. A canceled ctx stops the step loop
+// within one device step; the caller must then discard the partial
+// calcTime and surface ctx.Err() — the checks never change an
+// uncancelled warmup.
 func (d *Device) WarmupCtx(ctx context.Context, epochs int, lrScale float64) (calcTime float64) {
 	if epochs <= 0 {
 		panic(fmt.Sprintf("device: Warmup(%d)", epochs))

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -61,7 +62,7 @@ func TestTrainStepsLearns(t *testing.T) {
 func TestWarmupRestoresLR(t *testing.T) {
 	d := newTestDevice(t, Config{ID: 0, Power: 2, BaseStepTime: 1})
 	lr := d.Opt.LR
-	calc := d.Warmup(1, 0.1)
+	calc := d.WarmupCtx(context.Background(), 1, 0.1)
 	if d.Opt.LR != lr {
 		t.Fatalf("LR after warmup %v, want %v", d.Opt.LR, lr)
 	}
@@ -74,8 +75,8 @@ func TestWarmupRestoresLR(t *testing.T) {
 func TestWarmupTimeReflectsPower(t *testing.T) {
 	fast := newTestDevice(t, Config{ID: 0, Power: 4, BaseStepTime: 1})
 	slow := newTestDevice(t, Config{ID: 1, Power: 1, BaseStepTime: 1})
-	tf := fast.Warmup(1, 0.1)
-	ts := slow.Warmup(1, 0.1)
+	tf := fast.WarmupCtx(context.Background(), 1, 0.1)
+	ts := slow.WarmupCtx(context.Background(), 1, 0.1)
 	if math.Abs(ts/tf-4) > 1e-9 {
 		t.Fatalf("warmup ratio %v, want 4 (power 4:1)", ts/tf)
 	}

@@ -191,6 +191,7 @@ func (e *Evaluator) Evaluate(params []float64) (loss, acc float64) {
 // full-batch replicas keep stable buffer shapes. Results are
 // bit-identical at every parallelism level and batch size.
 func (e *Evaluator) EvaluateInto(res *Result, params []float64) {
+	//lint:ignore walltime EvalSeconds telemetry only; the clock never reaches loss/accuracy numerics
 	start := time.Now()
 	n := e.data.Len()
 	nb := e.numBatches()
@@ -249,6 +250,7 @@ func (e *Evaluator) EvaluateInto(res *Result, params []float64) {
 
 	e.evals.Add(1)
 	e.batches.Add(int64(nb))
+	//lint:ignore walltime EvalSeconds telemetry only; the clock never reaches loss/accuracy numerics
 	e.nanos.Add(time.Since(start).Nanoseconds())
 }
 

@@ -27,10 +27,10 @@ type CommRow struct {
 // centralized FedAvg server relays 2·K·M per round itself; distributed
 // training pays ring-all-reduce volume every iteration. The centralized
 // row is computed analytically from the same model size for reference.
-func CommVolume(fast bool, seed int64) ([]CommRow, error) {
+func CommVolume(ctx context.Context, fast bool, seed int64) ([]CommRow, error) {
 	w := ResNetWorkload(fast, seed)
 	w.TargetEpochs = w.TargetEpochs / 5 // volume shape needs few rounds
-	cmp, err := RunComparison(w, Het4221, seed)
+	cmp, err := RunComparison(ctx, w, Het4221, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +69,7 @@ func CommVolume(fast bool, seed int64) ([]CommRow, error) {
 // selection (Eq. 8) against three alternatives the paper argues against:
 // uniform random selection, always-freshest selection (wastes straggler
 // effort), and always-stalest selection (the worst case of §IV-B).
-func SelectionAblation(fast bool, seed int64) ([]*metrics.Series, error) {
+func SelectionAblation(ctx context.Context, fast bool, seed int64) ([]*metrics.Series, error) {
 	w := ResNetWorkload(fast, seed)
 	powers := Het4221
 
@@ -80,7 +80,7 @@ func SelectionAblation(fast bool, seed int64) ([]*metrics.Series, error) {
 		}
 		cfg := hadflConfig(w, seed)
 		cfg.SelectOverride = override
-		res, err := core.RunHADFL(context.Background(), c, cfg)
+		res, err := core.RunHADFL(ctx, c, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,7 @@ func fastWorkload(name string, seed int64) Workload {
 }
 
 func TestRunComparisonProducesAllSchemes(t *testing.T) {
-	cmp, err := RunComparison(fastWorkload("resnet", 1), Het4221, 1)
+	cmp, err := RunComparison(context.Background(), fastWorkload("resnet", 1), Het4221, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestHADFLFasterThanBaselinesOnSkewedCluster(t *testing.T) {
 	// comparison is not dominated by warm-up.
 	w := ResNetWorkload(true, 2)
 	w.TargetEpochs = 25
-	cmp, err := RunComparison(w, Het4221, 2)
+	cmp, err := RunComparison(context.Background(), w, Het4221, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestTable1RowsComplete(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Table 1 sweep in -short mode")
 	}
-	rows, err := Table1(true, 3)
+	rows, err := Table1(context.Background(), true, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestWorstCaseUnderperformsNormal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("worst-case sweep in -short mode")
 	}
-	normal, worst, err := WorstCase(true, 4)
+	normal, worst, err := WorstCase(context.Background(), true, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestWorstCaseUnderperformsNormal(t *testing.T) {
 }
 
 func TestCommVolumeShape(t *testing.T) {
-	rows, err := CommVolume(true, 5)
+	rows, err := CommVolume(context.Background(), true, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestSelectionAblationRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep in -short mode")
 	}
-	series, err := SelectionAblation(true, 6)
+	series, err := SelectionAblation(context.Background(), true, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,13 +26,13 @@ type AsyncRow struct {
 }
 
 // AsyncComparison runs HADFL and async-FedAvg on identical clusters.
-func AsyncComparison(fast bool, seed int64) ([]AsyncRow, error) {
+func AsyncComparison(ctx context.Context, fast bool, seed int64) ([]AsyncRow, error) {
 	w := ResNetWorkload(fast, seed)
 	ch, err := clusterFor(w, Het4221, seed, nil)
 	if err != nil {
 		return nil, err
 	}
-	hadfl, err := core.RunHADFL(context.Background(), ch, hadflConfig(w, seed))
+	hadfl, err := core.RunHADFL(ctx, ch, hadflConfig(w, seed))
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +44,7 @@ func AsyncComparison(fast bool, seed int64) ([]AsyncRow, error) {
 	acfg.TargetEpochs = w.TargetEpochs
 	acfg.LocalSteps = w.FedAvgLocalSteps
 	acfg.Seed = seed
-	async, err := baselines.RunAsyncFL(context.Background(), ca, acfg)
+	async, err := baselines.RunAsyncFL(ctx, ca, acfg)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +73,7 @@ type BandwidthRow struct {
 
 // HetBandwidth runs HADFL under uniform, mildly skewed, and severely
 // skewed per-device links.
-func HetBandwidth(fast bool, seed int64) ([]BandwidthRow, error) {
+func HetBandwidth(ctx context.Context, fast bool, seed int64) ([]BandwidthRow, error) {
 	w := ResNetWorkload(fast, seed)
 	w.TargetEpochs = w.TargetEpochs / 2
 	profiles := []struct {
@@ -99,7 +99,7 @@ func HetBandwidth(fast bool, seed int64) ([]BandwidthRow, error) {
 		}
 		cfg := hadflConfig(w, seed)
 		cfg.DeviceLinks = p.links
-		res, err := core.RunHADFL(context.Background(), c, cfg)
+		res, err := core.RunHADFL(ctx, c, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p.name, err)
 		}
@@ -116,7 +116,7 @@ func HetBandwidth(fast bool, seed int64) ([]BandwidthRow, error) {
 // on a larger (8-device) federation.
 
 // GroupedComparison returns the flat and grouped training curves.
-func GroupedComparison(fast bool, seed int64) (flat, grouped *metrics.Series, err error) {
+func GroupedComparison(ctx context.Context, fast bool, seed int64) (flat, grouped *metrics.Series, err error) {
 	w := ResNetWorkload(fast, seed)
 	w.TargetEpochs = w.TargetEpochs / 2
 	powers := []float64{4, 4, 3, 2, 2, 2, 1, 1}
@@ -127,7 +127,7 @@ func GroupedComparison(fast bool, seed int64) (flat, grouped *metrics.Series, er
 	}
 	cfg := hadflConfig(w, seed)
 	cfg.Strategy.Np = 4
-	flatRes, err := core.RunHADFL(context.Background(), cf, cfg)
+	flatRes, err := core.RunHADFL(ctx, cf, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -141,7 +141,7 @@ func GroupedComparison(fast bool, seed int64) (flat, grouped *metrics.Series, er
 	gcfg.GroupSize = 4
 	gcfg.IntraNp = 2
 	gcfg.InterEvery = 2
-	groupedRes, err := core.RunHADFLGrouped(context.Background(), cg, gcfg)
+	groupedRes, err := core.RunHADFLGrouped(ctx, cg, gcfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,12 +1,15 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAsyncComparison(t *testing.T) {
 	if testing.Short() {
 		t.Skip("async baseline comparison in -short mode")
 	}
-	rows, err := AsyncComparison(true, 41)
+	rows, err := AsyncComparison(context.Background(), true, 41)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +42,7 @@ func TestHetBandwidth(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bandwidth sweep in -short mode")
 	}
-	rows, err := HetBandwidth(true, 42)
+	rows, err := HetBandwidth(context.Background(), true, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +69,7 @@ func TestGroupedComparison(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grouped comparison in -short mode")
 	}
-	flat, grouped, err := GroupedComparison(true, 43)
+	flat, grouped, err := GroupedComparison(context.Background(), true, 43)
 	if err != nil {
 		t.Fatal(err)
 	}

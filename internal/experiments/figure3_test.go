@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ func TestFigure3StructureAndShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Figure 3 sweep in -short mode")
 	}
-	series, err := Figure3(true, 1)
+	series, err := Figure3(context.Background(), true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,12 +24,12 @@ type Comparison struct {
 
 // RunComparison trains the workload under all three schemes on identical
 // clusters (same seed → same split, same initialization).
-func RunComparison(w Workload, powers []float64, seed int64) (*Comparison, error) {
+func RunComparison(ctx context.Context, w Workload, powers []float64, seed int64) (*Comparison, error) {
 	ch, err := clusterFor(w, powers, seed, nil)
 	if err != nil {
 		return nil, err
 	}
-	hadfl, err := core.RunHADFL(context.Background(), ch, hadflConfig(w, seed))
+	hadfl, err := core.RunHADFL(ctx, ch, hadflConfig(w, seed))
 	if err != nil {
 		return nil, fmt.Errorf("hadfl: %w", err)
 	}
@@ -42,7 +42,7 @@ func RunComparison(w Workload, powers []float64, seed int64) (*Comparison, error
 	fcfg.TargetEpochs = w.TargetEpochs
 	fcfg.LocalSteps = w.FedAvgLocalSteps
 	fcfg.Seed = seed
-	fedavg, err := baselines.RunFedAvg(context.Background(), cf, fcfg)
+	fedavg, err := baselines.RunFedAvg(ctx, cf, fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("fedavg: %w", err)
 	}
@@ -54,7 +54,7 @@ func RunComparison(w Workload, powers []float64, seed int64) (*Comparison, error
 	dcfg := baselines.DefaultDistributedConfig()
 	dcfg.TargetEpochs = w.TargetEpochs
 	dcfg.Seed = seed
-	dist, err := baselines.RunDistributed(context.Background(), cd, dcfg)
+	dist, err := baselines.RunDistributed(ctx, cd, dcfg)
 	if err != nil {
 		return nil, fmt.Errorf("distributed: %w", err)
 	}
@@ -74,11 +74,11 @@ func RunComparison(w Workload, powers []float64, seed int64) (*Comparison, error
 // heterogeneity distributions. Each returned series is named
 // scheme/workload/het; the panel projections (epoch vs time x-axis) are
 // taken from the same points.
-func Figure3(fast bool, seed int64) ([]*metrics.Series, error) {
+func Figure3(ctx context.Context, fast bool, seed int64) ([]*metrics.Series, error) {
 	var out []*metrics.Series
 	for _, w := range []Workload{ResNetWorkload(fast, seed), VGGWorkload(fast, seed)} {
 		for _, powers := range [][]float64{Het3311, Het4221} {
-			cmp, err := RunComparison(w, powers, seed)
+			cmp, err := RunComparison(ctx, w, powers, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -114,11 +114,11 @@ type Table1Row struct {
 // Table1 regenerates Table I: the time each scheme needs to reach its
 // maximum test accuracy, for both workloads and both heterogeneity
 // distributions, plus the speedup of HADFL over each baseline.
-func Table1(fast bool, seed int64) ([]Table1Row, error) {
+func Table1(ctx context.Context, fast bool, seed int64) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, w := range []Workload{ResNetWorkload(fast, seed), VGGWorkload(fast, seed)} {
 		for _, powers := range [][]float64{Het3311, Het4221} {
-			cmp, err := RunComparison(w, powers, seed)
+			cmp, err := RunComparison(ctx, w, powers, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -161,13 +161,13 @@ func RenderTable1(rows []Table1Row) *metrics.Table {
 // ablation: HADFL with the normal Eq. 8 selection versus HADFL forced to
 // always select the two devices with the worst computing power, on the
 // [3,3,1,1] distribution.
-func WorstCase(fast bool, seed int64) (normal, worst *core.Result, err error) {
+func WorstCase(ctx context.Context, fast bool, seed int64) (normal, worst *core.Result, err error) {
 	w := ResNetWorkload(fast, seed)
 	cn, err := clusterFor(w, Het3311, seed, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	normal, err = core.RunHADFL(context.Background(), cn, hadflConfig(w, seed))
+	normal, err = core.RunHADFL(ctx, cn, hadflConfig(w, seed))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -188,7 +188,7 @@ func WorstCase(fast bool, seed int64) (normal, worst *core.Result, err error) {
 		sort.Ints(out)
 		return out
 	}
-	worst, err = core.RunHADFL(context.Background(), cw, cfg)
+	worst, err = core.RunHADFL(ctx, cw, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

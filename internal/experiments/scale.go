@@ -33,7 +33,7 @@ func repeatPattern(k int) []float64 {
 
 // Scale runs the sweep. Np scales with K (K/2 selected per round, as in
 // the paper's "typically ≤ K/2" remark).
-func Scale(fast bool, seed int64, sizes []int) ([]ScaleRow, error) {
+func Scale(ctx context.Context, fast bool, seed int64, sizes []int) ([]ScaleRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{4, 8, 16}
 	}
@@ -52,7 +52,7 @@ func Scale(fast bool, seed int64, sizes []int) ([]ScaleRow, error) {
 		if cfg.Strategy.Np < 1 {
 			cfg.Strategy.Np = 1
 		}
-		flat, err := core.RunHADFL(context.Background(), cf, cfg)
+		flat, err := core.RunHADFL(ctx, cf, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +68,7 @@ func Scale(fast bool, seed int64, sizes []int) ([]ScaleRow, error) {
 			gcfg.GroupSize = 4
 			gcfg.IntraNp = 2
 			gcfg.InterEvery = 2
-			grouped, err := core.RunHADFLGrouped(context.Background(), cg, gcfg)
+			grouped, err := core.RunHADFLGrouped(ctx, cg, gcfg)
 			if err != nil {
 				return nil, err
 			}

@@ -1,12 +1,15 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestScaleSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale sweep in -short mode")
 	}
-	rows, err := Scale(true, 81, []int{4, 8})
+	rows, err := Scale(context.Background(), true, 81, []int{4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// ctxbg: internal library code must thread context from its callers
+// (the PR 3 contract: cancellation and deadlines reach every runner
+// through one ctx chain). A context.Background()/TODO() deep in
+// internal/ silently detaches everything below it from the caller's
+// lifetime — jobs that "cannot be canceled" have exactly this shape.
+// Roots that legitimately own a lifecycle (a server's base context)
+// carry a //lint:ignore with the reason. main packages under cmd/ and
+// the examples are callers, not library code, and are exempt.
+var ctxbgAnalyzer = &Analyzer{
+	Name:    "ctxbg",
+	Doc:     "context.Background()/TODO() in internal library code (ctx must thread from callers)",
+	Applies: func(dir string) bool { return strings.HasPrefix(dir, "internal/") },
+	Run:     runCtxbg,
+}
+
+func runCtxbg(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		alias := importAlias(file.AST, "context")
+		if alias == "" {
+			continue
+		}
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel := selectorOn(call.Fun, alias)
+			if sel != "Background" && sel != "TODO" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "ctxbg",
+				Message: fmt.Sprintf("%s.%s() in internal library code: thread ctx from the caller so cancellation and deadlines propagate",
+					alias, sel),
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// detmap: no range-over-map in the deterministic packages. Go
+// randomizes map iteration order per range, so any loop whose body's
+// effects depend on visit order (float accumulation, append, emit)
+// would produce different bytes run to run — and the serve cache,
+// dispatch retries/hedging, and the delta/topk wire codecs all assume
+// reruns are bit-identical. Iterate sorted keys instead, or suppress
+// with a reason when the body is provably order-independent (e.g. an
+// integer sum).
+var detmapAnalyzer = &Analyzer{
+	Name:    "detmap",
+	Doc:     "range over a map in a deterministic package (iteration order breaks byte-determinism)",
+	Applies: isDeterministicDir,
+	Run:     runDetmap,
+}
+
+func runDetmap(pkg *Package) []Diagnostic {
+	isMapType := func(e ast.Expr) bool {
+		_, ok := e.(*ast.MapType)
+		return ok
+	}
+	mapTypes := localTypeNames(pkg, isMapType)
+	mapExpr := func(e ast.Expr) bool {
+		if isMapType(e) {
+			return true
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && mapTypes[id.Name]
+	}
+	idx := buildTypeIndex(pkg, mapExpr)
+
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if what, ok := rangedMap(rng.X, idx, mapExpr); ok {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(rng.Pos()),
+					Analyzer: "detmap",
+					Message: fmt.Sprintf("range over map %s: iteration order is randomized and breaks byte-determinism; iterate sorted keys",
+						what),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// rangedMap reports whether the ranged expression is recognizably a
+// map, and names it for the diagnostic.
+func rangedMap(x ast.Expr, idx *typeIndex, mapExpr func(ast.Expr) bool) (string, bool) {
+	switch x := x.(type) {
+	case *ast.Ident:
+		if idx.names[x.Name] {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if idx.names[x.Sel.Name] {
+			return x.Sel.Name, true
+		}
+	case *ast.CompositeLit:
+		if x.Type != nil && mapExpr(x.Type) {
+			return "literal", true
+		}
+	case *ast.CallExpr:
+		if fn, ok := x.Fun.(*ast.Ident); ok {
+			if fn.Name == "make" && len(x.Args) > 0 && mapExpr(x.Args[0]) {
+				return "make(...)", true
+			}
+			if idx.funcs[fn.Name] {
+				return fn.Name + "(...)", true
+			}
+		}
+	case *ast.ParenExpr:
+		return rangedMap(x.X, idx, mapExpr)
+	}
+	return "", false
+}

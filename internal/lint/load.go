@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses every non-test Go file under root into packages
+// keyed by directory. It skips testdata (fixture files hold deliberate
+// violations), hidden and underscore-prefixed directories, and
+// generated-artifact-free by construction (the module has no vendor
+// tree). Files only need to parse, not compile.
+func LoadModule(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	byDir := map[string]*Package{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		dir := filepath.ToSlash(rel)
+		if dir == "." {
+			dir = ""
+		}
+		pkg := byDir[dir]
+		if pkg == nil {
+			pkg = &Package{Dir: dir, Fset: fset}
+			byDir[dir] = pkg
+		}
+		return pkg.parseFile(path)
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(byDir))
+	for _, pkg := range byDir {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, nil
+}
+
+// LoadDir parses the non-test Go files of one directory as a package
+// with the given module-relative dir label (fixture tests use the
+// label to exercise analyzer applicability rules).
+func LoadDir(dir, asDir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: asDir, Fset: token.NewFileSet()}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		if err := pkg.parseFile(filepath.Join(dir, e.Name())); err != nil {
+			return nil, err
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+func (pkg *Package) parseFile(path string) error {
+	f, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return fmt.Errorf("lint: parse %s: %w", path, err)
+	}
+	if pkg.Name == "" {
+		pkg.Name = f.Name.Name
+	}
+	pkg.Files = append(pkg.Files, &File{Name: path, AST: f})
+	return nil
+}
+
+// importAlias returns the identifier a file binds the given import
+// path to ("" when the file does not import it). A plain import uses
+// the path's base name; dot and blank imports return "" — the
+// analyzers' selector matching cannot see through those.
+func importAlias(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

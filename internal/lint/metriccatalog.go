@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"hadfl/internal/metrics"
+)
+
+// metriccatalog: every metric name that reaches a metrics.Registry
+// must be part of the documented surface. The runtime tripwire
+// (names_test + assertCanonicalNames) only fires for code paths a test
+// happens to execute; this analyzer makes the same contract a
+// compile-time gate. A string literal passed to a Registry method must
+// resolve against the internal/metrics/names.go catalog (exact name or
+// documented prefix+suffix); a dynamic name must be built from a
+// documented prefix plus metrics.SanitizeName(...). Receivers are
+// resolved syntactically: any name declared as [*]metrics.Registry in
+// the package, or assigned from metrics.NewRegistry().
+var metriccatalogAnalyzer = &Analyzer{
+	Name: "metriccatalog",
+	Doc:  "metric name passed to a Registry is not in the canonical catalog (internal/metrics/names.go)",
+	// The metrics package itself is exempt: registry.go and
+	// prometheus.go pass caller-supplied names through by design.
+	Applies: func(dir string) bool { return dir != "internal/metrics" },
+	Run:     runMetricCatalog,
+}
+
+// registryMethods are the Registry methods whose first argument is a
+// metric name.
+var registryMethods = map[string]bool{
+	"Inc": true, "Add": true, "SetGauge": true, "AddGauge": true,
+	"Observe": true, "ObserveSince": true, "ObserveBytes": true,
+}
+
+func runMetricCatalog(pkg *Package) []Diagnostic {
+	// Index names declared as [*]metrics.Registry, per the package's
+	// import alias for the metrics package (checked per file below;
+	// the index accepts any file's alias).
+	aliases := map[string]bool{}
+	for _, file := range pkg.Files {
+		if a := importAlias(file.AST, metricsImportPath); a != "" {
+			aliases[a] = true
+		}
+	}
+	if len(aliases) == 0 {
+		return nil // package never touches the metrics registry
+	}
+	isRegistryType := func(e ast.Expr) bool {
+		s, ok := e.(*ast.SelectorExpr)
+		if !ok || s.Sel.Name != "Registry" {
+			return false
+		}
+		id, ok := s.X.(*ast.Ident)
+		return ok && aliases[id.Name]
+	}
+	idx := buildTypeIndex(pkg, isRegistryType)
+	// x := metrics.NewRegistry() constructor assignments.
+	for _, file := range pkg.Files {
+		alias := importAlias(file.AST, metricsImportPath)
+		if alias == "" {
+			continue
+		}
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" || i >= len(as.Rhs) {
+					continue
+				}
+				if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isPkgSelector(call.Fun, alias, "NewRegistry") {
+					idx.names[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		alias := importAlias(file.AST, metricsImportPath)
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			if recv := terminalName(sel.X); recv == "" || !idx.names[recv] {
+				return true // not a recognizable Registry receiver
+			}
+			if d, bad := checkMetricName(pkg, call.Args[0], alias); bad {
+				diags = append(diags, d)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkMetricName validates the name expression passed to a Registry
+// method.
+func checkMetricName(pkg *Package, arg ast.Expr, metricsAlias string) (Diagnostic, bool) {
+	pos := pkg.Fset.Position(arg.Pos())
+	if lit, ok := stringLit(arg); ok {
+		if metrics.IsCanonical(lit) {
+			return Diagnostic{}, false
+		}
+		return Diagnostic{Pos: pos, Analyzer: "metriccatalog",
+			Message: fmt.Sprintf("metric name %q is not in the canonical catalog — add it to internal/metrics/names.go", lit)}, true
+	}
+	// Dynamic name: require a SanitizeName call somewhere in the
+	// expression, and if it is prefix+SanitizeName, the prefix must be
+	// a documented dynamic family.
+	sanitized := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPkgSelector(call.Fun, metricsAlias, "SanitizeName") {
+			sanitized = true
+		}
+		return true
+	})
+	if !sanitized {
+		return Diagnostic{Pos: pos, Analyzer: "metriccatalog",
+			Message: "dynamic metric name built without metrics.SanitizeName — use a canonical literal or a documented prefix + SanitizeName"}, true
+	}
+	if prefix, ok := leadingLit(arg); ok {
+		if _, documented := metrics.CanonicalPrefixes()[prefix]; !documented {
+			return Diagnostic{Pos: pos, Analyzer: "metriccatalog",
+				Message: fmt.Sprintf("metric-name prefix %q is not a documented dynamic family — add it to canonicalPrefixes in internal/metrics/names.go", prefix)}, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// stringLit unwraps a string literal (possibly parenthesized).
+func stringLit(e ast.Expr) (string, bool) {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return stringLit(p.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// leadingLit returns the leftmost string literal of a + concatenation
+// chain, the shape "prefix_" + SanitizeName(x) takes.
+func leadingLit(e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.BinaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return stringLit(e)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// poolleaf: every task handed to the kernel pool must be a leaf. The
+// tensor package's parallelFor shards work across pool workers; a
+// shard body that itself calls parallelFor (directly, or through any
+// package function that reaches it, i.e. every blocked kernel) can
+// park a pool worker waiting on inner tasks that sit behind it in the
+// queue — the deadlock documented in internal/tensor/parallel.go.
+// Engine-level sharding (internal/eval) uses its own goroutines for
+// exactly this reason. The analyzer builds the package-local call
+// graph, computes which functions transitively reach parallelFor, and
+// flags any such call inside a function literal passed to parallelFor
+// (and named functions passed as the body argument).
+var poolleafAnalyzer = &Analyzer{
+	Name:    "poolleaf",
+	Doc:     "pool task passed to parallelFor is not a leaf (it reaches parallelFor itself)",
+	Applies: func(dir string) bool { return dir == "internal/tensor" },
+	Run:     runPoolleaf,
+}
+
+// parallelEntry is the kernel pool's sharding entry point.
+const parallelEntry = "parallelFor"
+
+func runPoolleaf(pkg *Package) []Diagnostic {
+	// Package-local call graph over top-level func/method decls,
+	// edges keyed by callee identifier (plain `f(...)` calls only —
+	// method values and closures assigned to variables are beyond a
+	// syntactic pass and not how the kernels are written).
+	calls := map[string]map[string]bool{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			callees := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						callees[id.Name] = true
+					}
+				}
+				return true
+			})
+			calls[fd.Name.Name] = callees
+		}
+	}
+	// reaches: functions that submit to the pool, transitively.
+	reaches := map[string]bool{parallelEntry: true}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if reaches[fn] {
+				continue
+			}
+			for callee := range callees {
+				if reaches[callee] {
+					reaches[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	flag := func(pos ast.Node, callee string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos.Pos()),
+			Analyzer: "poolleaf",
+			Message: fmt.Sprintf("pool task is not a leaf: %s reaches %s — tasks submitted to the kernel pool must never submit to it again (parallel.go invariant)",
+				callee, parallelEntry),
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != parallelEntry {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch arg := arg.(type) {
+				case *ast.FuncLit:
+					ast.Inspect(arg.Body, func(inner ast.Node) bool {
+						ic, ok := inner.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if id, ok := ic.Fun.(*ast.Ident); ok && reaches[id.Name] {
+							flag(ic, id.Name)
+						}
+						return true
+					})
+				case *ast.Ident:
+					if reaches[arg.Name] {
+						flag(arg, arg.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

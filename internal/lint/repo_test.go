@@ -1,0 +1,27 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoCleanUnderLint is the gate the Makefile's lint target
+// mirrors: the whole module, under every registered analyzer, with
+// zero findings. Any invariant break (or undocumented suppression)
+// fails here before it reaches a reviewer.
+func TestRepoCleanUnderLint(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from %s — loader is missing the module", len(pkgs), root)
+	}
+	for _, d := range Run(pkgs) {
+		t.Errorf("%s", d)
+	}
+}

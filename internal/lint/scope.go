@@ -1,0 +1,188 @@
+package lint
+
+import "go/ast"
+
+// The package-scope resolver. Without go/types the analyzers cannot
+// ask "what is the static type of this expression", so they settle for
+// the next best thing: a package-wide index of *names* (variables,
+// parameters, struct fields, results) whose declaration syntactically
+// carries a type of interest. Resolution is by terminal identifier —
+// `s.DeviceBytes` matches if any declaration in the package names a
+// map-typed `DeviceBytes`. That trades a small false-positive surface
+// (same name, different type, same package) for zero compilation
+// requirements; //lint:ignore covers the residue.
+
+// typeIndex records, for one package, which names are declared with a
+// matching type and which package-level functions return one.
+type typeIndex struct {
+	names map[string]bool // vars, params, fields, receivers
+	funcs map[string]bool // package-level funcs whose first result matches
+}
+
+// buildTypeIndex walks every file of pkg and indexes declarations whose
+// type satisfies match. match sees the declared type expression with
+// pointer stars stripped.
+func buildTypeIndex(pkg *Package, match func(ast.Expr) bool) *typeIndex {
+	idx := &typeIndex{names: map[string]bool{}, funcs: map[string]bool{}}
+	matchDeref := func(e ast.Expr) bool {
+		for {
+			star, ok := e.(*ast.StarExpr)
+			if !ok {
+				return match(e)
+			}
+			e = star.X
+		}
+	}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if !matchDeref(f.Type) {
+				continue
+			}
+			for _, n := range f.Names {
+				idx.names[n.Name] = true
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				addFields(n.Recv)
+				addFields(n.Type.Params)
+				if n.Type.Results != nil && len(n.Type.Results.List) > 0 &&
+					matchDeref(n.Type.Results.List[0].Type) {
+					idx.funcs[n.Name.Name] = true
+				}
+			case *ast.StructType:
+				addFields(n.Fields)
+			case *ast.ValueSpec:
+				if n.Type != nil && matchDeref(n.Type) {
+					for _, name := range n.Names {
+						idx.names[name.Name] = true
+					}
+				}
+			case *ast.AssignStmt:
+				// x := <expr of matching type> — recognized for
+				// composite literals, make(T, ...), &T{...}, and calls
+				// to already-indexed package-level constructors.
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" || i >= len(n.Rhs) {
+						continue
+					}
+					if t := rhsType(n.Rhs[i]); t != nil && matchDeref(t) {
+						idx.names[id.Name] = true
+					} else if call, ok := n.Rhs[i].(*ast.CallExpr); ok {
+						if fn, ok := call.Fun.(*ast.Ident); ok && idx.funcs[fn.Name] {
+							idx.names[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// rhsType extracts the syntactic type a right-hand side constructs, or
+// nil when the expression's type is not evident.
+func rhsType(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return e.Type
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok {
+			return cl.Type
+		}
+	case *ast.CallExpr:
+		if fn, ok := e.Fun.(*ast.Ident); ok && fn.Name == "make" && len(e.Args) > 0 {
+			return e.Args[0]
+		}
+	}
+	return nil
+}
+
+// terminalName returns the last identifier of an expression used as a
+// value — `c.reg` → "reg", `reg` → "reg" — or "" when there is none.
+func terminalName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return terminalName(e.X)
+	}
+	return ""
+}
+
+// isPkgSelector reports whether e is `alias.sel` for the given import
+// alias (alias "" never matches).
+func isPkgSelector(e ast.Expr, alias, sel string) bool {
+	if alias == "" {
+		return false
+	}
+	s, ok := e.(*ast.SelectorExpr)
+	if !ok || s.Sel.Name != sel {
+		return false
+	}
+	id, ok := s.X.(*ast.Ident)
+	return ok && id.Name == alias
+}
+
+// selectorOn returns the selector name if e is `alias.<sel>(...)`'s
+// function expression for the given alias, else "".
+func selectorOn(e ast.Expr, alias string) string {
+	if alias == "" {
+		return ""
+	}
+	s, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := s.X.(*ast.Ident)
+	if !ok || id.Name != alias {
+		return ""
+	}
+	return s.Sel.Name
+}
+
+// localTypeNames collects package-level named types whose definition
+// satisfies match (e.g. `type Set map[int]bool`), chasing one level of
+// aliasing per pass until stable.
+func localTypeNames(pkg *Package, match func(ast.Expr) bool) map[string]bool {
+	names := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pkg.Files {
+			for _, decl := range file.AST.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || names[ts.Name.Name] {
+						continue
+					}
+					if match(ts.Type) {
+						names[ts.Name.Name] = true
+						changed = true
+					} else if id, ok := ts.Type.(*ast.Ident); ok && names[id.Name] {
+						names[ts.Name.Name] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// metricsImportPath is the canonical catalog's home; metriccatalog and
+// the registry-receiver index key off it.
+const metricsImportPath = "hadfl/internal/metrics"

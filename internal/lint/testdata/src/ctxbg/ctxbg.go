@@ -1,0 +1,18 @@
+// Fixture for the ctxbg analyzer: context.Background()/TODO() in
+// internal library code.
+package ctxbg
+
+import "context"
+
+type key struct{}
+
+func runAll() {
+	ctx := context.Background() // want ctxbg context.Background
+	_ = ctx
+	todo := context.TODO() // want ctxbg context.TODO
+	_ = todo
+}
+
+func threaded(ctx context.Context) context.Context {
+	return context.WithValue(ctx, key{}, 1) // deriving from the caller's ctx: fine
+}

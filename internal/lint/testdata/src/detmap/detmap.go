@@ -1,0 +1,40 @@
+// Fixture for the detmap analyzer: range-over-map detection in
+// deterministic packages. Expected findings are annotated with
+// `// want <analyzer> <message substring>` on the offending line.
+package detmap
+
+type set map[int]bool
+
+type stats struct {
+	perDevice map[int]int64
+	names     []string
+}
+
+func newIndex() map[string]int { return nil }
+
+func sum(s *stats, m map[int]float64, ids []int) {
+	for range m { // want detmap range over map m
+	}
+	for _, v := range s.perDevice { // want detmap range over map perDevice
+		_ = v
+	}
+	for k := range map[string]int{"a": 1} { // want detmap range over map literal
+		_ = k
+	}
+	for k := range make(map[int]int) { // want detmap range over map make
+		_ = k
+	}
+	for k := range newIndex() { // want detmap newIndex(...)
+		_ = k
+	}
+	var alive set
+	for id := range alive { // want detmap range over map alive
+		_ = id
+	}
+	for _, name := range s.names { // slice field: fine
+		_ = name
+	}
+	for _, id := range ids { // slice param: fine
+		_ = id
+	}
+}

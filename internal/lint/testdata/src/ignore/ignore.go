@@ -1,0 +1,45 @@
+// Fixture for //lint:ignore handling: a directive silences exactly
+// the named analyzer on exactly its own line or the next one; unknown
+// analyzer names and missing reasons are themselves diagnostics.
+package ignore
+
+import "context"
+
+func suppressedNextLine() {
+	//lint:ignore ctxbg fixture: directive covers the next line
+	ctx := context.Background()
+	_ = ctx
+}
+
+func suppressedSameLine() {
+	ctx := context.Background() //lint:ignore ctxbg fixture: same-line directive
+	_ = ctx
+}
+
+func wrongAnalyzer() {
+	//lint:ignore detmap a valid directive for a different analyzer suppresses nothing here
+	ctx := context.Background() // want ctxbg context.Background
+	_ = ctx
+}
+
+func outOfRange() {
+	//lint:ignore ctxbg the directive reaches only the next line, not two lines down
+	x := 1
+	_ = x
+	ctx := context.Background() // want ctxbg context.Background
+	_ = ctx
+}
+
+func unknownName() {
+	//lint:ignore nosuchanalyzer the name is not a registered analyzer
+	// want-1 ignore unknown analyzer
+	ctx := context.Background() // want ctxbg context.Background
+	_ = ctx
+}
+
+func missingReason() {
+	//lint:ignore ctxbg
+	// want-1 ignore needs a reason
+	ctx := context.Background() // want ctxbg context.Background
+	_ = ctx
+}

@@ -1,0 +1,35 @@
+// Fixture for the metriccatalog analyzer: names reaching a
+// metrics.Registry must resolve against the canonical catalog (the
+// real one — internal/metrics/names.go).
+package metriccatalog
+
+import (
+	"sync"
+
+	"hadfl/internal/metrics"
+)
+
+type server struct {
+	reg    *metrics.Registry
+	series *metrics.Series
+}
+
+func observe(s *server, scheme string, pt metrics.Point) {
+	s.reg.Inc("runs_started_total")                          // canonical: fine
+	s.reg.Inc("made_up_total")                               // want metriccatalog not in the canonical catalog
+	s.reg.Observe("queue_wait_seconds", 0.1)                 // canonical histogram: fine
+	s.reg.Inc("runs_scheme_" + metrics.SanitizeName(scheme)) // documented prefix: fine
+	s.reg.Inc("bogus_" + metrics.SanitizeName(scheme))       // want metriccatalog not a documented dynamic family
+	name := "runs_started_total"
+	s.reg.Inc(name) // want metriccatalog without metrics.SanitizeName
+
+	var wg sync.WaitGroup
+	wg.Add(1)        // not a Registry: fine
+	s.series.Add(pt) // metrics.Series, not a Registry: fine
+}
+
+func fresh() {
+	reg := metrics.NewRegistry()
+	reg.SetGauge("pool_workers", 1)  // canonical: fine
+	reg.SetGauge("mystery_gauge", 1) // want metriccatalog not in the canonical catalog
+}

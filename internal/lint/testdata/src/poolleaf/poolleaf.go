@@ -1,0 +1,40 @@
+// Fixture for the poolleaf analyzer: pool tasks handed to parallelFor
+// must be leaves. The fixture declares its own parallelFor (the
+// analyzer is package-local, like the invariant).
+package poolleaf
+
+func parallelFor(n, grain int, fn func(lo, hi int)) { fn(0, n) }
+
+func vecScale(dst []float64, a float64) {
+	parallelFor(len(dst), 1, func(lo, hi int) { // a proper leaf: fine
+		for i := lo; i < hi; i++ {
+			dst[i] *= a
+		}
+	})
+}
+
+func badTransitive(dst []float64) {
+	parallelFor(len(dst), 1, func(lo, hi int) {
+		vecScale(dst[lo:hi], 2) // want poolleaf vecScale reaches parallelFor
+	})
+}
+
+func badDirect(dst []float64) {
+	parallelFor(len(dst), 1, func(lo, hi int) {
+		parallelFor(hi-lo, 1, func(a, b int) {}) // want poolleaf parallelFor reaches parallelFor
+	})
+}
+
+func scaleAll(lo, hi int) {
+	parallelFor(hi-lo, 1, func(a, b int) {})
+}
+
+func badNamed(dst []float64) {
+	parallelFor(len(dst), 1, scaleAll) // want poolleaf scaleAll reaches parallelFor
+}
+
+func leafBody(lo, hi int) {}
+
+func goodNamed(dst []float64) {
+	parallelFor(len(dst), 1, leafBody) // named leaf: fine
+}

@@ -1,0 +1,23 @@
+// Fixture for the walltime analyzer: wall-clock reads and global
+// math/rand in deterministic packages.
+package walltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+func trainStep(seed int64) float64 {
+	start := time.Now()                   // want walltime time.Now
+	_ = time.Since(start)                 // want walltime time.Since
+	_ = time.Until(start)                 // want walltime time.Until
+	jitter := rand.Float64()              // want walltime global rand.Float64
+	rand.Shuffle(3, func(i, j int) {})    // want walltime global rand.Shuffle
+	rng := rand.New(rand.NewSource(seed)) // seeded instance: fine
+	return jitter * rng.Float64()
+}
+
+func zero() time.Time {
+	var t time.Time // type reference alone: fine
+	return t
+}

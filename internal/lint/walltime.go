@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// walltime: no wall-clock reads and no process-global math/rand in the
+// deterministic packages. time.Now/Since/Until values leak into
+// results or control flow and differ per run; the global rand is
+// seeded per process and shared across goroutines. Timing belongs in
+// the serve/dispatch/trace/metrics layers; randomness in run paths
+// must come from a seeded rand.New(rand.NewSource(seed)) instance so a
+// fingerprint pins the whole trajectory. Telemetry-only timing inside
+// a deterministic package can be suppressed with a reason.
+var walltimeAnalyzer = &Analyzer{
+	Name:    "walltime",
+	Doc:     "wall-clock or global math/rand in a deterministic package",
+	Applies: isDeterministicDir,
+	Run:     runWalltime,
+}
+
+// seededRandCtors are the math/rand package-level functions that build
+// deterministic, caller-seeded sources rather than touching the global
+// generator.
+var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// wallClockFuncs are the time package functions that read the clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWalltime(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		timeAlias := importAlias(file.AST, "time")
+		randAlias := importAlias(file.AST, "math/rand")
+		if timeAlias == "" && randAlias == "" {
+			continue
+		}
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel := selectorOn(call.Fun, timeAlias); wallClockFuncs[sel] {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "walltime",
+					Message: fmt.Sprintf("%s.%s in a deterministic package: wall-clock belongs in serve/dispatch/trace/metrics layers",
+						timeAlias, sel),
+				})
+			}
+			if sel := selectorOn(call.Fun, randAlias); sel != "" && !seededRandCtors[sel] {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "walltime",
+					Message: fmt.Sprintf("global %s.%s is process-seeded: use a rand.New(rand.NewSource(seed)) instance so the run stays fingerprint-deterministic",
+						randAlias, sel),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -7,6 +7,10 @@ import "strings"
 // prefix): the help strings become Prometheus # HELP lines, and the
 // hygiene tests fail CI when an undocumented or non-snake_case name
 // shows up on /stats — so the metric surface cannot drift silently.
+// The contract is also enforced statically: the metriccatalog analyzer
+// (internal/lint, `make lint`) resolves every name literal passed to a
+// Registry method against this catalog at lint time, and requires
+// dynamic names to be built from a documented prefix + SanitizeName.
 
 // canonicalNames maps every static metric name to its help text.
 var canonicalNames = map[string]string{

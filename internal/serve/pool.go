@@ -89,6 +89,7 @@ func NewPool(cfg PoolConfig) *Pool {
 	if cfg.Logger == nil {
 		cfg.Logger = trace.NopLogger()
 	}
+	//lint:ignore ctxbg the pool owns the process-lifetime root ctx; Close cuts it
 	base, cut := context.WithCancel(context.Background())
 	p := &Pool{
 		cfg:     cfg,

@@ -152,7 +152,9 @@ func parallelFor(n, grain int, fn func(lo, hi int)) {
 // up inner kernels whose completion that same task is waiting on.
 // Engine-level sharding that runs whole forward passes per shard (e.g.
 // internal/eval) therefore uses its own bounded goroutines and leaves
-// the pool to the kernels.
+// the pool to the kernels. This invariant is machine-checked: the
+// poolleaf analyzer (internal/lint, `make lint`) rejects any func
+// literal passed to parallelFor that reaches parallelFor again.
 
 // rowGrain sizes a row chunk so each task carries roughly targetFlops
 // of work, bounding scheduling overhead on small matrices.
