@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci cover fmt fmt-check lint vet build test test-short test-race test-race-short alloc-guard fuzz-short e2e-dispatch bench bench-json bench-eval bench-dispatch bench-wire serve
+.PHONY: check ci cover fmt fmt-check lint vet build test test-short test-race test-race-short alloc-guard fuzz-short e2e-dispatch loadgen-smoke bench bench-json bench-eval bench-dispatch bench-wire bench-serve serve
 
 check: fmt-check vet lint build test-short
 
@@ -11,7 +11,7 @@ check: fmt-check vet lint build test-short
 # whole-run allocation budget), the wire-codec fuzz smoke, the
 # dispatch e2e suite under -race, and the coverage report with its
 # floor.
-ci: fmt-check vet lint test-short test-race-short alloc-guard fuzz-short e2e-dispatch cover
+ci: fmt-check vet lint test-short test-race-short alloc-guard fuzz-short e2e-dispatch loadgen-smoke cover
 
 # lint runs hadfl-lint, the repo's own analyzer suite (internal/lint):
 # detmap, walltime, poolleaf, metriccatalog, ctxbg — the determinism,
@@ -58,8 +58,16 @@ e2e-dispatch:
 # also run inside test-short; this target is the named gate so a perf
 # regression fails loudly on its own line).
 alloc-guard:
-	$(GO) test -run 'ZeroAlloc' ./internal/nn ./internal/eval
+	$(GO) test -run 'ZeroAlloc' ./internal/nn ./internal/eval ./internal/serve
 	$(GO) test -run 'TestRunAllocationBudget' .
+
+# loadgen-smoke is the serving-layer acceptance gate inside make ci: a
+# ~2s in-process hadfl-loadgen run (self-hosted synthetic server) that
+# fails on any harness-level error or missing request class. The full
+# snapshot is `make bench-serve`.
+loadgen-smoke:
+	$(GO) run ./cmd/hadfl-loadgen -duration 2s -concurrency 16 -corpus 8 \
+		-run-cost 500us -curve-points 8 -fail-on-errors -out /dev/null
 
 fmt: fmt-check
 
@@ -141,6 +149,19 @@ bench-eval:
 	rm BENCH_eval.txt.tmp
 	mv BENCH_eval.json.tmp BENCH_eval.json
 	@echo wrote BENCH_eval.json
+
+# bench-serve snapshots the serving layer's traffic-shaped throughput:
+# hadfl-loadgen drives an in-process synthetic hadfl-serve with the
+# default mixed workload (cache hits, fresh runs, coalescing dups,
+# polls, curves, SSE, cancels) and writes per-class latency percentiles
+# + throughput into BENCH_serve.json; diff it across PRs like the other
+# BENCH files. Point it at a live deployment with
+# `go run ./cmd/hadfl-loadgen -addr http://host:8080`.
+bench-serve:
+	$(GO) run ./cmd/hadfl-loadgen -duration 10s -concurrency 64 \
+		-out BENCH_serve.json.tmp
+	mv BENCH_serve.json.tmp BENCH_serve.json
+	@echo wrote BENCH_serve.json
 
 serve:
 	$(GO) run ./cmd/hadfl-serve -addr :8080

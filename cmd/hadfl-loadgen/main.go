@@ -1,0 +1,680 @@
+// hadfl-loadgen drives a hadfl-serve instance with a configurable mix
+// of concurrent traffic — cache-hit submissions, fresh runs, coalescing
+// duplicates, status polls (with and without ?curve=1), SSE subscribers
+// and client cancels — and records per-class latency percentiles,
+// throughput and error counts as a JSON snapshot (BENCH_serve.json via
+// `make bench-serve`), so serving-layer optimizations are proven
+// against traffic-shaped load instead of micro-benchmarks.
+//
+// With -addr it targets a live external server. Without it (the
+// default) it self-hosts an in-process hadfl-serve on a loopback
+// listener whose runner is synthetic — a fixed result of -curve-points
+// points after -run-cost of simulated compute — so the harness
+// measures the serving hot path (cache, encoding, rate limiting, HTTP)
+// rather than training throughput. Requests still cross a real TCP
+// loopback socket either way.
+//
+// Examples:
+//
+//	hadfl-loadgen -duration 10s -concurrency 64 -out BENCH_serve.json
+//	hadfl-loadgen -addr http://127.0.0.1:8080 -mix hit=50,poll=50
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+	"hadfl/internal/serve"
+)
+
+var errBadFlags = errors.New("invalid command line")
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errBadFlags) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// The driven request classes. POST-shaped classes differ in what the
+// server should do with them: "hit" targets the pre-seeded completed
+// corpus, "fresh" mints a unique seed per request, "dup" clusters
+// requests onto a rotating seed so concurrent duplicates coalesce.
+var classNames = []string{"hit", "fresh", "dup", "poll", "curve", "sse", "cancel"}
+
+const defaultMix = "hit=40,fresh=10,dup=10,poll=20,curve=10,sse=5,cancel=5"
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("hadfl-loadgen", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr        = fs.String("addr", "", "target server base URL (empty = self-host an in-process synthetic server)")
+		duration    = fs.Duration("duration", 10*time.Second, "measured load duration")
+		concurrency = fs.Int("concurrency", 64, "concurrent client workers")
+		mixSpec     = fs.String("mix", defaultMix, "request-class weights, name=weight comma-separated ("+strings.Join(classNames, "|")+")")
+		seed        = fs.Int64("seed", 1, "base seed for the traffic generators")
+		corpus      = fs.Int("corpus", 16, "distinct pre-completed jobs backing the hit/poll/curve/sse classes")
+		outPath     = fs.String("out", "-", "snapshot destination (- = stdout)")
+		note        = fs.String("note", "serve-layer load snapshot; regenerate with `make bench-serve`", "note field recorded in the snapshot")
+		runCost     = fs.Duration("run-cost", 2*time.Millisecond, "self-hosted synthetic runner's simulated compute per fresh run")
+		curvePoints = fs.Int("curve-points", 32, "self-hosted synthetic runner's curve length (round events per run)")
+		srvWorkers  = fs.Int("serve-workers", 0, "self-hosted pool workers (0 = GOMAXPROCS)")
+		srvQueue    = fs.Int("serve-queue", 256, "self-hosted pool queue depth")
+		cacheMax    = fs.Int("cache-max", 1024, "self-hosted cache bound (LRU past it)")
+		failOnErrs  = fs.Bool("fail-on-errors", false, "exit non-zero if any request class recorded harness-level errors (the CI smoke gate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errBadFlags
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(errOut, "hadfl-loadgen: %v\n", err)
+		return errBadFlags
+	}
+	if *concurrency < 1 || *corpus < 1 || *duration <= 0 {
+		fmt.Fprintln(errOut, "hadfl-loadgen: -concurrency, -corpus and -duration must be positive")
+		return errBadFlags
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	target := *addr
+	if target != "" && !strings.Contains(target, "://") {
+		// Accept the host:port form hadfl-serve's own -addr uses.
+		target = "http://" + target
+	}
+	targetLabel := target
+	if target == "" {
+		base, shutdown, err := selfHost(selfHostConfig{
+			workers: *srvWorkers, queue: *srvQueue, cacheMax: *cacheMax,
+			runCost: *runCost, curvePoints: *curvePoints,
+		})
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		target = base
+		targetLabel = "self-hosted synthetic server"
+	}
+	target = strings.TrimRight(target, "/")
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	g := &loadgen{
+		client:  client,
+		target:  target,
+		mix:     mix,
+		seed:    *seed,
+		nCorpus: *corpus,
+	}
+	fmt.Fprintf(errOut, "hadfl-loadgen: seeding %d-job corpus on %s\n", *corpus, targetLabel)
+	if err := g.seedCorpus(ctx); err != nil {
+		return fmt.Errorf("hadfl-loadgen: corpus seeding: %w", err)
+	}
+	fmt.Fprintf(errOut, "hadfl-loadgen: driving %s of load (%d workers, mix %s)\n", *duration, *concurrency, *mixSpec)
+	snap := g.drive(ctx, *duration, *concurrency)
+	snap.Note = *note
+	snap.Target = targetLabel
+	snap.Mix = mix
+	g.attachServerCounters(ctx, &snap)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "hadfl-loadgen: wrote %s (%d requests, %.1f req/s)\n", *outPath, snap.TotalRequests, snap.ThroughputRPS)
+	}
+	if *failOnErrs && snap.ErrorsTotal > 0 {
+		return fmt.Errorf("hadfl-loadgen: %d harness-level errors recorded", snap.ErrorsTotal)
+	}
+	return nil
+}
+
+// parseMix parses "hit=40,poll=20,..." into weights; unknown class
+// names and non-positive totals are rejected.
+func parseMix(spec string) (map[string]int, error) {
+	known := map[string]bool{}
+	for _, n := range classNames {
+		known[n] = true
+	}
+	mix := map[string]int{}
+	total := 0
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok || !known[name] {
+			return nil, fmt.Errorf("bad mix entry %q (classes: %s)", kv, strings.Join(classNames, ", "))
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", kv)
+		}
+		mix[name] = w
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("mix %q has no positive weights", spec)
+	}
+	return mix, nil
+}
+
+// selfHostConfig sizes the in-process server backing the default mode.
+type selfHostConfig struct {
+	workers, queue, cacheMax int
+	runCost                  time.Duration
+	curvePoints              int
+}
+
+// selfHost starts an in-process hadfl-serve with a synthetic runner on
+// a loopback listener and returns its base URL plus a shutdown hook.
+// Rate limiting is disabled: the harness measures the hot path, not the
+// limiter's configured ceiling (drive an external server to see 429s).
+func selfHost(cfg selfHostConfig) (base string, shutdown func(), err error) {
+	srv, err := serve.New(serve.Config{
+		Workers:         cfg.workers,
+		QueueDepth:      cfg.queue,
+		CacheMaxEntries: cfg.cacheMax,
+		JobTimeout:      time.Minute,
+		Runner:          syntheticRunner(cfg.runCost, cfg.curvePoints),
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		closeCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Close(closeCtx)
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	shutdown = func() {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Close(closeCtx)
+		_ = httpSrv.Shutdown(closeCtx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// syntheticRunner returns a serve.Runner that spends cost of wall time,
+// reports points round updates and returns a fixed-shape result — the
+// serving layer's traffic shape without training compute underneath.
+func syntheticRunner(cost time.Duration, points int) serve.Runner {
+	return func(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+		if cost > 0 {
+			select {
+			case <-time.After(cost):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		series := &metrics.Series{Name: scheme}
+		for i := 1; i <= points; i++ {
+			p := metrics.Point{
+				Epoch:    float64(i),
+				Time:     float64(i) * 12.5,
+				Loss:     2.0 / float64(i),
+				Accuracy: 1 - 0.5/float64(i),
+			}
+			series.Add(p)
+			if onRound != nil {
+				onRound(hadfl.RoundUpdate{Scheme: scheme, Round: i, Time: p.Time, Loss: p.Loss, Accuracy: p.Accuracy})
+			}
+		}
+		return &hadfl.Result{
+			Scheme:   scheme,
+			Accuracy: 1 - 0.5/float64(max(points, 1)),
+			Time:     float64(points) * 12.5,
+			Rounds:   points,
+			Series:   series,
+		}, nil
+	}
+}
+
+// loadgen holds the shared driving state.
+type loadgen struct {
+	client  *http.Client
+	target  string
+	mix     map[string]int
+	seed    int64
+	nCorpus int
+
+	corpusBodies []string // completed jobs, the hit/poll targets
+	corpusIDs    []string
+
+	freshSeq  atomic.Int64 // unique seeds for the fresh class
+	cancelSeq atomic.Int64 // unique seeds for the cancel class
+	dupSeq    atomic.Int64 // clustered seeds for the dup class
+}
+
+// dupWindow is how many consecutive dup-class requests share one seed:
+// the first is a miss that starts the run, the rest coalesce onto it
+// (or hit, once it completes).
+const dupWindow = 8
+
+func runBody(seed int64) string {
+	return fmt.Sprintf(`{"scheme":"hadfl","options":{"powers":[2,1],"targetEpochs":1,"seed":%d}}`, seed)
+}
+
+// seedCorpus submits the corpus jobs and polls until every one is done,
+// so the hit/poll/curve/sse classes exercise the completed-result path
+// from the first measured request.
+func (g *loadgen) seedCorpus(ctx context.Context) error {
+	for i := 0; i < g.nCorpus; i++ {
+		body := runBody(9_000_000 + g.seed*1000 + int64(i))
+		st, _, err := g.post(ctx, body)
+		if err != nil {
+			return err
+		}
+		if st.ID == "" {
+			return fmt.Errorf("corpus submission %d returned no job id", i)
+		}
+		g.corpusBodies = append(g.corpusBodies, body)
+		g.corpusIDs = append(g.corpusIDs, st.ID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range g.corpusIDs {
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("corpus job %s did not finish in time", id)
+			}
+			st, code, err := g.get(ctx, "/runs/"+id)
+			if err != nil {
+				return err
+			}
+			if code != http.StatusOK {
+				return fmt.Errorf("corpus poll %s = HTTP %d", id, code)
+			}
+			if st.State == "done" {
+				break
+			}
+			if st.State == "failed" || st.State == "canceled" {
+				return fmt.Errorf("corpus job %s reached %s: %s", id, st.State, st.Error)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	return nil
+}
+
+// wireStatus is the slice of serve.JobStatus the harness reads.
+type wireStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Cache string `json:"cache"`
+	Error string `json:"error"`
+}
+
+func (g *loadgen) post(ctx context.Context, body string) (wireStatus, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.target+"/runs", strings.NewReader(body))
+	if err != nil {
+		return wireStatus{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return g.do(req)
+}
+
+func (g *loadgen) get(ctx context.Context, path string) (wireStatus, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.target+path, nil)
+	if err != nil {
+		return wireStatus{}, 0, err
+	}
+	return g.do(req)
+}
+
+func (g *loadgen) do(req *http.Request) (wireStatus, int, error) {
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return wireStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	var st wireStatus
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return wireStatus{}, resp.StatusCode, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return st, resp.StatusCode, nil
+}
+
+// classResult is one measured request: its driven class, latency, and
+// outcome. disposition carries the server-reported cache field for
+// POST-shaped classes.
+type classResult struct {
+	class       string
+	seconds     float64
+	err         bool
+	rateLimited bool
+	queueFull   bool
+	disposition string
+}
+
+// drive runs the measured load phase and aggregates the snapshot.
+func (g *loadgen) drive(ctx context.Context, duration time.Duration, concurrency int) Snapshot {
+	picks := make([]string, 0, len(classNames))
+	weights := make([]int, 0, len(classNames))
+	total := 0
+	for _, n := range classNames { // fixed order → deterministic thresholds
+		if w := g.mix[n]; w > 0 {
+			picks = append(picks, n)
+			weights = append(weights, w)
+			total += w
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+	results := make([][]classResult, concurrency)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(g.seed + int64(w)*7919))
+			var local []classResult
+			for runCtx.Err() == nil {
+				r := rng.Intn(total)
+				class := picks[len(picks)-1]
+				for i, wt := range weights {
+					if r < wt {
+						class = picks[i]
+						break
+					}
+					r -= wt
+				}
+				res := g.one(runCtx, rng, class)
+				if runCtx.Err() != nil {
+					break // deadline hit mid-request; don't count the abort
+				}
+				local = append(local, res...)
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+
+	merged := map[string][]float64{}
+	errs := map[string]int{}
+	counts := map[string]int{}
+	dispositions := map[string]int{}
+	rateLimited, queueFull := 0, 0
+	for _, local := range results {
+		for _, r := range local {
+			counts[r.class]++
+			if r.err {
+				errs[r.class]++
+				continue
+			}
+			if r.rateLimited {
+				rateLimited++
+				continue
+			}
+			if r.queueFull {
+				queueFull++
+				continue
+			}
+			merged[r.class] = append(merged[r.class], r.seconds)
+			if r.disposition != "" {
+				dispositions[r.disposition]++
+			}
+		}
+	}
+
+	snap := Snapshot{
+		HostCPUs:     runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		DurationSec:  elapsed,
+		Concurrency:  concurrency,
+		Dispositions: dispositions,
+		RateLimited:  rateLimited,
+		QueueFull:    queueFull,
+	}
+	for _, name := range classNames {
+		n := counts[name]
+		if n == 0 {
+			continue
+		}
+		cs := ClassStats{Name: name, Count: n, Errors: errs[name]}
+		if samples := merged[name]; len(samples) > 0 {
+			sort.Float64s(samples)
+			cs.P50Ms = 1000 * quantile(samples, 0.50)
+			cs.P95Ms = 1000 * quantile(samples, 0.95)
+			cs.P99Ms = 1000 * quantile(samples, 0.99)
+			cs.MaxMs = 1000 * samples[len(samples)-1]
+			sum := 0.0
+			for _, s := range samples {
+				sum += s
+			}
+			cs.MeanMs = 1000 * sum / float64(len(samples))
+		}
+		cs.RPS = float64(n) / elapsed
+		snap.TotalRequests += n
+		snap.ErrorsTotal += cs.Errors
+		snap.Classes = append(snap.Classes, cs)
+	}
+	snap.ThroughputRPS = float64(snap.TotalRequests) / elapsed
+	return snap
+}
+
+// one issues the requests for a single pick of class and returns the
+// measured results (the cancel class measures two: its POST and its
+// DELETE).
+func (g *loadgen) one(ctx context.Context, rng *rand.Rand, class string) []classResult {
+	measure := func(class string, f func() (wireStatus, int, error)) (classResult, wireStatus) {
+		t0 := time.Now()
+		st, code, err := f()
+		res := classResult{class: class, seconds: time.Since(t0).Seconds()}
+		switch {
+		case err != nil:
+			res.err = true
+		case code == http.StatusTooManyRequests:
+			res.rateLimited = true
+		case code == http.StatusServiceUnavailable:
+			res.queueFull = true // backpressure, not a harness failure
+		case code >= 300:
+			res.err = true
+		default:
+			res.disposition = st.Cache
+		}
+		return res, st
+	}
+	switch class {
+	case "hit":
+		body := g.corpusBodies[rng.Intn(len(g.corpusBodies))]
+		res, _ := measure(class, func() (wireStatus, int, error) { return g.post(ctx, body) })
+		return []classResult{res}
+	case "fresh":
+		body := runBody(100_000 + g.freshSeq.Add(1))
+		res, _ := measure(class, func() (wireStatus, int, error) { return g.post(ctx, body) })
+		return []classResult{res}
+	case "dup":
+		body := runBody(200_000 + g.dupSeq.Add(1)/dupWindow)
+		res, _ := measure(class, func() (wireStatus, int, error) { return g.post(ctx, body) })
+		return []classResult{res}
+	case "poll":
+		id := g.corpusIDs[rng.Intn(len(g.corpusIDs))]
+		res, _ := measure(class, func() (wireStatus, int, error) { return g.get(ctx, "/runs/"+id) })
+		return []classResult{res}
+	case "curve":
+		id := g.corpusIDs[rng.Intn(len(g.corpusIDs))]
+		res, _ := measure(class, func() (wireStatus, int, error) { return g.get(ctx, "/runs/"+id+"?curve=1") })
+		return []classResult{res}
+	case "sse":
+		id := g.corpusIDs[rng.Intn(len(g.corpusIDs))]
+		t0 := time.Now()
+		err := g.readSSE(ctx, id)
+		return []classResult{{class: class, seconds: time.Since(t0).Seconds(), err: err != nil}}
+	case "cancel":
+		body := runBody(500_000 + g.cancelSeq.Add(1))
+		postRes, st := measure("fresh", func() (wireStatus, int, error) { return g.post(ctx, body) })
+		if postRes.err || postRes.rateLimited || st.ID == "" {
+			return []classResult{postRes}
+		}
+		delRes, _ := measure(class, func() (wireStatus, int, error) { return g.del(ctx, "/runs/"+st.ID) })
+		return []classResult{postRes, delRes}
+	}
+	return nil
+}
+
+func (g *loadgen) del(ctx context.Context, path string) (wireStatus, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, g.target+path, nil)
+	if err != nil {
+		return wireStatus{}, 0, err
+	}
+	return g.do(req)
+}
+
+// readSSE consumes a job's full event stream; completed jobs replay
+// their history and close, so the measured latency is replay + close.
+func (g *loadgen) readSSE(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.target+"/runs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("sse: HTTP %d", resp.StatusCode)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// attachServerCounters best-effort embeds a few serve-side counters
+// from GET /stats so the snapshot can be sanity-checked against the
+// server's own view of the traffic (cache hits vs misses, completions).
+func (g *loadgen) attachServerCounters(ctx context.Context, snap *Snapshot) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.target+"/stats", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return
+	}
+	snap.ServerCounters = map[string]int64{}
+	for _, name := range []string{
+		"cache_hits_total", "cache_misses_total", "runs_completed_total",
+		"runs_canceled_total", "rate_limited_total", "queue_rejections_total",
+		"cancels_requested_total", "sse_streams_total", "http_response_bytes_total",
+	} {
+		if v, ok := stats.Metrics.Counters[name]; ok {
+			snap.ServerCounters[name] = v
+		}
+	}
+}
+
+// quantile returns the nearest-rank q-quantile of sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// ClassStats is one request class's aggregate in the snapshot.
+type ClassStats struct {
+	Name   string  `json:"name"`
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	RPS    float64 `json:"rps"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Snapshot is the emitted BENCH_serve.json document. HostCPUs records
+// the snapshotting host's logical core count, like the other BENCH
+// files, so later diffs know what hardware the numbers came from.
+type Snapshot struct {
+	Note           string           `json:"note"`
+	Target         string           `json:"target"`
+	HostCPUs       int              `json:"host_cpus"`
+	GoMaxProcs     int              `json:"go_max_procs"`
+	DurationSec    float64          `json:"duration_sec"`
+	Concurrency    int              `json:"concurrency"`
+	Mix            map[string]int   `json:"mix"`
+	TotalRequests  int              `json:"total_requests"`
+	ErrorsTotal    int              `json:"errors_total"`
+	RateLimited    int              `json:"rate_limited"`
+	QueueFull      int              `json:"queue_full"`
+	ThroughputRPS  float64          `json:"throughput_rps"`
+	Dispositions   map[string]int   `json:"dispositions"`
+	Classes        []ClassStats     `json:"classes"`
+	ServerCounters map[string]int64 `json:"server_counters,omitempty"`
+}

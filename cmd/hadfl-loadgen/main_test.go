@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadgenSmoke drives the self-hosted synthetic server for about a
+// second at smoke scale and checks the emitted snapshot is coherent:
+// every driven class appears, latencies are populated, the server-side
+// counters rode along, and no class saw harness-level errors.
+func TestLoadgenSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var stderr bytes.Buffer
+	err := run([]string{
+		"-duration", "1s",
+		"-concurrency", "8",
+		"-corpus", "4",
+		"-run-cost", "500us",
+		"-curve-points", "4",
+		"-out", out,
+	}, os.Stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if snap.HostCPUs <= 0 {
+		t.Errorf("host_cpus = %d, want > 0", snap.HostCPUs)
+	}
+	if snap.TotalRequests <= 0 || snap.ThroughputRPS <= 0 {
+		t.Errorf("no traffic recorded: total=%d rps=%.1f", snap.TotalRequests, snap.ThroughputRPS)
+	}
+	got := map[string]ClassStats{}
+	for _, c := range snap.Classes {
+		got[c.Name] = c
+	}
+	for _, name := range classNames {
+		c, ok := got[name]
+		if !ok {
+			t.Errorf("class %q missing from snapshot", name)
+			continue
+		}
+		if c.Count <= 0 {
+			t.Errorf("class %q recorded no requests", name)
+		}
+		if c.Errors > 0 {
+			t.Errorf("class %q saw %d errors", name, c.Errors)
+		}
+		if c.P50Ms <= 0 || c.P99Ms < c.P50Ms {
+			t.Errorf("class %q has incoherent percentiles: p50=%v p99=%v", name, c.P50Ms, c.P99Ms)
+		}
+	}
+	if snap.Dispositions["hit"] <= 0 {
+		t.Errorf("no cache-hit dispositions observed: %v", snap.Dispositions)
+	}
+	if len(snap.ServerCounters) == 0 {
+		t.Error("server counters missing from snapshot")
+	}
+	if snap.ServerCounters["cache_hits_total"] <= 0 {
+		t.Errorf("server reported no cache hits: %v", snap.ServerCounters)
+	}
+}
+
+// TestParseMix pins the mix grammar: valid specs round-trip, unknown
+// classes and empty totals are rejected.
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("hit=3, poll=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["hit"] != 3 || mix["poll"] != 1 {
+		t.Errorf("parseMix = %v", mix)
+	}
+	if _, err := parseMix(defaultMix); err != nil {
+		t.Errorf("default mix rejected: %v", err)
+	}
+	for _, bad := range []string{"", "bogus=1", "hit", "hit=-1", "hit=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestBadFlags pins the CLI contract: unparsable flags and bad values
+// return errBadFlags (exit 2) with a diagnostic, not a crash.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mix", "bogus=1"},
+		{"-concurrency", "0"},
+		{"-duration", "-1s"},
+		{"-nope"},
+	} {
+		var stderr bytes.Buffer
+		err := run(args, os.Stdout, &stderr)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want errBadFlags", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "invalid command line") {
+			t.Errorf("run(%v) = %v, want errBadFlags", args, err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRegistryInc measures counter increments under parallel
+// load — the hottest registry call on the serving path (several per
+// HTTP request).
+func BenchmarkRegistryInc(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Inc("cache_hits_total")
+		}
+	})
+}
+
+// BenchmarkRegistryObserve measures histogram observations under
+// parallel load (request-latency histograms observe once per request).
+func BenchmarkRegistryObserve(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int
+		for pb.Next() {
+			r.Observe("cache_lookup_seconds", float64(i%1000)*1e-6)
+			i++
+		}
+	})
+}
+
+// BenchmarkRegistryMixed interleaves the counter/gauge/histogram calls
+// one served request makes, under parallel load.
+func BenchmarkRegistryMixed(b *testing.B) {
+	r := NewRegistry()
+	t0 := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Inc("cache_hits_total")
+			r.Add("http_response_bytes_total", 512)
+			r.SetGauge("queue_depth", 3)
+			r.ObserveSince("cache_lookup_seconds", t0)
+		}
+	})
+}

@@ -1,6 +1,10 @@
 package metrics
 
-import "sort"
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
 
 // Fixed-bucket histograms. Buckets are log-scale (1–2.5–5 decades for
 // latencies, powers of four for byte sizes) because the quantities the
@@ -31,27 +35,35 @@ var ByteBuckets = []float64{
 }
 
 // histogram is the internal fixed-bucket accumulator. counts has one
-// slot per finite bound plus the +Inf overflow slot; Registry's mutex
-// serializes access, matching the counter/gauge maps.
+// slot per finite bound plus the +Inf overflow slot. Every field is
+// atomic — an observation is one bucket increment, one count increment
+// and a CAS-accumulated sum, so concurrent observers never serialize
+// on a lock (the registry's request-latency histograms observe on
+// every served request).
 type histogram struct {
-	bounds []float64 // strictly increasing finite upper bounds
-	counts []int64   // len(bounds)+1; last is the +Inf bucket
-	count  int64
-	sum    float64
+	bounds []float64      // strictly increasing finite upper bounds; immutable
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
 }
 
 func newHistogram(bounds []float64) *histogram {
 	return &histogram{
 		bounds: bounds,
-		counts: make([]int64, len(bounds)+1),
+		counts: make([]atomic.Int64, len(bounds)+1),
 	}
 }
 
 func (h *histogram) observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
-	h.counts[i]++
-	h.count++
-	h.sum += v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
 }
 
 // HistogramSnapshot is a histogram's point-in-time copy as exposed on
@@ -68,11 +80,15 @@ type HistogramSnapshot struct {
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
 	s := HistogramSnapshot{
-		Count:  h.count,
-		Sum:    h.sum,
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
 		Bounds: append([]float64(nil), h.bounds...),
-		Counts: append([]int64(nil), h.counts...),
+		Counts: counts,
 	}
 	s.P50 = s.Quantile(0.50)
 	s.P95 = s.Quantile(0.95)

@@ -44,8 +44,10 @@ var canonicalNames = map[string]string{
 	"store_rehydrated":          "results rehydrated into the cache at boot",
 
 	// serve HTTP surface
-	"rate_limited_total": "POST /runs rejections by the token bucket",
-	"sse_streams_total":  "SSE event-stream connections opened",
+	"rate_limited_total":        "POST /runs rejections by the token bucket",
+	"sse_streams_total":         "SSE event-stream connections opened",
+	"cancels_requested_total":   "DELETE /runs/{id} cancellations accepted",
+	"http_response_bytes_total": "response body bytes written across all HTTP endpoints",
 
 	// process runtime (set at scrape/stats time)
 	"process_uptime_seconds": "seconds since the process started",
@@ -95,8 +97,9 @@ var canonicalNames = map[string]string{
 // suffix must itself be snake_case (SanitizeName enforces that at the
 // registration site).
 var canonicalPrefixes = map[string]string{
-	"runs_scheme_":         "jobs started per scheme (suffix: sanitized scheme name)",
-	"dispatch_wire_codec_": "dispatched results decoded per wire codec (suffix: sanitized codec name)",
+	"runs_scheme_":          "jobs started per scheme (suffix: sanitized scheme name)",
+	"dispatch_wire_codec_":  "dispatched results decoded per wire codec (suffix: sanitized codec name)",
+	"http_request_seconds_": "histogram: request latency per HTTP endpoint (suffix: sanitized method+route)",
 }
 
 // Help returns the documented help text for a metric name, resolving

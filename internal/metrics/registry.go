@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,20 +13,31 @@ import (
 // and latency distributions, and exposes a Snapshot at GET /stats (and
 // Prometheus text at GET /metrics); any long-lived component can hang
 // its operational telemetry here.
+//
+// Internally each metric is an atomic cell reached through a sync.Map,
+// so concurrent updates to different metrics never contend and updates
+// to the same metric contend only on that metric's cell — every served
+// request touches the registry several times, which made a global
+// mutex here the serving path's hidden serialization point. The metric
+// name set is small and stabilizes immediately (the canonical catalog
+// in names.go), which is exactly the read-mostly shape sync.Map is
+// built for: after the first touch every operation is a lock-free load
+// plus one atomic RMW.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]int64
-	gauges   map[string]float64
-	hists    map[string]*histogram
+	counters sync.Map // name → *atomic.Int64
+	gauges   sync.Map // name → *atomic.Uint64 (float64 bits)
+	hists    sync.Map // name → *histogram
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{
-		counters: make(map[string]int64),
-		gauges:   make(map[string]float64),
-		hists:    make(map[string]*histogram),
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) counter(name string) *atomic.Int64 {
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*atomic.Int64)
 	}
+	c, _ := r.counters.LoadOrStore(name, new(atomic.Int64))
+	return c.(*atomic.Int64)
 }
 
 // Inc adds 1 to the named counter, creating it at zero first.
@@ -32,38 +45,48 @@ func (r *Registry) Inc(name string) { r.Add(name, 1) }
 
 // Add adds delta to the named counter, creating it at zero first.
 func (r *Registry) Add(name string, delta int64) {
-	r.mu.Lock()
-	r.counters[name] += delta
-	r.mu.Unlock()
+	r.counter(name).Add(delta)
 }
 
 // Counter returns the current value of the named counter (0 if never
 // touched).
 func (r *Registry) Counter(name string) int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counters[name]
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+func (r *Registry) gauge(name string) *atomic.Uint64 {
+	if g, ok := r.gauges.Load(name); ok {
+		return g.(*atomic.Uint64)
+	}
+	g, _ := r.gauges.LoadOrStore(name, new(atomic.Uint64))
+	return g.(*atomic.Uint64)
 }
 
 // SetGauge sets the named gauge to v.
 func (r *Registry) SetGauge(name string, v float64) {
-	r.mu.Lock()
-	r.gauges[name] = v
-	r.mu.Unlock()
+	r.gauge(name).Store(math.Float64bits(v))
 }
 
 // AddGauge adds delta to the named gauge, creating it at zero first.
 func (r *Registry) AddGauge(name string, delta float64) {
-	r.mu.Lock()
-	r.gauges[name] += delta
-	r.mu.Unlock()
+	g := r.gauge(name)
+	for {
+		old := g.Load()
+		if g.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
 }
 
 // Gauge returns the current value of the named gauge (0 if never set).
 func (r *Registry) Gauge(name string) float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.gauges[name]
+	if g, ok := r.gauges.Load(name); ok {
+		return math.Float64frombits(g.(*atomic.Uint64).Load())
+	}
+	return 0
 }
 
 // Observe records v into the named duration histogram (log-scale
@@ -87,26 +110,21 @@ func (r *Registry) ObserveBytes(name string, v float64) {
 }
 
 func (r *Registry) observe(name string, bounds []float64, v float64) {
-	r.mu.Lock()
-	h := r.hists[name]
-	if h == nil {
-		h = newHistogram(bounds)
-		r.hists[name] = h
+	h, ok := r.hists.Load(name)
+	if !ok {
+		h, _ = r.hists.LoadOrStore(name, newHistogram(bounds))
 	}
-	h.observe(v)
-	r.mu.Unlock()
+	h.(*histogram).observe(v)
 }
 
 // Histogram returns the named histogram's snapshot; ok is false if it
 // was never observed.
 func (r *Registry) Histogram(name string) (HistogramSnapshot, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	h, ok := r.hists.Load(name)
 	if !ok {
 		return HistogramSnapshot{}, false
 	}
-	return h.snapshot(), true
+	return h.(*histogram).snapshot(), true
 }
 
 // Snapshot is a point-in-time copy of a registry's contents.
@@ -117,23 +135,26 @@ type Snapshot struct {
 }
 
 // Snapshot copies the registry. The maps in the result are owned by
-// the caller.
+// the caller. Each cell is read atomically; cells updated while the
+// snapshot walks are individually consistent but not mutually so —
+// the usual monitoring-scrape contract.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	s := Snapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]float64, len(r.gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
 	}
-	for k, v := range r.counters {
-		s.Counters[k] = v
-	}
-	for k, v := range r.gauges {
-		s.Gauges[k] = v
-	}
-	for k, h := range r.hists {
-		s.Histograms[k] = h.snapshot()
-	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = math.Float64frombits(v.(*atomic.Uint64).Load())
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		s.Histograms[k.(string)] = v.(*histogram).snapshot()
+		return true
+	})
 	return s
 }

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+)
+
+// benchServer builds a server with nDone completed jobs in its cache
+// and returns it plus their IDs. The runner is instantaneous so the
+// benchmarks measure the serving layer, not compute.
+func benchServer(b *testing.B, nDone int) (*Server, []string) {
+	b.Helper()
+	srv, err := New(Config{
+		Workers:    4,
+		QueueDepth: 64,
+		JobTimeout: time.Minute,
+		Runner: func(_ context.Context, scheme string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			series := &metrics.Series{Name: scheme}
+			for i := 1; i <= 16; i++ {
+				series.Add(metrics.Point{Epoch: float64(i), Time: float64(i), Loss: 1 / float64(i), Accuracy: 1 - 1/float64(i)})
+			}
+			return &hadfl.Result{Scheme: scheme, Accuracy: 0.9, Time: 100, Rounds: 16, Series: series}, nil
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	})
+	ids := make([]string, 0, nDone)
+	for i := 0; i < nDone; i++ {
+		job, _, err := srv.Submit(hadfl.SchemeHADFL, hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 1, Seed: int64(1000 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(10 * time.Second):
+			b.Fatalf("job %d did not finish", i)
+		}
+		ids = append(ids, job.ID)
+	}
+	return srv, ids
+}
+
+// BenchmarkStatusGet measures steady-state GET /runs/{id} for a
+// completed job — the poll hot path the pre-encoded response bytes
+// serve.
+func BenchmarkStatusGet(b *testing.B) {
+	srv, ids := benchServer(b, 1)
+	h := srv.Handler()
+	path := "/runs/" + ids[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("HTTP %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkStatusGetCurve is the same poll with the full curve riding
+// along (?curve=1) — the second pre-encoded variant.
+func BenchmarkStatusGetCurve(b *testing.B) {
+	srv, ids := benchServer(b, 1)
+	h := srv.Handler()
+	path := "/runs/" + ids[0] + "?curve=1"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("HTTP %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkCachedSubmit measures POST /runs resolving to a completed
+// cached result — the cache-hit submission hot path.
+func BenchmarkCachedSubmit(b *testing.B) {
+	srv, _ := benchServer(b, 1)
+	h := srv.Handler()
+	body := `{"scheme":"hadfl","options":{"powers":[2,1],"targetEpochs":1,"seed":1000}}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/runs", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkStatusGetParallel is the poll path under GOMAXPROCS-way
+// concurrency — the contention profile the sharded cache and atomic
+// registry target.
+func BenchmarkStatusGetParallel(b *testing.B) {
+	srv, ids := benchServer(b, 16)
+	h := srv.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodGet, "/runs/"+ids[i%len(ids)], nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("HTTP %d", rec.Code)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCacheGetOrCreate measures the raw result-cache lookup under
+// parallel load: all hits, the common steady state.
+func BenchmarkCacheGetOrCreate(b *testing.B) {
+	reg := metrics.NewRegistry()
+	c := NewBoundedCache(reg, 1024)
+	const nJobs = 256
+	fps := make([]string, nJobs)
+	for i := range fps {
+		fps[i] = fmt.Sprintf("%064x", i)
+		j, existing := c.GetOrCreate(fps[i], func() *Job { return newJob(fps[i], "bench", hadfl.Options{}) })
+		if existing {
+			b.Fatal("expected create")
+		}
+		j.finish(&hadfl.Result{Scheme: "bench"}, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int
+		for pb.Next() {
+			if _, existing := c.GetOrCreate(fps[i%nJobs], func() *Job { b.Fatal("unexpected create"); return nil }); !existing {
+				b.Fatal("unexpected create")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkTokenBucketAllow measures the limiter's admission check
+// under parallel load, rate high enough that every call admits.
+func BenchmarkTokenBucketAllow(b *testing.B) {
+	tb := NewTokenBucket(1e9, 1<<30)
+	var denied atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !tb.Allow() {
+				denied.Add(1)
+			}
+		}
+	})
+	if denied.Load() > 0 {
+		b.Fatalf("%d denials at effectively unlimited rate", denied.Load())
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hadfl/internal/metrics"
@@ -20,17 +21,58 @@ import (
 // jobs are never evicted, since subscribers and the pool still hold
 // them, so the cache may transiently exceed the cap while more than
 // maxEntries runs are in flight.
+//
+// The table is sharded by a hash of the fingerprint so concurrent
+// submissions and polls contend per shard instead of on one global
+// mutex (every request crosses the cache, making it the serving
+// layer's hottest lock). Bounded caches shard only when the cap leaves
+// each shard a meaningful LRU window (cap/8, up to 16 shards); small
+// caps keep one shard and therefore exact global LRU order. Sharded
+// LRU is per shard — an approximation of global LRU that can evict an
+// entry up to a shard's width earlier than strict recency order would.
 type Cache struct {
-	mu         sync.Mutex
-	jobs       map[string]*list.Element // value: *cacheEntry
-	lru        *list.List               // front = most recently used
-	maxEntries int
-	reg        *metrics.Registry
+	shards []cacheShard
+	total  atomic.Int64 // entries across all shards
+	reg    *metrics.Registry
+}
+
+// cacheShard is one lock's worth of the table; cap 0 = unbounded.
+type cacheShard struct {
+	mu   sync.Mutex
+	jobs map[string]*list.Element // value: *cacheEntry
+	lru  *list.List               // front = most recently used
+	cap  int
+	_    [32]byte // pad toward a cache line to curb false sharing
 }
 
 type cacheEntry struct {
 	id  string
 	job *Job
+}
+
+// maxCacheShards bounds the shard fan-out; past ~16 ways the mutexes
+// stop being the bottleneck and the per-shard LRU approximation keeps
+// degrading.
+const maxCacheShards = 16
+
+// cacheShardCount picks the shard fan-out for a cap: unbounded caches
+// take the full fan-out, bounded caches only as many shards as leave
+// each one an LRU window of at least 8 entries (so small caps — the
+// eviction-semantics tests and tiny deployments — keep one shard and
+// exact global LRU). The result is rounded down to a power of two.
+func cacheShardCount(maxEntries int) int {
+	n := maxCacheShards
+	if maxEntries > 0 && maxEntries/8 < n {
+		n = maxEntries / 8
+	}
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
 }
 
 // NewCache returns an unbounded cache reporting hit/miss counters to
@@ -45,12 +87,49 @@ func NewBoundedCache(reg *metrics.Registry, maxEntries int) *Cache {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Cache{
-		jobs:       make(map[string]*list.Element),
-		lru:        list.New(),
-		maxEntries: maxEntries,
-		reg:        reg,
+	n := cacheShardCount(maxEntries)
+	c := &Cache{shards: make([]cacheShard, n), reg: reg}
+	base, rem := 0, 0
+	if maxEntries > 0 {
+		base, rem = maxEntries/n, maxEntries%n
 	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.jobs = make(map[string]*list.Element)
+		s.lru = list.New()
+		if maxEntries > 0 {
+			s.cap = base
+			if i < rem {
+				s.cap++
+			}
+		}
+	}
+	return c
+}
+
+// shard maps a fingerprint to its shard by FNV-1a over the id's last
+// 16 bytes: ids are uniformly distributed hex digests, so a 16-byte
+// slice carries all the entropy the shard index needs and the hash
+// stays off the lookup path's profile. (The tail rather than the head,
+// so zero-padded numeric ids in tests still spread.)
+func (c *Cache) shard(id string) *cacheShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	start := 0
+	if len(id) > 16 {
+		start = len(id) - 16
+	}
+	h := uint64(offset64)
+	for i := start; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &c.shards[h&uint64(len(c.shards)-1)]
 }
 
 // GetOrCreate returns the job for id, creating it with mk on a miss.
@@ -59,30 +138,32 @@ func NewBoundedCache(reg *metrics.Registry, maxEntries int) *Cache {
 // job is replaced (the retry path), counted as a miss.
 func (c *Cache) GetOrCreate(id string, mk func() *Job) (j *Job, existing bool) {
 	defer c.observeLookup(time.Now())
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.jobs[id]; ok {
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.jobs[id]; ok {
 		j := el.Value.(*cacheEntry).job
-		if s := j.State(); !s.Terminal() || s == StateDone {
-			c.lru.MoveToFront(el)
+		if st := j.State(); !st.Terminal() || st == StateDone {
+			s.lru.MoveToFront(el)
 			c.reg.Inc("cache_hits_total")
 			return j, true
 		}
 		// Terminal failure: evict so the retry reruns.
-		c.removeLocked(el, "cache_evictions_total")
+		c.removeLocked(s, el, "cache_evictions_total")
 	}
 	c.reg.Inc("cache_misses_total")
 	j = mk()
-	c.jobs[id] = c.lru.PushFront(&cacheEntry{id: id, job: j})
-	c.evictOverCapLocked()
-	c.reg.SetGauge("cache_jobs", float64(len(c.jobs)))
+	s.jobs[id] = s.lru.PushFront(&cacheEntry{id: id, job: j})
+	c.total.Add(1)
+	c.evictOverCapLocked(s)
+	c.reg.SetGauge("cache_jobs", float64(c.total.Load()))
 	return j, false
 }
 
 // observeLookup records a lookup's latency (deferred with the entry
 // time, so it fires after the lock is released). Lookups are the
 // coalescing hot path: a latency spike here means submissions are
-// contending on the cache mutex.
+// contending on their cache shard.
 func (c *Cache) observeLookup(t0 time.Time) {
 	c.reg.ObserveSince("cache_lookup_seconds", t0)
 }
@@ -90,42 +171,41 @@ func (c *Cache) observeLookup(t0 time.Time) {
 // Get looks up a job without creating one, refreshing its recency.
 func (c *Cache) Get(id string) (*Job, bool) {
 	defer c.observeLookup(time.Now())
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.jobs[id]
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.jobs[id]
 	if !ok {
 		return nil, false
 	}
-	c.lru.MoveToFront(el)
+	s.lru.MoveToFront(el)
 	return el.Value.(*cacheEntry).job, true
 }
 
 // Len returns the number of cached jobs (any state).
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.jobs)
-}
+func (c *Cache) Len() int { return int(c.total.Load()) }
 
-// removeLocked drops an entry and bumps the given eviction counter.
-func (c *Cache) removeLocked(el *list.Element, counter string) {
+// removeLocked drops an entry from s (whose mutex the caller holds)
+// and bumps the given eviction counter.
+func (c *Cache) removeLocked(s *cacheShard, el *list.Element, counter string) {
 	e := el.Value.(*cacheEntry)
-	c.lru.Remove(el)
-	delete(c.jobs, e.id)
+	s.lru.Remove(el)
+	delete(s.jobs, e.id)
+	c.total.Add(-1)
 	//lint:ignore metriccatalog both callers pass canonical cache_evictions_* literals
 	c.reg.Inc(counter)
 }
 
 // evictOverCapLocked removes least-recently-used terminal jobs until
-// the cache fits its cap (live jobs are skipped and survive).
-func (c *Cache) evictOverCapLocked() {
-	if c.maxEntries <= 0 {
+// shard s fits its cap (live jobs are skipped and survive).
+func (c *Cache) evictOverCapLocked(s *cacheShard) {
+	if s.cap <= 0 {
 		return
 	}
-	for el := c.lru.Back(); el != nil && len(c.jobs) > c.maxEntries; {
+	for el := s.lru.Back(); el != nil && len(s.jobs) > s.cap; {
 		prev := el.Prev()
 		if el.Value.(*cacheEntry).job.State().Terminal() {
-			c.removeLocked(el, "cache_evictions_lru_total")
+			c.removeLocked(s, el, "cache_evictions_lru_total")
 		}
 		el = prev
 	}

@@ -5,23 +5,46 @@
 //
 // # API
 //
-//	POST /runs              submit {"scheme": "...", "options": {...}};
-//	                        202 with {id, state} for a new job, 200 with
-//	                        cached:true when the content-addressed cache
-//	                        already holds (or is computing) the result
-//	GET  /runs/{id}         job status; includes the result summary once
-//	                        done, and the full training curve with ?curve=1
-//	GET  /runs/{id}/events  Server-Sent Events: one "state" event per
-//	                        transition and one "round" event per
-//	                        progress report (fed from
-//	                        hadfl.Options.OnRound); past events are
-//	                        replayed so late subscribers miss nothing
-//	GET  /schemes           the registered training schemes, straight
-//	                        from the hadfl scheme registry
-//	GET  /healthz           liveness: {"status":"ok", uptime, jobs}
-//	GET  /stats             metrics.Registry snapshot (queue depth, cache
-//	                        hit/miss, per-scheme run counts, ...) plus
-//	                        pool and cache configuration
+//	POST   /runs              submit {"scheme": "...", "options": {...}};
+//	                          202 with {id, state} for a new job, 200 with
+//	                          cached:true when the content-addressed cache
+//	                          already holds (or is computing) the result
+//	GET    /runs/{id}         job status; includes the result summary once
+//	                          done, and the full training curve with ?curve=1
+//	DELETE /runs/{id}         cancel on the client's behalf: 202 acknowledges
+//	                          the request (poll for the terminal state); a
+//	                          queued job turns canceled immediately, a
+//	                          running one within about a device step
+//	GET    /runs/{id}/events  Server-Sent Events: one "state" event per
+//	                          transition and one "round" event per
+//	                          progress report (fed from
+//	                          hadfl.Options.OnRound); past events are
+//	                          replayed so late subscribers miss nothing
+//	GET    /schemes           the registered training schemes, straight
+//	                          from the hadfl scheme registry
+//	GET    /healthz           liveness: {"status":"ok", uptime, jobs}
+//	GET    /stats             metrics.Registry snapshot (queue depth, cache
+//	                          hit/miss, per-scheme run counts, ...) plus
+//	                          pool and cache configuration
+//
+// Every status payload carries a cache disposition field reporting
+// where the response came from: POST answers "miss" (fresh enqueue),
+// "coalesced" (joined an in-flight identical run) or "hit" (completed
+// result served from cache); GET /runs/{id} answers "hit" once the job
+// is done and "miss" otherwise. cached:true accompanies hit and
+// coalesced. The disposition is per-response, so a poll of a job that
+// later completes flips miss → hit.
+//
+// # Serving hot path
+//
+// The steady-state request mix (polls and cache-hit submissions
+// against completed jobs) is engineered to stay off every global lock:
+// the result cache is sharded by fingerprint hash, terminal job
+// statuses are encoded to wire bytes once and then served verbatim
+// (zero allocations per request, pinned by the alloc-guard), the POST
+// rate limiter is a lock-free GCRA, and the metrics registry is atomic
+// cells behind sync.Map. See DESIGN.md "Load testing and the serving
+// hot path" and cmd/hadfl-loadgen for the measurement harness.
 //
 // # Cache semantics
 //

@@ -19,6 +19,9 @@ var (
 	ErrShuttingDown = errors.New("serve: shutting down")
 	// ErrUnknownJob is returned for lookups of IDs never submitted.
 	ErrUnknownJob = errors.New("serve: unknown job id")
+	// ErrCanceledByClient is the cause recorded when DELETE /runs/{id}
+	// (or Job.Cancel on a client's behalf) aborts a job.
+	ErrCanceledByClient = errors.New("serve: canceled by client")
 )
 
 // JobError is the rich error attached to a failed, timed-out or

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+)
+
+// doneTestJob returns a terminal StateDone job with a small curve.
+func doneTestJob(id string) *Job {
+	j := newJob(id, "hadfl", hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 1, Seed: 7})
+	series := &metrics.Series{Name: "hadfl"}
+	for i := 1; i <= 4; i++ {
+		series.Add(metrics.Point{Epoch: float64(i), Time: float64(i), Loss: 1 / float64(i), Accuracy: 1 - 1/float64(i)})
+	}
+	j.finish(&hadfl.Result{Scheme: "hadfl", Accuracy: 0.9, Time: 10, Rounds: 4, Series: series}, nil)
+	return j
+}
+
+// TestStatusBytesZeroAlloc pins the steady-state allocation contract of
+// the pre-encoded terminal-status path: after the first encode, serving
+// a completed job's status bytes — the GET /runs/{id} and cache-hit
+// POST hot path — performs zero allocations per request. This is the
+// named alloc-guard gate (make alloc-guard).
+func TestStatusBytesZeroAlloc(t *testing.T) {
+	srv, err := New(Config{Workers: 1, QueueDepth: 1, JobTimeout: time.Minute,
+		Runner: func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			return &hadfl.Result{Scheme: "hadfl"}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	}()
+	job := doneTestJob("aaaabbbbccccdddd")
+	for _, withCurve := range []bool{false, true} {
+		if _, ok := srv.statusBytes(job, withCurve); !ok { // warm the slot
+			t.Fatalf("statusBytes(withCurve=%v) not ready for a done job", withCurve)
+		}
+		allocs := testing.AllocsPerRun(1000, func() {
+			if _, ok := srv.statusBytes(job, withCurve); !ok {
+				t.Fatal("statusBytes lost its encoding")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("statusBytes(withCurve=%v) = %v allocs/op, want 0", withCurve, allocs)
+		}
+	}
+}
+
+// TestStatusBytesMatchEncoder pins the wire-compatibility contract: the
+// pre-encoded bytes are byte-identical to what the generic
+// json.Encoder path would have produced for the same status, so
+// enabling the fast path cannot change a single response byte.
+func TestStatusBytesMatchEncoder(t *testing.T) {
+	srv, err := New(Config{Workers: 1, QueueDepth: 1, JobTimeout: time.Minute,
+		Runner: func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			return &hadfl.Result{Scheme: "hadfl"}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	}()
+	job := doneTestJob("ffffeeeeddddcccc")
+	for _, withCurve := range []bool{false, true} {
+		data, ok := srv.statusBytes(job, withCurve)
+		if !ok {
+			t.Fatalf("statusBytes(withCurve=%v) not ready", withCurve)
+		}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(srv.status(job, CacheHit, withCurve)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, want.Bytes()) {
+			t.Errorf("withCurve=%v: pre-encoded bytes diverge from json.Encoder output:\n got %q\nwant %q",
+				withCurve, data, want.Bytes())
+		}
+	}
+}
+
+// TestStatusGetUsesPreEncodedBytes drives the full HTTP handler twice
+// and checks both responses are identical and carry an exact
+// Content-Length — the observable signature of the stored-bytes path.
+func TestStatusGetUsesPreEncodedBytes(t *testing.T) {
+	srv, err := New(Config{Workers: 1, QueueDepth: 4, JobTimeout: time.Minute,
+		Runner: func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			return &hadfl.Result{Scheme: "hadfl", Accuracy: 0.5}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	}()
+	job, _, err := srv.Submit("hadfl", hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	get := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/runs/"+job.ID, nil))
+		return rec
+	}
+	first, second := get(), get()
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("HTTP %d / %d", first.Code, second.Code)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("repeated GETs of a terminal job returned different bytes")
+	}
+	if cl := first.Header().Get("Content-Length"); cl != fmt.Sprint(first.Body.Len()) {
+		t.Errorf("Content-Length %q != body length %d", cl, first.Body.Len())
+	}
+}
+
+// TestShardedCacheHammer drives a bounded sharded cache with mixed
+// hit / insert / evict / lookup traffic from many goroutines. Run
+// under -race (test-race-short does) it is the data-race gate for the
+// sharding; in any mode it checks the bound and the entry count stay
+// coherent once the dust settles.
+func TestShardedCacheHammer(t *testing.T) {
+	reg := metrics.NewRegistry()
+	const bound = 64
+	c := NewBoundedCache(reg, bound)
+
+	// A stable set of completed jobs: the hit traffic.
+	stable := make([]string, 32)
+	for i := range stable {
+		stable[i] = fmt.Sprintf("%064x", 0xabc000+i)
+		c.GetOrCreate(stable[i], func() *Job { return doneTestJob("") })
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				switch rng.Intn(4) {
+				case 0: // hit
+					id := stable[rng.Intn(len(stable))]
+					c.GetOrCreate(id, func() *Job { return doneTestJob(id) })
+				case 1: // fresh terminal insert → drives LRU eviction
+					id := fmt.Sprintf("%064x", uint64(w)<<32|uint64(i))
+					j, existing := c.GetOrCreate(id, func() *Job { return newJob(id, "hadfl", hadfl.Options{}) })
+					if !existing {
+						j.finish(&hadfl.Result{Scheme: "hadfl"}, nil)
+					}
+				case 2: // lookup (may miss after eviction; both fine)
+					c.Get(stable[rng.Intn(len(stable))])
+				case 3: // failed job then resubmit → the retry-evict path
+					id := fmt.Sprintf("%064x", 0xdead0000+uint64(rng.Intn(64)))
+					j, existing := c.GetOrCreate(id, func() *Job { return newJob(id, "hadfl", hadfl.Options{}) })
+					if !existing {
+						j.finish(nil, &JobError{JobID: id, Scheme: "hadfl", Err: fmt.Errorf("boom")})
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Eviction skips jobs that are momentarily live, so a shard can be
+	// left marginally over its cap when the skipped job finishes after
+	// that shard's last insert — the same transient the unsharded cache
+	// allowed. One in-flight job per worker bounds it.
+	if n := c.Len(); n > bound+workers {
+		t.Errorf("cache holds %d entries, want <= bound %d + %d in-flight", n, bound, workers)
+	}
+	// Len must agree with a full walk of the shards.
+	walked := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if len(s.jobs) != s.lru.Len() {
+			t.Errorf("shard %d: map has %d entries, lru list %d", i, len(s.jobs), s.lru.Len())
+		}
+		walked += len(s.jobs)
+		s.mu.Unlock()
+	}
+	if walked != c.Len() {
+		t.Errorf("shard walk counts %d entries, Len() reports %d", walked, c.Len())
+	}
+}

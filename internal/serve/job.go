@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hadfl"
@@ -71,6 +72,13 @@ type Job struct {
 	events   []Event
 	subs     map[int]chan Event
 	nextSub  int
+
+	// enc caches the job's terminal JobStatus wire bytes (index:
+	// withCurve), written at most once per slot by Server.statusBytes.
+	// A terminal job is immutable, so status polls and cache-hit
+	// submissions write these stored bytes instead of re-marshaling the
+	// same JSON on every request.
+	enc [2]atomic.Pointer[[]byte]
 }
 
 func newJob(id, scheme string, opts hadfl.Options) *Job {

@@ -1,22 +1,31 @@
 package serve
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// TokenBucket is a minimal token-bucket rate limiter: capacity `burst`
-// tokens, refilled continuously at `rate` tokens/second. Allow is
-// non-blocking — the HTTP layer turns a refusal into 429 rather than
-// queueing the request. It is a stateful singleton: create one per
-// protected resource and share it across requests.
+// TokenBucket is a non-blocking rate limiter admitting `rate` requests
+// per second with bursts up to `burst` — the HTTP layer turns a
+// refusal into 429 rather than queueing the request. It is a stateful
+// singleton: create one per protected resource and share it across
+// requests.
+//
+// The implementation is GCRA (the generic cell rate algorithm), which
+// compresses the classic token bucket's {tokens, last-refill} pair into
+// a single theoretical-arrival-time cursor: an admission advances the
+// cursor by one emission interval, and a request is refused while the
+// cursor runs more than burst intervals ahead of now. One atomic CAS
+// per admission — under a request flood every in-flight Allow races on
+// a single int64 instead of convoying behind a mutex. The admission
+// sequence is exactly the mutex implementation's: a full burst from
+// idle, then one admission per interval.
 type TokenBucket struct {
-	mu     sync.Mutex
-	tokens float64
-	burst  float64
-	rate   float64
-	last   time.Time
-	now    func() time.Time // injectable clock for tests
+	tat      atomic.Int64 // theoretical arrival time, ns since the Unix epoch
+	interval int64        // ns between sustained admissions (1/rate)
+	burstNs  int64        // how far tat may run ahead of now
+	rate     float64
+	now      func() time.Time // injectable clock for tests
 }
 
 // NewTokenBucket returns a full bucket sustaining rate requests/second
@@ -26,33 +35,36 @@ func NewTokenBucket(rate float64, burst int) *TokenBucket {
 	if burst < 1 {
 		burst = 1
 	}
-	return &TokenBucket{
-		tokens: float64(burst),
-		burst:  float64(burst),
-		rate:   rate,
-		now:    time.Now,
+	b := &TokenBucket{rate: rate, now: time.Now}
+	if rate > 0 {
+		b.interval = int64(float64(time.Second) / rate)
+		if b.interval < 1 {
+			b.interval = 1 // sub-nanosecond intervals round up
+		}
+		b.burstNs = int64(burst) * b.interval
 	}
+	return b
 }
 
-// Allow consumes one token if available and reports whether the caller
-// may proceed.
+// Allow consumes one admission if available and reports whether the
+// caller may proceed.
 func (b *TokenBucket) Allow() bool {
 	if b.rate <= 0 {
 		return true
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	now := b.now()
-	if !b.last.IsZero() {
-		b.tokens += now.Sub(b.last).Seconds() * b.rate
-		if b.tokens > b.burst {
-			b.tokens = b.burst
+	now := b.now().UnixNano()
+	for {
+		tat := b.tat.Load()
+		newTat := tat
+		if now > newTat {
+			newTat = now // idle gap: the cursor never lags behind now
+		}
+		newTat += b.interval
+		if newTat-now > b.burstNs {
+			return false
+		}
+		if b.tat.CompareAndSwap(tat, newTat) {
+			return true
 		}
 	}
-	b.last = now
-	if b.tokens < 1 {
-		return false
-	}
-	b.tokens--
-	return true
 }

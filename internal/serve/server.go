@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -115,15 +118,55 @@ func New(cfg Config) (*Server, error) {
 		Tracer:     cfg.Tracer,
 		Logger:     cfg.Logger,
 	})
-	s.mux.HandleFunc("POST /runs", s.handleSubmit)
-	s.mux.HandleFunc("GET /runs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /schemes", s.handleSchemes)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.Handle("GET /metrics", metrics.Handler(cfg.Metrics, s.start))
-	s.mux.Handle("GET /debug/traces", s.tracer.Handler())
+	s.mux.HandleFunc("POST /runs", s.instrument("post_runs", s.handleSubmit))
+	s.mux.HandleFunc("GET /runs/{id}", s.instrument("get_runs_id", s.handleStatus))
+	s.mux.HandleFunc("DELETE /runs/{id}", s.instrument("delete_runs_id", s.handleCancel))
+	s.mux.HandleFunc("GET /runs/{id}/events", s.instrument("get_runs_id_events", s.handleEvents))
+	s.mux.HandleFunc("GET /schemes", s.instrument("get_schemes", s.handleSchemes))
+	s.mux.HandleFunc("GET /healthz", s.instrument("get_healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /stats", s.instrument("get_stats", s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.instrument("get_metrics", metrics.Handler(cfg.Metrics, s.start).ServeHTTP))
+	s.mux.HandleFunc("GET /debug/traces", s.instrument("get_debug_traces", s.tracer.Handler().ServeHTTP))
 	return s, nil
+}
+
+// instrument wraps an endpoint handler with the canonical per-endpoint
+// latency histogram (http_request_seconds_<route>) and the shared
+// response-byte counter. route is a short snake_case endpoint key, not
+// the raw mux pattern, so the metric name is computed once here and the
+// per-request path does no string building. For the SSE endpoint the
+// observed latency is the whole stream's lifetime, by design.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	name := "http_request_seconds_" + metrics.SanitizeName(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		cw := countingWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h(&cw, r)
+		//lint:ignore metriccatalog name is documented prefix + SanitizeName, precomputed at route registration
+		s.reg.ObserveSince(name, t0)
+		s.reg.Add("http_response_bytes_total", cw.bytes)
+	}
+}
+
+// countingWriter counts body bytes on their way out. It implements
+// http.Flusher unconditionally (forwarding when the underlying writer
+// supports it) so the SSE handler's flusher assertion still holds
+// through the instrumentation layer.
+type countingWriter struct {
+	http.ResponseWriter
+	bytes int64
+}
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(b)
+	c.bytes += int64(n)
+	return n, err
+}
+
+func (c *countingWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Handler returns the service's HTTP entry point.
@@ -253,12 +296,30 @@ func runOptionsFrom(o hadfl.Options) RunOptions {
 	}
 }
 
+// Cache dispositions reported on the JobStatus "cache" field: where
+// this response's payload came from, consistently across POST /runs
+// and GET /runs/{id}.
+//
+//   - CacheHit: served from the completed-result cache (a POST whose
+//     result already existed, or any GET of a done job).
+//   - CacheCoalesced: the submission joined an identical in-flight run
+//     instead of starting its own.
+//   - CacheMiss: nothing cached — a fresh submission that enqueued, or
+//     a GET of a job with no completed result yet (failed and canceled
+//     jobs also read as miss: their slot reruns on resubmission).
+const (
+	CacheHit       = "hit"
+	CacheMiss      = "miss"
+	CacheCoalesced = "coalesced"
+)
+
 // JobStatus is the wire form of a job.
 type JobStatus struct {
 	ID          string      `json:"id"`
 	Scheme      string      `json:"scheme"`
 	State       State       `json:"state"`
 	Cached      bool        `json:"cached,omitempty"`
+	Cache       string      `json:"cache,omitempty"`
 	Created     time.Time   `json:"created"`
 	Started     *time.Time  `json:"started,omitempty"`
 	Finished    *time.Time  `json:"finished,omitempty"`
@@ -282,13 +343,14 @@ type RunSummary struct {
 	Curve       []metrics.Point `json:"curve,omitempty"`
 }
 
-func (s *Server) status(j *Job, cached, withCurve bool) JobStatus {
+func (s *Server) status(j *Job, disp string, withCurve bool) JobStatus {
 	v := j.snapshot()
 	st := JobStatus{
 		ID:      j.ID,
 		Scheme:  j.Scheme,
 		State:   v.state,
-		Cached:  cached,
+		Cached:  disp == CacheHit || disp == CacheCoalesced,
+		Cache:   disp,
 		Created: j.Created,
 	}
 	if !v.started.IsZero() {
@@ -325,6 +387,41 @@ func (s *Server) status(j *Job, cached, withCurve bool) JobStatus {
 	return st
 }
 
+// statusBytes returns the pre-encoded terminal wire form of j, lazily
+// encoding it on first use. ok is false while the job is live (its
+// status still changes, so callers fall back to Server.status). The
+// disposition a terminal job reports is a function of its state alone —
+// done jobs are cache hits everywhere they are served, failed and
+// canceled ones misses — so one encoding per curve variant serves every
+// endpoint. Concurrent first encodes may both marshal; the bytes are
+// identical, so whichever Store lands is fine.
+func (s *Server) statusBytes(j *Job, withCurve bool) (data []byte, ok bool) {
+	idx := 0
+	if withCurve {
+		idx = 1
+	}
+	if b := j.enc[idx].Load(); b != nil {
+		return *b, true
+	}
+	state := j.State()
+	if !state.Terminal() {
+		return nil, false
+	}
+	disp := CacheMiss
+	if state == StateDone {
+		disp = CacheHit
+	}
+	// A local, not the named return: storing &data would make the
+	// return slot escape and put one allocation back on the fast path.
+	encoded, err := json.Marshal(s.status(j, disp, withCurve))
+	if err != nil {
+		return nil, false
+	}
+	encoded = append(encoded, '\n') // byte-identical to json.Encoder.Encode
+	j.enc[idx].Store(&encoded)
+	return encoded, true
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.limiter.Allow() {
 		s.reg.Inc("rate_limited_total")
@@ -351,11 +448,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	code := http.StatusAccepted
-	if cached {
-		code = http.StatusOK
+	if !cached {
+		writeJSON(w, http.StatusAccepted, s.status(job, CacheMiss, false))
+		return
 	}
-	writeJSON(w, code, s.status(job, cached, false))
+	if job.State() == StateDone {
+		if data, ok := s.statusBytes(job, false); ok {
+			writeRawJSON(w, http.StatusOK, data)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.status(job, CacheHit, false))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(job, CacheCoalesced, false))
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -364,8 +469,53 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, ErrUnknownJob.Error())
 		return
 	}
-	withCurve := r.URL.Query().Get("curve") == "1"
-	writeJSON(w, http.StatusOK, s.status(job, false, withCurve))
+	withCurve := curveRequested(r.URL.RawQuery)
+	if data, ok := s.statusBytes(job, withCurve); ok {
+		writeRawJSON(w, http.StatusOK, data)
+		return
+	}
+	disp := CacheMiss
+	if job.State() == StateDone {
+		disp = CacheHit
+	}
+	writeJSON(w, http.StatusOK, s.status(job, disp, withCurve))
+}
+
+// curveRequested reports whether the raw query string carries curve=1.
+// The steady-state poll path hits this on every request, so it scans
+// the raw string instead of materializing a url.Values map; the curve
+// flag needs no unescaping ("curve=1" is its own escaped form).
+func curveRequested(raw string) bool {
+	for raw != "" {
+		kv := raw
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			kv, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		if kv == "curve=1" {
+			return true
+		}
+	}
+	return false
+}
+
+// handleCancel aborts a job on the client's behalf: a queued job turns
+// Canceled immediately, a running one has its context cut and reaches
+// Canceled within about one device step; canceling a terminal job is a
+// no-op. 202 acknowledges the request, not the completed cancellation —
+// poll GET /runs/{id} for the terminal state. Like every terminal
+// failure, a canceled job is evicted (and rerun) by the next identical
+// submission.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.cache.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrUnknownJob.Error())
+		return
+	}
+	job.Cancel(ErrCanceledByClient)
+	s.reg.Inc("cancels_requested_total")
+	writeJSON(w, http.StatusAccepted, s.status(job, CacheMiss, false))
 }
 
 // handleEvents streams a job's progress as Server-Sent Events: the
@@ -447,10 +597,47 @@ func writeSSE(w http.ResponseWriter, e Event) error {
 	return err
 }
 
+// jsonBuf is a pooled buffer with its encoder pre-bound, so the
+// response-encoding path allocates neither on steady state.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	jb := &jsonBuf{}
+	jb.enc = json.NewEncoder(&jb.buf)
+	return jb
+}}
+
+// jsonBufMaxRecycle caps the buffer size returned to the pool; the
+// occasional huge curve payload should not pin its footprint forever.
+const jsonBufMaxRecycle = 1 << 16
+
+// writeJSON encodes v through a pooled buffer (one write syscall, no
+// per-request encoder allocation) and sends it with the given code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		jsonBufPool.Put(jb)
+		httpError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
+	}
+	writeRawJSON(w, code, jb.buf.Bytes())
+	if jb.buf.Cap() <= jsonBufMaxRecycle {
+		jsonBufPool.Put(jb)
+	}
+}
+
+// writeRawJSON sends already-encoded JSON bytes (the pre-encoded
+// terminal-status path and writeJSON's buffered output).
+func writeRawJSON(w http.ResponseWriter, code int, data []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(data)
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

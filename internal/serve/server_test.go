@@ -386,6 +386,119 @@ func TestHealthzAndStats(t *testing.T) {
 	}
 }
 
+// TestCacheDispositionConsistentAcrossEndpoints pins the cache field's
+// contract: a fresh POST reports miss, a duplicate of an in-flight run
+// reports coalesced, a POST of a completed result reports hit — and GET
+// /runs/{id} (with and without ?curve=1) agrees with the submission
+// path instead of staying silent: miss while the run is live, hit once
+// it is done.
+func TestCacheDispositionConsistentAcrossEndpoints(t *testing.T) {
+	gate := make(chan struct{})
+	srv := mustNew(t, Config{Workers: 1, Runner: func(ctx context.Context, scheme string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+		<-gate
+		s := &metrics.Series{Name: scheme}
+		s.Add(metrics.Point{Epoch: 1, Time: 1, Loss: 0.4, Accuracy: 0.8})
+		return &hadfl.Result{Scheme: scheme, Accuracy: 0.8, Series: s}, nil
+	}})
+	defer srv.Close(context.Background())
+	opened := false
+	openGate := func() {
+		if !opened {
+			close(gate)
+			opened = true
+		}
+	}
+	defer openGate()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"options":{"seed":77}}`
+	code, st := postRun(t, ts.URL, body)
+	if code != http.StatusAccepted || st.Cache != CacheMiss || st.Cached {
+		t.Fatalf("fresh POST: code=%d cache=%q cached=%v, want 202/miss/false", code, st.Cache, st.Cached)
+	}
+	// Still in flight (the runner is gated): duplicates coalesce, polls miss.
+	code, dup := postRun(t, ts.URL, body)
+	if code != http.StatusOK || dup.Cache != CacheCoalesced || !dup.Cached {
+		t.Fatalf("in-flight duplicate: code=%d cache=%q cached=%v, want 200/coalesced/true", code, dup.Cache, dup.Cached)
+	}
+	if _, live := getStatus(t, ts.URL, st.ID); live.Cache != CacheMiss || live.Cached {
+		t.Fatalf("live poll: cache=%q cached=%v, want miss/false", live.Cache, live.Cached)
+	}
+
+	openGate()
+	done := waitDone(t, ts.URL, st.ID)
+	if done.State != StateDone || done.Cache != CacheHit || !done.Cached {
+		t.Fatalf("done poll: state=%v cache=%q cached=%v, want done/hit/true", done.State, done.Cache, done.Cached)
+	}
+	code, again := postRun(t, ts.URL, body)
+	if code != http.StatusOK || again.Cache != CacheHit || !again.Cached {
+		t.Fatalf("completed resubmit: code=%d cache=%q cached=%v, want 200/hit/true", code, again.Cache, again.Cached)
+	}
+	_, curved := getStatus(t, ts.URL, st.ID+"?curve=1")
+	if curved.Cache != CacheHit || curved.Result == nil || len(curved.Result.Curve) != 1 {
+		t.Fatalf("curve poll: cache=%q result=%+v, want hit with 1 curve point", curved.Cache, curved.Result)
+	}
+}
+
+// TestCancelEndpoint covers DELETE /runs/{id}: a running job reaches
+// Canceled with the client-cancel cause, an unknown id is 404, and a
+// done job is untouched by a late cancel.
+func TestCancelEndpoint(t *testing.T) {
+	started := make(chan struct{}, 1)
+	srv := mustNew(t, Config{Workers: 1, Runner: func(ctx context.Context, scheme string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	del := func(id string) (int, JobStatus) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		if resp.StatusCode < 300 {
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, st
+	}
+
+	if code, _ := del("deadbeef"); code != http.StatusNotFound {
+		t.Fatalf("unknown id DELETE = %d, want 404", code)
+	}
+	_, st := postRun(t, ts.URL, `{"options":{"seed":99}}`)
+	<-started
+	if code, _ := del(st.ID); code != http.StatusAccepted {
+		t.Fatalf("DELETE running job = %d, want 202", code)
+	}
+	final := waitDone(t, ts.URL, st.ID)
+	if final.State != StateCanceled || !final.Canceled {
+		t.Fatalf("final after cancel: %+v, want canceled", final)
+	}
+	job, ok := srv.cache.Get(st.ID)
+	if !ok {
+		t.Fatal("canceled job fell out of the cache")
+	}
+	if _, jerr := job.Result(); jerr == nil || !jerr.IsCanceled() {
+		t.Fatalf("job error %v, want canceled", jerr)
+	}
+}
+
 // TestSchemesEndpointListsRegistry checks that GET /schemes mirrors the
 // façade registry — including asyncfl, which PR 3 made public.
 func TestSchemesEndpointListsRegistry(t *testing.T) {
