@@ -79,6 +79,10 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 		dispAddr   = fs.String("dispatch-listen", "127.0.0.1:0", "p2p listen address for worker replies (with -dispatch)")
 		dispWait   = fs.Duration("dispatch-wait", 3*time.Second, "how long to wait at boot for workers to register (with -dispatch)")
 		wireCodec  = fs.String("wire-codec", "", "preferred parameter wire codec for dispatched results: raw64 (default, bit-exact), f32, delta or topk; workers not advertising it fall back to raw64")
+		breakerN   = fs.Int("breaker-threshold", 5, "consecutive transient failures that open a worker's circuit breaker (0 = breaker off)")
+		breakerCD  = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open trial job is admitted")
+		retryBO    = fs.Duration("retry-backoff", 50*time.Millisecond, "base jittered delay between retry attempts of one job, doubling per retry (0 = no backoff)")
+		hedgeAfter = fs.Duration("hedge-after", 0, "launch a hedged duplicate of a run still in flight after this delay, first result wins (0 = hedging off); adapts to the observed p95 RTT once warmed up")
 		logLevel   = fs.String("log-level", "warn", "structured log threshold: debug, info, warn, error, or off")
 		withPprof  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
@@ -112,14 +116,28 @@ func run(args []string, out, errOut io.Writer, ready chan<- net.Addr, quit <-cha
 			node.AddPeer(id, strings.TrimSpace(addr))
 			ids = append(ids, id)
 		}
+		// Flag semantics: 0 means "off"; the Config encodes off as a
+		// negative value (its own 0 means "use the default").
+		breakerThreshold := *breakerN
+		if breakerThreshold == 0 {
+			breakerThreshold = -1
+		}
+		retryBackoff := *retryBO
+		if retryBackoff == 0 {
+			retryBackoff = -1
+		}
 		disp, err = dispatch.New(dispatch.Config{
-			Transport: node,
-			Workers:   ids,
-			ReplyAddr: node.Addr(),
-			Codec:     *wireCodec,
-			Metrics:   reg,
-			Tracer:    tracer,
-			Logger:    logger,
+			Transport:        node,
+			Workers:          ids,
+			ReplyAddr:        node.Addr(),
+			Codec:            *wireCodec,
+			BreakerThreshold: breakerThreshold,
+			BreakerCooldown:  *breakerCD,
+			RetryBackoff:     retryBackoff,
+			HedgeAfter:       *hedgeAfter,
+			Metrics:          reg,
+			Tracer:           tracer,
+			Logger:           logger,
 		})
 		if err != nil {
 			node.Close()

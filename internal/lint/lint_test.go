@@ -105,6 +105,10 @@ func TestWalltimeFixture(t *testing.T) {
 	runFixture(t, "walltime", "internal/nn", walltimeAnalyzer)
 }
 
+func TestWalltimeDispatchFixture(t *testing.T) {
+	runFixture(t, "walltimedispatch", "internal/serve/dispatch", walltimeAnalyzer)
+}
+
 func TestPoolleafFixture(t *testing.T) {
 	runFixture(t, "poolleaf", "internal/tensor", poolleafAnalyzer)
 }
@@ -136,6 +140,7 @@ func TestAnalyzerScoping(t *testing.T) {
 	}{
 		{"detmap", "internal/serve", detmapAnalyzer},
 		{"walltime", "cmd/hadfl-sim", walltimeAnalyzer},
+		{"walltimedispatch", "internal/serve", walltimeAnalyzer},
 		{"poolleaf", "internal/eval", poolleafAnalyzer},
 		{"ctxbg", "cmd/hadfl-serve", ctxbgAnalyzer},
 		{"metriccatalog", "internal/metrics", metriccatalogAnalyzer},

@@ -1,0 +1,43 @@
+// Fixture for the walltime analyzer's clock-injected mode: packages in
+// clockInjectedDirs (labeled internal/serve/dispatch by the test) must
+// route every clock read and delay through their injected now/sleep
+// seam, so direct time.Now/Since/Until/Sleep calls are violations.
+// Timers, tickers, and assigning time.Now as a function value to the
+// seam stay legal, and the global math/rand rule does not apply here.
+package walltimedispatch
+
+import (
+	"math/rand"
+	"time"
+)
+
+type dispatcher struct {
+	now   func() time.Time
+	sleep func(d time.Duration) bool
+}
+
+func newDispatcher() *dispatcher {
+	return &dispatcher{now: time.Now} // the seam: a value, not a call — legal
+}
+
+func (d *dispatcher) retryLoop() {
+	start := time.Now()          // want walltime time.Now in a clock-injected package
+	time.Sleep(time.Millisecond) // want walltime time.Sleep in a clock-injected package
+	_ = time.Since(start)        // want walltime time.Since in a clock-injected package
+	_ = time.Until(start)        // want walltime time.Until in a clock-injected package
+
+	t0 := d.now() // through the seam: legal
+	_ = d.now().Sub(t0)
+	_ = d.sleep(time.Millisecond)
+
+	tick := time.NewTicker(time.Second) // waits without reading the clock: legal
+	tick.Stop()
+	tm := time.NewTimer(time.Second) // likewise
+	tm.Stop()
+
+	// Jitter sources are seeded instances — the global-rand rule is a
+	// byte-determinism rule and stays out of clock-injected packages.
+	rng := rand.New(rand.NewSource(1))
+	_ = rng.Int63n(10)
+	_ = rand.Intn(10) // global rand, but not a deterministic package: legal here
+}

@@ -13,11 +13,29 @@ import (
 // must come from a seeded rand.New(rand.NewSource(seed)) instance so a
 // fingerprint pins the whole trajectory. Telemetry-only timing inside
 // a deterministic package can be suppressed with a reason.
+//
+// The analyzer also covers the clock-injected packages: code whose
+// retry/backoff/hedge schedules must be testable without sleeping.
+// There the rule is that every clock read and every delay goes through
+// the struct's injected now/sleep seam — direct time.Now/Since/Until
+// *and* time.Sleep are violations (tickers and timers stay legal: they
+// wait without reading the clock, and the injected sleep is built on
+// them).
 var walltimeAnalyzer = &Analyzer{
 	Name:    "walltime",
-	Doc:     "wall-clock or global math/rand in a deterministic package",
-	Applies: isDeterministicDir,
+	Doc:     "wall-clock or global math/rand in a deterministic or clock-injected package",
+	Applies: func(dir string) bool { return isDeterministicDir(dir) || clockInjectedDirs[dir] },
 	Run:     runWalltime,
+}
+
+// clockInjectedDirs are the packages that carry an injected clock
+// (now/sleep/jitter fields wired to the wall clock in production,
+// substituted in tests): the walltime analyzer bans direct
+// time.Now/Since/Until/Sleep there so retry and backoff schedules
+// never depend on real time. Assigning time.Now as a function value to
+// the injection seam is fine — only calls are flagged.
+var clockInjectedDirs = map[string]bool{
+	"internal/serve/dispatch": true,
 }
 
 // seededRandCtors are the math/rand package-level functions that build
@@ -29,6 +47,7 @@ var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf":
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 func runWalltime(pkg *Package) []Diagnostic {
+	injected := clockInjectedDirs[pkg.Dir]
 	var diags []Diagnostic
 	for _, file := range pkg.Files {
 		timeAlias := importAlias(file.AST, "time")
@@ -41,7 +60,16 @@ func runWalltime(pkg *Package) []Diagnostic {
 			if !ok {
 				return true
 			}
-			if sel := selectorOn(call.Fun, timeAlias); wallClockFuncs[sel] {
+			sel := selectorOn(call.Fun, timeAlias)
+			switch {
+			case injected && (wallClockFuncs[sel] || sel == "Sleep"):
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "walltime",
+					Message: fmt.Sprintf("%s.%s in a clock-injected package: go through the injected now/sleep seam so schedules stay testable without sleeping",
+						timeAlias, sel),
+				})
+			case !injected && wallClockFuncs[sel]:
 				diags = append(diags, Diagnostic{
 					Pos:      pkg.Fset.Position(call.Pos()),
 					Analyzer: "walltime",
@@ -49,13 +77,18 @@ func runWalltime(pkg *Package) []Diagnostic {
 						timeAlias, sel),
 				})
 			}
-			if sel := selectorOn(call.Fun, randAlias); sel != "" && !seededRandCtors[sel] {
-				diags = append(diags, Diagnostic{
-					Pos:      pkg.Fset.Position(call.Pos()),
-					Analyzer: "walltime",
-					Message: fmt.Sprintf("global %s.%s is process-seeded: use a rand.New(rand.NewSource(seed)) instance so the run stays fingerprint-deterministic",
-						randAlias, sel),
-				})
+			// The global-rand rule polices byte-determinism, so it applies
+			// only in the deterministic set; clock-injected packages may
+			// seed their own jitter sources (and do).
+			if !injected {
+				if sel := selectorOn(call.Fun, randAlias); sel != "" && !seededRandCtors[sel] {
+					diags = append(diags, Diagnostic{
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Analyzer: "walltime",
+						Message: fmt.Sprintf("global %s.%s is process-seeded: use a rand.New(rand.NewSource(seed)) instance so the run stays fingerprint-deterministic",
+							randAlias, sel),
+					})
+				}
 			}
 			return true
 		})

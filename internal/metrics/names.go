@@ -77,6 +77,17 @@ var canonicalNames = map[string]string{
 	"dispatch_wire_chunked_results_total": "terminal frames that arrived as chunk streams",
 	"dispatch_wire_lossy_results_total":   "dispatched results whose codec reported an inexact decode",
 
+	// dispatch resilience: circuit breakers, retry backoff, hedging
+	"dispatch_breaker_open_total":     "breaker trips: consecutive transient faults (or a failed half-open trial) opened a worker's circuit",
+	"dispatch_breaker_halfopen_total": "open breakers moved to half-open by a liveness-proving frame after the cooldown",
+	"dispatch_breaker_close_total":    "breakers closed by a successful half-open trial run",
+	"dispatch_breaker_open_workers":   "workers whose circuit breaker is currently open",
+	"dispatch_retry_backoff_seconds":  "histogram: jittered delay before re-dispatching after a transient worker fault",
+	"dispatch_hedges_total":           "hedge legs launched after an attempt outlasted the hedge delay",
+	"dispatch_hedge_wins_total":       "hedged runs whose hedge leg produced the winning result",
+	"dispatch_hedge_cancels_total":    "losing legs canceled after the other leg finished first",
+	"dispatch_reconsider_total":       "retry passes that re-admitted recovered workers a job had already tried",
+
 	// worker
 	"worker_capacity":                 "configured concurrent-run budget",
 	"worker_running":                  "dispatched runs executing right now",

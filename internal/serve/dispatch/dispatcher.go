@@ -3,6 +3,7 @@ package dispatch
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -49,6 +50,33 @@ type Config struct {
 	CancelGrace time.Duration
 	// RecvTimeout is the receive loop's poll granularity. Default 100ms.
 	RecvTimeout time.Duration
+	// BreakerThreshold is how many consecutive transient failures open a
+	// worker's circuit breaker (claimWorker then skips it until a
+	// half-open probe succeeds). 0 = default (5); negative disables the
+	// breaker entirely.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker stays open before a
+	// liveness-proving frame (heartbeat ack, hello) half-opens it and
+	// one trial job is admitted. Default 5s.
+	BreakerCooldown time.Duration
+	// RetryBackoff is the base delay between retry attempts of one job
+	// after a transient worker fault; each retry doubles the ceiling and
+	// the actual delay is full-jitter uniform in [0, ceiling). Busy
+	// rejections skip the backoff (the worker answered promptly).
+	// 0 = default (50ms); negative disables backoff.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff ceiling. Default 2s.
+	RetryBackoffMax time.Duration
+	// HedgeAfter, when positive, arms hedged dispatch: an attempt still
+	// running after this delay launches the same fingerprinted run on a
+	// second live worker and the first terminal result wins (runs are
+	// byte-deterministic, so the duplicate is free correctness-wise).
+	// Once dispatch_rtt_seconds has enough observations the delay
+	// tracks that histogram's HedgeQuantile instead. 0 disables hedging.
+	HedgeAfter time.Duration
+	// HedgeQuantile is the dispatch_rtt_seconds quantile that seeds the
+	// hedge delay once the histogram is warm. Default 0.95.
+	HedgeQuantile float64
 	// Metrics receives dispatch telemetry (dispatch_* series). Pass the
 	// serve registry to surface them on /stats. Default: private.
 	Metrics *metrics.Registry
@@ -70,6 +98,14 @@ type workerState struct {
 	codecs   []string  // param codecs from its hello ack; empty = legacy
 	inflight int
 	probing  bool // a heartbeat/hello send is in flight to it
+
+	// Circuit-breaker state (see resilience.go): consecutive transient
+	// faults open the breaker, the cooldown plus a liveness-proving
+	// frame half-opens it, and one trial job decides reclosure.
+	breaker  breakerState
+	failures int       // consecutive transient faults while closed
+	openedAt time.Time // when the breaker last opened
+	trial    bool      // a half-open trial job is in flight
 }
 
 // outcome is a terminal frame routed to a waiting call. corrupt marks
@@ -111,6 +147,15 @@ type Dispatcher struct {
 	// node ids and sequence numbers coincide (every hadfl-serve
 	// restarts at id 0, seq 1).
 	token string
+
+	// Injected clock and waiters (see resilience.go): production wires
+	// the wall clock; tests substitute deterministic versions so
+	// breaker, backoff and hedge schedules run without sleeping. The
+	// walltime lint analyzer enforces that this package never calls
+	// time.Now / time.Sleep directly.
+	now    func() time.Time
+	sleep  func(ctx context.Context, d time.Duration) bool
+	jitter func(max time.Duration) time.Duration
 
 	mu      sync.Mutex
 	workers map[int]*workerState
@@ -163,7 +208,32 @@ func New(cfg Config) (*Dispatcher, error) {
 	} else if _, ok := p2p.ParamCodecByName(cfg.Codec); !ok {
 		return nil, fmt.Errorf("dispatch: unknown param codec %q (have %v)", cfg.Codec, p2p.ParamCodecNames())
 	}
-	var tok [8]byte
+	// Resilience knobs: zero means default, negative means disabled
+	// (normalized to 0 here so the rest of the code tests > 0).
+	switch {
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = defaultBreakerThreshold
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = defaultBreakerCooldown
+	}
+	switch {
+	case cfg.RetryBackoff == 0:
+		cfg.RetryBackoff = defaultRetryBackoff
+	case cfg.RetryBackoff < 0:
+		cfg.RetryBackoff = 0
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = defaultRetryBackoffMax
+	}
+	if cfg.HedgeQuantile <= 0 || cfg.HedgeQuantile >= 1 {
+		cfg.HedgeQuantile = defaultHedgeQuantile
+	}
+	// 16 random bytes: the first 8 are the instance token, the last 8
+	// seed the jitter PRNG.
+	var tok [16]byte
 	if _, err := rand.Read(tok[:]); err != nil {
 		return nil, fmt.Errorf("dispatch: instance token: %w", err)
 	}
@@ -173,17 +243,21 @@ func New(cfg Config) (*Dispatcher, error) {
 		tracer:  cfg.Tracer,
 		log:     cfg.Logger,
 		local:   cfg.Local,
-		token:   hex.EncodeToString(tok[:]),
+		token:   hex.EncodeToString(tok[:8]),
+		now:     time.Now,
+		jitter:  newJitter(int64(binary.LittleEndian.Uint64(tok[8:]))),
 		workers: make(map[int]*workerState, len(cfg.Workers)),
 		pending: make(map[int]*call),
 		chunks:  make(map[chunkKey]*p2p.ChunkStream),
 		closed:  make(chan struct{}),
 	}
+	d.sleep = d.waitSleep
 	for _, id := range cfg.Workers {
 		d.workers[id] = &workerState{id: id}
 	}
 	d.reg.SetGauge("dispatch_workers_configured", float64(len(d.workers)))
 	d.reg.SetGauge("dispatch_workers_live", 0)
+	d.reg.SetGauge("dispatch_breaker_open_workers", 0)
 	d.wg.Add(2)
 	go d.recvLoop()
 	go d.heartbeatLoop()
@@ -422,20 +496,23 @@ func (d *Dispatcher) terminalBody(m p2p.Message) ([]byte, error) {
 	return s.Finish(m)
 }
 
-// refreshLocked marks a configured worker as seen (and alive). Callers
-// hold d.mu and must only call it for frames that prove a compatible,
+// refreshLocked marks a configured worker as seen (and alive), and —
+// because a fresh frame proves the worker is responsive — gives an
+// open breaker past its cooldown the half-open nudge. Callers hold
+// d.mu and must only call it for frames that prove a compatible,
 // responsive worker.
 func (d *Dispatcher) refreshLocked(id int) {
 	ws := d.workers[id]
 	if ws == nil {
 		return
 	}
-	ws.seen = time.Now()
+	ws.seen = d.now()
 	if !ws.alive {
 		ws.alive = true
 		d.updateLiveGaugeLocked()
 		d.log.Info("dispatch worker live", "worker", id)
 	}
+	d.maybeHalfOpenLocked(ws)
 }
 
 // heartbeatLoop probes workers every HeartbeatEvery: live workers get
@@ -458,7 +535,7 @@ func (d *Dispatcher) heartbeatLoop() {
 }
 
 func (d *Dispatcher) probe() {
-	now := time.Now()
+	now := d.now()
 	var beat, hello []int
 	d.mu.Lock()
 	for id, ws := range d.workers {
@@ -531,9 +608,14 @@ func (d *Dispatcher) updateLiveGaugeLocked() {
 // Run executes one run remotely if it can: pick the least-loaded live
 // worker, ship the request, stream rounds to onRound, and return the
 // rebuilt result. Transient failures (send error, busy rejection,
-// worker lost or shut down mid-run) move the run to the next live
-// worker — each is tried at most once — and when none remain the run
-// executes locally. It matches the serve pool's Runner seam.
+// worker lost or shut down mid-run, torn parameter exchange) move the
+// run to the next live worker after a jittered exponential backoff;
+// workers whose circuit breaker is open are skipped; a slow attempt
+// may be hedged on a second worker (see attempt); and when no worker
+// remains — after one reconsideration pass re-admitting tried workers
+// that recovered — the run executes locally. Failures come back as a
+// *DispatchError carrying the whole journey. It matches the serve
+// pool's Runner seam.
 func (d *Dispatcher) Run(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (res *hadfl.Result, err error) {
 	fp, err := hadfl.Fingerprint(scheme, opts)
 	if err != nil {
@@ -548,39 +630,80 @@ func (d *Dispatcher) Run(ctx context.Context, scheme string, opts hadfl.Options,
 	}()
 	span.SetAttr("jobID", fp)
 	span.SetAttr("scheme", scheme)
+	gate := newRoundGate(onRound)
+	jr := &journey{dispatcher: d.token, jobID: fp, scheme: scheme}
+	defer func() { span.SetAttr("attempts", fmt.Sprint(len(jr.attempts))) }()
 	tried := make(map[int]bool)
+	reconsidered := false
+	retries := 0
 	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, jr.wrap(cerr, gate.lastRound(), false)
 		}
 		ws := d.claimWorker(tried)
 		if ws == nil {
+			// Before giving up on the fleet: one pass re-admitting tried
+			// workers that recovered (re-registered, breaker no longer
+			// open) while later attempts were failing.
+			if !reconsidered && len(tried) > 0 {
+				reconsidered = true
+				if back := d.reconsiderTried(tried); len(back) > 0 {
+					d.reg.Inc("dispatch_reconsider_total")
+					d.log.Info("dispatch reconsidering recovered workers", "jobID", fp, "workers", back)
+					continue
+				}
+			}
 			break
 		}
-		res, err, transient := d.runOn(ctx, ws, fp, scheme, opts, onRound)
+		res, aerr, transient := d.attempt(ctx, ws, fp, scheme, opts, gate, tried, jr)
 		if !transient {
-			return res, err
+			if aerr != nil {
+				return nil, jr.wrap(aerr, gate.lastRound(), false)
+			}
+			return res, nil
 		}
-		tried[ws.id] = true
 		d.reg.Inc("dispatch_retries_total")
-		d.log.Warn("dispatch retry", "jobID", fp, "worker", ws.id, "err", err)
+		d.log.Warn("dispatch retry", "jobID", fp, "worker", ws.id, "err", aerr)
+		// Busy rejections skip the backoff: the worker answered promptly
+		// and another may have a free slot right now. Everything else —
+		// lost workers, corrupt frames, torn parameter exchanges — waits
+		// out a full-jitter exponential delay so a sick-but-alive fleet
+		// is not hammered at full rate.
+		if d.cfg.RetryBackoff > 0 && !errors.Is(aerr, errWorkerBusy) {
+			delay := d.jitter(backoffCeiling(d.cfg.RetryBackoff, d.cfg.RetryBackoffMax, retries))
+			retries++
+			d.reg.Observe("dispatch_retry_backoff_seconds", delay.Seconds())
+			if !d.sleep(ctx, delay) {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, jr.wrap(cerr, gate.lastRound(), false)
+				}
+				return nil, jr.wrap(errors.New("dispatch: dispatcher closed mid-run"), gate.lastRound(), false)
+			}
+		}
 	}
 	d.reg.Inc("dispatch_local_fallback_total")
 	d.log.Info("dispatch local fallback", "jobID", fp, "tried", len(tried))
 	span.SetAttr("fallback", "local")
-	return d.local(ctx, scheme, opts, onRound)
+	res, lerr := d.local(ctx, scheme, opts, gate.forward)
+	if lerr != nil {
+		return nil, jr.wrap(lerr, gate.lastRound(), true)
+	}
+	return res, nil
 }
 
-// claimWorker picks the live, untried worker with the most free
-// capacity (ties to the lowest id, so placement is deterministic) and
-// reserves a slot on it; nil means the local fallback is next.
-func (d *Dispatcher) claimWorker(tried map[int]bool) *workerState {
+// claimWorker picks the live worker with the most free capacity (ties
+// to the lowest id, so placement is deterministic) and reserves a slot
+// on it; nil means the local fallback is next. Workers in exclude or
+// with an open breaker are skipped; a half-open worker is used only
+// when no healthy worker has a free slot, and admits one trial job at
+// a time.
+func (d *Dispatcher) claimWorker(exclude map[int]bool) *workerState {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	var best *workerState
+	var best, trial *workerState
 	bestFree := 0
 	for _, ws := range d.workers {
-		if !ws.alive || tried[ws.id] {
+		if !ws.alive || exclude[ws.id] || ws.breaker == breakerOpen {
 			continue
 		}
 		cap := ws.capacity
@@ -591,9 +714,19 @@ func (d *Dispatcher) claimWorker(tried map[int]bool) *workerState {
 		if free <= 0 {
 			continue
 		}
-		if free > bestFree || (free == bestFree && ws.id < best.id) {
+		if ws.breaker == breakerHalfOpen {
+			if !ws.trial && (trial == nil || ws.id < trial.id) {
+				trial = ws
+			}
+			continue
+		}
+		if best == nil || free > bestFree || (free == bestFree && ws.id < best.id) {
 			best, bestFree = ws, free
 		}
+	}
+	if best == nil && trial != nil {
+		trial.trial = true
+		best = trial
 	}
 	if best != nil {
 		best.inflight++
@@ -603,15 +736,19 @@ func (d *Dispatcher) claimWorker(tried map[int]bool) *workerState {
 
 // runOn executes one attempt on one worker. The third return reports
 // whether the failure is transient (retry on another worker) — results
-// and genuine run errors are not.
-func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (_ *hadfl.Result, retErr error, transient bool) {
+// and genuine run errors are not. hedge marks a hedged leg, for the
+// span only.
+func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate), hedge bool) (_ *hadfl.Result, retErr error, transient bool) {
 	ctx, span := trace.Start(ctx, d.tracer, "dispatch.request")
 	defer func() {
 		span.SetError(retErr)
 		span.End()
 	}()
 	span.SetAttr("worker", fmt.Sprint(ws.id))
-	sent := time.Now()
+	if hedge {
+		span.SetAttr("hedge", "true")
+	}
+	sent := d.now()
 	d.mu.Lock()
 	d.nextSeq++
 	seq := d.nextSeq
@@ -628,6 +765,10 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 		d.mu.Lock()
 		delete(d.pending, seq)
 		ws.inflight--
+		// Clearing trial here (not just on the trial leg) can admit an
+		// extra half-open probe when an older job finishes first — a
+		// benign over-probe, never an under-probe.
+		ws.trial = false
 		d.mu.Unlock()
 	}()
 
@@ -637,7 +778,7 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 		req.Trace = &wireTrace{TraceID: sc.TraceID, SpanID: sc.SpanID}
 	}
 	if dl, ok := ctx.Deadline(); ok {
-		rem := time.Until(dl)
+		rem := dl.Sub(d.now())
 		if rem <= 0 {
 			// The deadline has passed but ctx's timer may not have
 			// fired yet (ctx.Err() can still be nil) — report the
@@ -724,14 +865,14 @@ func (d *Dispatcher) runOn(ctx context.Context, ws *workerState, fp, scheme stri
 // histogram; the frame's shipped-home worker spans land in the tracer
 // here, stitching the remote half of the trace into the local ring.
 func (d *Dispatcher) finish(ctx context.Context, ws *workerState, o outcome, canceled bool, sent time.Time, opts hadfl.Options) (*hadfl.Result, error, bool) {
-	d.reg.ObserveSince("dispatch_rtt_seconds", sent)
+	d.reg.Observe("dispatch_rtt_seconds", d.now().Sub(sent).Seconds())
 	d.recordRemoteSpans(o)
 	if o.errb != nil {
 		eb := o.errb
 		switch {
 		case eb.Busy:
 			d.reg.Inc("dispatch_busy_rejections_total")
-			return nil, errors.New(eb.Message), true
+			return nil, fmt.Errorf("%w: worker %d: %s", errWorkerBusy, ws.id, eb.Message), true
 		case o.corrupt && !canceled:
 			// The frame failed, not the run: reruns are deterministic
 			// and safe, so treat it like a lost worker.

@@ -1,0 +1,522 @@
+package dispatch
+
+// The dispatch resilience layer: per-worker circuit breakers, full-
+// jitter exponential backoff between retry attempts, hedged dispatch,
+// and the typed DispatchError that carries a failed job's whole
+// journey. Everything time-related runs on the dispatcher's injected
+// clock (d.now / d.sleep / d.jitter) so tests drive the schedules
+// without sleeping — the walltime lint analyzer enforces that this
+// package never reads the wall clock directly.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hadfl"
+)
+
+// Resilience defaults, overridable through Config.
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 5 * time.Second
+	defaultRetryBackoff     = 50 * time.Millisecond
+	defaultRetryBackoffMax  = 2 * time.Second
+	defaultHedgeQuantile    = 0.95
+	// hedgeWarmSamples is how many dispatch_rtt_seconds observations the
+	// histogram needs before the hedge delay tracks its quantile instead
+	// of the configured HedgeAfter constant.
+	hedgeWarmSamples = 16
+	// hedgeMinDelay floors the hedge delay so a warmed-up histogram of
+	// near-zero RTTs cannot turn hedging into double-dispatching
+	// everything immediately.
+	hedgeMinDelay = time.Millisecond
+)
+
+// errWorkerBusy marks a capacity rejection. The worker is healthy and
+// answered promptly, so the retry loop moves to the next worker without
+// backoff and the circuit breaker does not count it as a fault.
+var errWorkerBusy = errors.New("dispatch: worker busy")
+
+// breakerState is one worker's circuit-breaker position.
+type breakerState int
+
+const (
+	// breakerClosed: healthy; jobs flow normally.
+	breakerClosed breakerState = iota
+	// breakerOpen: too many consecutive transient failures; claimWorker
+	// skips the worker until the cooldown elapses and a liveness-proving
+	// frame half-opens it.
+	breakerOpen
+	// breakerHalfOpen: one trial job is admitted; success closes the
+	// breaker, another transient failure re-opens it.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerEnabled reports whether the per-worker circuit breaker is on
+// (Config.BreakerThreshold normalized to > 0).
+func (d *Dispatcher) breakerEnabled() bool { return d.cfg.BreakerThreshold > 0 }
+
+// noteWorkerFault records one transient, non-busy failure against a
+// worker's breaker: N consecutive faults open it, and a fault during a
+// half-open trial re-opens it immediately.
+func (d *Dispatcher) noteWorkerFault(id int) {
+	if !d.breakerEnabled() {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ws := d.workers[id]
+	if ws == nil {
+		return
+	}
+	ws.trial = false
+	ws.failures++
+	switch ws.breaker {
+	case breakerClosed:
+		if ws.failures >= d.cfg.BreakerThreshold {
+			d.openBreakerLocked(ws)
+		}
+	case breakerHalfOpen:
+		// The trial job failed: the worker is still sick.
+		d.openBreakerLocked(ws)
+	}
+}
+
+func (d *Dispatcher) openBreakerLocked(ws *workerState) {
+	ws.breaker = breakerOpen
+	ws.openedAt = d.now()
+	d.reg.Inc("dispatch_breaker_open_total")
+	d.updateBreakerGaugeLocked()
+	d.log.Warn("dispatch breaker open", "worker", ws.id, "failures", ws.failures)
+}
+
+// noteWorkerPass resets a worker's fault streak and closes its breaker:
+// the worker just proved it can execute runs (a completed run, or a
+// genuine run error — the run's fault, not the worker's).
+func (d *Dispatcher) noteWorkerPass(id int) {
+	if !d.breakerEnabled() {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ws := d.workers[id]
+	if ws == nil {
+		return
+	}
+	ws.failures = 0
+	ws.trial = false
+	if ws.breaker != breakerClosed {
+		ws.breaker = breakerClosed
+		d.reg.Inc("dispatch_breaker_close_total")
+		d.updateBreakerGaugeLocked()
+		d.log.Info("dispatch breaker closed", "worker", ws.id)
+	}
+}
+
+// maybeHalfOpenLocked moves an open breaker to half-open once the
+// cooldown has elapsed. It piggybacks on the heartbeat/hello machinery:
+// callers invoke it from refreshLocked, so the transition happens
+// exactly when a liveness-proving frame shows the worker is back.
+func (d *Dispatcher) maybeHalfOpenLocked(ws *workerState) {
+	if ws.breaker != breakerOpen || d.now().Sub(ws.openedAt) < d.cfg.BreakerCooldown {
+		return
+	}
+	ws.breaker = breakerHalfOpen
+	d.reg.Inc("dispatch_breaker_halfopen_total")
+	d.updateBreakerGaugeLocked()
+	d.log.Info("dispatch breaker half-open", "worker", ws.id)
+}
+
+func (d *Dispatcher) updateBreakerGaugeLocked() {
+	n := 0
+	for _, ws := range d.workers {
+		if ws.breaker == breakerOpen {
+			n++
+		}
+	}
+	d.reg.SetGauge("dispatch_breaker_open_workers", float64(n))
+}
+
+// noteLegOutcome classifies one finished attempt for the breaker:
+// transient non-busy failures are worker faults; completed runs and
+// genuine run errors prove the worker healthy; busy rejections and
+// context-driven aborts (our cancel, the job's deadline) say nothing.
+func (d *Dispatcher) noteLegOutcome(id int, err error, transient bool) {
+	switch {
+	case transient:
+		if !errors.Is(err, errWorkerBusy) {
+			d.noteWorkerFault(id)
+		}
+	case err == nil:
+		d.noteWorkerPass(id)
+	case !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded):
+		d.noteWorkerPass(id)
+	}
+}
+
+// reconsiderTried re-admits tried workers that have recovered — alive
+// again (re-registered, heartbeat back), breaker not open, and with a
+// free slot — so a job whose later attempts kept failing gets one more
+// pass at a healed worker before falling back to local. Returns the
+// re-admitted ids (sorted; empty means none recovered).
+func (d *Dispatcher) reconsiderTried(tried map[int]bool) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var back []int
+	for id := range tried {
+		ws := d.workers[id]
+		if ws == nil || !ws.alive || ws.breaker == breakerOpen {
+			continue
+		}
+		capacity := ws.capacity
+		if capacity <= 0 {
+			capacity = 1
+		}
+		if capacity-ws.inflight <= 0 {
+			continue
+		}
+		back = append(back, id)
+	}
+	sort.Ints(back)
+	for _, id := range back {
+		delete(tried, id)
+	}
+	return back
+}
+
+// backoffCeiling is the exponential cap for the k-th retry (0-based):
+// min(base<<k, max). The actual delay is full-jitter: uniform in
+// [0, ceiling), so synchronized retry storms decorrelate.
+func backoffCeiling(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		if d >= max {
+			break
+		}
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// newJitter returns the production jitter source: a mutex-guarded
+// seeded PRNG drawing uniformly in [0, max). The seed comes from the
+// same kernel randomness as the instance token, so concurrent
+// dispatchers never share a sequence; tests inject a deterministic
+// replacement instead.
+func newJitter(seed int64) func(time.Duration) time.Duration {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(max time.Duration) time.Duration {
+		if max <= 0 {
+			return 0
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Duration(rng.Int63n(int64(max)))
+	}
+}
+
+// waitSleep is the production sleep: a timer wait that aborts early
+// when ctx dies or the dispatcher closes. Reports whether the full
+// delay elapsed.
+func (d *Dispatcher) waitSleep(ctx context.Context, dur time.Duration) bool {
+	if dur <= 0 {
+		return true
+	}
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-d.closed:
+		return false
+	}
+}
+
+// hedgeDelay is how long an attempt waits before launching its hedge
+// leg: the configured HedgeAfter until dispatch_rtt_seconds has
+// hedgeWarmSamples observations, then that histogram's HedgeQuantile —
+// the trigger tracks the fleet's real latency tail instead of a
+// hand-tuned constant. Never below hedgeMinDelay.
+func (d *Dispatcher) hedgeDelay() time.Duration {
+	delay := d.cfg.HedgeAfter
+	if snap, ok := d.reg.Histogram("dispatch_rtt_seconds"); ok && snap.Count >= hedgeWarmSamples {
+		if q := time.Duration(snap.Quantile(d.cfg.HedgeQuantile) * float64(time.Second)); q > 0 {
+			delay = q
+		}
+	}
+	if delay < hedgeMinDelay {
+		delay = hedgeMinDelay
+	}
+	return delay
+}
+
+// roundGate deduplicates round telemetry across retried and hedged
+// attempts: runs are byte-deterministic, so every attempt replays the
+// same round sequence, and the job's subscribers should see each round
+// exactly once. Only rounds beyond the furthest already forwarded pass
+// through; delivery stays ordered because the callback runs under the
+// gate's lock.
+type roundGate struct {
+	mu   sync.Mutex
+	last int
+	fn   func(hadfl.RoundUpdate)
+}
+
+func newRoundGate(fn func(hadfl.RoundUpdate)) *roundGate {
+	return &roundGate{last: -1, fn: fn}
+}
+
+func (g *roundGate) forward(u hadfl.RoundUpdate) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if u.Round <= g.last {
+		return
+	}
+	g.last = u.Round
+	if g.fn != nil {
+		g.fn(u)
+	}
+}
+
+// lastRound is the furthest round any attempt streamed back (-1: none).
+func (g *roundGate) lastRound() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.last
+}
+
+// DispatchAttempt is one worker attempt in a job's dispatch journey.
+type DispatchAttempt struct {
+	// Worker is the worker id the attempt ran on.
+	Worker int
+	// Hedge marks a leg launched by hedged dispatch rather than the
+	// primary placement.
+	Hedge bool
+	// Duration is how long the attempt was in flight.
+	Duration time.Duration
+	// Err is why the attempt ended (empty for a winning attempt).
+	Err string
+}
+
+// DispatchError is the typed failure a dispatched job surfaces: the
+// full journey (dispatcher instance → every worker tried, with
+// per-attempt durations → the last streamed round) plus timeout and
+// cancellation flags, wrapping the final cause. The serve layer
+// threads it through JobError into the HTTP error payload and the
+// structured logs, so a POST /runs failure is debuggable from the
+// response alone.
+type DispatchError struct {
+	// Dispatcher is the dispatcher instance token that owned the job.
+	Dispatcher string
+	// JobID is the run's content-addressed fingerprint.
+	JobID string
+	// Scheme is the requested training scheme.
+	Scheme string
+	// Attempts is the worker journey in order, hedge legs included.
+	Attempts []DispatchAttempt
+	// LastRound is the furthest round any attempt streamed back before
+	// the job failed (-1: no round telemetry ever arrived).
+	LastRound int
+	// Fallback reports that the local fallback ran and Err is its error
+	// (false: Err came from the last remote attempt or the context).
+	Fallback bool
+	// Timeout / Canceled mirror the context error classification so the
+	// serve layer keeps its errors.Is-based accounting.
+	Timeout  bool
+	Canceled bool
+	// Err is the final underlying cause.
+	Err error
+}
+
+// Workers lists the worker ids tried, in attempt order (duplicates
+// kept: a reconsidered worker appears once per attempt).
+func (e *DispatchError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dispatch: job %.12s (%s) via dispatcher %.8s", e.JobID, e.Scheme, e.Dispatcher)
+	if len(e.Attempts) > 0 {
+		b.WriteString(" tried workers [")
+		for i, a := range e.Attempts {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", a.Worker)
+			if a.Hedge {
+				b.WriteString("(hedge)")
+			}
+		}
+		b.WriteByte(']')
+	}
+	if e.Fallback {
+		b.WriteString(", fell back to local")
+	}
+	fmt.Fprintf(&b, ", last round %d: %v", e.LastRound, e.Err)
+	return b.String()
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As, so context
+// classification (Canceled / DeadlineExceeded) survives the wrap.
+func (e *DispatchError) Unwrap() error { return e.Err }
+
+// Workers lists the worker ids tried, in attempt order.
+func (e *DispatchError) Workers() []int {
+	ids := make([]int, len(e.Attempts))
+	for i, a := range e.Attempts {
+		ids[i] = a.Worker
+	}
+	return ids
+}
+
+// journey accumulates the attempt log Run wraps into a DispatchError
+// on failure. Records happen only on Run's goroutine (attempt's select
+// loop), so it needs no lock.
+type journey struct {
+	dispatcher string
+	jobID      string
+	scheme     string
+	attempts   []DispatchAttempt
+}
+
+func (j *journey) record(worker int, hedge bool, dur time.Duration, err error) {
+	a := DispatchAttempt{Worker: worker, Hedge: hedge, Duration: dur}
+	if err != nil {
+		a.Err = err.Error()
+	}
+	j.attempts = append(j.attempts, a)
+}
+
+// wrap turns the final cause into the job's DispatchError; nil stays
+// nil so success paths pass through untouched.
+func (j *journey) wrap(err error, lastRound int, fallback bool) error {
+	if err == nil {
+		return nil
+	}
+	return &DispatchError{
+		Dispatcher: j.dispatcher,
+		JobID:      j.jobID,
+		Scheme:     j.scheme,
+		Attempts:   j.attempts,
+		LastRound:  lastRound,
+		Fallback:   fallback,
+		Timeout:    errors.Is(err, context.DeadlineExceeded),
+		Canceled:   errors.Is(err, context.Canceled),
+		Err:        err,
+	}
+}
+
+// attempt executes one placement of the job: the primary worker plus,
+// when hedging is armed and the primary outlasts the hedge delay, one
+// hedge leg on a different live worker. The first non-transient
+// outcome wins and the losing leg is canceled — runs are
+// byte-deterministic, so either leg's result is the same bytes. Legs
+// that die transiently are recorded in the journey, marked tried and
+// counted against their worker's breaker; transient=true means every
+// launched leg failed transiently (the caller backs off and retries).
+func (d *Dispatcher) attempt(ctx context.Context, primary *workerState, fp, scheme string, opts hadfl.Options, gate *roundGate, tried map[int]bool, jr *journey) (*hadfl.Result, error, bool) {
+	type leg struct {
+		ws        *workerState
+		hedge     bool
+		cancel    context.CancelFunc
+		start     time.Time
+		done      bool
+		res       *hadfl.Result
+		err       error
+		transient bool
+	}
+	out := make(chan *leg, 2)
+	launch := func(ws *workerState, hedge bool) *leg {
+		lctx, cancel := context.WithCancel(ctx)
+		l := &leg{ws: ws, hedge: hedge, cancel: cancel, start: d.now()}
+		go func() {
+			l.res, l.err, l.transient = d.runOn(lctx, ws, fp, scheme, opts, gate.forward, hedge)
+			out <- l
+		}()
+		return l
+	}
+	legs := []*leg{launch(primary, false)}
+	// The hedge arm: a clock-injected wait on its own goroutine, torn
+	// down with the attempt so a fast primary never leaks it.
+	var armed chan struct{}
+	if d.cfg.HedgeAfter > 0 {
+		armed = make(chan struct{})
+		armCtx, disarm := context.WithCancel(ctx)
+		defer disarm()
+		arm := armed
+		go func() {
+			if d.sleep(armCtx, d.hedgeDelay()) {
+				close(arm)
+			}
+		}()
+	}
+	live := 1
+	for {
+		select {
+		case <-armed:
+			armed = nil // one hedge leg at most
+			exclude := make(map[int]bool, len(tried)+len(legs))
+			for id := range tried {
+				exclude[id] = true
+			}
+			for _, l := range legs {
+				exclude[l.ws.id] = true
+			}
+			if ws2 := d.claimWorker(exclude); ws2 != nil {
+				legs = append(legs, launch(ws2, true))
+				live++
+				d.reg.Inc("dispatch_hedges_total")
+				d.log.Info("dispatch hedge launched", "jobID", fp, "primary", primary.id, "hedge", ws2.id)
+			}
+		case l := <-out:
+			live--
+			l.done = true
+			jr.record(l.ws.id, l.hedge, d.now().Sub(l.start), l.err)
+			d.noteLegOutcome(l.ws.id, l.err, l.transient)
+			if !l.transient {
+				// Terminal outcome — a result, a genuine run error, or a
+				// context abort. Cancel the losing leg; its runOn winds
+				// down cooperatively and frees the worker's slot.
+				for _, other := range legs {
+					if other != l && !other.done {
+						other.cancel()
+						d.reg.Inc("dispatch_hedge_cancels_total")
+						d.log.Info("dispatch hedge loser canceled", "jobID", fp, "worker", other.ws.id)
+					}
+				}
+				if l.hedge && l.err == nil {
+					d.reg.Inc("dispatch_hedge_wins_total")
+				}
+				return l.res, l.err, false
+			}
+			tried[l.ws.id] = true
+			if live == 0 {
+				return nil, l.err, true
+			}
+			// The surviving leg carries on as the attempt's last hope.
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package dispatch
+
+// Resilience-layer suite over the simnet: circuit-breaker state
+// transitions, backoff schedule determinism under the injected
+// clock/sleep/jitter (no test here ever sleeps out a backoff),
+// hedged-dispatch byte-identity with loser cancellation, the
+// DispatchError journey, and the acceptance scenario — a persistently
+// flaky worker inside a 3-worker fleet causing zero failed jobs.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/metrics"
+	"hadfl/internal/p2p"
+	"hadfl/internal/trace"
+)
+
+const worker3ID = 3
+
+// startResilientHarness is startHarness with per-worker runners (nil =
+// the real local runner) and a Config hook for the resilience knobs.
+func startResilientHarness(t *testing.T, runners map[int]Runner, capacity int, mutate func(*Config)) *harness {
+	t.Helper()
+	h := &harness{
+		t:       t,
+		hub:     p2p.NewChanHub(),
+		workers: make(map[int]*Worker),
+		reg:     metrics.NewRegistry(),
+		tracer:  trace.NewTracer(0),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h.stop = cancel
+	var ids []int
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w, err := NewWorker(WorkerConfig{
+			Transport:   h.hub.Node(id),
+			Capacity:    capacity,
+			Runner:      runners[id],
+			RecvTimeout: 10 * time.Millisecond,
+			Metrics:     h.reg,
+			Tracer:      trace.NewTracer(0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.workers[id] = w
+		h.done.Add(1)
+		go func() {
+			defer h.done.Done()
+			_ = w.Serve(ctx)
+		}()
+	}
+	cfg := Config{
+		Transport:      h.hub.Node(dispatcherID),
+		Workers:        ids,
+		HeartbeatEvery: 20 * time.Millisecond,
+		LivenessGrace:  100 * time.Millisecond,
+		RecvTimeout:    10 * time.Millisecond,
+		Metrics:        h.reg,
+		Tracer:         h.tracer,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.disp = d
+	if len(ids) > 0 {
+		readyCtx, cancelReady := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelReady()
+		if err := d.WaitReady(readyCtx, len(ids)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		h.stop()
+		h.done.Wait()
+		_ = h.disp.Close()
+	})
+	return h
+}
+
+// flakyRunner fails every run with a worker-side abort, which the
+// dispatcher classifies as transient (the worker is sick, the run is
+// fine).
+func flakyRunner(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+	return nil, context.Canceled
+}
+
+// stubLocal is a local-fallback stand-in so resilience tests never pay
+// for a real training run just to terminate the retry loop.
+func stubLocal(_ context.Context, scheme string, _ hadfl.Options, _ func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+	return &hadfl.Result{Scheme: scheme, Accuracy: 0.5, Rounds: 1, FinalParams: []float64{1}}, nil
+}
+
+// waitWorkerSlotsIdle polls until no worker slot or pending call is
+// held — the no-leaked-slots oracle for hedged dispatch.
+func waitWorkerSlotsIdle(t *testing.T, d *Dispatcher) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d.mu.Lock()
+		inflight := 0
+		for _, ws := range d.workers {
+			inflight += ws.inflight
+		}
+		pend := len(d.pending)
+		d.mu.Unlock()
+		if inflight == 0 && pend == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked slots after hedged run: inflight %d, pending %d", inflight, pend)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitCounter polls the registry until name reaches at least want.
+func waitCounter(t *testing.T, reg *metrics.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(name) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, never reached %d", name, reg.Counter(name), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDispatchBackoffScheduleDeterministic pins the retry pacing under
+// the injected clock: with base 10ms, cap 40ms, identity jitter and two
+// persistently flaky workers, one job's retry loop must request
+// exactly the sleeps [10ms 20ms 40ms 40ms] — exponential per retry,
+// capped, covering the post-reconsideration attempts too — without the
+// test ever actually sleeping.
+func TestDispatchBackoffScheduleDeterministic(t *testing.T) {
+	h := startResilientHarness(t, map[int]Runner{worker1ID: flakyRunner, worker2ID: flakyRunner}, 1, func(cfg *Config) {
+		cfg.RetryBackoff = 10 * time.Millisecond
+		cfg.RetryBackoffMax = 40 * time.Millisecond
+		cfg.BreakerThreshold = -1 // isolate backoff from breaker skips
+		cfg.Local = stubLocal
+	})
+	var mu sync.Mutex
+	var slept []time.Duration
+	// Deterministic injection: jitter returns its ceiling, sleep records
+	// and returns instantly. Set before any Run, so nothing reads them
+	// concurrently.
+	h.disp.jitter = func(max time.Duration) time.Duration { return max }
+	h.disp.sleep = func(ctx context.Context, d time.Duration) bool {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+		return true
+	}
+
+	res, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, fastOpts(41), nil)
+	if err != nil {
+		t.Fatalf("run with flaky fleet: %v", err)
+	}
+	if res.Accuracy != 0.5 {
+		t.Fatalf("result did not come from the local fallback: %+v", res)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != len(want) {
+		t.Fatalf("backoff sleeps %v, want %v", slept, want)
+	}
+	for i, w := range want {
+		if slept[i] != w {
+			t.Fatalf("backoff sleeps %v, want %v", slept, want)
+		}
+	}
+	if got := h.reg.Counter("dispatch_retries_total"); got != 4 {
+		t.Fatalf("dispatch_retries_total = %d, want 4 (two workers, one reconsideration pass)", got)
+	}
+	if got := h.reg.Counter("dispatch_reconsider_total"); got != 1 {
+		t.Fatalf("dispatch_reconsider_total = %d, want 1", got)
+	}
+	if hs, ok := h.reg.Histogram("dispatch_retry_backoff_seconds"); !ok || hs.Count != 4 {
+		t.Fatalf("dispatch_retry_backoff_seconds observed %d delays, want 4", hs.Count)
+	}
+	if got := h.reg.Counter("dispatch_local_fallback_total"); got != 1 {
+		t.Fatalf("dispatch_local_fallback_total = %d, want 1", got)
+	}
+}
+
+// TestDispatchBreakerTransitions walks one worker's breaker through
+// the full machine: closed → open (threshold faults), open skips the
+// worker entirely, cooldown + heartbeat → half-open, a successful
+// trial closes it; then a second trip whose half-open trial FAILS
+// re-opens it immediately.
+func TestDispatchBreakerTransitions(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	switchable := func(ctx context.Context, scheme string, opts hadfl.Options, onRound func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+		if failing.Load() {
+			return nil, context.Canceled
+		}
+		return &hadfl.Result{Scheme: scheme, Accuracy: 0.9, Rounds: 2, FinalParams: []float64{1, 2}}, nil
+	}
+	h := startResilientHarness(t, map[int]Runner{worker1ID: switchable}, 1, func(cfg *Config) {
+		cfg.BreakerThreshold = 2
+		cfg.BreakerCooldown = 30 * time.Millisecond // heartbeats at 20ms deliver the half-open nudge fast
+		cfg.RetryBackoff = -1
+		cfg.Local = stubLocal
+	})
+
+	// Job A: two transient faults (initial attempt + the reconsideration
+	// pass) trip the breaker, then the job lands on the local fallback.
+	if _, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, fastOpts(42), nil); err != nil {
+		t.Fatalf("job A: %v", err)
+	}
+	if got := h.reg.Counter("dispatch_breaker_open_total"); got != 1 {
+		t.Fatalf("dispatch_breaker_open_total = %d, want 1", got)
+	}
+	if got := h.reg.Gauge("dispatch_breaker_open_workers"); got != 1 {
+		t.Fatalf("dispatch_breaker_open_workers = %v, want 1", got)
+	}
+
+	// Job B while open: the worker must not even be asked.
+	requestsBefore := h.reg.Counter("dispatch_requests_total")
+	if _, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, fastOpts(43), nil); err != nil {
+		t.Fatalf("job B: %v", err)
+	}
+	if got := h.reg.Counter("dispatch_requests_total"); got != requestsBefore {
+		t.Fatalf("open breaker still sent requests: %d -> %d", requestsBefore, got)
+	}
+
+	// Heal the worker; the cooldown plus a heartbeat ack half-opens the
+	// breaker with no job traffic at all.
+	failing.Store(false)
+	waitCounter(t, h.reg, "dispatch_breaker_halfopen_total", 1)
+
+	// Job C is the trial: it runs remotely and closes the breaker.
+	res, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, fastOpts(44), nil)
+	if err != nil {
+		t.Fatalf("trial job: %v", err)
+	}
+	if res.Accuracy != 0.9 {
+		t.Fatalf("trial job did not run remotely: %+v", res)
+	}
+	if got := h.reg.Counter("dispatch_breaker_close_total"); got != 1 {
+		t.Fatalf("dispatch_breaker_close_total = %d, want 1", got)
+	}
+	if got := h.reg.Gauge("dispatch_breaker_open_workers"); got != 0 {
+		t.Fatalf("dispatch_breaker_open_workers = %v after close, want 0", got)
+	}
+
+	// Second trip, and this time the half-open trial fails: the breaker
+	// must re-open immediately (open_total reaches 3: trip, trip, failed
+	// trial), never close.
+	failing.Store(true)
+	if _, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, fastOpts(45), nil); err != nil {
+		t.Fatalf("job D: %v", err)
+	}
+	waitCounter(t, h.reg, "dispatch_breaker_open_total", 2)
+	waitCounter(t, h.reg, "dispatch_breaker_halfopen_total", 2)
+	if _, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, fastOpts(46), nil); err != nil {
+		t.Fatalf("failed-trial job: %v", err)
+	}
+	if got := h.reg.Counter("dispatch_breaker_open_total"); got != 3 {
+		t.Fatalf("dispatch_breaker_open_total = %d, want 3 (failed trial re-opens)", got)
+	}
+	if got := h.reg.Counter("dispatch_breaker_close_total"); got != 1 {
+		t.Fatalf("dispatch_breaker_close_total = %d, want 1 still", got)
+	}
+}
+
+// TestDispatchHedgedRunByteIdentical forces a hedge: the primary
+// worker stalls, the hedge delay elapses, the duplicate lands on the
+// second worker and wins — and its result is byte-identical to the
+// unhedged local run. The loser is canceled (counter asserted) and no
+// worker slot or pending call leaks.
+func TestDispatchHedgedRunByteIdentical(t *testing.T) {
+	opts := fastOpts(51)
+	local, err := hadfl.RunContext(context.Background(), hadfl.SchemeHADFL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := func(ctx context.Context, scheme string, o hadfl.Options, onRound func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return nil, errors.New("stall runner timed out")
+		}
+	}
+	h := startResilientHarness(t, map[int]Runner{worker1ID: stall, worker2ID: nil}, 1, func(cfg *Config) {
+		cfg.HedgeAfter = 30 * time.Millisecond
+	})
+
+	res, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, opts, nil)
+	if err != nil {
+		t.Fatalf("hedged run: %v", err)
+	}
+	if got, want := summaryJSON(t, res), summaryJSON(t, local); string(got) != string(want) {
+		t.Fatalf("hedged result differs from the unhedged local run:\nhedged %s\nlocal  %s", got, want)
+	}
+	if got := h.reg.Counter("dispatch_hedges_total"); got != 1 {
+		t.Fatalf("dispatch_hedges_total = %d, want 1", got)
+	}
+	if got := h.reg.Counter("dispatch_hedge_wins_total"); got != 1 {
+		t.Fatalf("dispatch_hedge_wins_total = %d, want 1", got)
+	}
+	if got := h.reg.Counter("dispatch_hedge_cancels_total"); got != 1 {
+		t.Fatalf("dispatch_hedge_cancels_total = %d, want 1", got)
+	}
+	if got := h.reg.Counter("dispatch_local_fallback_total"); got != 0 {
+		t.Fatalf("hedged run fell back to local (%d)", got)
+	}
+	waitWorkerSlotsIdle(t, h.disp)
+	// The stalled primary must have been aborted cooperatively.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.workers[worker1ID].ActiveRuns() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("losing leg still running on the primary worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDispatchHedgeNotArmedForFastRuns: a run that finishes inside the
+// hedge delay never launches (or leaks) a hedge leg.
+func TestDispatchHedgeNotArmedForFastRuns(t *testing.T) {
+	h := startResilientHarness(t, map[int]Runner{worker1ID: nil, worker2ID: nil}, 1, func(cfg *Config) {
+		cfg.HedgeAfter = 30 * time.Second
+	})
+	if _, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, fastOpts(52), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.reg.Counter("dispatch_hedges_total"); got != 0 {
+		t.Fatalf("dispatch_hedges_total = %d, want 0", got)
+	}
+	if got := h.reg.Counter("dispatch_hedge_cancels_total"); got != 0 {
+		t.Fatalf("dispatch_hedge_cancels_total = %d, want 0", got)
+	}
+	waitWorkerSlotsIdle(t, h.disp)
+}
+
+// TestDispatchErrorCarriesJourney pins the typed failure shape: a job
+// whose every attempt (including the reconsideration pass) fails
+// transiently and whose local fallback then errors must surface a
+// *DispatchError carrying the dispatcher instance, every worker
+// attempt in order, the fallback flag and the last streamed round.
+func TestDispatchErrorCarriesJourney(t *testing.T) {
+	localErr := errors.New("local fallback exploded")
+	h := startResilientHarness(t, map[int]Runner{worker1ID: flakyRunner}, 1, func(cfg *Config) {
+		cfg.BreakerThreshold = -1
+		cfg.RetryBackoff = -1
+		cfg.Local = func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			return nil, localErr
+		}
+	})
+	res, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, fastOpts(61), nil)
+	if res != nil || err == nil {
+		t.Fatalf("want a failure, got (%v, %v)", res, err)
+	}
+	var derr *DispatchError
+	if !errors.As(err, &derr) {
+		t.Fatalf("error is not a *DispatchError: %v", err)
+	}
+	if derr.Dispatcher == "" || derr.JobID == "" || derr.Scheme != hadfl.SchemeHADFL {
+		t.Fatalf("journey identity incomplete: %+v", derr)
+	}
+	fp, _ := hadfl.Fingerprint(hadfl.SchemeHADFL, fastOpts(61))
+	if derr.JobID != fp {
+		t.Fatalf("journey JobID %s, want fingerprint %s", derr.JobID, fp)
+	}
+	// Initial attempt plus the reconsideration pass, both on worker 1.
+	if got := derr.Workers(); len(got) != 2 || got[0] != worker1ID || got[1] != worker1ID {
+		t.Fatalf("journey workers %v, want [1 1]", got)
+	}
+	for i, a := range derr.Attempts {
+		if a.Err == "" || a.Hedge {
+			t.Fatalf("attempt %d incomplete: %+v", i, a)
+		}
+	}
+	if !derr.Fallback {
+		t.Fatal("journey does not record the local fallback")
+	}
+	if derr.LastRound != -1 {
+		t.Fatalf("LastRound = %d, want -1 (no round ever streamed)", derr.LastRound)
+	}
+	if derr.Timeout || derr.Canceled {
+		t.Fatalf("spurious timeout/cancel flags: %+v", derr)
+	}
+	if !errors.Is(err, localErr) {
+		t.Fatal("DispatchError does not unwrap to the fallback's cause")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"tried workers [1 1]", "fell back to local", "last round -1", "local fallback exploded"} {
+		if !strings.Contains(msg, frag) {
+			t.Fatalf("Error() = %q, missing %q", msg, frag)
+		}
+	}
+}
+
+// TestDispatchErrorPreservesContextClassification: wrapping must not
+// break the serve pool's errors.Is accounting — a canceled dispatched
+// job still reads as context.Canceled with the journey attached.
+func TestDispatchErrorPreservesContextClassification(t *testing.T) {
+	h := startResilientHarness(t, map[int]Runner{worker1ID: nil}, 1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := hadfl.Options{Powers: []float64{2, 1}, TargetEpochs: 5000, Seed: 1}
+	var once sync.Once
+	_, err := h.disp.Run(ctx, hadfl.SchemeHADFL, opts, func(hadfl.RoundUpdate) {
+		once.Do(cancel)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(context.Canceled)", err)
+	}
+	var derr *DispatchError
+	if !errors.As(err, &derr) {
+		t.Fatalf("canceled run lost its journey: %v", err)
+	}
+	if !derr.Canceled || derr.Timeout {
+		t.Fatalf("journey flags %+v, want Canceled", derr)
+	}
+	if derr.LastRound < 0 {
+		t.Fatalf("LastRound = %d: the cancel fired on a streamed round, so at least round 0 arrived", derr.LastRound)
+	}
+}
+
+// TestSimnetFlakyWorkerFleetZeroFailures is the acceptance scenario:
+// one persistently flaky worker inside a 3-worker fleet, breaker and
+// hedging armed. Every job must succeed, every result must be
+// byte-identical to its unhedged local twin, the breaker must open on
+// the flaky worker, and nothing may fall back to local execution.
+func TestSimnetFlakyWorkerFleetZeroFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run fleet scenario in -short mode")
+	}
+	h := startResilientHarness(t, map[int]Runner{worker1ID: flakyRunner, worker2ID: nil, worker3ID: nil}, 1, func(cfg *Config) {
+		cfg.BreakerThreshold = 2
+		cfg.BreakerCooldown = 10 * time.Minute // stays open for the whole test
+		cfg.RetryBackoff = time.Millisecond
+		cfg.HedgeAfter = 50 * time.Millisecond
+	})
+	for i, seed := range []int64{71, 72, 73} {
+		opts := fastOpts(seed)
+		local, err := hadfl.RunContext(context.Background(), hadfl.SchemeHADFL, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.disp.Run(context.Background(), hadfl.SchemeHADFL, opts, nil)
+		if err != nil {
+			t.Fatalf("job %d failed despite two healthy workers: %v", i, err)
+		}
+		if got, want := summaryJSON(t, res), summaryJSON(t, local); string(got) != string(want) {
+			t.Fatalf("job %d differs from its local twin:\nfleet %s\nlocal %s", i, got, want)
+		}
+	}
+	if got := h.reg.Counter("dispatch_breaker_open_total"); got < 1 {
+		t.Fatalf("dispatch_breaker_open_total = %d, want >= 1", got)
+	}
+	if got := h.reg.Counter("dispatch_local_fallback_total"); got != 0 {
+		t.Fatalf("dispatch_local_fallback_total = %d, want 0", got)
+	}
+	waitWorkerSlotsIdle(t, h.disp)
+}

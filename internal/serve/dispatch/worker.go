@@ -70,6 +70,9 @@ type Worker struct {
 	cfg WorkerConfig
 	reg *metrics.Registry
 	log *slog.Logger
+	// now is the injected clock (run-duration stamps only); the walltime
+	// lint analyzer keeps this package off time.Now.
+	now func() time.Time
 
 	mu      sync.Mutex
 	running map[runKey]context.CancelFunc
@@ -126,6 +129,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		cfg:     cfg,
 		reg:     cfg.Metrics,
 		log:     cfg.Logger,
+		now:     time.Now,
 		running: make(map[runKey]context.CancelFunc),
 	}
 	w.reg.SetGauge("worker_capacity", float64(cfg.Capacity))
@@ -302,7 +306,7 @@ func (w *Worker) handleRequest(ctx context.Context, m p2p.Message) {
 		defer w.wg.Done()
 		defer cancel()
 		w.reg.Inc("worker_runs_total")
-		t0 := time.Now()
+		t0 := w.now()
 		// The run's spans parent under the dispatcher's propagated span
 		// context, so both processes' spans share one TraceID. A Buffer
 		// tees everything recorded locally for shipment home on the
@@ -327,7 +331,7 @@ func (w *Worker) handleRequest(ctx context.Context, m p2p.Message) {
 		delete(w.running, key)
 		w.reg.SetGauge("worker_running", float64(len(w.running)))
 		w.mu.Unlock()
-		dur := time.Since(t0)
+		dur := w.now().Sub(t0)
 		w.reg.Observe("worker_run_seconds", dur.Seconds())
 		span.SetAttr("rounds", fmt.Sprint(rounds.Load()))
 		// shipHome ends the run span, drains every span this run

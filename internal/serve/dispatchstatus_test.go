@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hadfl"
+	"hadfl/internal/serve/dispatch"
+)
+
+// TestJobStatusCarriesDispatchJourney: a failed dispatched run must be
+// debuggable from the POST /runs status payload alone — the dispatcher
+// instance, every worker attempt (hedges marked, durations and causes
+// included), the last streamed round and the fallback flag all ride on
+// the wire.
+func TestJobStatusCarriesDispatchJourney(t *testing.T) {
+	derr := &dispatch.DispatchError{
+		Dispatcher: "cafe0123",
+		JobID:      "deadbeef",
+		Scheme:     hadfl.SchemeHADFL,
+		Attempts: []dispatch.DispatchAttempt{
+			{Worker: 1, Duration: 120 * time.Millisecond, Err: "worker 1 lost mid-run"},
+			{Worker: 2, Hedge: true, Duration: 80 * time.Millisecond, Err: "context canceled"},
+		},
+		LastRound: 3,
+		Fallback:  true,
+		Err:       errors.New("local fallback exploded"),
+	}
+	srv := mustNew(t, Config{
+		Workers: 1,
+		Runner: func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			return nil, derr
+		},
+	})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, st := postRun(t, ts.URL, `{"scheme":"hadfl","options":{"powers":[2,1],"targetEpochs":2,"seed":7}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /runs = %d", code)
+	}
+	st = waitDone(t, ts.URL, st.ID)
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want %s", st.State, StateFailed)
+	}
+	if st.Dispatch == nil {
+		t.Fatalf("terminal status has no dispatch journey: %+v", st)
+	}
+	ds := st.Dispatch
+	if ds.Dispatcher != "cafe0123" || ds.LastRound != 3 || !ds.LocalFallback {
+		t.Fatalf("journey header wrong: %+v", ds)
+	}
+	if len(ds.Attempts) != 2 {
+		t.Fatalf("attempts = %+v, want 2", ds.Attempts)
+	}
+	if a := ds.Attempts[0]; a.Worker != 1 || a.Hedge || a.DurationSec != 0.12 || a.Error != "worker 1 lost mid-run" {
+		t.Fatalf("attempt 0 wrong: %+v", a)
+	}
+	if a := ds.Attempts[1]; a.Worker != 2 || !a.Hedge || a.DurationSec != 0.08 || a.Error != "context canceled" {
+		t.Fatalf("attempt 1 wrong: %+v", a)
+	}
+	// The flat error string carries the journey summary too, for
+	// clients that only log Error.
+	for _, frag := range []string{"cafe0123", "tried workers [1 2(hedge)]", "fell back to local", "local fallback exploded"} {
+		if !strings.Contains(st.Error, frag) {
+			t.Fatalf("status error %q missing %q", st.Error, frag)
+		}
+	}
+}
+
+// TestJobStatusOmitsDispatchForPlainFailures: non-dispatch failures
+// must not grow a dispatch block.
+func TestJobStatusOmitsDispatchForPlainFailures(t *testing.T) {
+	srv := mustNew(t, Config{
+		Workers: 1,
+		Runner: func(context.Context, string, hadfl.Options, func(hadfl.RoundUpdate)) (*hadfl.Result, error) {
+			return nil, errors.New("plain boom")
+		},
+	})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, st := postRun(t, ts.URL, `{"scheme":"hadfl","options":{"powers":[2,1],"targetEpochs":2,"seed":8}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /runs = %d", code)
+	}
+	st = waitDone(t, ts.URL, st.ID)
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want %s", st.State, StateFailed)
+	}
+	if st.Dispatch != nil {
+		t.Fatalf("plain failure grew a dispatch journey: %+v", st.Dispatch)
+	}
+}

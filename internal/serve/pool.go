@@ -11,6 +11,7 @@ import (
 
 	"hadfl"
 	"hadfl/internal/metrics"
+	"hadfl/internal/serve/dispatch"
 	"hadfl/internal/trace"
 )
 
@@ -258,6 +259,16 @@ func (p *Pool) runJob(worker string, j *Job) {
 		j.finish(nil, jerr)
 		p.reg.Observe("run_duration_seconds", jerr.Duration.Seconds())
 		span.SetError(cause)
+		log := log
+		// A dispatched failure logs its journey, not just the flat cause:
+		// which workers were tried (hedges included), how many attempts,
+		// and how far the round stream got.
+		var derr *dispatch.DispatchError
+		if errors.As(cause, &derr) {
+			log = log.With("dispatcher", derr.Dispatcher, "dispatchWorkers", derr.Workers(),
+				"dispatchAttempts", len(derr.Attempts), "lastRound", derr.LastRound,
+				"localFallback", derr.Fallback)
+		}
 		switch {
 		case jerr.Timeout:
 			p.reg.Inc("runs_timeout_total")

@@ -15,6 +15,7 @@ import (
 
 	"hadfl"
 	"hadfl/internal/metrics"
+	"hadfl/internal/serve/dispatch"
 	"hadfl/internal/trace"
 )
 
@@ -315,19 +316,63 @@ const (
 
 // JobStatus is the wire form of a job.
 type JobStatus struct {
-	ID          string      `json:"id"`
-	Scheme      string      `json:"scheme"`
-	State       State       `json:"state"`
-	Cached      bool        `json:"cached,omitempty"`
-	Cache       string      `json:"cache,omitempty"`
-	Created     time.Time   `json:"created"`
-	Started     *time.Time  `json:"started,omitempty"`
-	Finished    *time.Time  `json:"finished,omitempty"`
-	DurationSec float64     `json:"durationSec,omitempty"`
-	Error       string      `json:"error,omitempty"`
-	Timeout     bool        `json:"timeout,omitempty"`
-	Canceled    bool        `json:"canceled,omitempty"`
-	Result      *RunSummary `json:"result,omitempty"`
+	ID          string     `json:"id"`
+	Scheme      string     `json:"scheme"`
+	State       State      `json:"state"`
+	Cached      bool       `json:"cached,omitempty"`
+	Cache       string     `json:"cache,omitempty"`
+	Created     time.Time  `json:"created"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	DurationSec float64    `json:"durationSec,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Timeout     bool       `json:"timeout,omitempty"`
+	Canceled    bool       `json:"canceled,omitempty"`
+	// Dispatch carries the failure journey when a dispatched run failed:
+	// which dispatcher owned it, every worker attempt with durations,
+	// the last streamed round, and whether the local fallback ran — so a
+	// POST /runs failure is debuggable from the response alone.
+	Dispatch *DispatchStatus `json:"dispatch,omitempty"`
+	Result   *RunSummary     `json:"result,omitempty"`
+}
+
+// DispatchStatus is the wire form of a dispatch.DispatchError journey.
+type DispatchStatus struct {
+	Dispatcher    string                  `json:"dispatcher"`
+	Attempts      []DispatchAttemptStatus `json:"attempts,omitempty"`
+	LastRound     int                     `json:"lastRound"`
+	LocalFallback bool                    `json:"localFallback,omitempty"`
+}
+
+// DispatchAttemptStatus is one worker attempt of the journey.
+type DispatchAttemptStatus struct {
+	Worker      int     `json:"worker"`
+	Hedge       bool    `json:"hedge,omitempty"`
+	DurationSec float64 `json:"durationSec"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// dispatchStatus extracts the journey from a job error's cause chain;
+// nil when the failure did not come from the dispatcher.
+func dispatchStatus(jerr *JobError) *DispatchStatus {
+	var derr *dispatch.DispatchError
+	if jerr == nil || !errors.As(jerr.Err, &derr) {
+		return nil
+	}
+	ds := &DispatchStatus{
+		Dispatcher:    derr.Dispatcher,
+		LastRound:     derr.LastRound,
+		LocalFallback: derr.Fallback,
+	}
+	for _, a := range derr.Attempts {
+		ds.Attempts = append(ds.Attempts, DispatchAttemptStatus{
+			Worker:      a.Worker,
+			Hedge:       a.Hedge,
+			DurationSec: a.Duration.Seconds(),
+			Error:       a.Err,
+		})
+	}
+	return ds
 }
 
 // RunSummary is the wire form of a hadfl.Result; the full curve rides
@@ -366,6 +411,7 @@ func (s *Server) status(j *Job, disp string, withCurve bool) JobStatus {
 		st.Error = v.jerr.Error()
 		st.Timeout = v.jerr.IsTimeout()
 		st.Canceled = v.jerr.IsCanceled()
+		st.Dispatch = dispatchStatus(v.jerr)
 	}
 	if v.result != nil {
 		sum := &RunSummary{
